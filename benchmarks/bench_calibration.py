@@ -1,0 +1,39 @@
+"""Estimation-calibration benchmark (Section VI supporting experiment).
+
+Sweeps pilot sizes, scores the label-free parameter estimates against
+ground truth, and asserts the working regime the adaptive optimizer relies
+on: at reasonable pilot sizes (≥120 documents here) the structural
+estimates are within small multiplicative factors and the good-occurrence
+share within ~0.25 — sufficient for plan *ranking*, which is what the
+optimizer consumes (see bench_estimated_optimizer.py for the end-to-end
+consequence).
+"""
+
+import pytest
+
+from repro.experiments import format_calibration, run_calibration
+
+PILOTS = (60, 120, 240)
+
+
+def test_calibration(benchmark, task, report_sink):
+    rows = benchmark.pedantic(
+        lambda: run_calibration(task, pilot_sizes=PILOTS),
+        rounds=1,
+        iterations=1,
+    )
+    report_sink(
+        "estimation_calibration",
+        format_calibration(
+            rows, "Estimation calibration — relative errors vs ground truth"
+        ),
+    )
+    mature = [r for r in rows if r.pilot_documents >= 120]
+    assert mature
+    for row in mature:
+        # Structural quantities within small multiplicative factors...
+        assert abs(row.n_good_values_error) < 1.0, row
+        assert abs(row.good_occurrences_error) < 1.5, row
+        assert abs(row.n_good_docs_error) < 1.0, row
+        # ...and the class split is informative.
+        assert row.share_error < 0.3, row

@@ -1,0 +1,118 @@
+"""Cost-regime sensitivity of plan choice.
+
+EXPERIMENTS.md attributes the difference between the paper's and this
+testbed's plan-family crossover to corpus scale and cost constants.  This
+bench substantiates the cost half of that claim: under three cost regimes
+— the default, a query-expensive regime (remote search API), and a
+document-expensive regime (heavy NLP per document, the paper's setting) —
+the optimizer's choices across requirement levels shift between plan
+families exactly as the economics dictate:
+
+* when per-document work dominates, strategies that *avoid documents*
+  (filtering, targeted probing) gain;
+* when queries dominate, scan-based strategies gain.
+
+Within each regime, predicted plan choice is validated against the actual
+per-plan trajectories executed under the same costs.
+"""
+
+import pytest
+
+from repro.core import QualityRequirement, RetrievalKind
+from repro.experiments import build_trajectories, format_table
+from repro.experiments.table2 import PlanTrajectory, record_trajectory
+from repro.joins import CostModel, SideCosts
+from repro.optimizer import JoinOptimizer, enumerate_plans
+
+REGIMES = {
+    "default": SideCosts(t_retrieve=1.0, t_extract=4.0, t_filter=0.2, t_query=2.0),
+    "query-expensive": SideCosts(
+        t_retrieve=1.0, t_extract=4.0, t_filter=0.2, t_query=60.0
+    ),
+    "document-expensive": SideCosts(
+        t_retrieve=2.0, t_extract=40.0, t_filter=0.4, t_query=2.0
+    ),
+}
+REQUIREMENTS = ((20, 10**6), (200, 10**6))
+
+
+@pytest.fixture(scope="module")
+def plans(task):
+    # Single-θ space keeps 3 regimes × trajectories affordable.
+    return enumerate_plans(
+        task.extractor1.name,
+        task.extractor2.name,
+        thetas1=(0.4,),
+        thetas2=(0.4,),
+    )
+
+
+def test_cost_regimes_move_the_crossover(benchmark, task, plans, report_sink):
+    def run():
+        outcome = {}
+        for regime, side_costs in REGIMES.items():
+            costs = CostModel(side1=side_costs, side2=side_costs)
+            original_costs = task.costs
+            task.costs = costs
+            try:
+                trajectories = build_trajectories(task, plans)
+                optimizer = JoinOptimizer(
+                    task.catalog(), costs=costs, feasibility_margin=0.15
+                )
+                rows = []
+                for tau_good, tau_bad in REQUIREMENTS:
+                    requirement = QualityRequirement(tau_good, tau_bad)
+                    chosen = optimizer.optimize(plans, requirement).chosen
+                    actual = (
+                        trajectories[chosen.plan].time_to_meet(requirement)
+                        if chosen
+                        else None
+                    )
+                    best = min(
+                        (
+                            t.time_to_meet(requirement)
+                            for t in trajectories.values()
+                            if t.time_to_meet(requirement) is not None
+                        ),
+                        default=None,
+                    )
+                    rows.append((tau_good, chosen, actual, best))
+                outcome[regime] = rows
+            finally:
+                task.costs = original_costs
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = []
+    for regime, rows in outcome.items():
+        for tau_good, chosen, actual, best in rows:
+            table.append(
+                (
+                    regime,
+                    tau_good,
+                    chosen.plan.describe() if chosen else "(none)",
+                    f"{actual:.0f}" if actual else "MISSED",
+                    f"{best:.0f}" if best else "-",
+                )
+            )
+    report_sink(
+        "cost_sensitivity",
+        format_table(
+            ["regime", "tau_g", "chosen plan", "actual time", "best"],
+            table,
+        ),
+    )
+    for regime, rows in outcome.items():
+        for tau_good, chosen, actual, best in rows:
+            assert chosen is not None, (regime, tau_good)
+            # The choice actually meets the requirement...
+            assert actual is not None, (regime, tau_good)
+            # ...within a small factor of the regime's actually-fastest.
+            assert actual <= best * 4.0, (regime, tau_good)
+    # The chosen plan set is regime-dependent: at least one requirement
+    # level gets a different plan under a different cost regime.
+    choices_by_regime = {
+        regime: tuple(chosen.plan for _, chosen, _, _ in rows)
+        for regime, rows in outcome.items()
+    }
+    assert len(set(choices_by_regime.values())) > 1

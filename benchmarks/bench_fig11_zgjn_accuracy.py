@@ -1,0 +1,31 @@
+"""Figure 11: estimated vs actual good/bad join tuples for HQ ⋈ EX under
+ZGJN, minSim = 0.4.
+
+The ZGJN model is the coarsest of the three (random-graph generating
+functions, no per-query identity): the paper reports systematic
+overestimation for it.  The contract here is trend agreement within a
+factor, with both series growing along the query-budget sweep.
+"""
+
+import pytest
+
+from repro.experiments import format_accuracy_rows, run_figure11
+
+PERCENTS = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+
+
+def test_figure11(benchmark, task, report_sink):
+    rows = benchmark.pedantic(
+        lambda: run_figure11(task, theta=0.4, percents=PERCENTS),
+        rounds=1,
+        iterations=1,
+    )
+    report_sink(
+        "figure11_zgjn_accuracy",
+        format_accuracy_rows(rows, "Figure 11 — ZGJN, minSim=0.4: est vs actual"),
+    )
+    goods = [r.actual_good for r in rows]
+    assert goods == sorted(goods)
+    for row in rows[2:]:
+        assert row.actual_good / 4 <= row.estimated_good <= row.actual_good * 4
+        assert row.actual_bad / 4 <= row.estimated_bad <= row.actual_bad * 4

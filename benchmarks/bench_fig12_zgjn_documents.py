@@ -1,0 +1,29 @@
+"""Figure 12: estimated vs actual number of documents retrieved from each
+database under ZGJN, as a function of the percentage of queries issued.
+"""
+
+import pytest
+
+from repro.experiments import format_documents_rows, run_figure12
+
+PERCENTS = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+
+
+def test_figure12(benchmark, task, report_sink):
+    rows = benchmark.pedantic(
+        lambda: run_figure12(task, theta=0.4, percents=PERCENTS),
+        rounds=1,
+        iterations=1,
+    )
+    report_sink(
+        "figure12_zgjn_documents",
+        format_documents_rows(
+            rows, "Figure 12 — ZGJN documents retrieved: est vs actual"
+        ),
+    )
+    docs2 = [r.actual_docs2 for r in rows]
+    assert docs2 == sorted(docs2)
+    final = rows[-1]
+    # Trend agreement within a factor on both databases.
+    assert final.actual_docs1 / 3 <= final.estimated_docs1 <= final.actual_docs1 * 3
+    assert final.actual_docs2 / 3 <= final.estimated_docs2 <= final.actual_docs2 * 3

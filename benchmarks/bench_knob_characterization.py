@@ -1,0 +1,44 @@
+"""Supporting experiment: tp(θ)/fp(θ) knob characterization (Section III-A).
+
+Regenerates the knob curves for every extraction system in the testbed —
+the offline profiling step the quality models are parameterized with — and
+asserts the structural properties the analysis needs: curves start at 1.0,
+decrease monotonically, and separate good from bad occurrences.
+"""
+
+import pytest
+
+from repro.experiments import CHARACTERIZATION_THETAS, format_table
+from repro.extraction import characterize
+
+
+def test_knob_characterization(benchmark, testbed, report_sink):
+    def run():
+        return {
+            relation: characterize(
+                extractor, testbed.training, thetas=CHARACTERIZATION_THETAS
+            )
+            for relation, extractor in testbed.extractors.items()
+        }
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    for relation, char in sorted(curves.items()):
+        rows = [
+            (theta, f"{char.tp_at(theta):.3f}", f"{char.fp_at(theta):.3f}")
+            for theta in CHARACTERIZATION_THETAS
+        ]
+        lines.append(
+            format_table([f"θ ({relation})", "tp(θ)", "fp(θ)"], rows)
+        )
+    report_sink(
+        "knob_characterization",
+        "Knob characterization — Snowball minSim curves per relation\n\n"
+        + "\n\n".join(lines),
+    )
+    for relation, char in curves.items():
+        assert char.tp_at(0.0) == pytest.approx(1.0)
+        assert char.fp_at(0.0) == pytest.approx(1.0)
+        tps = [char.tp_at(t) for t in CHARACTERIZATION_THETAS]
+        assert all(a >= b - 1e-9 for a, b in zip(tps, tps[1:])), relation
+        assert char.tp_at(0.4) - char.fp_at(0.4) > 0.15, relation

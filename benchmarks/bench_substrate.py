@@ -1,0 +1,107 @@
+"""Substrate microbenchmarks: throughput of the building blocks.
+
+Not a paper artifact — ordinary performance benchmarks a downstream user
+cares about: corpus generation, extraction throughput, index search,
+ripple-join maintenance, and model evaluation cost (the quantity that
+bounds optimizer latency).
+"""
+
+import pytest
+
+from repro.core import RelationSchema, RetrievalKind
+from repro.experiments.figures import task_statistics
+from repro.joins import Budgets, IndependentJoin
+from repro.models import IDJNModel, OIJNModel
+from repro.retrieval import Query, ScanRetriever
+from repro.textdb import (
+    CorpusConfig,
+    HostedRelation,
+    RelationSpec,
+    World,
+    WorldConfig,
+    generate_corpus,
+)
+
+
+def test_corpus_generation_throughput(benchmark):
+    hq = RelationSpec(
+        schema=RelationSchema("HQ", ("Company", "Location")),
+        secondary_prefix="city",
+        n_true_facts=150,
+        n_false_facts=100,
+        n_secondary=200,
+    )
+    world = World(WorldConfig(seed=3, n_companies=200, relations=(hq,)))
+
+    def build():
+        return generate_corpus(
+            world,
+            CorpusConfig(
+                name="bench",
+                seed=4,
+                hosted=(HostedRelation("HQ", 300, 120),),
+                n_empty_docs=380,
+            ),
+        )
+
+    database = benchmark(build)
+    assert len(database) == 800
+
+
+def test_extraction_throughput(benchmark, task):
+    extractor = task.extractor1.with_theta(0.4)
+    documents = list(task.database1.documents)
+
+    def extract_all():
+        return sum(len(extractor.extract(doc)) for doc in documents)
+
+    total = benchmark(extract_all)
+    assert total > 0
+
+
+def test_search_throughput(benchmark, task):
+    database = task.database1
+    values = list(task.profile1.good_frequency)[:50]
+
+    def search_all():
+        return sum(len(database.search([value])) for value in values)
+
+    total = benchmark(search_all)
+    assert total > 0
+
+
+def test_ripple_join_throughput(benchmark, task):
+    def run():
+        inputs = task.inputs(0.4, 0.4)
+        return IndependentJoin(
+            inputs,
+            ScanRetriever(task.database1),
+            ScanRetriever(task.database2),
+        ).run(budgets=Budgets(max_documents1=200, max_documents2=200))
+
+    execution = benchmark(run)
+    assert execution.report.documents_processed[1] == 200
+
+
+def test_idjn_model_evaluation_cost(benchmark, task):
+    statistics = task_statistics(task, 0.4, 0.4)
+    model = IDJNModel(statistics, RetrievalKind.SCAN, RetrievalKind.SCAN)
+    n1, n2 = len(task.database1), len(task.database2)
+
+    def evaluate():
+        return model.predict(n1 // 2, n2 // 2)
+
+    prediction = benchmark(evaluate)
+    assert prediction.n_good > 0
+
+
+def test_oijn_model_evaluation_cost(benchmark, task):
+    statistics = task_statistics(task, 0.4, 0.4)
+    model = OIJNModel(statistics, RetrievalKind.SCAN, outer=1)
+    n1 = len(task.database1)
+
+    def evaluate():
+        return model.predict(n1 // 2)
+
+    prediction = benchmark(evaluate)
+    assert prediction.n_good > 0

@@ -1,0 +1,59 @@
+"""Model accuracy at the strict knob setting (minSim = 0.8).
+
+The paper states it "performed similar experiments for all other execution
+strategies" beyond the minSim=0.4 figures it prints.  This bench covers
+the other knob operating point it uses throughout (θ=0.8, the
+clean/strict regime): IDJN and OIJN estimated-vs-actual sweeps must track
+with the same quality as the θ=0.4 figures.
+"""
+
+import pytest
+
+from repro.experiments import (
+    format_accuracy_rows,
+    run_figure9,
+    run_figure10,
+)
+
+PERCENTS = (20, 40, 60, 80, 100)
+
+
+def test_idjn_accuracy_theta08(benchmark, task, report_sink):
+    rows = benchmark.pedantic(
+        lambda: run_figure9(task, theta=0.8, percents=PERCENTS),
+        rounds=1,
+        iterations=1,
+    )
+    report_sink(
+        "figure09_idjn_accuracy_theta08",
+        format_accuracy_rows(rows, "IDJN (Scan/Scan), minSim=0.8"),
+    )
+    final = rows[-1]
+    assert final.estimated_good == pytest.approx(final.actual_good, rel=0.4)
+    assert final.estimated_bad == pytest.approx(final.actual_bad, rel=0.5)
+    # Strict knob: far fewer but much cleaner tuples than at θ=0.4.
+    loose = run_figure9(task, theta=0.4, percents=(100,))[0]
+    assert final.actual_good < loose.actual_good
+    strict_precision = final.actual_good / max(
+        final.actual_good + final.actual_bad, 1
+    )
+    loose_precision = loose.actual_good / max(
+        loose.actual_good + loose.actual_bad, 1
+    )
+    assert strict_precision > loose_precision
+
+
+def test_oijn_accuracy_theta08(benchmark, task, report_sink):
+    rows = benchmark.pedantic(
+        lambda: run_figure10(task, theta=0.8, percents=PERCENTS),
+        rounds=1,
+        iterations=1,
+    )
+    report_sink(
+        "figure10_oijn_accuracy_theta08",
+        format_accuracy_rows(rows, "OIJN (Scan outer), minSim=0.8"),
+    )
+    final = rows[-1]
+    assert final.estimated_good == pytest.approx(final.actual_good, rel=0.6)
+    goods = [r.actual_good for r in rows]
+    assert goods == sorted(goods)

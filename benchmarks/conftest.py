@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate every table and figure of the paper's evaluation on
+the canonical testbed and write the reproduced rows/series to
+``benchmarks/results/*.txt`` (also echoed to stdout; run pytest with ``-s``
+to see them live).  pytest-benchmark times the regeneration itself.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import TestbedConfig, build_testbed
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    return build_testbed(TestbedConfig(scale=0.6))
+
+
+@pytest.fixture(scope="session")
+def task(testbed):
+    return testbed.task()
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return write

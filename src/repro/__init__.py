@@ -1,0 +1,51 @@
+"""repro — quality-aware join optimization over information-extraction output.
+
+A full reproduction of *Join Optimization of Information Extraction Output:
+Quality Matters!* (Jain, Ipeirotis, Doan, Gravano — ICDE 2009): text-database
+substrate, tunable IE blackboxes, document retrieval strategies, the IDJN /
+OIJN / ZGJN join algorithms, the analytical output-quality and execution-time
+models, MLE parameter estimation, and the quality-aware join optimizer.
+
+Quickstart::
+
+    from repro.experiments import build_testbed
+    from repro.optimizer import enumerate_plans, JoinOptimizer
+    from repro.core import QualityRequirement
+
+    task = build_testbed().task()          # HQ ⋈ EX, as in the paper
+    optimizer = JoinOptimizer(task.catalog(), costs=task.costs)
+    plans = enumerate_plans(task.extractor1.name, task.extractor2.name)
+    result = optimizer.optimize(plans, QualityRequirement(100, 500))
+    print(result.chosen.plan.describe())
+
+See README.md for a tour and DESIGN.md for the paper-to-module map.
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    core,
+    estimation,
+    experiments,
+    extraction,
+    joins,
+    models,
+    multiway,
+    optimizer,
+    retrieval,
+    textdb,
+)
+
+__all__ = [
+    "__version__",
+    "core",
+    "estimation",
+    "experiments",
+    "extraction",
+    "joins",
+    "models",
+    "multiway",
+    "optimizer",
+    "retrieval",
+    "textdb",
+]

@@ -1,0 +1,304 @@
+"""Command-line interface.
+
+Exposes the experiment harness and the optimizer without writing Python::
+
+    repro figures --figure 9            # estimated-vs-actual sweep tables
+    repro table2 --rows 8               # the optimizer-choice table
+    repro characterize                  # tp/fp knob curves per relation
+    repro optimize --tau-good 50 --tau-bad 1000
+    repro adaptive --tau-good 80 --tau-bad 2000
+    repro budget --time 2000 --precision-weight 0.8
+
+All commands operate on the canonical testbed (``--scale`` / ``--seed``
+control its size and randomness).  Installed as the ``repro`` console
+script; also runnable via ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core import QualityRequirement
+from .experiments import (
+    CHARACTERIZATION_THETAS,
+    TABLE2_REQUIREMENTS,
+    TestbedConfig,
+    build_testbed,
+    format_accuracy_rows,
+    format_documents_rows,
+    format_frontier,
+    format_table,
+    format_table2_rows,
+    quality_frontier,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_figure12,
+    run_table2,
+)
+from .optimizer import (
+    AdaptiveJoinExecutor,
+    JoinOptimizer,
+    bind_plan,
+    enumerate_plans,
+)
+
+
+def _add_testbed_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.6,
+        help="testbed scale factor (default 0.6; 1.0 ≈ a thousand docs/db)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=11, help="testbed world seed"
+    )
+
+
+def _testbed_task(args: argparse.Namespace):
+    testbed = build_testbed(TestbedConfig(seed=args.seed, scale=args.scale))
+    return testbed, testbed.task()
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    _, task = _testbed_task(args)
+    percents = tuple(range(10, 101, args.step))
+    runners = {
+        9: (run_figure9, format_accuracy_rows, "Figure 9 — IDJN (Scan/Scan)"),
+        10: (run_figure10, format_accuracy_rows, "Figure 10 — OIJN (Scan outer)"),
+        11: (run_figure11, format_accuracy_rows, "Figure 11 — ZGJN"),
+        12: (run_figure12, format_documents_rows, "Figure 12 — ZGJN documents"),
+    }
+    figures = [args.figure] if args.figure else [9, 10, 11, 12]
+    for figure in figures:
+        runner, formatter, title = runners[figure]
+        print(formatter(runner(task, percents=percents), title))
+        print()
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    _, task = _testbed_task(args)
+    requirements = TABLE2_REQUIREMENTS[: args.rows] if args.rows else TABLE2_REQUIREMENTS
+    rows = run_table2(task, requirements=requirements)
+    print(format_table2_rows(rows, "Table II — optimizer choices (HQ ⋈ EX)"))
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    testbed, _ = _testbed_task(args)
+    for relation in sorted(testbed.characterizations):
+        char = testbed.characterizations[relation]
+        rows = [
+            (theta, f"{char.tp_at(theta):.3f}", f"{char.fp_at(theta):.3f}")
+            for theta in CHARACTERIZATION_THETAS
+        ]
+        print(format_table([f"θ ({relation})", "tp(θ)", "fp(θ)"], rows))
+        print()
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    _, task = _testbed_task(args)
+    requirement = QualityRequirement(
+        tau_good=args.tau_good, tau_bad=args.tau_bad
+    )
+    plans = enumerate_plans(task.extractor1.name, task.extractor2.name)
+    optimizer = JoinOptimizer(
+        task.catalog(), costs=task.costs, feasibility_margin=args.margin
+    )
+    result = optimizer.optimize(plans, requirement)
+    if result.chosen is None:
+        print("No plan is predicted to meet the requirement.")
+        return 1
+    chosen = result.chosen
+    print(f"Candidates: {len(plans)}; feasible: {len(result.feasible)}")
+    print(f"Chosen: {chosen.plan.describe()}")
+    print(
+        f"Predicted: {chosen.prediction.n_good:.0f} good / "
+        f"{chosen.prediction.n_bad:.0f} bad in "
+        f"{chosen.prediction.total_time:.0f}s"
+    )
+    if args.execute:
+        executor = bind_plan(
+            task.environment(
+                chosen.plan.extractor1.theta, chosen.plan.extractor2.theta
+            ),
+            chosen.plan,
+        )
+        report = executor.run(requirement=requirement).report
+        print(f"Actual:    {report.summary()}")
+        print(f"Requirement met: {report.check(requirement)}")
+    return 0
+
+
+def _cmd_budget(args: argparse.Namespace) -> int:
+    _, task = _testbed_task(args)
+    plans = enumerate_plans(task.extractor1.name, task.extractor2.name)
+    optimizer = JoinOptimizer(task.catalog(), costs=task.costs)
+    result = optimizer.optimize_within_time(
+        plans, args.time, precision_weight=args.precision_weight
+    )
+    if result.chosen is None:
+        print("No plan produces output within the budget.")
+        return 1
+    chosen = result.chosen
+    prediction = chosen.prediction
+    total = prediction.n_good + prediction.n_bad
+    precision = prediction.n_good / total if total else 1.0
+    print(f"Chosen: {chosen.plan.describe()}")
+    print(
+        f"Predicted within {args.time:.0f}s: {prediction.n_good:.0f} good / "
+        f"{prediction.n_bad:.0f} bad (precision {precision:.2f}) in "
+        f"{prediction.total_time:.0f}s"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import write_report
+
+    _, task = _testbed_task(args)
+    path = write_report(task, args.output, table2_rows=args.rows)
+    print(f"Report written to {path}")
+    return 0
+
+
+def _cmd_frontier(args: argparse.Namespace) -> int:
+    _, task = _testbed_task(args)
+    plans = enumerate_plans(task.extractor1.name, task.extractor2.name)
+    frontier = quality_frontier(task.catalog(), plans, costs=task.costs)
+    print(
+        format_frontier(
+            frontier, "Quality/time frontier (Pareto-optimal operating points)"
+        )
+    )
+    return 0
+
+
+def _cmd_adaptive(args: argparse.Namespace) -> int:
+    _, task = _testbed_task(args)
+    requirement = QualityRequirement(
+        tau_good=args.tau_good, tau_bad=args.tau_bad
+    )
+    adaptive = AdaptiveJoinExecutor(
+        environment=task.environment(),
+        characterization1=task.characterization1,
+        characterization2=task.characterization2,
+        plans=enumerate_plans(task.extractor1.name, task.extractor2.name),
+        pilot_documents=args.pilot,
+        classifier_profile1=task.offline_classifier_profile1,
+        classifier_profile2=task.offline_classifier_profile2,
+        query_stats1=task.offline_query_stats1,
+        query_stats2=task.offline_query_stats2,
+        feasibility_margin=args.margin,
+    )
+    result = adaptive.run(requirement)
+    if result.chosen is None:
+        print("Adaptive optimizer found no feasible plan.")
+        return 1
+    print(f"Pilot rounds: {result.rounds}")
+    print(f"Chosen: {result.chosen.plan.describe()}")
+    report = result.execution.report
+    print(f"Actual: {report.summary()}")
+    print(f"Requirement met: {report.check(requirement)}")
+    print(f"Total simulated time: {result.total_time:.0f}s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Quality-aware join optimization over IE output "
+            "(ICDE 2009 reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figures = subparsers.add_parser(
+        "figures", help="estimated-vs-actual model accuracy sweeps (Figures 9-12)"
+    )
+    figures.add_argument(
+        "--figure", type=int, choices=(9, 10, 11, 12), default=None
+    )
+    figures.add_argument("--step", type=int, default=10, help="sweep step (%%)")
+    _add_testbed_arguments(figures)
+    figures.set_defaults(handler=_cmd_figures)
+
+    table2 = subparsers.add_parser(
+        "table2", help="optimizer choices across (τg, τb) (Table II)"
+    )
+    table2.add_argument(
+        "--rows", type=int, default=None, help="limit to the first N rows"
+    )
+    _add_testbed_arguments(table2)
+    table2.set_defaults(handler=_cmd_table2)
+
+    characterize = subparsers.add_parser(
+        "characterize", help="tp(θ)/fp(θ) knob curves per relation"
+    )
+    _add_testbed_arguments(characterize)
+    characterize.set_defaults(handler=_cmd_characterize)
+
+    optimize = subparsers.add_parser(
+        "optimize", help="pick the fastest plan for a (τg, τb) contract"
+    )
+    optimize.add_argument("--tau-good", type=int, required=True)
+    optimize.add_argument("--tau-bad", type=int, required=True)
+    optimize.add_argument("--margin", type=float, default=0.15)
+    optimize.add_argument(
+        "--execute", action="store_true", help="also run the chosen plan"
+    )
+    _add_testbed_arguments(optimize)
+    optimize.set_defaults(handler=_cmd_optimize)
+
+    budget = subparsers.add_parser(
+        "budget", help="maximize quality within a simulated-time budget"
+    )
+    budget.add_argument("--time", type=float, required=True)
+    budget.add_argument("--precision-weight", type=float, default=0.5)
+    _add_testbed_arguments(budget)
+    budget.set_defaults(handler=_cmd_budget)
+
+    frontier = subparsers.add_parser(
+        "frontier", help="Pareto frontier of achievable (time, quality) points"
+    )
+    _add_testbed_arguments(frontier)
+    frontier.set_defaults(handler=_cmd_frontier)
+
+    report = subparsers.add_parser(
+        "report", help="run the full evaluation and write a markdown report"
+    )
+    report.add_argument(
+        "--output", default="REPORT.md", help="output path (default REPORT.md)"
+    )
+    report.add_argument(
+        "--rows", type=int, default=12, help="Table II rows to include"
+    )
+    _add_testbed_arguments(report)
+    report.set_defaults(handler=_cmd_report)
+
+    adaptive = subparsers.add_parser(
+        "adaptive", help="full no-labels pipeline: pilot → estimate → execute"
+    )
+    adaptive.add_argument("--tau-good", type=int, required=True)
+    adaptive.add_argument("--tau-bad", type=int, required=True)
+    adaptive.add_argument("--pilot", type=int, default=100)
+    adaptive.add_argument("--margin", type=float, default=0.3)
+    _add_testbed_arguments(adaptive)
+    adaptive.set_defaults(handler=_cmd_adaptive)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,177 @@
+"""Join execution plans (Definition 3.1).
+
+A plan is the tuple ``⟨E1⟨θ1⟩, E2⟨θ2⟩, X1, X2, JN⟩``: per-relation
+extraction systems with knob configurations, per-relation document
+retrieval strategies, and a join algorithm.  Plans here are declarative
+descriptors — the optimizer enumerates and costs them symbolically, and an
+executor binds a chosen plan to live databases and extractors.
+
+Retrieval-strategy applicability follows the paper:
+
+* IDJN uses an explicit strategy for both relations (SC, FS, or AQG each);
+* OIJN uses an explicit strategy for the *outer* relation only — the inner
+  relation is retrieved via keyword probes generated from outer tuples
+  (rendered as ``(OIJN)`` in Table II);
+* ZGJN drives both relations by keyword querying from a seed query.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+class RetrievalKind(enum.Enum):
+    """Document retrieval strategies of Section III-B."""
+
+    SCAN = "SC"
+    FILTERED_SCAN = "FS"
+    AQG = "AQG"
+    #: Query-driven retrieval implied by the join algorithm itself
+    #: (inner side of OIJN, both sides of ZGJN).
+    JOIN_DRIVEN = "(JN)"
+
+
+class JoinKind(enum.Enum):
+    """Join algorithms of Section IV."""
+
+    IDJN = "IDJN"
+    OIJN = "OIJN"
+    ZGJN = "ZGJN"
+
+
+@dataclass(frozen=True)
+class ExtractorConfig:
+    """An extraction system together with its knob configuration θ."""
+
+    name: str
+    theta: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.theta <= 1.0:
+            raise ValueError("theta must be within [0, 1]")
+
+    def describe(self) -> str:
+        return f"{self.name}⟨θ={self.theta:g}⟩"
+
+
+@dataclass(frozen=True)
+class JoinPlanSpec:
+    """A declarative join execution plan.
+
+    Attributes
+    ----------
+    extractor1, extractor2:
+        IE systems (and θ knobs) for relations R1 and R2.
+    retrieval1, retrieval2:
+        Document retrieval strategies X1, X2.  Must be consistent with the
+        join algorithm (see module docstring); :meth:`validate` enforces it.
+    join:
+        The join algorithm.
+    outer:
+        For OIJN: which relation plays the outer role (1 or 2).
+    """
+
+    extractor1: ExtractorConfig
+    extractor2: ExtractorConfig
+    retrieval1: RetrievalKind
+    retrieval2: RetrievalKind
+    join: JoinKind
+    outer: int = 1
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.outer not in (1, 2):
+            raise ValueError("outer must be 1 or 2")
+        explicit = (RetrievalKind.SCAN, RetrievalKind.FILTERED_SCAN, RetrievalKind.AQG)
+        if self.join is JoinKind.IDJN:
+            if self.retrieval1 not in explicit or self.retrieval2 not in explicit:
+                raise ValueError("IDJN needs an explicit strategy for both relations")
+        elif self.join is JoinKind.OIJN:
+            outer_kind = self.retrieval1 if self.outer == 1 else self.retrieval2
+            inner_kind = self.retrieval2 if self.outer == 1 else self.retrieval1
+            if outer_kind not in explicit:
+                raise ValueError("OIJN outer relation needs an explicit strategy")
+            if inner_kind is not RetrievalKind.JOIN_DRIVEN:
+                raise ValueError("OIJN inner relation is join-driven")
+        elif self.join is JoinKind.ZGJN:
+            if (
+                self.retrieval1 is not RetrievalKind.JOIN_DRIVEN
+                or self.retrieval2 is not RetrievalKind.JOIN_DRIVEN
+            ):
+                raise ValueError("ZGJN retrieval is join-driven on both relations")
+
+    @property
+    def outer_extractor(self) -> ExtractorConfig:
+        return self.extractor1 if self.outer == 1 else self.extractor2
+
+    @property
+    def inner_extractor(self) -> ExtractorConfig:
+        return self.extractor2 if self.outer == 1 else self.extractor1
+
+    @property
+    def outer_retrieval(self) -> RetrievalKind:
+        return self.retrieval1 if self.outer == 1 else self.retrieval2
+
+    def describe(self) -> str:
+        """Render as in Table II: JN, θ1, θ2, X1, X2."""
+        return (
+            f"{self.join.value} θ1={self.extractor1.theta:g} "
+            f"θ2={self.extractor2.theta:g} "
+            f"X1={self.retrieval1.value} X2={self.retrieval2.value}"
+            + (f" outer=R{self.outer}" if self.join is JoinKind.OIJN else "")
+        )
+
+
+def idjn_plan(
+    extractor1: ExtractorConfig,
+    extractor2: ExtractorConfig,
+    retrieval1: RetrievalKind,
+    retrieval2: RetrievalKind,
+) -> JoinPlanSpec:
+    """Convenience constructor for an IDJN plan."""
+    return JoinPlanSpec(
+        extractor1=extractor1,
+        extractor2=extractor2,
+        retrieval1=retrieval1,
+        retrieval2=retrieval2,
+        join=JoinKind.IDJN,
+    )
+
+
+def oijn_plan(
+    extractor1: ExtractorConfig,
+    extractor2: ExtractorConfig,
+    outer_retrieval: RetrievalKind,
+    outer: int = 1,
+) -> JoinPlanSpec:
+    """Convenience constructor for an OIJN plan."""
+    if outer == 1:
+        r1, r2 = outer_retrieval, RetrievalKind.JOIN_DRIVEN
+    else:
+        r1, r2 = RetrievalKind.JOIN_DRIVEN, outer_retrieval
+    return JoinPlanSpec(
+        extractor1=extractor1,
+        extractor2=extractor2,
+        retrieval1=r1,
+        retrieval2=r2,
+        join=JoinKind.OIJN,
+        outer=outer,
+    )
+
+
+def zgjn_plan(
+    extractor1: ExtractorConfig,
+    extractor2: ExtractorConfig,
+) -> JoinPlanSpec:
+    """Convenience constructor for a ZGJN plan."""
+    return JoinPlanSpec(
+        extractor1=extractor1,
+        extractor2=extractor2,
+        retrieval1=RetrievalKind.JOIN_DRIVEN,
+        retrieval2=RetrievalKind.JOIN_DRIVEN,
+        join=JoinKind.ZGJN,
+    )

@@ -1,0 +1,116 @@
+"""Quality metrics and execution reports.
+
+Wraps the raw good/bad counts of a join execution into the figures the
+paper reports — precision, recall against the reachable ground truth, and
+whether a :class:`~repro.core.preferences.QualityRequirement` was met —
+plus the simulated execution-time breakdown used throughout Section V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .preferences import QualityRequirement
+from .relation import JoinComposition
+
+
+@dataclass(frozen=True)
+class QualityMetrics:
+    """Precision/recall view of a join result."""
+
+    n_good: int
+    n_bad: int
+    reachable_good: Optional[int] = None
+
+    @property
+    def n_total(self) -> int:
+        return self.n_good + self.n_bad
+
+    @property
+    def precision(self) -> float:
+        """Fraction of produced join tuples that are good (1.0 if empty)."""
+        if self.n_total == 0:
+            return 1.0
+        return self.n_good / self.n_total
+
+    @property
+    def recall(self) -> Optional[float]:
+        """Fraction of reachable good join tuples produced, if known."""
+        if self.reachable_good is None:
+            return None
+        if self.reachable_good == 0:
+            return 1.0
+        return min(1.0, self.n_good / self.reachable_good)
+
+    @classmethod
+    def from_composition(
+        cls, comp: JoinComposition, reachable_good: Optional[int] = None
+    ) -> "QualityMetrics":
+        return cls(
+            n_good=comp.n_good, n_bad=comp.n_bad, reachable_good=reachable_good
+        )
+
+
+@dataclass
+class TimeBreakdown:
+    """Simulated execution-time components (Section V time formulas).
+
+    All values are in simulated seconds, accumulated per relation:
+    retrieval time (tR per document), extraction time (tE per document),
+    filtering time (tF per classified document, FS only), and querying time
+    (tQ per issued query, AQG/OIJN/ZGJN).
+    """
+
+    retrieval: float = 0.0
+    extraction: float = 0.0
+    filtering: float = 0.0
+    querying: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.retrieval + self.extraction + self.filtering + self.querying
+
+    def add(self, other: "TimeBreakdown") -> None:
+        self.retrieval += other.retrieval
+        self.extraction += other.extraction
+        self.filtering += other.filtering
+        self.querying += other.querying
+
+
+@dataclass
+class ExecutionReport:
+    """Everything a finished join execution reports back.
+
+    ``documents_retrieved``/``documents_processed``/``queries_issued`` are
+    per-relation counts keyed by 1 and 2; ``satisfied`` records whether the
+    user's quality requirement was met (None when no requirement given).
+    """
+
+    composition: JoinComposition
+    time: TimeBreakdown
+    documents_retrieved: Dict[int, int] = field(default_factory=dict)
+    documents_processed: Dict[int, int] = field(default_factory=dict)
+    documents_filtered: Dict[int, int] = field(default_factory=dict)
+    queries_issued: Dict[int, int] = field(default_factory=dict)
+    tuples_extracted: Dict[int, int] = field(default_factory=dict)
+    satisfied: Optional[bool] = None
+    exhausted: bool = False
+
+    def metrics(self, reachable_good: Optional[int] = None) -> QualityMetrics:
+        return QualityMetrics.from_composition(self.composition, reachable_good)
+
+    def check(self, requirement: QualityRequirement) -> bool:
+        """Evaluate the requirement against the *actual* composition."""
+        return requirement.satisfied_by(
+            self.composition.n_good, self.composition.n_bad
+        )
+
+    def summary(self) -> str:
+        c = self.composition
+        return (
+            f"good={c.n_good} bad={c.n_bad} "
+            f"(gb={c.n_good_bad}, bg={c.n_bad_good}, bb={c.n_bad_bad}) "
+            f"time={self.time.total:.1f}s docs={dict(self.documents_processed)} "
+            f"queries={dict(self.queries_issued)}"
+        )

@@ -1,0 +1,210 @@
+"""Runners for the paper's model-accuracy figures (Figures 9–12).
+
+Each runner sweeps an effort axis, computing the analytical estimate
+(Section V models with perfect knowledge of the database statistics, as in
+the paper's accuracy study) and the actual value from a real execution at
+the same operating point, and returns aligned rows ready for reporting or
+assertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.plan import RetrievalKind
+from ..joins.base import Budgets
+from ..joins.idjn import IndependentJoin
+from ..joins.oijn import OuterInnerJoin
+from ..joins.zgjn import ZigZagJoin
+from ..models.idjn_model import IDJNModel
+from ..models.oijn_model import OIJNModel
+from ..models.parameters import JoinStatistics, SideStatistics
+from ..models.zgjn_model import ZGJNModel
+from ..retrieval.scan import ScanRetriever
+from .testbed import JoinTask
+
+DEFAULT_PERCENTS: Sequence[int] = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+
+
+@dataclass(frozen=True)
+class AccuracyRow:
+    """One sweep point: estimated vs actual good/bad join tuples."""
+
+    percent: int
+    estimated_good: float
+    actual_good: int
+    estimated_bad: float
+    actual_bad: int
+    estimated_time: float
+    actual_time: float
+
+
+@dataclass(frozen=True)
+class DocumentsRow:
+    """One Figure-12 sweep point: documents retrieved per database."""
+
+    percent: int
+    estimated_docs1: float
+    actual_docs1: int
+    estimated_docs2: float
+    actual_docs2: int
+
+
+def task_statistics(task: JoinTask, theta1: float, theta2: float) -> JoinStatistics:
+    """Ground-truth model statistics for a task at (θ1, θ2)."""
+    return JoinStatistics(
+        side1=SideStatistics.from_profile(
+            task.profile1,
+            tp=task.characterization1.tp_at(theta1),
+            fp=task.characterization1.fp_at(theta1),
+            top_k=task.database1.max_results,
+        ),
+        side2=SideStatistics.from_profile(
+            task.profile2,
+            tp=task.characterization2.tp_at(theta2),
+            fp=task.characterization2.fp_at(theta2),
+            top_k=task.database2.max_results,
+        ),
+        classifier1=task.classifier_profile1,
+        classifier2=task.classifier_profile2,
+        queries1=tuple(task.query_stats1),
+        queries2=tuple(task.query_stats2),
+    )
+
+
+def run_figure9(
+    task: JoinTask,
+    theta: float = 0.4,
+    percents: Sequence[int] = DEFAULT_PERCENTS,
+) -> List[AccuracyRow]:
+    """Figure 9: IDJN with Scan on both sides, minSim = 0.4."""
+    statistics = task_statistics(task, theta, theta)
+    model = IDJNModel(
+        statistics, RetrievalKind.SCAN, RetrievalKind.SCAN, costs=task.costs
+    )
+    inputs = task.inputs(theta, theta)
+    rows: List[AccuracyRow] = []
+    for percent in percents:
+        n1 = len(task.database1) * percent // 100
+        n2 = len(task.database2) * percent // 100
+        prediction = model.predict(n1, n2)
+        execution = IndependentJoin(
+            inputs,
+            ScanRetriever(task.database1),
+            ScanRetriever(task.database2),
+            costs=task.costs,
+        ).run(budgets=Budgets(max_documents1=n1, max_documents2=n2))
+        composition = execution.report.composition
+        rows.append(
+            AccuracyRow(
+                percent=percent,
+                estimated_good=prediction.n_good,
+                actual_good=composition.n_good,
+                estimated_bad=prediction.n_bad,
+                actual_bad=composition.n_bad,
+                estimated_time=prediction.total_time,
+                actual_time=execution.report.time.total,
+            )
+        )
+    return rows
+
+
+def run_figure10(
+    task: JoinTask,
+    theta: float = 0.4,
+    percents: Sequence[int] = DEFAULT_PERCENTS,
+) -> List[AccuracyRow]:
+    """Figure 10: OIJN with Scan for the outer relation, minSim = 0.4."""
+    statistics = task_statistics(task, theta, theta)
+    model = OIJNModel(
+        statistics, RetrievalKind.SCAN, outer=1, costs=task.costs
+    )
+    inputs = task.inputs(theta, theta)
+    rows: List[AccuracyRow] = []
+    for percent in percents:
+        n1 = len(task.database1) * percent // 100
+        prediction = model.predict(n1)
+        execution = OuterInnerJoin(
+            inputs,
+            ScanRetriever(task.database1),
+            costs=task.costs,
+            outer=1,
+        ).run(budgets=Budgets(max_documents1=n1))
+        composition = execution.report.composition
+        rows.append(
+            AccuracyRow(
+                percent=percent,
+                estimated_good=prediction.n_good,
+                actual_good=composition.n_good,
+                estimated_bad=prediction.n_bad,
+                actual_bad=composition.n_bad,
+                estimated_time=prediction.total_time,
+                actual_time=execution.report.time.total,
+            )
+        )
+    return rows
+
+
+def _zgjn_model(task: JoinTask, theta: float) -> ZGJNModel:
+    return ZGJNModel(task_statistics(task, theta, theta), costs=task.costs)
+
+
+def run_figure11(
+    task: JoinTask,
+    theta: float = 0.4,
+    percents: Sequence[int] = DEFAULT_PERCENTS,
+) -> List[AccuracyRow]:
+    """Figure 11: ZGJN, minSim = 0.4; the effort axis is the query budget."""
+    model = _zgjn_model(task, theta)
+    inputs = task.inputs(theta, theta)
+    max_queries = model.max_queries_from_r1()
+    rows: List[AccuracyRow] = []
+    for percent in percents:
+        q = max(1, max_queries * percent // 100)
+        prediction = model.predict(q)
+        execution = ZigZagJoin(
+            inputs, task.seed_queries, costs=task.costs
+        ).run(budgets=Budgets(max_queries1=q, max_queries2=q))
+        composition = execution.report.composition
+        rows.append(
+            AccuracyRow(
+                percent=percent,
+                estimated_good=prediction.n_good,
+                actual_good=composition.n_good,
+                estimated_bad=prediction.n_bad,
+                actual_bad=composition.n_bad,
+                estimated_time=prediction.total_time,
+                actual_time=execution.report.time.total,
+            )
+        )
+    return rows
+
+
+def run_figure12(
+    task: JoinTask,
+    theta: float = 0.4,
+    percents: Sequence[int] = DEFAULT_PERCENTS,
+) -> List[DocumentsRow]:
+    """Figure 12: estimated vs actual documents retrieved under ZGJN."""
+    model = _zgjn_model(task, theta)
+    inputs = task.inputs(theta, theta)
+    max_queries = model.max_queries_from_r1()
+    rows: List[DocumentsRow] = []
+    for percent in percents:
+        q = max(1, max_queries * percent // 100)
+        reach = model.reach(q)
+        execution = ZigZagJoin(
+            inputs, task.seed_queries, costs=task.costs
+        ).run(budgets=Budgets(max_queries1=q, max_queries2=q))
+        report = execution.report
+        rows.append(
+            DocumentsRow(
+                percent=percent,
+                estimated_docs1=reach.documents1,
+                actual_docs1=report.documents_retrieved[1],
+                estimated_docs2=reach.documents2,
+                actual_docs2=report.documents_retrieved[2],
+            )
+        )
+    return rows

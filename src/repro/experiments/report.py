@@ -1,0 +1,155 @@
+"""One-shot experiment report generation.
+
+``generate_report`` runs the full evaluation — knob curves, the four
+model-accuracy figures, Table II, the quality frontier, and estimation
+calibration — and renders everything into a single self-contained markdown
+document, timestamped only by content (all experiments are seeded and
+deterministic).  Exposed on the CLI as ``repro report``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Optional, Sequence, Union
+
+from ..optimizer.enumerator import enumerate_plans
+from .calibration import format_calibration, run_calibration
+from .figures import (
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_figure12,
+)
+from .reporting import (
+    format_accuracy_rows,
+    format_documents_rows,
+    format_table,
+    format_table2_rows,
+)
+from .sweeps import format_frontier, quality_frontier
+from .table2 import TABLE2_REQUIREMENTS, build_trajectories, run_table2
+from .testbed import CHARACTERIZATION_THETAS, JoinTask
+
+
+def _block(text: str) -> str:
+    return f"```\n{text}\n```\n"
+
+
+def generate_report(
+    task: JoinTask,
+    percents: Sequence[int] = (10, 25, 50, 75, 100),
+    table2_rows: Optional[int] = 12,
+    pilot_sizes: Sequence[int] = (60, 120),
+) -> str:
+    """Run the evaluation suite on *task*; return the markdown report."""
+    sections: List[str] = [
+        "# Experiment report — quality-aware join optimization\n",
+        f"Task: **{task.name}** "
+        f"(D1 = {task.database1.name}, {len(task.database1)} documents; "
+        f"D2 = {task.database2.name}, {len(task.database2)} documents)\n",
+    ]
+
+    # Knob curves.
+    knob_rows = [
+        (
+            theta,
+            f"{task.characterization1.tp_at(theta):.3f}",
+            f"{task.characterization1.fp_at(theta):.3f}",
+            f"{task.characterization2.tp_at(theta):.3f}",
+            f"{task.characterization2.fp_at(theta):.3f}",
+        )
+        for theta in CHARACTERIZATION_THETAS
+    ]
+    sections.append("## Knob characterization (Section III-A)\n")
+    sections.append(
+        _block(
+            format_table(
+                ["θ", "tp1", "fp1", "tp2", "fp2"],
+                knob_rows,
+            )
+        )
+    )
+
+    # Model accuracy figures.
+    sections.append("## Model accuracy (Figures 9–12)\n")
+    sections.append(
+        _block(
+            format_accuracy_rows(
+                run_figure9(task, percents=percents),
+                "Figure 9 — IDJN (Scan/Scan)",
+            )
+        )
+    )
+    sections.append(
+        _block(
+            format_accuracy_rows(
+                run_figure10(task, percents=percents),
+                "Figure 10 — OIJN (Scan outer)",
+            )
+        )
+    )
+    sections.append(
+        _block(
+            format_accuracy_rows(
+                run_figure11(task, percents=percents), "Figure 11 — ZGJN"
+            )
+        )
+    )
+    sections.append(
+        _block(
+            format_documents_rows(
+                run_figure12(task, percents=percents),
+                "Figure 12 — ZGJN documents retrieved",
+            )
+        )
+    )
+
+    # Table II.
+    plans = enumerate_plans(task.extractor1.name, task.extractor2.name)
+    trajectories = build_trajectories(task, plans)
+    requirements = (
+        TABLE2_REQUIREMENTS[:table2_rows]
+        if table2_rows
+        else TABLE2_REQUIREMENTS
+    )
+    rows = run_table2(
+        task,
+        requirements=requirements,
+        plans=plans,
+        trajectories=trajectories,
+    )
+    sections.append("## Optimizer choices (Table II)\n")
+    sections.append(
+        _block(format_table2_rows(rows, "Table II — HQ ⋈ EX"))
+    )
+
+    # Quality frontier.
+    frontier = quality_frontier(task.catalog(), plans, costs=task.costs)
+    sections.append("## Quality/time frontier\n")
+    sections.append(
+        _block(format_frontier(frontier, "Pareto-optimal operating points"))
+    )
+
+    # Estimation calibration.
+    calibration = run_calibration(task, pilot_sizes=pilot_sizes)
+    sections.append("## Estimation calibration (Section VI)\n")
+    sections.append(
+        _block(
+            format_calibration(
+                calibration, "Relative estimation errors vs ground truth"
+            )
+        )
+    )
+
+    return "\n".join(sections)
+
+
+def write_report(
+    task: JoinTask,
+    path: Union[str, pathlib.Path],
+    **kwargs,
+) -> pathlib.Path:
+    """Generate and write the report; returns the path written."""
+    path = pathlib.Path(path)
+    path.write_text(generate_report(task, **kwargs), encoding="utf-8")
+    return path

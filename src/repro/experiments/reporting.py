@@ -1,0 +1,95 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output consistent across figures and tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .figures import AccuracyRow, DocumentsRow
+from .table2 import Table2Row
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Simple right-aligned ASCII table."""
+    materialized: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialized:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_accuracy_rows(rows: Sequence[AccuracyRow], title: str) -> str:
+    body = format_table(
+        ["%docs", "est good", "act good", "est bad", "act bad", "est time", "act time"],
+        [
+            (
+                r.percent,
+                f"{r.estimated_good:.0f}",
+                r.actual_good,
+                f"{r.estimated_bad:.0f}",
+                r.actual_bad,
+                f"{r.estimated_time:.0f}",
+                f"{r.actual_time:.0f}",
+            )
+            for r in rows
+        ],
+    )
+    return f"{title}\n{body}"
+
+
+def format_documents_rows(rows: Sequence[DocumentsRow], title: str) -> str:
+    body = format_table(
+        ["%queries", "est |Dr1|", "act |Dr1|", "est |Dr2|", "act |Dr2|"],
+        [
+            (
+                r.percent,
+                f"{r.estimated_docs1:.0f}",
+                r.actual_docs1,
+                f"{r.estimated_docs2:.0f}",
+                r.actual_docs2,
+            )
+            for r in rows
+        ],
+    )
+    return f"{title}\n{body}"
+
+
+def format_table2_rows(rows: Sequence[Table2Row], title: str) -> str:
+    def time_range(bounds) -> str:
+        lo, hi = bounds
+        if hi == 0.0:
+            return "-"
+        return f"{lo:.2f}..{hi:.2f}"
+
+    body = format_table(
+        [
+            "tau_g", "tau_b", "cands", "chosen plan",
+            "#faster", "#slower", "faster rel", "slower rel",
+        ],
+        [
+            (
+                r.tau_good,
+                r.tau_bad,
+                r.n_candidates,
+                r.describe_chosen(),
+                r.n_faster,
+                r.n_slower,
+                time_range(r.faster_range),
+                time_range(r.slower_range),
+            )
+            for r in rows
+        ],
+    )
+    return f"{title}\n{body}"

@@ -1,0 +1,100 @@
+"""Plan-space sweeps: the quality/time frontier.
+
+The optimizer answers point queries ("fastest plan for (τg, τb)"); this
+module answers the exploratory question — *what is achievable at all?* —
+by sweeping every plan across its effort axis and keeping the Pareto
+frontier over (execution time ↓, good tuples ↑).  Each frontier point
+records the plan, the operating point, and the predicted composition, so a
+user can read off the achievable good-tuple count at any time budget (or
+vice versa) before committing to a contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.plan import JoinPlanSpec
+from ..joins.costs import CostModel
+from ..optimizer.catalog import StatisticsCatalog
+from ..optimizer.optimizer import JoinOptimizer
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One Pareto-optimal operating point of the plan space."""
+
+    plan: JoinPlanSpec
+    effort_fraction: float
+    n_good: float
+    n_bad: float
+    time: float
+
+    @property
+    def precision(self) -> float:
+        total = self.n_good + self.n_bad
+        return self.n_good / total if total > 0 else 1.0
+
+
+def quality_frontier(
+    catalog: StatisticsCatalog,
+    plans: Sequence[JoinPlanSpec],
+    costs: Optional[CostModel] = None,
+    effort_fractions: Sequence[float] = (
+        0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8, 1.0,
+    ),
+) -> List[FrontierPoint]:
+    """Pareto frontier over (time ↓, good ↑) across plans × efforts.
+
+    Points are returned sorted by time; by construction their good-tuple
+    counts are strictly increasing along the list.
+    """
+    optimizer = JoinOptimizer(catalog, costs=costs)
+    candidates: List[FrontierPoint] = []
+    for plan in plans:
+        try:
+            predictor, max_effort = optimizer._cached_predictor(plan)
+        except ValueError:
+            continue  # plan lacks offline parameters (no queries/classifier)
+        for fraction in effort_fractions:
+            prediction = predictor(fraction * max_effort)
+            if prediction.n_good <= 0:
+                continue
+            candidates.append(
+                FrontierPoint(
+                    plan=plan,
+                    effort_fraction=fraction,
+                    n_good=prediction.n_good,
+                    n_bad=prediction.n_bad,
+                    time=prediction.total_time,
+                )
+            )
+    candidates.sort(key=lambda point: (point.time, -point.n_good))
+    frontier: List[FrontierPoint] = []
+    best_good = 0.0
+    for point in candidates:
+        if point.n_good > best_good:
+            frontier.append(point)
+            best_good = point.n_good
+    return frontier
+
+
+def format_frontier(points: Sequence[FrontierPoint], title: str) -> str:
+    """Render a frontier as the harness's standard ASCII table."""
+    from .reporting import format_table
+
+    body = format_table(
+        ["time", "good", "bad", "precision", "effort", "plan"],
+        [
+            (
+                f"{p.time:.0f}",
+                f"{p.n_good:.0f}",
+                f"{p.n_bad:.0f}",
+                f"{p.precision:.2f}",
+                f"{p.effort_fraction:.2f}",
+                p.plan.describe(),
+            )
+            for p in points
+        ],
+    )
+    return f"{title}\n{body}"

@@ -1,0 +1,176 @@
+"""Runner for Table II: optimizer choices across (τg, τb) requirements.
+
+For every requirement level the paper reports: which plan the optimizer
+chose, how many candidate plans *actually* meet the requirement, how many
+of those are faster/slower than the chosen plan, and the relative-time
+ranges of both groups.
+
+Actual per-plan behaviour is obtained from a single exhaustive execution
+per plan: the progress hook records the (time, good, bad) trajectory, and
+the earliest requirement-satisfying point yields the plan's actual time at
+any (τg, τb) — both quality counts are monotone in execution progress, so
+one trajectory serves every requirement row.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.plan import JoinPlanSpec
+from ..core.preferences import QualityRequirement
+from ..joins.base import JoinExecution
+from ..optimizer.binder import bind_plan
+from ..optimizer.enumerator import enumerate_plans
+from ..optimizer.optimizer import JoinOptimizer, OptimizationResult
+from .testbed import JoinTask
+
+
+@dataclass
+class PlanTrajectory:
+    """The quality/time trajectory of one plan run to exhaustion."""
+
+    plan: JoinPlanSpec
+    times: List[float]
+    goods: List[int]
+    bads: List[int]
+    final: JoinExecution
+
+    def time_to_meet(self, requirement: QualityRequirement) -> Optional[float]:
+        """Earliest execution time satisfying (τg, τb), or None.
+
+        ``goods`` is non-decreasing, so the first point reaching τg is
+        found by bisection; if the bad count at that point already exceeds
+        τb, no later point can repair it (bads are non-decreasing too).
+        """
+        index = bisect_left(self.goods, requirement.tau_good)
+        if index >= len(self.goods):
+            return None
+        if self.bads[index] > requirement.tau_bad:
+            return None
+        return self.times[index]
+
+
+def record_trajectory(task: JoinTask, plan: JoinPlanSpec) -> PlanTrajectory:
+    """Run *plan* to exhaustion, recording its quality/time trajectory."""
+    executor = bind_plan(
+        task.environment(plan.extractor1.theta, plan.extractor2.theta), plan
+    )
+    times: List[float] = [0.0]
+    goods: List[int] = [0]
+    bads: List[int] = [0]
+
+    def observe(state, time) -> None:
+        times.append(time.total)
+        goods.append(state.composition.n_good)
+        bads.append(state.composition.n_bad)
+
+    executor.on_progress = observe
+    final = executor.run()
+    times.append(final.report.time.total)
+    goods.append(final.report.composition.n_good)
+    bads.append(final.report.composition.n_bad)
+    return PlanTrajectory(plan=plan, times=times, goods=goods, bads=bads, final=final)
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One Table II line."""
+
+    tau_good: int
+    tau_bad: int
+    n_candidates: int
+    chosen: Optional[JoinPlanSpec]
+    chosen_time: Optional[float]
+    n_faster: int
+    n_slower: int
+    faster_range: Tuple[float, float]
+    slower_range: Tuple[float, float]
+
+    def describe_chosen(self) -> str:
+        return self.chosen.describe() if self.chosen else "(none)"
+
+
+#: The (τg, τb) grid of Table II.
+TABLE2_REQUIREMENTS: Tuple[Tuple[int, int], ...] = (
+    (1, 20), (2, 30), (2, 50), (4, 20), (4, 40), (8, 40), (8, 80),
+    (16, 50), (16, 80), (16, 160), (32, 84), (32, 160), (32, 320),
+    (64, 320), (64, 640), (128, 640), (128, 1280), (256, 1280),
+    (256, 2560), (512, 1024), (512, 2560), (512, 5120),
+    (1024, 5120), (1024, 10240), (2048, 10240), (2048, 20480),
+    (4096, 20480), (4096, 40960),
+)
+
+
+def run_table2(
+    task: JoinTask,
+    requirements: Sequence[Tuple[int, int]] = TABLE2_REQUIREMENTS,
+    plans: Optional[Sequence[JoinPlanSpec]] = None,
+    optimizer: Optional[JoinOptimizer] = None,
+    trajectories: Optional[Dict[JoinPlanSpec, PlanTrajectory]] = None,
+) -> List[Table2Row]:
+    """Reproduce Table II over a requirement grid.
+
+    Pass precomputed ``trajectories`` to amortize plan executions across
+    calls (benchmarks sweep requirement subsets).
+    """
+    if plans is None:
+        plans = enumerate_plans(
+            task.extractor1.name, task.extractor2.name
+        )
+    if optimizer is None:
+        optimizer = JoinOptimizer(
+            task.catalog(), costs=task.costs, feasibility_margin=0.15
+        )
+    if trajectories is None:
+        trajectories = {plan: record_trajectory(task, plan) for plan in plans}
+    rows: List[Table2Row] = []
+    for tau_good, tau_bad in requirements:
+        requirement = QualityRequirement(tau_good=tau_good, tau_bad=tau_bad)
+        result = optimizer.optimize(list(plans), requirement)
+        chosen_plan = result.chosen.plan if result.chosen else None
+        actual_times = {
+            plan: trajectory.time_to_meet(requirement)
+            for plan, trajectory in trajectories.items()
+        }
+        feasible = {
+            plan: time for plan, time in actual_times.items() if time is not None
+        }
+        chosen_time = (
+            feasible.get(chosen_plan) if chosen_plan is not None else None
+        )
+        faster: List[float] = []
+        slower: List[float] = []
+        if chosen_time is not None:
+            for plan, time in feasible.items():
+                if plan == chosen_plan:
+                    continue
+                (faster if time < chosen_time else slower).append(
+                    time / chosen_time
+                )
+        rows.append(
+            Table2Row(
+                tau_good=tau_good,
+                tau_bad=tau_bad,
+                n_candidates=len(feasible),
+                chosen=chosen_plan,
+                chosen_time=chosen_time,
+                n_faster=len(faster),
+                n_slower=len(slower),
+                faster_range=(
+                    (min(faster), max(faster)) if faster else (0.0, 0.0)
+                ),
+                slower_range=(
+                    (min(slower), max(slower)) if slower else (0.0, 0.0)
+                ),
+            )
+        )
+    return rows
+
+
+def build_trajectories(
+    task: JoinTask, plans: Sequence[JoinPlanSpec]
+) -> Dict[JoinPlanSpec, PlanTrajectory]:
+    """Exhaustive executions of every plan (reusable across Table II rows)."""
+    return {plan: record_trajectory(task, plan) for plan in plans}

@@ -1,0 +1,32 @@
+"""IE substrate: blackbox extractors with tunable quality knobs.
+
+Provides the Snowball-style pattern extractor the paper evaluates with
+(plus its pattern-bootstrap trainer), a closed-form oracle extractor for
+controlled experiments, and the tp(θ)/fp(θ) characterization harness that
+profiles any extractor offline.
+"""
+
+from .base import Extractor, label_candidate
+from .characterization import (
+    ConfidenceReference,
+    KnobCharacterization,
+    characterize,
+)
+from .oracle import LinearKnob, OracleExtractor
+from .snowball import SnowballExtractor
+from .training import learn_pattern_terms, seed_contexts
+from .window import WindowExtractor
+
+__all__ = [
+    "ConfidenceReference",
+    "Extractor",
+    "KnobCharacterization",
+    "LinearKnob",
+    "OracleExtractor",
+    "SnowballExtractor",
+    "WindowExtractor",
+    "characterize",
+    "label_candidate",
+    "learn_pattern_terms",
+    "seed_contexts",
+]

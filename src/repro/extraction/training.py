@@ -1,0 +1,87 @@
+"""Pattern learning for the Snowball-style extractor.
+
+Real Snowball bootstraps extraction patterns from a handful of seed tuples:
+it finds sentences where a seed pair co-occurs and generalizes their
+contexts into patterns.  This module reproduces that loop over the training
+database (the paper trains on NYT96): contexts of seed-fact co-occurrences
+are pooled, and tokens are ranked by how much more often they appear in
+seed contexts than in the collection at large, so frequent background terms
+do not masquerade as patterns.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..core.types import Fact, RelationSchema
+from ..textdb.database import TextDatabase
+from ..textdb.document import Document
+
+
+def seed_contexts(
+    database: TextDatabase,
+    schema: RelationSchema,
+    entity_dictionaries: Dict[str, FrozenSet[str]],
+    seed_facts: Iterable[Fact],
+) -> List[List[str]]:
+    """Contexts of sentences where a seed pair co-occurs.
+
+    A context is the sentence minus any entity tokens, exactly what the
+    extractor will later score; only sentences containing both values of
+    some seed fact qualify.
+    """
+    seeds: Set[Tuple[str, str]] = {
+        (f.values[0], f.values[1]) for f in seed_facts
+    }
+    first_dict = entity_dictionaries[schema.attributes[0]]
+    second_dict = entity_dictionaries[schema.attributes[1]]
+    entity_tokens = first_dict | second_dict
+    contexts: List[List[str]] = []
+    for doc in database.documents:
+        for sentence in doc.sentences:
+            token_set = set(sentence)
+            firsts = token_set & first_dict
+            seconds = token_set & second_dict
+            if not firsts or not seconds:
+                continue
+            if not any((e1, e2) in seeds for e1 in firsts for e2 in seconds):
+                continue
+            contexts.append([t for t in sentence if t not in entity_tokens])
+    return contexts
+
+
+def learn_pattern_terms(
+    database: TextDatabase,
+    schema: RelationSchema,
+    entity_dictionaries: Dict[str, FrozenSet[str]],
+    seed_facts: Iterable[Fact],
+    top_k: int = 40,
+    min_count: int = 2,
+) -> List[str]:
+    """Learn the extractor's pattern term set from seed co-occurrences.
+
+    Tokens are scored by ``count_in_contexts / document_frequency`` — a
+    lift-style ratio that favours terms concentrated in seed contexts over
+    globally common ones — and the *top_k* highest-lift tokens (appearing
+    at least *min_count* times in contexts) become pattern terms.
+    """
+    if top_k <= 0:
+        raise ValueError("top_k must be positive")
+    contexts = seed_contexts(database, schema, entity_dictionaries, seed_facts)
+    if not contexts:
+        raise RuntimeError(
+            "no seed co-occurrences found in the training database; "
+            "provide more seed facts or a richer training corpus"
+        )
+    counts: Counter = Counter()
+    for context in contexts:
+        counts.update(context)
+    scored: List[Tuple[float, str]] = []
+    for token, count in counts.items():
+        if count < min_count:
+            continue
+        df = database.index.document_frequency(token)
+        scored.append((count / max(df, 1), token))
+    scored.sort(reverse=True)
+    return [token for _, token in scored[:top_k]]

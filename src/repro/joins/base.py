@@ -1,0 +1,236 @@
+"""Shared machinery of the join algorithms (Section IV).
+
+All three algorithms (IDJN, OIJN, ZGJN):
+
+* maintain a ripple-style incremental :class:`~repro.core.relation.JoinState`;
+* stop when the *estimated* number of good join tuples reaches τg or the
+  estimated bad tuples exceed τb (Figures 3, 5, 7) — estimates come from a
+  pluggable :class:`QualityEstimator`, since the algorithms have no a-priori
+  knowledge of tuple correctness;
+* account simulated time through :class:`~repro.joins.costs.CostModel`;
+* feed an :class:`~repro.joins.stats_collector.ObservationCollector` so the
+  optimizer can refine parameter estimates mid-flight (Section VI).
+
+Executors also accept per-side *budgets* (maximum documents to process or
+queries to issue).  Budgets are how the analytical-model validation sweeps
+(Figures 9–12) drive executions to a prescribed depth, and how the
+optimizer enacts its chosen (|Dr1|, |Dr2|, |Qs|) operating point.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Protocol, Tuple
+
+from ..core.preferences import QualityRequirement
+from ..core.quality import ExecutionReport, TimeBreakdown
+from ..core.relation import JoinState
+from ..core.types import ExtractedTuple
+from ..extraction.base import Extractor
+from ..textdb.database import TextDatabase
+from .costs import CostModel
+from .stats_collector import ObservationCollector
+
+
+class QualityEstimator(Protocol):
+    """Estimates the good/bad composition of the join produced so far."""
+
+    def estimate(self, state: JoinState) -> Tuple[float, float]:
+        """Return (estimated #good, estimated #bad) for ``state``."""
+
+
+class ActualQuality:
+    """Oracle estimator: reads the ground-truth composition.
+
+    Used by the model-accuracy experiments (which need executions to run
+    to a prescribed document budget regardless of quality) and by tests.
+    The optimizer uses a model-driven estimator instead.
+    """
+
+    def estimate(self, state: JoinState) -> Tuple[float, float]:
+        comp = state.composition
+        return float(comp.n_good), float(comp.n_bad)
+
+
+@dataclass(frozen=True)
+class JoinInputs:
+    """Everything a join execution binds to: data, extractors, attribute."""
+
+    database1: TextDatabase
+    database2: TextDatabase
+    extractor1: Extractor
+    extractor2: Extractor
+    join_attribute: Optional[str] = None
+
+    def database(self, side: int) -> TextDatabase:
+        return self.database1 if side == 1 else self.database2
+
+    def extractor(self, side: int) -> Extractor:
+        return self.extractor1 if side == 1 else self.extractor2
+
+
+@dataclass(frozen=True)
+class Budgets:
+    """Optional per-side execution caps.
+
+    ``max_documents`` caps *processed* documents per side; ``max_retrieved``
+    caps *retrieved* documents (the distinction matters for Filtered Scan,
+    which retrieves more than it processes); ``max_queries`` caps issued
+    queries.  ``None`` means unlimited (run until the quality requirement
+    or exhaustion stops the join).
+    """
+
+    max_documents1: Optional[int] = None
+    max_documents2: Optional[int] = None
+    max_queries1: Optional[int] = None
+    max_queries2: Optional[int] = None
+    max_retrieved1: Optional[int] = None
+    max_retrieved2: Optional[int] = None
+
+    def max_documents(self, side: int) -> Optional[int]:
+        return self.max_documents1 if side == 1 else self.max_documents2
+
+    def max_queries(self, side: int) -> Optional[int]:
+        return self.max_queries1 if side == 1 else self.max_queries2
+
+    def max_retrieved(self, side: int) -> Optional[int]:
+        return self.max_retrieved1 if side == 1 else self.max_retrieved2
+
+
+UNLIMITED = QualityRequirement(tau_good=2**62, tau_bad=2**62)
+
+
+@dataclass
+class JoinExecution:
+    """A finished join run: result state plus its execution report."""
+
+    state: JoinState
+    report: ExecutionReport
+    observations: ObservationCollector
+
+
+@dataclass
+class JoinSession:
+    """The mutable progress of one executor, persisted across run() calls.
+
+    Executors are *resumable*: each ``run()`` continues the same session
+    until its own stopping condition, so an adaptive optimizer can execute
+    in chunks, re-estimate between them, and either continue or abandon
+    the plan — the Section VI behaviour ("the join optimizer may build on
+    the current execution with a different join execution plan").
+    """
+
+    state: JoinState
+    collector: ObservationCollector
+    time: TimeBreakdown = field(default_factory=TimeBreakdown)
+    processed: Dict[int, int] = field(default_factory=lambda: {1: 0, 2: 0})
+
+
+class JoinAlgorithm(abc.ABC):
+    """Base class for IDJN/OIJN/ZGJN executors."""
+
+    def __init__(
+        self,
+        inputs: JoinInputs,
+        costs: Optional[CostModel] = None,
+        estimator: Optional[QualityEstimator] = None,
+    ) -> None:
+        self.inputs = inputs
+        self.costs = costs or CostModel()
+        self.estimator = estimator or ActualQuality()
+        #: Optional hook called after each unit of work with the live
+        #: (state, time).  Lets experiment harnesses record quality/time
+        #: trajectories from a single exhaustive run instead of re-running
+        #: a plan per requirement level.
+        self.on_progress: Optional[Callable[[JoinState, TimeBreakdown], None]] = None
+        self._session: Optional[JoinSession] = None
+
+    @property
+    def started(self) -> bool:
+        """Whether any run() call has begun this executor's session."""
+        return self._session is not None
+
+    @property
+    def session(self) -> JoinSession:
+        """The live session (created on first access)."""
+        if self._session is None:
+            state = self._new_state()
+            self._session = JoinSession(
+                state=state, collector=self._new_collector(state)
+            )
+        return self._session
+
+    def _report_progress(self, state: JoinState, time: TimeBreakdown) -> None:
+        if self.on_progress is not None:
+            self.on_progress(state, time)
+
+    @abc.abstractmethod
+    def run(
+        self,
+        requirement: QualityRequirement = UNLIMITED,
+        budgets: Budgets = Budgets(),
+    ) -> JoinExecution:
+        """Execute the join until the requirement, budgets, or exhaustion."""
+
+    # -- helpers shared by the concrete algorithms ---------------------------
+
+    def _new_state(self) -> JoinState:
+        return JoinState(
+            left_schema=self.inputs.extractor1.schema,
+            right_schema=self.inputs.extractor2.schema,
+            join_attribute=self.inputs.join_attribute,
+        )
+
+    def _new_collector(self, state: JoinState) -> ObservationCollector:
+        return ObservationCollector(
+            relation1=self.inputs.extractor1.relation,
+            relation2=self.inputs.extractor2.relation,
+            attribute_index1=state.left_index,
+            attribute_index2=state.right_index,
+        )
+
+    @staticmethod
+    def _should_stop(
+        requirement: QualityRequirement, est_good: float, est_bad: float
+    ) -> bool:
+        """The Figures 3/5/7 stopping condition."""
+        return requirement.good_met(est_good) or requirement.bad_exceeded(est_bad)
+
+    @staticmethod
+    def _finish(
+        state: JoinState,
+        time: TimeBreakdown,
+        requirement: QualityRequirement,
+        collector: ObservationCollector,
+        documents_retrieved: Dict[int, int],
+        documents_processed: Dict[int, int],
+        documents_filtered: Dict[int, int],
+        queries_issued: Dict[int, int],
+        exhausted: bool,
+    ) -> JoinExecution:
+        report = ExecutionReport(
+            composition=state.composition,
+            # Snapshot: the session's time keeps accumulating across
+            # resumed runs, but each report must be immutable history.
+            time=TimeBreakdown(
+                retrieval=time.retrieval,
+                extraction=time.extraction,
+                filtering=time.filtering,
+                querying=time.querying,
+            ),
+            documents_retrieved=documents_retrieved,
+            documents_processed=documents_processed,
+            documents_filtered=documents_filtered,
+            queries_issued=queries_issued,
+            tuples_extracted={1: len(state.left), 2: len(state.right)},
+            satisfied=(
+                None
+                if requirement is UNLIMITED
+                else requirement.satisfied_by(
+                    state.composition.n_good, state.composition.n_bad
+                )
+            ),
+            exhausted=exhausted,
+        )
+        return JoinExecution(state=state, report=report, observations=collector)

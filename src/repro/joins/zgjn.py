@@ -1,0 +1,160 @@
+"""Zig-Zag Join (ZGJN) — Figure 7.
+
+Fully interleaved, query-driven extraction of both relations: starting
+from seed queries for R1, documents retrieved from D1 yield R1 tuples whose
+join values become queries against D2; the R2 tuples extracted there
+queue queries back against D1, and the execution zig-zags between the two
+databases (Figure 6b).  The reachable portion of D1 × D2 is exactly the
+connected component of the zig-zag graph (Section V-E) that the seed
+queries touch — capped further by the search interface's top-k limit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+from ..core.preferences import QualityRequirement
+from ..core.quality import TimeBreakdown
+from ..core.types import ExtractedTuple
+from ..retrieval.queries import Query, QueryProbe
+from .base import (
+    UNLIMITED,
+    Budgets,
+    JoinAlgorithm,
+    JoinExecution,
+    JoinInputs,
+    QualityEstimator,
+)
+from .costs import CostModel
+
+
+class ZigZagJoin(JoinAlgorithm):
+    """ZGJN executor (resumable; queues persist across run() calls).
+
+    ``seed_queries`` initialize Q1 — the query queue of database D1 — as
+    in the paper's example, which starts from a seed company query.
+    """
+
+    def __init__(
+        self,
+        inputs: JoinInputs,
+        seed_queries: Sequence[Query],
+        costs: Optional[CostModel] = None,
+        estimator: Optional[QualityEstimator] = None,
+    ) -> None:
+        super().__init__(inputs, costs, estimator)
+        if not seed_queries:
+            raise ValueError("ZGJN needs at least one seed query")
+        self._seeds = list(seed_queries)
+        self._probes = {
+            1: QueryProbe(inputs.database1),
+            2: QueryProbe(inputs.database2),
+        }
+        self._queues: Optional[Dict[int, Deque[Query]]] = None
+
+    def run(
+        self,
+        requirement: QualityRequirement = UNLIMITED,
+        budgets: Budgets = Budgets(),
+    ) -> JoinExecution:
+        session = self.session
+        state = session.state
+        collector = session.collector
+        time = session.time
+        processed = session.processed
+        if self._queues is None:
+            self._queues = {1: deque(self._seeds), 2: deque()}
+        queues = self._queues
+
+        def stop_now() -> bool:
+            est_good, est_bad = self.estimator.estimate(state)
+            return self._should_stop(requirement, est_good, est_bad)
+
+        def side_open(side: int) -> bool:
+            if not queues[side]:
+                return False
+            qcap = budgets.max_queries(side)
+            if qcap is not None and self._probes[side].queries_issued >= qcap:
+                return False
+            dcap = budgets.max_documents(side)
+            if dcap is not None and processed[side] >= dcap:
+                return False
+            return True
+
+        stopped = False
+        while not stopped and (side_open(1) or side_open(2)):
+            for side in (1, 2):
+                if not side_open(side):
+                    continue
+                self._sweep(side, queues, state, collector, time, processed, budgets)
+                self._report_progress(state, time)
+                if stop_now():
+                    stopped = True
+                    break
+
+        return self._finish(
+            state=state,
+            time=time,
+            requirement=requirement,
+            collector=collector,
+            documents_retrieved={
+                side: self._probes[side].documents_retrieved for side in (1, 2)
+            },
+            documents_processed=dict(processed),
+            documents_filtered={1: 0, 2: 0},
+            queries_issued={
+                side: self._probes[side].queries_issued for side in (1, 2)
+            },
+            exhausted=not queues[1] and not queues[2],
+        )
+
+    # -- helpers --------------------------------------------------------------
+
+    def _sweep(
+        self,
+        side: int,
+        queues: Dict[int, Deque[Query]],
+        state,
+        collector,
+        time: TimeBreakdown,
+        processed: Dict[int, int],
+        budgets: Budgets,
+    ) -> None:
+        """Issue one query on *side*; feed new values to the other queue."""
+        other = 2 if side == 1 else 1
+        query = queues[side].popleft()
+        probe = self._probes[side]
+        if probe.already_issued(query):
+            return
+        costs = self.costs.side(side)
+        fresh = probe.issue(query)
+        time.add(costs.charge(queries=1, retrieved=len(fresh)))
+        extractor = self.inputs.extractor(side)
+        new_tuples: List[ExtractedTuple] = []
+        for doc in fresh:
+            cap = budgets.max_documents(side)
+            if cap is not None and processed[side] >= cap:
+                break
+            tuples = extractor.extract(doc)
+            time.add(costs.charge(processed=1))
+            processed[side] += 1
+            collector.record(side, tuples)
+            new_tuples.extend(tuples)
+        if side == 1:
+            state.add_left(new_tuples)
+        else:
+            state.add_right(new_tuples)
+        # Queue the counterpart queries generated by the new tuples.
+        join_index = state.left_index if side == 1 else state.right_index
+        other_probe = self._probes[other]
+        queued: set = {q.tokens for q in queues[other]}
+        for tup in new_tuples:
+            value = tup.value_of(join_index)
+            candidate = Query.of(value)
+            if candidate.tokens in queued:
+                continue
+            if other_probe.already_issued(candidate):
+                continue
+            queued.add(candidate.tokens)
+            queues[other].append(candidate)

@@ -1,0 +1,109 @@
+"""Probability helpers shared by the analytical models (Section V).
+
+The paper's document-retrieval analysis composes two stages:
+
+1. **sampling** — which documents containing a value are retrieved; for
+   scan-style strategies this is hypergeometric over the database;
+2. **extraction thinning** — each retrieved occurrence is emitted
+   independently with probability tp(θ) (good) or fp(θ) (bad); binomial.
+
+The composed law ``Pr{l extracted | f occurrences, n of N docs retrieved}``
+= Σ_k Hyper(N, n, f, k) · Bnm(k, l, r) is what the MLE inverts; its mean
+``r · f · n / N`` is what the expectation models use.  Everything here is
+vectorized with numpy/scipy for the model sweeps.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Union
+
+import numpy as np
+from scipy import stats
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def hypergeom_pmf(
+    population: int, draws: int, successes: int, k: np.ndarray
+) -> np.ndarray:
+    """Pr{k of *successes* land in a size-*draws* sample of *population*}."""
+    if draws > population:
+        raise ValueError("draws cannot exceed population")
+    return stats.hypergeom.pmf(k, population, successes, draws)
+
+
+def binomial_pmf(n: int, p: float, k: np.ndarray) -> np.ndarray:
+    """Pr{k successes in n independent trials of probability p}."""
+    return stats.binom.pmf(k, n, p)
+
+
+def thinned_hypergeom_pmf(
+    population: int,
+    draws: int,
+    occurrences: int,
+    rate: float,
+    l_values: np.ndarray,
+) -> np.ndarray:
+    """Pr{l occurrences extracted} under sampling + extraction thinning.
+
+    ``Pr{l} = Σ_k Hyper(population, draws, occurrences, k) · Bnm(k, l, rate)``
+    — Section V-C's composed law, evaluated for every entry of *l_values*.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be within [0, 1]")
+    if rate < 1e-12:
+        # Subnormal rates overflow scipy's binomial kernels; the thinned
+        # distribution is (numerically) a point mass at zero anyway.
+        rate = 0.0
+    draws = min(draws, population)
+    k = np.arange(occurrences + 1)
+    weights = hypergeom_pmf(population, draws, occurrences, k)
+    l_grid = np.asarray(l_values, dtype=int)
+    # pmf_matrix[i, j] = Bnm(k_i, l_j, rate)
+    pmf_matrix = stats.binom.pmf(l_grid[None, :], k[:, None], rate)
+    return weights @ pmf_matrix
+
+
+def thinned_hypergeom_mean(
+    population: int, draws: int, occurrences: int, rate: float
+) -> float:
+    """Mean of the composed law: ``rate · occurrences · draws / population``."""
+    if population <= 0:
+        return 0.0
+    draws = min(draws, population)
+    return rate * occurrences * draws / population
+
+
+@lru_cache(maxsize=262144)
+def probability_none_extracted(
+    population: int, draws: int, occurrences: int, rate: float
+) -> float:
+    """Pr{no occurrence extracted} under sampling + thinning.
+
+    Uses the hypergeometric probability-generating identity
+    ``E[(1-rate)^K]`` with K ~ Hyper; evaluated by the exact finite sum.
+    Memoized: models call it per (value, effort) pair and distinct
+    frequencies are few.
+    """
+    if occurrences == 0 or population <= 0:
+        return 1.0
+    draws = min(draws, population)
+    k = np.arange(occurrences + 1)
+    weights = hypergeom_pmf(population, draws, occurrences, k)
+    return float(np.sum(weights * (1.0 - rate) ** k))
+
+
+def expected_distinct_sampled(
+    population: int, draws: int, frequencies: np.ndarray
+) -> float:
+    """Expected number of distinct values seen after sampling documents.
+
+    For each value with frequency f, Pr{seen} = 1 - C(N-f, n)/C(N, n);
+    summed over values.  Used by query-issuance models (a value spawns a
+    query once any of its occurrences is extracted).
+    """
+    draws = min(draws, population)
+    f = np.asarray(frequencies, dtype=int)
+    p_unseen = stats.hypergeom.pmf(0, population, f, draws)
+    return float(np.sum(1.0 - p_unseen))

@@ -1,0 +1,377 @@
+"""Analytical model of the Outer/Inner Join (Section V-D).
+
+The outer relation behaves exactly like a single IDJN side: its expected
+occurrence factors follow from its retrieval model.  The inner relation is
+reached through keyword probes on join values extracted from the outer
+relation, so its analysis has three ingredients:
+
+* **issuance** — the query ``[a]`` exists only once the outer execution has
+  extracted at least one occurrence (good or bad) of ``a``; the model
+  computes ``p_issue(a)`` from the outer side's sampling + thinning law;
+* **own-query reach** — the query matches ``H(q) = g(a) + b(a)`` documents
+  (every document carrying an occurrence of ``a``), of which the top-k
+  interface returns ``min(H(q), k)`` in rank-random order, so each
+  matching document is retrieved with probability ``min(H(q), k)/H(q)``
+  (the hypergeometric sampling over ``Hg(q)`` of the paper, in
+  expectation);
+* **rest reach** — documents carrying ``a`` that the own query's top-k
+  missed can still arrive via *other* values' queries; the model follows
+  the paper in treating this as sampling the inner database's good (bad)
+  documents at the execution's aggregate coverage.
+
+Execution time charges the outer side's events plus, for the inner side,
+``E[Qs]·tQ`` for the issued queries and ``E[|Dr|]·(tR + tE)`` for the
+documents they retrieve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.plan import RetrievalKind
+from ..joins.costs import CostModel
+from .distributions import probability_none_extracted
+from .parameters import JoinStatistics, SideStatistics, ValueOverlapModel
+from .predictions import QualityPrediction, charge_events
+from .retrieval_models import (
+    ClassMix,
+    EffortEvents,
+    RetrievalModel,
+    build_retrieval_model,
+)
+from .scheme import (
+    SideFactors,
+    compose_aggregate,
+    compose_per_value,
+    occurrence_factors,
+)
+
+
+def best_outer(
+    statistics: JoinStatistics,
+    outer_retrieval: RetrievalKind,
+    tau_good: float,
+    costs: Optional[CostModel] = None,
+    per_value: bool = True,
+    overlap: Optional[ValueOverlapModel] = None,
+    steps: int = 12,
+) -> Tuple[int, Dict[int, Optional[float]]]:
+    """Which relation should play the outer role (Section IV-B).
+
+    The paper notes its Section V analysis "can be used to identify which
+    relation should serve as the outer relation in a join execution"; this
+    helper does exactly that: for each outer choice, it finds (by bisection
+    on the monotone predicted good count) the minimal outer effort whose
+    prediction reaches *tau_good* and compares the predicted times.
+
+    Returns ``(winning side, {side: predicted time or None})`` — None when
+    that outer choice cannot reach the target at all; ties (including both
+    unreachable) break toward side 1.
+    """
+    times: Dict[int, Optional[float]] = {}
+    for outer in (1, 2):
+        model = OIJNModel(
+            statistics,
+            outer_retrieval,
+            outer=outer,
+            costs=costs,
+            per_value=per_value,
+            overlap=overlap,
+        )
+        max_effort = float(model.max_effort)
+        if model.predict(max_effort).n_good < tau_good:
+            times[outer] = None
+            continue
+        lo, hi = 0.0, 1.0
+        for _ in range(steps):
+            mid = (lo + hi) / 2.0
+            if model.predict(mid * max_effort).n_good >= tau_good:
+                hi = mid
+            else:
+                lo = mid
+        times[outer] = model.predict(hi * max_effort).total_time
+    if times[1] is None and times[2] is None:
+        return 1, times
+    if times[1] is None:
+        return 2, times
+    if times[2] is None:
+        return 1, times
+    return (1 if times[1] <= times[2] else 2), times
+
+
+@dataclass(frozen=True)
+class InnerReach:
+    """Aggregate inner-side expectations at one outer effort level."""
+
+    queries: float
+    good_docs: float
+    bad_docs: float
+
+    @property
+    def documents(self) -> float:
+        return self.good_docs + self.bad_docs
+
+
+class OIJNModel:
+    """Predicts output quality and time of OIJN plans.
+
+    ``outer`` is the side index (1 or 2) playing the outer role, retrieved
+    with ``outer_retrieval``; the other side is probed by query.
+    """
+
+    def __init__(
+        self,
+        statistics: JoinStatistics,
+        outer_retrieval: RetrievalKind,
+        outer: int = 1,
+        costs: Optional[CostModel] = None,
+        per_value: bool = True,
+        overlap: Optional[ValueOverlapModel] = None,
+    ) -> None:
+        if outer not in (1, 2):
+            raise ValueError("outer must be 1 or 2")
+        self.statistics = statistics
+        self.outer = outer
+        self.inner = 2 if outer == 1 else 1
+        self.costs = costs or CostModel()
+        self.per_value = per_value
+        self.outer_model: RetrievalModel = build_retrieval_model(
+            outer_retrieval,
+            statistics.side(outer),
+            classifier=statistics.classifier(outer),
+            queries=statistics.queries(outer),
+        )
+        if per_value:
+            self.overlap = None
+        else:
+            self.overlap = overlap or ValueOverlapModel.from_side_values(
+                statistics.side1, statistics.side2
+            )
+
+    @property
+    def max_effort(self) -> int:
+        """Effort axis: documents retrieved (queries for AQG) on the outer side."""
+        return self.outer_model.max_effort
+
+    # -- issuance ---------------------------------------------------------------
+
+    def issue_probability(self, value: str, mix: ClassMix) -> float:
+        """p_issue(a): the outer execution extracted some occurrence of a."""
+        side = self.statistics.side(self.outer)
+        p_missed = probability_none_extracted(
+            population=max(side.n_good_docs, 1),
+            draws=int(round(mix.good)),
+            occurrences=int(side.good_frequency.get(value, 0)),
+            rate=side.tp,
+        )
+        p_missed *= probability_none_extracted(
+            population=max(side.n_good_docs, 1),
+            draws=int(round(mix.good)),
+            occurrences=int(side.bad_in_good_frequency.get(value, 0)),
+            rate=side.fp,
+        )
+        p_missed *= probability_none_extracted(
+            population=max(side.n_bad_docs, 1),
+            draws=int(round(mix.bad)),
+            occurrences=int(side.bad_in_bad(value)),
+            rate=side.fp,
+        )
+        return 1.0 - p_missed
+
+    def _own_query_reach(self, inner: SideStatistics, value: str) -> Tuple[float, float, float]:
+        """(retrieval probability, good matches, bad matches) of query [a]."""
+        g = inner.good_frequency.get(value, 0.0)
+        b = inner.bad_frequency.get(value, 0.0)
+        hits = g + b
+        if hits <= 0:
+            return 0.0, 0.0, 0.0
+        rate = min(hits, inner.top_k) / hits
+        good_matches = g + inner.bad_in_good_frequency.get(value, 0.0)
+        return rate, good_matches, hits - good_matches
+
+    def _class_mean_issue(self, mix: ClassMix) -> Tuple[float, float]:
+        """Mean issuance probability over the outer side's value classes."""
+        outer_side = self.statistics.side(self.outer)
+        good_values = list(outer_side.good_frequency)
+        bad_values = [
+            v
+            for v in outer_side.bad_frequency
+            if v not in outer_side.good_frequency
+        ]
+        mean_good = (
+            sum(self.issue_probability(v, mix) for v in good_values)
+            / len(good_values)
+            if good_values
+            else 0.0
+        )
+        mean_bad = (
+            sum(self.issue_probability(v, mix) for v in bad_values)
+            / len(bad_values)
+            if bad_values
+            else 0.0
+        )
+        return mean_good, mean_bad
+
+    def _inner_issue_probability(
+        self, value: str, is_good_value: bool, mix: ClassMix
+    ) -> float:
+        """p_issue for an *inner* value.
+
+        Per-value mode reads the outer side's frequencies of the same
+        value.  Aggregate mode (estimated statistics, synthetic value
+        names) combines the class-mean outer issuance with the estimated
+        probability that the inner value is shared at all (the overlap
+        class counts of Section V-A).
+        """
+        if self.per_value:
+            return self.issue_probability(value, mix)
+        mean_good, mean_bad = self._mean_issue_cache(mix)
+        inner_side = self.statistics.side(self.inner)
+        if is_good_value:
+            population = max(len(inner_side.good_frequency), 1)
+            n_from_good, n_from_bad = (
+                (self.overlap.n_gg, self.overlap.n_bg)
+                if self.inner == 2
+                else (self.overlap.n_gg, self.overlap.n_gb)
+            )
+        else:
+            population = max(len(inner_side.bad_frequency), 1)
+            n_from_good, n_from_bad = (
+                (self.overlap.n_gb, self.overlap.n_bb)
+                if self.inner == 2
+                else (self.overlap.n_bg, self.overlap.n_bb)
+            )
+        share_good = min(n_from_good / population, 1.0)
+        share_bad = min(n_from_bad / population, 1.0)
+        return min(share_good * mean_good + share_bad * mean_bad, 1.0)
+
+    def _mean_issue_cache(self, mix: ClassMix) -> Tuple[float, float]:
+        key = (round(mix.good, 6), round(mix.bad, 6))
+        cached = getattr(self, "_issue_cache", None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        result = self._class_mean_issue(mix)
+        self._issue_cache = (key, result)
+        return result
+
+    def inner_reach(self, outer_effort: float) -> InnerReach:
+        """Expected queries issued and inner documents retrieved.
+
+        Good-document coverage uses the Equation-2 overlap correction: the
+        probability a good inner document escapes every issued query is the
+        product of per-query misses.  Queries are counted over the *outer*
+        side's values (each observed value spawns one query, whether or not
+        it matches anything in the inner database); coverage is accumulated
+        over the *inner* side's values (only they can be matched).
+        """
+        mix = self.outer_model.class_mix(outer_effort)
+        outer_side = self.statistics.side(self.outer)
+        inner_side = self.statistics.side(self.inner)
+        outer_values = sorted(
+            set(outer_side.good_frequency) | set(outer_side.bad_frequency)
+        )
+        n_queries = sum(
+            self.issue_probability(value, mix) for value in outer_values
+        )
+        log_miss_good = 0.0
+        log_miss_bad = 0.0
+        n_good = max(inner_side.n_good_docs, 1)
+        n_bad = max(inner_side.n_bad_docs, 1)
+        inner_values = sorted(
+            set(inner_side.good_frequency) | set(inner_side.bad_frequency)
+        )
+        for value in inner_values:
+            is_good_value = value in inner_side.good_frequency
+            p_issue = self._inner_issue_probability(value, is_good_value, mix)
+            if p_issue <= 0.0:
+                continue
+            rate, good_matches, bad_matches = self._own_query_reach(
+                inner_side, value
+            )
+            if rate <= 0.0:
+                continue
+            p_good = min(p_issue * rate * good_matches / n_good, 1.0)
+            p_bad = min(p_issue * rate * bad_matches / n_bad, 1.0)
+            if p_good < 1.0:
+                log_miss_good += math.log1p(-p_good)
+            else:
+                log_miss_good = -math.inf
+            if p_bad < 1.0:
+                log_miss_bad += math.log1p(-p_bad)
+            else:
+                log_miss_bad = -math.inf
+        good_docs = inner_side.n_good_docs * (1.0 - math.exp(log_miss_good))
+        bad_docs = inner_side.n_bad_docs * (1.0 - math.exp(log_miss_bad))
+        return InnerReach(queries=n_queries, good_docs=good_docs, bad_docs=bad_docs)
+
+    # -- factors and prediction ----------------------------------------------------
+
+    def inner_factors(self, outer_effort: float) -> SideFactors:
+        """Expected inner occurrence factors at one outer effort level."""
+        mix = self.outer_model.class_mix(outer_effort)
+        inner_side = self.statistics.side(self.inner)
+        reach = self.inner_reach(outer_effort)
+        rho_good_rest = min(reach.good_docs / max(inner_side.n_good_docs, 1), 1.0)
+        rho_bad_rest = min(reach.bad_docs / max(inner_side.n_bad_docs, 1), 1.0)
+        good: Dict[str, float] = {}
+        bad: Dict[str, float] = {}
+
+        def coverage(p_issue: float, rate: float, rho_rest: float) -> float:
+            own = p_issue * rate
+            return own + (1.0 - own) * rho_rest
+
+        inner_values = sorted(
+            set(inner_side.good_frequency) | set(inner_side.bad_frequency)
+        )
+        for value in inner_values:
+            is_good_value = value in inner_side.good_frequency
+            p_issue = self._inner_issue_probability(value, is_good_value, mix)
+            rate, _, _ = self._own_query_reach(inner_side, value)
+            cov_good = coverage(p_issue, rate, rho_good_rest)
+            cov_bad = coverage(p_issue, rate, rho_bad_rest)
+            g = inner_side.good_frequency.get(value, 0.0)
+            if g:
+                good[value] = inner_side.tp * g * cov_good
+            b_good = inner_side.bad_in_good_frequency.get(value, 0.0)
+            b_bad = inner_side.bad_in_bad(value)
+            if b_good or b_bad:
+                bad[value] = inner_side.fp * (b_good * cov_good + b_bad * cov_bad)
+        return SideFactors(good=good, bad=bad)
+
+    def predict(self, outer_effort: float) -> QualityPrediction:
+        """Expected join composition and time at one outer effort level."""
+        outer_side = self.statistics.side(self.outer)
+        outer_factors = occurrence_factors(
+            outer_side,
+            rho_good=self.outer_model.good_fraction_processed(outer_effort),
+            rho_bad=self.outer_model.bad_fraction_processed(outer_effort),
+        )
+        inner_factors = self.inner_factors(outer_effort)
+        if self.outer == 1:
+            factors1, factors2 = outer_factors, inner_factors
+        else:
+            factors1, factors2 = inner_factors, outer_factors
+        if self.per_value:
+            composition = compose_per_value(factors1, factors2)
+        else:
+            composition = compose_aggregate(factors1, factors2, self.overlap)
+        reach = self.inner_reach(outer_effort)
+        events = {
+            self.outer: self.outer_model.events(outer_effort),
+            self.inner: EffortEvents(
+                retrieved=reach.documents,
+                processed=reach.documents,
+                filtered=0.0,
+                queries=reach.queries,
+            ),
+        }
+        return QualityPrediction(
+            composition=composition,
+            time=charge_events(events, self.costs),
+            efforts={self.outer: outer_effort, self.inner: reach.queries},
+            events=events,
+        )

@@ -1,0 +1,217 @@
+"""Parameter containers the analytical models consume.
+
+A model needs, per join side (Table I):
+
+* database composition |D|, |Dg|, |Db| (|De| follows);
+* per-value good/bad document frequencies g(a), b(a) — with b(a) split by
+  the class of document carrying the bad occurrence, since Filtered Scan
+  passes good and bad documents at different rates;
+* the extractor's operating point tp(θ), fp(θ);
+* retrieval-strategy parameters — classifier profile for FS, per-query
+  statistics for AQG, the search interface's top-k for query-driven plans.
+
+:class:`SideStatistics` can be built from ground truth (a
+:class:`~repro.textdb.stats.DatabaseProfile`, for the "perfect knowledge"
+model-accuracy experiments) or synthesized from MLE estimates
+(:mod:`repro.estimation`), giving the models one uniform interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..retrieval.classifier import ClassifierProfile
+from ..retrieval.queries import QueryStats
+from ..textdb.stats import DatabaseProfile, FrequencyHistogram
+
+
+@dataclass(frozen=True)
+class SideStatistics:
+    """Everything the models need to know about one join side."""
+
+    relation: str
+    n_documents: int
+    n_good_docs: int
+    n_bad_docs: int
+    #: g(a): value -> number of good documents carrying a good occurrence
+    good_frequency: Mapping[str, float]
+    #: b(a): value -> number of documents (any class) carrying a bad occurrence
+    bad_frequency: Mapping[str, float]
+    #: portion of b(a) carried by *good* documents
+    bad_in_good_frequency: Mapping[str, float]
+    #: extractor operating point at the plan's θ
+    tp: float
+    fp: float
+    #: search-interface result limit of this side's database
+    top_k: int = 100
+    #: histogram of extractable occurrences per non-empty document (the
+    #: zig-zag graph's "attributes generated per document" distribution);
+    #: None falls back to a degenerate average in the ZGJN model
+    values_per_document: Optional[Mapping[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.n_good_docs + self.n_bad_docs > self.n_documents:
+            raise ValueError("document class sizes exceed the database size")
+        if not 0.0 <= self.fp <= 1.0 or not 0.0 <= self.tp <= 1.0:
+            raise ValueError("tp/fp must be within [0, 1]")
+
+    @property
+    def n_empty_docs(self) -> int:
+        return self.n_documents - self.n_good_docs - self.n_bad_docs
+
+    def bad_in_bad(self, value: str) -> float:
+        """Portion of b(a) carried by bad documents."""
+        return self.bad_frequency.get(value, 0.0) - self.bad_in_good_frequency.get(
+            value, 0.0
+        )
+
+    @property
+    def good_values(self) -> frozenset:
+        return frozenset(self.good_frequency)
+
+    @property
+    def bad_values(self) -> frozenset:
+        return frozenset(self.bad_frequency)
+
+    @property
+    def total_good_occurrences(self) -> float:
+        return float(sum(self.good_frequency.values()))
+
+    @property
+    def total_bad_occurrences(self) -> float:
+        return float(sum(self.bad_frequency.values()))
+
+    @classmethod
+    def from_profile(
+        cls,
+        profile: DatabaseProfile,
+        tp: float,
+        fp: float,
+        top_k: int = 100,
+    ) -> "SideStatistics":
+        """Ground-truth statistics at a given extractor operating point."""
+        return cls(
+            relation=profile.relation,
+            n_documents=profile.n_documents,
+            n_good_docs=profile.n_good_docs,
+            n_bad_docs=profile.n_bad_docs,
+            good_frequency=dict(profile.good_frequency),
+            bad_frequency=dict(profile.bad_frequency),
+            bad_in_good_frequency=dict(profile.bad_in_good_frequency),
+            tp=tp,
+            fp=fp,
+            top_k=top_k,
+            values_per_document=dict(profile.mentions_per_document),
+        )
+
+    @classmethod
+    def from_histograms(
+        cls,
+        relation: str,
+        n_documents: int,
+        n_good_docs: int,
+        n_bad_docs: int,
+        good_histogram: FrequencyHistogram,
+        bad_histogram: FrequencyHistogram,
+        tp: float,
+        fp: float,
+        top_k: int = 100,
+        bad_in_good_share: float = 0.5,
+        value_prefix: str = "v",
+    ) -> "SideStatistics":
+        """Synthesize per-value tables from frequency histograms.
+
+        Estimation works at histogram level (how many values occur k
+        times); the models work per value.  This constructor materializes
+        one synthetic value per histogram slot, preserving the histogram
+        exactly, so estimated and ground-truth statistics flow through
+        identical model code.  ``bad_in_good_share`` apportions each bad
+        value's occurrences to good documents (estimators cannot observe
+        the split, so a global share is assumed).
+        """
+        good: Dict[str, float] = {}
+        bad: Dict[str, float] = {}
+        bad_in_good: Dict[str, float] = {}
+        i = 0
+        for k in sorted(good_histogram.counts):
+            for _ in range(good_histogram.counts[k]):
+                good[f"{value_prefix}g{i}"] = float(k)
+                i += 1
+        i = 0
+        for k in sorted(bad_histogram.counts):
+            for _ in range(bad_histogram.counts[k]):
+                name = f"{value_prefix}b{i}"
+                bad[name] = float(k)
+                bad_in_good[name] = float(k) * bad_in_good_share
+                i += 1
+        return cls(
+            relation=relation,
+            n_documents=n_documents,
+            n_good_docs=n_good_docs,
+            n_bad_docs=n_bad_docs,
+            good_frequency=good,
+            bad_frequency=bad,
+            bad_in_good_frequency=bad_in_good,
+            tp=tp,
+            fp=fp,
+            top_k=top_k,
+        )
+
+
+@dataclass(frozen=True)
+class ValueOverlapModel:
+    """How join-attribute values of the two sides overlap.
+
+    In per-value mode overlap is implicit (shared value strings).  In
+    histogram mode — and for estimated statistics, whose synthetic value
+    names never collide — the models instead need the *counts* |Agg|,
+    |Agb|, |Abg|, |Abb| (Section V-A) plus the convention for pairing
+    frequencies; :meth:`overlap_fraction` exposes the normalized share of
+    each side's values that participate in each class.
+    """
+
+    n_gg: float
+    n_gb: float
+    n_bg: float
+    n_bb: float
+
+    @classmethod
+    def from_side_values(
+        cls, side1: SideStatistics, side2: SideStatistics
+    ) -> "ValueOverlapModel":
+        ag1, ab1 = side1.good_values, side1.bad_values
+        ag2, ab2 = side2.good_values, side2.bad_values
+        return cls(
+            n_gg=len(ag1 & ag2),
+            n_gb=len(ag1 & ab2),
+            n_bg=len(ab1 & ag2),
+            n_bb=len(ab1 & ab2),
+        )
+
+
+@dataclass(frozen=True)
+class JoinStatistics:
+    """Bundle of both sides plus retrieval-strategy parameters."""
+
+    side1: SideStatistics
+    side2: SideStatistics
+    classifier1: Optional[ClassifierProfile] = None
+    classifier2: Optional[ClassifierProfile] = None
+    queries1: Tuple[QueryStats, ...] = ()
+    queries2: Tuple[QueryStats, ...] = ()
+
+    def side(self, index: int) -> SideStatistics:
+        if index == 1:
+            return self.side1
+        if index == 2:
+            return self.side2
+        raise ValueError("side index must be 1 or 2")
+
+    def classifier(self, index: int) -> Optional[ClassifierProfile]:
+        return self.classifier1 if index == 1 else self.classifier2
+
+    def queries(self, index: int) -> Tuple[QueryStats, ...]:
+        return self.queries1 if index == 1 else self.queries2

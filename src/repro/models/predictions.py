@@ -1,0 +1,59 @@
+"""Prediction results returned by the join models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.quality import TimeBreakdown
+from .retrieval_models import EffortEvents
+from .scheme import CompositionEstimate
+
+
+@dataclass(frozen=True)
+class QualityPrediction:
+    """Expected outcome of running a plan at a given effort level.
+
+    ``efforts`` records the per-side operating point the prediction was
+    evaluated at (documents for scan-based sides, queries for query-based
+    ones); ``events`` the corresponding expected billable events.
+    """
+
+    composition: CompositionEstimate
+    time: TimeBreakdown
+    efforts: Dict[int, float]
+    events: Dict[int, EffortEvents]
+
+    @property
+    def n_good(self) -> float:
+        return self.composition.good
+
+    @property
+    def n_bad(self) -> float:
+        return self.composition.bad
+
+    @property
+    def total_time(self) -> float:
+        return self.time.total
+
+    def meets(self, tau_good: float, tau_bad: float) -> bool:
+        """Whether the predicted composition satisfies (τg, τb)."""
+        return self.n_good >= tau_good and self.n_bad <= tau_bad
+
+
+def charge_events(
+    events: Dict[int, EffortEvents], costs
+) -> TimeBreakdown:
+    """Convert per-side expected events into a simulated time breakdown."""
+    time = TimeBreakdown()
+    for side_index, side_events in events.items():
+        side_costs = costs.side(side_index)
+        time.add(
+            TimeBreakdown(
+                retrieval=side_events.retrieved * side_costs.t_retrieve,
+                extraction=side_events.processed * side_costs.t_extract,
+                filtering=side_events.filtered * side_costs.t_filter,
+                querying=side_events.queries * side_costs.t_query,
+            )
+        )
+    return time

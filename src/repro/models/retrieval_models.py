@@ -1,0 +1,236 @@
+"""Per-strategy document-retrieval models (Section V-C).
+
+Each model answers, for one join side: *if the strategy spends a given
+amount of effort, how many good / bad / empty documents does the extractor
+end up processing, and what events does the time model charge?*
+
+Effort is strategy-specific — documents retrieved for Scan and Filtered
+Scan, queries issued for AQG — exposed uniformly as ``effort`` in
+``[0, max_effort]``:
+
+* **Scan** retrieves documents in quality-blind order, so the processed
+  class mix is hypergeometric; in expectation each class is consumed
+  proportionally (``E[|Dgr|] = n · |Dg| / |D|``).
+* **Filtered Scan** thins each class by the classifier's measured pass
+  rates (Ctp for good, Cfp for bad, Cep for empty).
+* **AQG** retrieves the documents matched by its learned queries; each
+  good document is reached by at least one of the issued queries with the
+  probability of Equation 2, and analogously per class.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.plan import RetrievalKind
+from ..retrieval.classifier import ClassifierProfile
+from ..retrieval.queries import QueryStats
+from .parameters import SideStatistics
+
+
+@dataclass(frozen=True)
+class ClassMix:
+    """Expected number of documents *processed*, by document class."""
+
+    good: float
+    bad: float
+    empty: float
+
+    @property
+    def total(self) -> float:
+        return self.good + self.bad + self.empty
+
+
+@dataclass(frozen=True)
+class EffortEvents:
+    """Expected billable events at a given effort level."""
+
+    retrieved: float
+    processed: float
+    filtered: float
+    queries: float
+
+
+class RetrievalModel(abc.ABC):
+    """Expected behaviour of one strategy on one side."""
+
+    def __init__(self, side: SideStatistics) -> None:
+        self.side = side
+
+    @property
+    @abc.abstractmethod
+    def max_effort(self) -> int:
+        """Largest meaningful effort value (inclusive)."""
+
+    @abc.abstractmethod
+    def class_mix(self, effort: float) -> ClassMix:
+        """Expected processed documents per class at *effort*."""
+
+    @abc.abstractmethod
+    def events(self, effort: float) -> EffortEvents:
+        """Expected billable events at *effort*."""
+
+    def good_fraction_processed(self, effort: float) -> float:
+        """E[|Dgr|] / |Dg| — the good-document coverage at *effort*."""
+        if self.side.n_good_docs == 0:
+            return 0.0
+        return min(1.0, self.class_mix(effort).good / self.side.n_good_docs)
+
+    def bad_fraction_processed(self, effort: float) -> float:
+        """E[|Dbr|] / |Db| — the bad-document coverage at *effort*."""
+        if self.side.n_bad_docs == 0:
+            return 0.0
+        return min(1.0, self.class_mix(effort).bad / self.side.n_bad_docs)
+
+
+class ScanModel(RetrievalModel):
+    """SC: effort = documents retrieved (= processed)."""
+
+    @property
+    def max_effort(self) -> int:
+        return self.side.n_documents
+
+    def class_mix(self, effort: float) -> ClassMix:
+        effort = min(effort, self.max_effort)
+        n = self.side.n_documents
+        if n == 0:
+            return ClassMix(0.0, 0.0, 0.0)
+        share = effort / n
+        return ClassMix(
+            good=share * self.side.n_good_docs,
+            bad=share * self.side.n_bad_docs,
+            empty=share * self.side.n_empty_docs,
+        )
+
+    def events(self, effort: float) -> EffortEvents:
+        effort = min(effort, self.max_effort)
+        return EffortEvents(
+            retrieved=effort, processed=effort, filtered=0.0, queries=0.0
+        )
+
+
+class FilteredScanModel(RetrievalModel):
+    """FS: effort = documents retrieved; classifier thins each class."""
+
+    def __init__(self, side: SideStatistics, classifier: ClassifierProfile) -> None:
+        super().__init__(side)
+        self.classifier = classifier
+
+    @property
+    def max_effort(self) -> int:
+        return self.side.n_documents
+
+    def class_mix(self, effort: float) -> ClassMix:
+        effort = min(effort, self.max_effort)
+        n = self.side.n_documents
+        if n == 0:
+            return ClassMix(0.0, 0.0, 0.0)
+        share = effort / n
+        return ClassMix(
+            good=share * self.side.n_good_docs * self.classifier.c_tp,
+            bad=share * self.side.n_bad_docs * self.classifier.c_fp,
+            empty=share * self.side.n_empty_docs * self.classifier.c_ep,
+        )
+
+    def events(self, effort: float) -> EffortEvents:
+        effort = min(effort, self.max_effort)
+        return EffortEvents(
+            retrieved=effort,
+            processed=self.class_mix(effort).total,
+            filtered=effort,
+            queries=0.0,
+        )
+
+
+class AQGModel(RetrievalModel):
+    """AQG: effort = queries issued (prefix of the learned query list)."""
+
+    def __init__(
+        self,
+        side: SideStatistics,
+        queries: Sequence[QueryStats],
+    ) -> None:
+        super().__init__(side)
+        if not queries:
+            raise ValueError("AQG model needs the learned queries' statistics")
+        self.queries = list(queries)
+
+    @property
+    def max_effort(self) -> int:
+        return len(self.queries)
+
+    def _reach(self, effort: float, class_size: int, per_query_hits) -> float:
+        """Expected documents of one class reached by the first q queries.
+
+        Equation 2: a class member is reached by query i with probability
+        ``retrieved_i(class) / class_size`` and queries are conditionally
+        independent within the class, so
+        ``E = class_size · (1 - Π_i (1 - reach_i / class_size))``.
+        Fractional effort interpolates the final query's contribution.
+        """
+        if class_size <= 0:
+            return 0.0
+        effort = min(effort, self.max_effort)
+        whole = int(effort)
+        log_miss = 0.0
+        for i, stats in enumerate(self.queries[:whole]):
+            retrieved = min(stats.hits, self.side.top_k)
+            reach = per_query_hits(stats) / max(stats.hits, 1) * retrieved
+            p = min(reach / class_size, 1.0)
+            if p >= 1.0:
+                return float(class_size)
+            log_miss += np.log1p(-p)
+        frac = effort - whole
+        if frac > 0 and whole < len(self.queries):
+            stats = self.queries[whole]
+            retrieved = min(stats.hits, self.side.top_k)
+            reach = per_query_hits(stats) / max(stats.hits, 1) * retrieved
+            p = min(frac * reach / class_size, 1.0)
+            if p >= 1.0:
+                return float(class_size)
+            log_miss += np.log1p(-p)
+        return class_size * (1.0 - float(np.exp(log_miss)))
+
+    def class_mix(self, effort: float) -> ClassMix:
+        return ClassMix(
+            good=self._reach(
+                effort, self.side.n_good_docs, lambda s: s.good_hits
+            ),
+            bad=self._reach(effort, self.side.n_bad_docs, lambda s: s.bad_hits),
+            empty=self._reach(
+                effort,
+                self.side.n_empty_docs,
+                lambda s: s.hits * s.empty_fraction,
+            ),
+        )
+
+    def events(self, effort: float) -> EffortEvents:
+        mix = self.class_mix(effort)
+        return EffortEvents(
+            retrieved=mix.total,
+            processed=mix.total,
+            filtered=0.0,
+            queries=min(effort, self.max_effort),
+        )
+
+
+def build_retrieval_model(
+    kind: RetrievalKind,
+    side: SideStatistics,
+    classifier: Optional[ClassifierProfile] = None,
+    queries: Sequence[QueryStats] = (),
+) -> RetrievalModel:
+    """Factory keyed by the plan's retrieval kind."""
+    if kind is RetrievalKind.SCAN:
+        return ScanModel(side)
+    if kind is RetrievalKind.FILTERED_SCAN:
+        if classifier is None:
+            raise ValueError("Filtered Scan model needs a classifier profile")
+        return FilteredScanModel(side, classifier)
+    if kind is RetrievalKind.AQG:
+        return AQGModel(side, queries)
+    raise ValueError(f"no standalone retrieval model for {kind}")

@@ -1,0 +1,127 @@
+"""Monte Carlo simulation of join-quality outcomes.
+
+The analytical models give expectations (and, via
+:mod:`repro.models.uncertainty`, normal-approximation intervals).  For
+questions the normal approximation answers poorly — small τg, skewed
+per-value products, "what is the *probability* my contract is met at this
+operating point?" — this module samples synthetic outcomes directly from
+the same observation model:
+
+* per value and side, the extracted occurrence count is drawn
+  ``Binomial(f, rate·coverage)`` (the models' channel);
+* the join composition is the per-value product sum (Equation 1);
+* repeating ``n_samples`` times yields the empirical distribution of
+  (good, bad), from which satisfaction probabilities and quantiles follow.
+
+Sampling is vectorized over values and samples; 10⁴ samples of a
+several-hundred-value side take milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.preferences import QualityRequirement
+from .parameters import SideStatistics
+
+
+@dataclass(frozen=True)
+class SimulatedOutcomes:
+    """Empirical distribution of (good, bad) join-tuple counts."""
+
+    good: np.ndarray
+    bad: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.good)
+
+    def probability_of_meeting(self, requirement: QualityRequirement) -> float:
+        """Empirical P{good ≥ τg and bad ≤ τb}."""
+        hits = (self.good >= requirement.tau_good) & (
+            self.bad <= requirement.tau_bad
+        )
+        return float(hits.mean())
+
+    def quantiles(
+        self, probabilities=(0.05, 0.5, 0.95)
+    ) -> Dict[float, Tuple[float, float]]:
+        """{p: (good quantile, bad quantile)}."""
+        return {
+            p: (
+                float(np.quantile(self.good, p)),
+                float(np.quantile(self.bad, p)),
+            )
+            for p in probabilities
+        }
+
+    @property
+    def mean_good(self) -> float:
+        return float(self.good.mean())
+
+    @property
+    def mean_bad(self) -> float:
+        return float(self.bad.mean())
+
+
+def _side_arrays(side: SideStatistics, values) -> Tuple[np.ndarray, ...]:
+    g = np.array([side.good_frequency.get(v, 0.0) for v in values])
+    b_good = np.array(
+        [side.bad_in_good_frequency.get(v, 0.0) for v in values]
+    )
+    b_bad = np.array([side.bad_in_bad(v) for v in values])
+    return g, b_good, b_bad
+
+
+def simulate_idjn(
+    side1: SideStatistics,
+    side2: SideStatistics,
+    rho1: Tuple[float, float],
+    rho2: Tuple[float, float],
+    n_samples: int = 2000,
+    seed: int = 0,
+) -> SimulatedOutcomes:
+    """Sample IDJN join compositions at given per-side coverages.
+
+    ``rho_i = (rho_good, rho_bad)`` are the document-class coverage
+    fractions of side i (from its retrieval model).  Sides and values are
+    sampled independently, matching the analytical independence structure.
+    """
+    for rho in (*rho1, *rho2):
+        if not 0.0 <= rho <= 1.0:
+            raise ValueError("coverage fractions must be within [0, 1]")
+    rng = np.random.default_rng(seed)
+    values = sorted(
+        (set(side1.good_frequency) | set(side1.bad_frequency))
+        & (set(side2.good_frequency) | set(side2.bad_frequency))
+    )
+    if not values:
+        zeros = np.zeros(n_samples)
+        return SimulatedOutcomes(good=zeros, bad=zeros.copy())
+
+    def draw(side: SideStatistics, rho: Tuple[float, float]):
+        g, b_good, b_bad = _side_arrays(side, values)
+        rho_good, rho_bad = rho
+        gr = rng.binomial(
+            g.astype(int)[None, :].repeat(n_samples, axis=0),
+            min(side.tp * rho_good, 1.0),
+        )
+        br = rng.binomial(
+            b_good.astype(int)[None, :].repeat(n_samples, axis=0),
+            min(side.fp * rho_good, 1.0),
+        ) + rng.binomial(
+            b_bad.astype(int)[None, :].repeat(n_samples, axis=0),
+            min(side.fp * rho_bad, 1.0),
+        )
+        return gr, br
+
+    gr1, br1 = draw(side1, rho1)
+    gr2, br2 = draw(side2, rho2)
+    good = (gr1 * gr2).sum(axis=1)
+    total = ((gr1 + br1) * (gr2 + br2)).sum(axis=1)
+    return SimulatedOutcomes(
+        good=good.astype(float), bad=(total - good).astype(float)
+    )

@@ -1,0 +1,154 @@
+"""Variance estimates and confidence intervals for quality predictions.
+
+The Section V models predict *expected* good/bad join-tuple counts; this
+module adds second moments so the optimizer (and a user) can see how much
+an actual execution may scatter around the estimate — the scatter visible
+in the paper's Figures 9–11.
+
+Per join value ``a``, the observed occurrence count on one side is modeled
+as ``Binomial(f, p)`` with ``f`` the true frequency and ``p`` the
+per-occurrence observation probability (extraction rate × document-class
+coverage).  This drops the hypergeometric finite-population correction —
+slightly conservative (it over-states variance by the factor
+``(N-n)/(N-1)``) and uniform across retrieval strategies.
+
+For independent sides, per value:
+
+    E[XY]   = E[X]E[Y]
+    Var(XY) = Var(X)Var(Y) + Var(X)E[Y]² + Var(Y)E[X]²
+
+and values are treated as independent when summing (exact for the binomial
+approximation; near-exact for scan sampling where couplings are O(1/N)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from .parameters import SideStatistics
+from .scheme import SideFactors
+
+
+@dataclass(frozen=True)
+class SideVariances:
+    """Per-value variances matching a :class:`SideFactors`."""
+
+    good: Mapping[str, float]
+    bad: Mapping[str, float]
+
+
+@dataclass(frozen=True)
+class IntervalEstimate:
+    """A mean with a symmetric normal-approximation confidence interval."""
+
+    mean: float
+    variance: float
+    z: float = 1.96
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(max(self.variance, 0.0))
+
+    @property
+    def low(self) -> float:
+        return max(0.0, self.mean - self.z * self.stddev)
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.z * self.stddev
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def occurrence_variances(
+    side: SideStatistics, rho_good: float, rho_bad: float
+) -> SideVariances:
+    """Binomial variances matching :func:`~repro.models.scheme.occurrence_factors`.
+
+    Good occurrences: ``Var = g·p(1-p)`` with ``p = tp·ρg``.  Bad
+    occurrences sum two independent binomial parts (bad-in-good documents
+    at ``fp·ρg``, bad-in-bad at ``fp·ρb``).
+    """
+    if not 0.0 <= rho_good <= 1.0 or not 0.0 <= rho_bad <= 1.0:
+        raise ValueError("coverage fractions must be within [0, 1]")
+    p_good = side.tp * rho_good
+    good = {
+        value: freq * p_good * (1.0 - p_good)
+        for value, freq in side.good_frequency.items()
+    }
+    p_bad_good = side.fp * rho_good
+    p_bad_bad = side.fp * rho_bad
+    bad: Dict[str, float] = {}
+    for value in side.bad_frequency:
+        in_good = side.bad_in_good_frequency.get(value, 0.0)
+        in_bad = side.bad_in_bad(value)
+        bad[value] = in_good * p_bad_good * (1.0 - p_bad_good) + (
+            in_bad * p_bad_bad * (1.0 - p_bad_bad)
+        )
+    return SideVariances(good=good, bad=bad)
+
+
+def _product_moments(
+    mean_x: float, var_x: float, mean_y: float, var_y: float
+) -> Tuple[float, float]:
+    """Mean and variance of a product of independent variables."""
+    mean = mean_x * mean_y
+    variance = (
+        var_x * var_y + var_x * mean_y * mean_y + var_y * mean_x * mean_x
+    )
+    return mean, variance
+
+
+def compose_with_variance(
+    factors1: SideFactors,
+    variances1: SideVariances,
+    factors2: SideFactors,
+    variances2: SideVariances,
+    z: float = 1.96,
+) -> Tuple[IntervalEstimate, IntervalEstimate]:
+    """(good, bad) interval estimates for the per-value composition.
+
+    The bad count aggregates the three mixed components (good×bad,
+    bad×good, bad×bad); within one value these share factors and are
+    positively correlated, so their variances are combined with the
+    conservative sum-of-stddevs bound rather than a plain sum.
+    """
+    good_mean = good_var = 0.0
+    bad_mean = 0.0
+    bad_sd_sum_sq = 0.0
+
+    values = sorted(
+        set(factors1.good)
+        | set(factors1.bad)
+        | set(factors2.good)
+        | set(factors2.bad)
+    )
+    for value in values:
+        mg1 = factors1.good.get(value, 0.0)
+        vg1 = variances1.good.get(value, 0.0)
+        mb1 = factors1.bad.get(value, 0.0)
+        vb1 = variances1.bad.get(value, 0.0)
+        mg2 = factors2.good.get(value, 0.0)
+        vg2 = variances2.good.get(value, 0.0)
+        mb2 = factors2.bad.get(value, 0.0)
+        vb2 = variances2.bad.get(value, 0.0)
+        mean, variance = _product_moments(mg1, vg1, mg2, vg2)
+        good_mean += mean
+        good_var += variance
+        sd_sum = 0.0
+        for (mx, vx, my, vy) in (
+            (mg1, vg1, mb2, vb2),
+            (mb1, vb1, mg2, vg2),
+            (mb1, vb1, mb2, vb2),
+        ):
+            mean, variance = _product_moments(mx, vx, my, vy)
+            bad_mean += mean
+            sd_sum += math.sqrt(max(variance, 0.0))
+        bad_sd_sum_sq += sd_sum * sd_sum
+    return (
+        IntervalEstimate(mean=good_mean, variance=good_var, z=z),
+        IntervalEstimate(mean=bad_mean, variance=bad_sd_sum_sq, z=z),
+    )

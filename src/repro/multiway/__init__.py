@@ -1,0 +1,37 @@
+"""N-way (star) joins over a shared attribute — the paper's future work.
+
+Generalizes the binary machinery: an incremental n-way join state with
+O(1)-per-tuple composition maintenance, a ripple-style n-way IDJN
+executor, and the analytical quality/time model with a balanced-effort
+operating-point search.
+"""
+
+from .chain import (
+    ChainEdge,
+    ChainJoinState,
+    ChainJoinTuple,
+    chain_expected_composition,
+)
+from .executor import (
+    ActualMultiQuality,
+    MultiwayExecution,
+    MultiwayIndependentJoin,
+    MultiwaySide,
+)
+from .model import MultiwayIDJNModel
+from .state import MultiJoinComposition, MultiJoinState, MultiJoinTuple
+
+__all__ = [
+    "ActualMultiQuality",
+    "ChainEdge",
+    "ChainJoinState",
+    "ChainJoinTuple",
+    "chain_expected_composition",
+    "MultiJoinComposition",
+    "MultiJoinState",
+    "MultiJoinTuple",
+    "MultiwayExecution",
+    "MultiwayIDJNModel",
+    "MultiwayIndependentJoin",
+    "MultiwaySide",
+]

@@ -1,0 +1,238 @@
+"""Chain joins: R1 ⋈ R2 ⋈ … ⋈ Rn with a *different* attribute per edge.
+
+The star extension (:mod:`repro.multiway.state`) covers joins on one
+shared attribute; real IE pipelines also chain relations — e.g.
+Mergers⟨Company, MergedWith⟩ ⋈ Executives⟨Company, CEO⟩ on Company, then
+⋈ Residences⟨CEO, City⟩ on CEO.  A chain result combines one tuple per
+relation, adjacent tuples matching on their edge's attribute pair; it is
+good iff every constituent is good.
+
+Counting results by materialization is exponential in the worst case, so
+the state counts by dynamic programming over per-layer *pair counts*:
+
+    c_i[(k, k')]  = # layer-i tuples with left-key k and right-key k'
+    v_1[k']       = Σ_k c_1[(·, k')]             (any left key)
+    v_i[k']       = Σ_{(k, k')} c_i[(k, k')] · v_{i-1}[k]
+    total         = Σ_{k'} v_n[k']
+
+with a parallel good-only DP.  One pass costs O(Σ_i |distinct pairs|);
+the state recomputes lazily (dirty flag) so executors can poll the
+composition every round.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.relation import ExtractedRelation
+from ..core.types import ExtractedTuple, RelationSchema
+from .state import MultiJoinComposition
+
+
+@dataclass(frozen=True)
+class ChainEdge:
+    """One join edge: left relation's attribute = right relation's attribute."""
+
+    left_attribute: str
+    right_attribute: str
+
+
+@dataclass(frozen=True)
+class ChainJoinTuple:
+    """One materialized chain result."""
+
+    parts: Tuple[ExtractedTuple, ...]
+
+    @property
+    def is_good(self) -> bool:
+        return all(part.is_good for part in self.parts)
+
+    @property
+    def values(self) -> Tuple[str, ...]:
+        out: List[str] = list(self.parts[0].values)
+        for part in self.parts[1:]:
+            # Adjacent tuples share the edge value; emit it once.
+            out.extend(part.values[1:])
+        return tuple(out)
+
+
+class ChainJoinState:
+    """Incrementally maintained chain join with DP composition counting."""
+
+    def __init__(
+        self,
+        schemas: Sequence[RelationSchema],
+        edges: Sequence[ChainEdge],
+    ) -> None:
+        if len(schemas) < 2:
+            raise ValueError("a chain join needs at least two relations")
+        if len(edges) != len(schemas) - 1:
+            raise ValueError("a chain of n relations needs n-1 edges")
+        self.schemas = list(schemas)
+        self.edges = list(edges)
+        # Key indexes per layer: the attribute each side of each edge uses.
+        self._left_key_index: List[Optional[int]] = [None]
+        self._right_key_index: List[Optional[int]] = []
+        for i, edge in enumerate(edges):
+            self._right_key_index.append(
+                schemas[i].index_of(edge.left_attribute)
+            )
+            self._left_key_index.append(
+                schemas[i + 1].index_of(edge.right_attribute)
+            )
+        self._right_key_index.append(None)
+        self.relations = [ExtractedRelation(s) for s in schemas]
+        #: per layer: (left key, right key) -> [total count, good count]
+        self._pair_counts: List[Dict[Tuple, List[int]]] = [
+            defaultdict(lambda: [0, 0]) for _ in schemas
+        ]
+        self._dirty = True
+        self._cached = MultiJoinComposition()
+
+    @property
+    def arity(self) -> int:
+        return len(self.relations)
+
+    def relation(self, side: int) -> ExtractedRelation:
+        """1-based side accessor, matching the other executors."""
+        return self.relations[side - 1]
+
+    def _keys_of(self, layer: int, tup: ExtractedTuple) -> Tuple:
+        left_index = self._left_key_index[layer]
+        right_index = self._right_key_index[layer]
+        left = tup.value_of(left_index) if left_index is not None else None
+        right = tup.value_of(right_index) if right_index is not None else None
+        return left, right
+
+    def add(self, side: int, tuples: Iterable[ExtractedTuple]) -> int:
+        """Insert tuples into layer *side* (1-based); returns new count."""
+        layer = side - 1
+        relation = self.relations[layer]
+        added = 0
+        for tup in tuples:
+            if not relation.add(tup):
+                continue
+            added += 1
+            key = self._keys_of(layer, tup)
+            slot = self._pair_counts[layer][key]
+            slot[0] += 1
+            if tup.is_good:
+                slot[1] += 1
+        if added:
+            self._dirty = True
+        return added
+
+    def pair_factors(self, side: int) -> Dict[Tuple, Tuple[float, float]]:
+        """Layer *side*'s exact (total, good) counts per (left, right) key.
+
+        The exact-count analogue of the model factors consumed by
+        :func:`chain_expected_composition`; feeding these back reproduces
+        the exact composition (a property tests rely on).
+        """
+        return {
+            key: (float(total), float(good))
+            for key, (total, good) in self._pair_counts[side - 1].items()
+        }
+
+    # -- composition ------------------------------------------------------------
+
+    def _run_dp(self) -> MultiJoinComposition:
+        # v maps right-key -> [total chains, good chains] ending at layer i.
+        v: Dict = {}
+        for (_, right), (total, good) in self._pair_counts[0].items():
+            slot = v.setdefault(right, [0, 0])
+            slot[0] += total
+            slot[1] += good
+        for layer in range(1, self.arity):
+            nxt: Dict = {}
+            for (left, right), (total, good) in self._pair_counts[
+                layer
+            ].items():
+                upstream = v.get(left)
+                if upstream is None:
+                    continue
+                slot = nxt.setdefault(right, [0, 0])
+                slot[0] += total * upstream[0]
+                slot[1] += good * upstream[1]
+            v = nxt
+            if not v:
+                break
+        total = sum(slot[0] for slot in v.values())
+        good = sum(slot[1] for slot in v.values())
+        return MultiJoinComposition(n_good=good, n_bad=total - good)
+
+    @property
+    def composition(self) -> MultiJoinComposition:
+        if self._dirty:
+            self._cached = self._run_dp()
+            self._dirty = False
+        return self._cached
+
+    # -- materialization (tests, small outputs) -----------------------------------
+
+    def iter_results(self) -> Iterator[ChainJoinTuple]:
+        """Materialize chain results by nested index walks (may be large)."""
+        by_left: List[Dict[str, List[ExtractedTuple]]] = []
+        for layer in range(1, self.arity):
+            index: Dict[str, List[ExtractedTuple]] = defaultdict(list)
+            left_index = self._left_key_index[layer]
+            for tup in self.relations[layer]:
+                index[tup.value_of(left_index)].append(tup)
+            by_left.append(index)
+
+        def extend(prefix: Tuple[ExtractedTuple, ...]) -> Iterator:
+            layer = len(prefix)
+            if layer == self.arity:
+                yield ChainJoinTuple(parts=prefix)
+                return
+            last = prefix[-1]
+            right_index = self._right_key_index[layer - 1]
+            key = last.value_of(right_index)
+            for tup in by_left[layer - 1].get(key, ()):
+                yield from extend(prefix + (tup,))
+
+        for first in self.relations[0]:
+            yield from extend((first,))
+
+    def verify_composition(self) -> MultiJoinComposition:
+        """Recount by materialization — O(result size), for tests."""
+        good = total = 0
+        for joined in self.iter_results():
+            total += 1
+            if joined.is_good:
+                good += 1
+        return MultiJoinComposition(n_good=good, n_bad=total - good)
+
+
+def chain_expected_composition(
+    factor_pairs: Sequence[Dict[Tuple, Tuple[float, float]]],
+) -> Tuple[float, float]:
+    """Expected (good, total) chains from per-layer expected pair factors.
+
+    ``factor_pairs[i]`` maps (left key, right key) -> (E[total occurrences],
+    E[good occurrences]) for layer i — the chain analogue of the Section
+    V-B per-value factors, composed by the same DP as the exact counter
+    (independence across layers, as across sides in the binary scheme).
+    """
+    v: Dict = {}
+    for (_, right), (total, good) in factor_pairs[0].items():
+        slot = v.setdefault(right, [0.0, 0.0])
+        slot[0] += total
+        slot[1] += good
+    for layer in range(1, len(factor_pairs)):
+        nxt: Dict = {}
+        for (left, right), (total, good) in factor_pairs[layer].items():
+            upstream = v.get(left)
+            if upstream is None:
+                continue
+            slot = nxt.setdefault(right, [0.0, 0.0])
+            slot[0] += total * upstream[0]
+            slot[1] += good * upstream[1]
+        v = nxt
+        if not v:
+            break
+    total = sum(slot[0] for slot in v.values())
+    good = sum(slot[1] for slot in v.values())
+    return good, total

@@ -1,0 +1,191 @@
+"""N-way Independent Join executor.
+
+Generalizes IDJN (Figure 3) to n relations: every side retrieves documents
+through its own strategy, extracted tuples ripple into the shared
+:class:`~repro.multiway.state.MultiJoinState`, and execution stops when the
+estimated quality meets the (τg, τb) contract, budgets bind, or every side
+is exhausted.  Like the binary executors, it is resumable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+from ..core.preferences import QualityRequirement
+from ..core.quality import ExecutionReport, TimeBreakdown
+from ..core.relation import JoinComposition
+from ..extraction.base import Extractor
+from ..joins.base import UNLIMITED
+from ..joins.costs import SideCosts
+from ..joins.stats_collector import RelationObservations
+from ..retrieval.base import DocumentRetriever
+from ..textdb.database import TextDatabase
+from .state import MultiJoinState
+
+
+class MultiQualityEstimator(Protocol):
+    """Estimates good/bad counts of the accumulated n-way join."""
+
+    def estimate(self, state: MultiJoinState) -> Tuple[float, float]: ...
+
+
+class ActualMultiQuality:
+    """Oracle estimator over the incrementally maintained composition."""
+
+    def estimate(self, state: MultiJoinState) -> Tuple[float, float]:
+        comp = state.composition
+        return float(comp.n_good), float(comp.n_bad)
+
+
+@dataclass(frozen=True)
+class MultiwaySide:
+    """One side of an n-way join: database, extractor, retriever, costs."""
+
+    database: TextDatabase
+    extractor: Extractor
+    retriever: DocumentRetriever
+    costs: SideCosts = field(default_factory=SideCosts)
+    #: absolute cap on documents processed for this side (None = unlimited)
+    max_documents: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.retriever.database is not self.database:
+            raise ValueError("retriever must read from this side's database")
+
+
+@dataclass
+class MultiwayExecution:
+    """Result of a multiway run."""
+
+    state: MultiJoinState
+    report: ExecutionReport
+    observations: List[RelationObservations]
+
+
+class MultiwayIndependentJoin:
+    """Ripple-style n-way IDJN (resumable)."""
+
+    def __init__(
+        self,
+        sides: Sequence[MultiwaySide],
+        join_attribute: Optional[str] = None,
+        estimator: Optional[MultiQualityEstimator] = None,
+        state=None,
+    ) -> None:
+        """``state`` defaults to a star :class:`MultiJoinState`; pass a
+        :class:`~repro.multiway.chain.ChainJoinState` (or any object with
+        the same ``add``/``composition``/``relation`` protocol) to run the
+        same ripple executor over a chain join."""
+        if len(sides) < 2:
+            raise ValueError("a multiway join needs at least two sides")
+        self.sides = list(sides)
+        self.estimator = estimator or ActualMultiQuality()
+        if state is None:
+            state = MultiJoinState(
+                [side.extractor.schema for side in sides],
+                join_attribute=join_attribute,
+            )
+        elif getattr(state, "arity", None) != len(sides):
+            raise ValueError("state arity must match the number of sides")
+        self.state = state
+        join_indexes = getattr(
+            self.state, "join_indexes", [0] * len(sides)
+        )
+        self.observations = [
+            RelationObservations(
+                relation=side.extractor.relation,
+                attribute_index=(
+                    join_indexes[i] if join_indexes[i] is not None else 0
+                ),
+            )
+            for i, side in enumerate(sides)
+        ]
+        self.time = TimeBreakdown()
+        self.processed: Dict[int, int] = {i + 1: 0 for i in range(len(sides))}
+        self.on_progress: Optional[
+            Callable[[MultiJoinState, TimeBreakdown], None]
+        ] = None
+
+    def _side_open(self, index: int) -> bool:
+        side = self.sides[index]
+        if (
+            side.max_documents is not None
+            and self.processed[index + 1] >= side.max_documents
+        ):
+            return False
+        return not side.retriever.exhausted
+
+    def _step(self, index: int) -> None:
+        side = self.sides[index]
+        before = side.retriever.counters.snapshot()
+        doc = side.retriever.next_document()
+        counters = side.retriever.counters
+        delta_retrieved = counters.retrieved - before.retrieved
+        self.time.add(
+            side.costs.charge(
+                retrieved=delta_retrieved,
+                queries=counters.queries_issued - before.queries_issued,
+                filtered=(
+                    delta_retrieved if side.retriever.filters_documents else 0
+                ),
+            )
+        )
+        if doc is None:
+            return
+        tuples = side.extractor.extract(doc)
+        self.time.add(side.costs.charge(processed=1))
+        self.processed[index + 1] += 1
+        self.observations[index].record_document(tuples)
+        self.state.add(index + 1, tuples)
+
+    def run(
+        self, requirement: QualityRequirement = UNLIMITED
+    ) -> MultiwayExecution:
+        while True:
+            est_good, est_bad = self.estimator.estimate(self.state)
+            if requirement.good_met(est_good) or requirement.bad_exceeded(
+                est_bad
+            ):
+                break
+            open_sides = [
+                i for i in range(len(self.sides)) if self._side_open(i)
+            ]
+            if not open_sides:
+                break
+            for index in open_sides:
+                self._step(index)
+            if self.on_progress is not None:
+                self.on_progress(self.state, self.time)
+        comp = self.state.composition
+        report = ExecutionReport(
+            composition=JoinComposition(n_good=comp.n_good, n_good_bad=comp.n_bad),
+            time=TimeBreakdown(
+                retrieval=self.time.retrieval,
+                extraction=self.time.extraction,
+                filtering=self.time.filtering,
+                querying=self.time.querying,
+            ),
+            documents_retrieved={
+                i + 1: side.retriever.counters.retrieved
+                for i, side in enumerate(self.sides)
+            },
+            documents_processed=dict(self.processed),
+            queries_issued={
+                i + 1: side.retriever.counters.queries_issued
+                for i, side in enumerate(self.sides)
+            },
+            tuples_extracted={
+                i + 1: len(self.state.relation(i + 1))
+                for i in range(len(self.sides))
+            },
+            satisfied=(
+                None
+                if requirement is UNLIMITED
+                else requirement.satisfied_by(comp.n_good, comp.n_bad)
+            ),
+            exhausted=all(side.retriever.exhausted for side in self.sides),
+        )
+        return MultiwayExecution(
+            state=self.state, report=report, observations=self.observations
+        )

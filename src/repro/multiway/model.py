@@ -1,0 +1,138 @@
+"""Analytical model for the n-way Independent Join.
+
+Extends the Section V-B composition scheme to n sides joined on a shared
+attribute: with per-side expected occurrence factors E[gr_i(a)], E[br_i(a)]
+(from each side's retrieval model, exactly as in the binary IDJN model),
+
+    E[good]  = Σ_a Π_i E[gr_i(a)]
+    E[total] = Σ_a Π_i (E[gr_i(a)] + E[br_i(a)])
+    E[bad]   = E[total] - E[good]
+
+The total/bad split uses the same independence-across-sides argument as
+the binary case — each side's execution samples its own database.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..core.plan import RetrievalKind
+from ..core.quality import TimeBreakdown
+from ..joins.costs import SideCosts
+from ..models.parameters import SideStatistics
+from ..models.retrieval_models import (
+    EffortEvents,
+    RetrievalModel,
+    build_retrieval_model,
+)
+from ..models.scheme import SideFactors, occurrence_factors
+from .state import MultiJoinComposition
+
+
+class MultiwayIDJNModel:
+    """Predicts quality/time for n-way IDJN plans (per-value mode)."""
+
+    def __init__(
+        self,
+        sides: Sequence[SideStatistics],
+        retrievals: Sequence[RetrievalKind],
+        costs: Optional[Sequence[SideCosts]] = None,
+        classifiers: Optional[Sequence] = None,
+        queries: Optional[Sequence] = None,
+    ) -> None:
+        if len(sides) < 2:
+            raise ValueError("a multiway model needs at least two sides")
+        if len(retrievals) != len(sides):
+            raise ValueError("one retrieval kind per side required")
+        self.sides = list(sides)
+        self.costs = list(costs) if costs else [SideCosts()] * len(sides)
+        classifiers = classifiers or [None] * len(sides)
+        queries = queries or [()] * len(sides)
+        self.models: List[RetrievalModel] = [
+            build_retrieval_model(
+                kind, side, classifier=classifier, queries=query_stats
+            )
+            for side, kind, classifier, query_stats in zip(
+                sides, retrievals, classifiers, queries
+            )
+        ]
+
+    def max_effort(self, side: int) -> int:
+        return self.models[side - 1].max_effort
+
+    def side_factors(self, side: int, effort: float) -> SideFactors:
+        model = self.models[side - 1]
+        return occurrence_factors(
+            self.sides[side - 1],
+            rho_good=model.good_fraction_processed(effort),
+            rho_bad=model.bad_fraction_processed(effort),
+        )
+
+    def predict(
+        self, efforts: Sequence[float]
+    ) -> Tuple[MultiJoinComposition, TimeBreakdown]:
+        """Expected composition and time at per-side efforts."""
+        if len(efforts) != len(self.sides):
+            raise ValueError("one effort per side required")
+        factors = [
+            self.side_factors(i + 1, effort)
+            for i, effort in enumerate(efforts)
+        ]
+        shared: Optional[Set[str]] = None
+        for f in factors:
+            values = set(f.good) | set(f.bad)
+            shared = values if shared is None else (shared & values)
+        good_total = 0.0
+        grand_total = 0.0
+        for value in sorted(shared or ()):
+            good_product = 1.0
+            total_product = 1.0
+            for f in factors:
+                g = f.good.get(value, 0.0)
+                b = f.bad.get(value, 0.0)
+                good_product *= g
+                total_product *= g + b
+            good_total += good_product
+            grand_total += total_product
+        time = TimeBreakdown()
+        for model, costs, effort in zip(self.models, self.costs, efforts):
+            events = model.events(effort)
+            time.add(
+                TimeBreakdown(
+                    retrieval=events.retrieved * costs.t_retrieve,
+                    extraction=events.processed * costs.t_extract,
+                    filtering=events.filtered * costs.t_filter,
+                    querying=events.queries * costs.t_query,
+                )
+            )
+        composition = MultiJoinComposition(
+            n_good=int(round(good_total)),
+            n_bad=int(round(max(grand_total - good_total, 0.0))),
+        )
+        return composition, time
+
+    def minimal_balanced_effort(
+        self, tau_good: float, steps: int = 14
+    ) -> Optional[float]:
+        """Smallest common effort fraction t with E[good] ≥ τg.
+
+        The square-traversal heuristic generalized to n sides: every side
+        advances along fraction t of its own effort axis.  Returns None if
+        even full effort cannot reach τg.
+        """
+        maxima = [float(m.max_effort) for m in self.models]
+
+        def good_at(t: float) -> float:
+            composition, _ = self.predict([t * m for m in maxima])
+            return composition.n_good
+
+        if good_at(1.0) < tau_good:
+            return None
+        lo, hi = 0.0, 1.0
+        for _ in range(steps):
+            mid = (lo + hi) / 2
+            if good_at(mid) >= tau_good:
+                hi = mid
+            else:
+                lo = mid
+        return hi

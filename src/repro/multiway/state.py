@@ -1,0 +1,186 @@
+"""N-way join state over a shared join attribute.
+
+The paper restricts itself to binary joins and leaves "higher order joins
+as future work" (Section III-C).  This package provides the natural
+generalization for the common multi-blackbox case: a *star* natural join
+of n extracted relations on one shared attribute (the paper's running
+Company examples — mergers ⋈ executives ⋈ headquarters — are exactly this
+shape).
+
+An n-way result tuple combines one base tuple per relation, all sharing a
+join value; it is good iff *every* constituent is good.  For a value ``a``
+with ``gr_i(a)`` good and ``br_i(a)`` bad occurrences in relation i:
+
+    good(a)  = Π_i gr_i(a)
+    total(a) = Π_i (gr_i(a) + br_i(a))
+    bad(a)   = total(a) - good(a)
+
+Result counts can be combinatorially large, so the state maintains
+*counters* incrementally (O(1) per inserted tuple) and materializes result
+tuples only on demand via :meth:`iter_results`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.relation import ExtractedRelation
+from ..core.types import ExtractedTuple, RelationSchema
+
+
+@dataclass(frozen=True)
+class MultiJoinComposition:
+    """Good/bad breakdown of an n-way join result."""
+
+    n_good: int = 0
+    n_bad: int = 0
+
+    @property
+    def n_total(self) -> int:
+        return self.n_good + self.n_bad
+
+
+@dataclass(frozen=True)
+class MultiJoinTuple:
+    """One materialized n-way result."""
+
+    parts: Tuple[ExtractedTuple, ...]
+    join_value: str
+
+    @property
+    def is_good(self) -> bool:
+        return all(part.is_good for part in self.parts)
+
+    @property
+    def values(self) -> Tuple[str, ...]:
+        """Join value first, then each relation's non-join attributes."""
+        out: List[str] = [self.join_value]
+        for part in self.parts:
+            out.extend(v for v in part.values if v != self.join_value)
+        return tuple(out)
+
+
+class MultiJoinState:
+    """Incrementally maintained star join of n extracted relations."""
+
+    def __init__(
+        self,
+        schemas: Sequence[RelationSchema],
+        join_attribute: Optional[str] = None,
+    ) -> None:
+        if len(schemas) < 2:
+            raise ValueError("a multiway join needs at least two relations")
+        if join_attribute is None:
+            shared = set(schemas[0].attributes)
+            for schema in schemas[1:]:
+                shared &= set(schema.attributes)
+            if len(shared) != 1:
+                raise ValueError(
+                    f"join attribute is ambiguous or missing ({sorted(shared)}); "
+                    "pass join_attribute explicitly"
+                )
+            join_attribute = next(iter(shared))
+        self.join_attribute = join_attribute
+        self.schemas = list(schemas)
+        self.join_indexes = [s.index_of(join_attribute) for s in schemas]
+        self.relations = [ExtractedRelation(s) for s in schemas]
+        # Per side: value -> (good count, bad count); and value -> tuples.
+        self._good: List[Dict[str, int]] = [defaultdict(int) for _ in schemas]
+        self._bad: List[Dict[str, int]] = [defaultdict(int) for _ in schemas]
+        self._by_value: List[Dict[str, List[ExtractedTuple]]] = [
+            defaultdict(list) for _ in schemas
+        ]
+        self._n_good = 0
+        self._n_total = 0
+
+    @property
+    def arity(self) -> int:
+        return len(self.relations)
+
+    @property
+    def composition(self) -> MultiJoinComposition:
+        return MultiJoinComposition(
+            n_good=self._n_good, n_bad=self._n_total - self._n_good
+        )
+
+    def relation(self, side: int) -> ExtractedRelation:
+        """Side indexes are 1-based, matching the binary executors."""
+        return self.relations[side - 1]
+
+    def add(self, side: int, tuples: Iterable[ExtractedTuple]) -> int:
+        """Insert tuples for one side; returns how many were new.
+
+        Counter maintenance is incremental: inserting a tuple with value a
+        on side i multiplies that value's cross-product contribution by
+        the *other* sides' current counts, so the deltas are
+
+            Δtotal(a) = Π_{j≠i} (gr_j + br_j)
+            Δgood(a)  = [tuple is good] · Π_{j≠i} gr_j
+        """
+        index = side - 1
+        relation = self.relations[index]
+        join_index = self.join_indexes[index]
+        added = 0
+        for tup in tuples:
+            if not relation.add(tup):
+                continue
+            added += 1
+            value = tup.value_of(join_index)
+            other_total = 1
+            other_good = 1
+            for j in range(self.arity):
+                if j == index:
+                    continue
+                good_j = self._good[j].get(value, 0)
+                other_total *= good_j + self._bad[j].get(value, 0)
+                other_good *= good_j
+            self._n_total += other_total
+            if tup.is_good:
+                self._n_good += other_good
+            if tup.is_good:
+                self._good[index][value] += 1
+            else:
+                self._bad[index][value] += 1
+            self._by_value[index][value].append(tup)
+        return added
+
+    def join_values(self) -> List[str]:
+        """Values present on every side (the ones producing results)."""
+        present = None
+        for good, bad in zip(self._good, self._bad):
+            values = set(good) | set(bad)
+            present = values if present is None else (present & values)
+        return sorted(present or ())
+
+    def iter_results(self) -> Iterator[MultiJoinTuple]:
+        """Materialize the n-way results lazily (may be very large)."""
+        for value in self.join_values():
+            pools = [self._by_value[i][value] for i in range(self.arity)]
+            for parts in itertools.product(*pools):
+                yield MultiJoinTuple(parts=tuple(parts), join_value=value)
+
+    def distinct_results(self) -> List[MultiJoinTuple]:
+        """One representative per distinct output-value combination.
+
+        Keeps an all-good derivation when one exists (the combination is
+        then a correct answer even if some derivations are noisy).
+        """
+        best: Dict[Tuple[str, ...], MultiJoinTuple] = {}
+        for joined in self.iter_results():
+            key = joined.values
+            held = best.get(key)
+            if held is None or (joined.is_good and not held.is_good):
+                best[key] = joined
+        return list(best.values())
+
+    def verify_composition(self) -> MultiJoinComposition:
+        """Recount by materialization — O(result size), for tests."""
+        good = total = 0
+        for joined in self.iter_results():
+            total += 1
+            if joined.is_good:
+                good += 1
+        return MultiJoinComposition(n_good=good, n_bad=total - good)

@@ -1,0 +1,551 @@
+"""End-to-end adaptive, quality-aware join optimization (Section VI).
+
+The optimizer "begins with an initial choice of execution strategy; as the
+initial strategy progresses, [it] derives the necessary parameters and
+determines a desirable execution strategy for τg and τb, while checking
+for robustness using cross-validation."  Concretely:
+
+1. **Pilot**: run a short IDJN/Scan prefix on both databases — the
+   cheapest way to obtain unbiased sample frequencies s(a) and confidence
+   observations on each side.
+2. **Estimate**: fit each side's database statistics by MLE
+   (:mod:`repro.estimation`) and derive the join-overlap classes.
+3. **Optimize**: evaluate every candidate plan with the Section V models
+   over the *estimated* statistics and pick the fastest feasible plan.
+4. **Cross-validate**: re-estimate on two random halves of the observed
+   values; if the halves disagree with the full fit about the best plan,
+   the statistics are not yet trustworthy — extend the pilot and repeat
+   (up to ``max_rounds``).
+5. **Execute** the chosen plan, stopping on *estimated* join quality (the
+   per-value good posteriors from the confidence split — never ground
+   truth), with the evaluation's predicted operating point as a budget
+   safety net.
+
+The pilot's observations (and its extracted tuples, when the chosen plan
+is scan-compatible) are not discarded: pilot time is accounted into the
+final report, matching the paper's cost accounting for adaptive runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from ..core.plan import JoinPlanSpec
+from ..core.preferences import QualityRequirement
+from ..core.relation import JoinState
+from ..extraction.characterization import KnobCharacterization
+from ..estimation.mle import ObservationContext
+from ..estimation.online import SideEstimate, estimate_overlap, estimate_side
+from ..joins.base import Budgets, JoinExecution
+from ..joins.idjn import IndependentJoin
+from ..joins.base import JoinInputs
+from ..joins.stats_collector import RelationObservations
+from ..models.parameters import SideStatistics
+from ..retrieval.scan import ScanRetriever
+from .binder import ExecutionEnvironment, bind_plan, budgets_from_evaluation
+from .catalog import StatisticsCatalog
+from .optimizer import JoinOptimizer, OptimizationResult, PlanEvaluation
+
+
+class TuplePosterior:
+    """Per-occurrence good probability from an extractor confidence score.
+
+    With a class-conditional confidence reference and a fitted good-share
+    λ, the posterior of a score in bin b is ``λ·Pg(b) / (λ·Pg(b) +
+    (1-λ)·Pb(b))`` — calibrated occurrence-level classification with no
+    labels.  Without a reference, every occurrence falls back to λ.
+    """
+
+    def __init__(
+        self,
+        reference: Optional[object],
+        good_share: float,
+        theta: float = 0.0,
+    ) -> None:
+        self.good_share = min(max(good_share, 1e-6), 1.0 - 1e-6)
+        self._reference = reference
+        if reference is not None:
+            good = reference.good_at(theta)
+            bad = reference.bad_at(theta)
+            lam = self.good_share
+            self._by_bin = [
+                (lam * g) / max(lam * g + (1.0 - lam) * b, 1e-12)
+                for g, b in zip(good, bad)
+            ]
+        else:
+            self._by_bin = None
+
+    def __call__(self, confidence: float) -> float:
+        if self._by_bin is None:
+            return self.good_share
+        return self._by_bin[self._reference.bin_of(confidence)]
+
+
+class PosteriorQuality:
+    """Join-quality estimator from per-tuple confidence posteriors.
+
+    A join tuple is good iff both constituent occurrences are good; the
+    estimator scores each result ``p1(left) · p2(right)`` from the sides'
+    occurrence-level posteriors — never touching ground-truth labels —
+    and accumulates expected good/bad counts incrementally.
+    """
+
+    def __init__(
+        self,
+        side1: TuplePosterior,
+        side2: TuplePosterior,
+    ) -> None:
+        self.side1 = side1
+        self.side2 = side2
+        self._cursor = 0
+        self._good = 0.0
+
+    def estimate(self, state: JoinState) -> Tuple[float, float]:
+        fresh = state.results_since(self._cursor)
+        self._cursor += len(fresh)
+        for joined in fresh:
+            p1 = self.side1(joined.left.confidence)
+            p2 = self.side2(joined.right.confidence)
+            self._good += p1 * p2
+        total = float(self._cursor)
+        return self._good, total - self._good
+
+
+@dataclass
+class AdaptiveResult:
+    """Everything an adaptive run produced."""
+
+    requirement: QualityRequirement
+    chosen: Optional[PlanEvaluation]
+    optimization: Optional[OptimizationResult]
+    execution: Optional[JoinExecution]
+    pilot: JoinExecution
+    estimates: Tuple[SideEstimate, SideEstimate]
+    rounds: int
+    #: number of mid-flight plan switches (0 without reoptimization points)
+    plan_switches: int = 0
+
+    @property
+    def total_time(self) -> float:
+        time = self.pilot.report.time.total
+        if self.execution is not None:
+            time += self.execution.report.time.total
+        return time
+
+
+class AdaptiveJoinExecutor:
+    """Pilot → estimate → optimize → cross-validate → execute."""
+
+    def __init__(
+        self,
+        environment: ExecutionEnvironment,
+        characterization1: KnobCharacterization,
+        characterization2: KnobCharacterization,
+        plans: Sequence[JoinPlanSpec],
+        pilot_theta: float = 0.4,
+        pilot_documents: int = 100,
+        max_rounds: int = 3,
+        cross_validate: bool = True,
+        classifier_profile1=None,
+        classifier_profile2=None,
+        query_stats1=(),
+        query_stats2=(),
+        feasibility_margin: float = 0.15,
+        reoptimization_points: Sequence[float] = (),
+    ) -> None:
+        if pilot_documents <= 0:
+            raise ValueError("pilot_documents must be positive")
+        self.environment = environment
+        self.characterizations = {1: characterization1, 2: characterization2}
+        self.plans = list(plans)
+        self.pilot_theta = pilot_theta
+        self.pilot_documents = pilot_documents
+        self.max_rounds = max_rounds
+        self.cross_validate = cross_validate
+        #: Offline (label-free) retrieval-strategy parameters: classifier
+        #: rates from the training corpus, query precision from training
+        #: with observable target hit counts (Section VI: these are
+        #: "easily estimated in a pre-execution, offline step").
+        self.classifier_profiles = {1: classifier_profile1, 2: classifier_profile2}
+        self.query_stats = {1: tuple(query_stats1), 2: tuple(query_stats2)}
+        self.feasibility_margin = feasibility_margin
+        #: Mid-flight re-optimization milestones as fractions of the good
+        #: target, e.g. (0.3, 0.6): after reaching each milestone the
+        #: optimizer re-estimates from everything observed so far and may
+        #: switch plans, carrying the produced tuples forward ("build on
+        #: the current execution with a different join execution plan").
+        points = tuple(sorted(reoptimization_points))
+        if any(not 0.0 < point < 1.0 for point in points):
+            raise ValueError("reoptimization points must lie in (0, 1)")
+        self.reoptimization_points = points
+
+    # -- pilot ----------------------------------------------------------------
+
+    def _run_pilot(self, documents: int) -> JoinExecution:
+        env = self.environment
+        inputs = JoinInputs(
+            database1=env.database1,
+            database2=env.database2,
+            extractor1=env.extractor_at(1, self.pilot_theta),
+            extractor2=env.extractor_at(2, self.pilot_theta),
+            join_attribute=env.join_attribute,
+        )
+        pilot = IndependentJoin(
+            inputs,
+            retriever1=ScanRetriever(env.database1),
+            retriever2=ScanRetriever(env.database2),
+            costs=env.costs,
+        )
+        return pilot.run(
+            budgets=Budgets(
+                max_documents1=documents, max_documents2=documents
+            )
+        )
+
+    # -- estimation -------------------------------------------------------------
+
+    def _estimate_sides(
+        self, pilot: JoinExecution
+    ) -> Tuple[SideEstimate, SideEstimate]:
+        estimates = []
+        for side in (1, 2):
+            observations = pilot.observations.side(side)
+            database = self.environment.database(side)
+            char = self.characterizations[side]
+            context = ObservationContext(
+                database_size=len(database),
+                coverage=max(
+                    observations.documents_processed / len(database), 1e-6
+                ),
+                tp=char.tp_at(self.pilot_theta),
+                fp=char.fp_at(self.pilot_theta),
+                theta=self.pilot_theta,
+            )
+            estimates.append(
+                estimate_side(
+                    observations,
+                    context,
+                    reference=char.confidences,
+                    top_k=database.max_results,
+                )
+            )
+        return estimates[0], estimates[1]
+
+    def _catalog(
+        self,
+        estimate1: SideEstimate,
+        estimate2: SideEstimate,
+        observations1: RelationObservations,
+        observations2: RelationObservations,
+    ) -> StatisticsCatalog:
+        overlap = estimate_overlap(
+            estimate1, estimate2, observations1, observations2
+        )
+
+        def builder(side: int, estimate: SideEstimate):
+            database = self.environment.database(side)
+            char = self.characterizations[side]
+            parameters = estimate.parameters
+
+            def build(theta: float) -> SideStatistics:
+                n_good_docs = int(
+                    min(round(parameters.n_good_docs), len(database))
+                )
+                n_bad_docs = int(
+                    min(
+                        round(parameters.n_bad_docs),
+                        len(database) - n_good_docs,
+                    )
+                )
+                return SideStatistics.from_histograms(
+                    relation=parameters.relation,
+                    n_documents=len(database),
+                    n_good_docs=n_good_docs,
+                    n_bad_docs=n_bad_docs,
+                    good_histogram=parameters.good_histogram(),
+                    bad_histogram=parameters.bad_histogram(),
+                    tp=char.tp_at(theta),
+                    fp=char.fp_at(theta),
+                    top_k=database.max_results,
+                    value_prefix=f"{parameters.relation}:",
+                )
+
+            return build
+
+        return StatisticsCatalog(
+            side_builder1=builder(1, estimate1),
+            side_builder2=builder(2, estimate2),
+            classifier1=self.classifier_profiles[1],
+            classifier2=self.classifier_profiles[2],
+            queries1=self.query_stats[1],
+            queries2=self.query_stats[2],
+            overlap=overlap,
+            per_value=False,
+        )
+
+    # -- cross-validation ---------------------------------------------------------
+
+    @staticmethod
+    def _halve(
+        observations: RelationObservations, parity: int
+    ) -> RelationObservations:
+        """One value-hash half of the observations (counts rescaled ×2
+        downstream by doubling estimated populations).
+
+        The split uses a *stable* hash: Python's built-in ``hash`` is
+        salted per process, which would make cross-validation outcomes
+        nondeterministic across runs.
+        """
+        import zlib
+
+        half = RelationObservations(
+            relation=observations.relation,
+            attribute_index=observations.attribute_index,
+        )
+        half.documents_processed = observations.documents_processed
+        half.productive_documents = observations.productive_documents
+        half.tuples_per_document.update(observations.tuples_per_document)
+        for value, count in observations.sample_frequency.items():
+            if zlib.crc32(value.encode()) % 2 == parity:
+                half.sample_frequency[value] = count
+                if value in observations.value_confidences:
+                    half.value_confidences[value] = list(
+                        observations.value_confidences[value]
+                    )
+        return half
+
+    def _stable_choice(
+        self,
+        pilot: JoinExecution,
+        requirement: QualityRequirement,
+        chosen_plan: JoinPlanSpec,
+    ) -> bool:
+        """Do value-split halves agree with the full fit's plan choice?"""
+        for parity in (0, 1):
+            halves = []
+            for side in (1, 2):
+                half = self._halve(pilot.observations.side(side), parity)
+                if not half.sample_frequency:
+                    return False
+                halves.append(half)
+            # Rebuild estimates from the halves, doubling populations.
+            estimates = []
+            for side, half in zip((1, 2), halves):
+                database = self.environment.database(side)
+                char = self.characterizations[side]
+                context = ObservationContext(
+                    database_size=len(database),
+                    coverage=max(
+                        half.documents_processed / len(database), 1e-6
+                    ),
+                    tp=char.tp_at(self.pilot_theta),
+                    fp=char.fp_at(self.pilot_theta),
+                    theta=self.pilot_theta,
+                )
+                estimate = estimate_side(
+                    half,
+                    context,
+                    reference=char.confidences,
+                    top_k=database.max_results,
+                )
+                doubled = dataclasses.replace(
+                    estimate.parameters,
+                    n_good_values=estimate.parameters.n_good_values * 2,
+                    n_bad_values=estimate.parameters.n_bad_values * 2,
+                )
+                estimates.append(
+                    dataclasses.replace(estimate, parameters=doubled)
+                )
+            catalog = self._catalog(
+                estimates[0], estimates[1], halves[0], halves[1]
+            )
+            optimizer = JoinOptimizer(
+                catalog,
+                costs=self.environment.costs,
+                feasibility_margin=self.feasibility_margin,
+            )
+            result = optimizer.optimize(self.plans, requirement)
+            if result.chosen is None or result.chosen.plan != chosen_plan:
+                return False
+        return True
+
+    # -- the driver -----------------------------------------------------------------
+
+    def run(self, requirement: QualityRequirement) -> AdaptiveResult:
+        documents = self.pilot_documents
+        pilot = self._run_pilot(documents)
+        optimization: Optional[OptimizationResult] = None
+        rounds = 0
+        while True:
+            rounds += 1
+            estimate1, estimate2 = self._estimate_sides(pilot)
+            catalog = self._catalog(
+                estimate1,
+                estimate2,
+                pilot.observations.side(1),
+                pilot.observations.side(2),
+            )
+            optimizer = JoinOptimizer(
+                catalog,
+                costs=self.environment.costs,
+                feasibility_margin=self.feasibility_margin,
+            )
+            optimization = optimizer.optimize(self.plans, requirement)
+            if optimization.chosen is None:
+                break
+            if not self.cross_validate or rounds >= self.max_rounds:
+                break
+            if self._stable_choice(
+                pilot, requirement, optimization.chosen.plan
+            ):
+                break
+            documents *= 2
+            pilot = self._run_pilot(documents)
+        if optimization is None or optimization.chosen is None:
+            return AdaptiveResult(
+                requirement=requirement,
+                chosen=None,
+                optimization=optimization,
+                execution=None,
+                pilot=pilot,
+                estimates=(estimate1, estimate2),
+                rounds=rounds,
+            )
+        chosen = optimization.chosen
+        # Drive the estimated-quality stopping condition to the same
+        # overprovisioned target the optimizer planned for; posteriors are
+        # noisy and an exactly-τg stop routinely lands just short.
+        target_good = int(
+            math.ceil(requirement.tau_good * (1.0 + self.feasibility_margin))
+        )
+        execution, chosen, switches = self._execute(
+            requirement, target_good, chosen, (estimate1, estimate2), pilot
+        )
+        return AdaptiveResult(
+            requirement=requirement,
+            chosen=chosen,
+            optimization=optimization,
+            execution=execution,
+            pilot=pilot,
+            estimates=(estimate1, estimate2),
+            rounds=rounds,
+            plan_switches=switches,
+        )
+
+    # -- execution (with optional mid-flight re-optimization) -------------------
+
+    def _build_executor(self, plan, estimates):
+        estimate1, estimate2 = estimates
+        estimator = PosteriorQuality(
+            side1=TuplePosterior(
+                self.characterizations[1].confidences,
+                estimate1.parameters.good_occurrence_share,
+                theta=plan.extractor1.theta,
+            ),
+            side2=TuplePosterior(
+                self.characterizations[2].confidences,
+                estimate2.parameters.good_occurrence_share,
+                theta=plan.extractor2.theta,
+            ),
+        )
+        return bind_plan(self.environment, plan, estimator=estimator)
+
+    def _reestimate_with_execution(self, pilot, execution):
+        """Re-fit the statistics from pilot + execution observations."""
+        merged = []
+        for side in (1, 2):
+            combined = RelationObservations(
+                relation=pilot.observations.side(side).relation,
+                attribute_index=pilot.observations.side(side).attribute_index,
+            )
+            for source in (pilot, execution):
+                observations = source.observations.side(side)
+                combined.documents_processed += observations.documents_processed
+                combined.productive_documents += observations.productive_documents
+                combined.tuples_per_document.update(
+                    observations.tuples_per_document
+                )
+                for value, count in observations.sample_frequency.items():
+                    combined.sample_frequency[value] += count
+                for value, confs in observations.value_confidences.items():
+                    combined.value_confidences.setdefault(value, []).extend(
+                        confs
+                    )
+            merged.append(combined)
+        estimates = []
+        for side, observations in zip((1, 2), merged):
+            database = self.environment.database(side)
+            char = self.characterizations[side]
+            context = ObservationContext(
+                database_size=len(database),
+                coverage=min(
+                    max(observations.documents_processed / len(database), 1e-6),
+                    1.0,
+                ),
+                tp=char.tp_at(self.pilot_theta),
+                fp=char.fp_at(self.pilot_theta),
+                theta=self.pilot_theta,
+            )
+            estimates.append(
+                estimate_side(
+                    observations,
+                    context,
+                    reference=char.confidences,
+                    top_k=database.max_results,
+                )
+            )
+        return (estimates[0], estimates[1]), merged
+
+    def _execute(self, requirement, target_good, chosen, estimates, pilot):
+        """Run the chosen plan, optionally re-optimizing at milestones.
+
+        Returns (final execution, final evaluation, number of plan
+        switches).  On a switch, the produced base tuples are carried into
+        the new plan's executor — the Section VI "build on the current
+        execution" option.
+        """
+        executor = self._build_executor(chosen.plan, estimates)
+        switches = 0
+        milestones = [
+            max(1, int(math.ceil(point * target_good)))
+            for point in self.reoptimization_points
+        ] + [target_good]
+        execution = None
+        for milestone in milestones:
+            partial = QualityRequirement(
+                tau_good=milestone, tau_bad=requirement.tau_bad
+            )
+            execution = executor.run(
+                requirement=partial,
+                budgets=budgets_from_evaluation(chosen.plan, chosen, slack=3.0),
+            )
+            if milestone >= target_good:
+                break
+            # Re-estimate from everything observed, re-optimize the rest.
+            new_estimates, _ = self._reestimate_with_execution(pilot, execution)
+            catalog = self._catalog(
+                new_estimates[0],
+                new_estimates[1],
+                pilot.observations.side(1),
+                pilot.observations.side(2),
+            )
+            optimizer = JoinOptimizer(
+                catalog,
+                costs=self.environment.costs,
+                feasibility_margin=self.feasibility_margin,
+            )
+            result = optimizer.optimize(self.plans, requirement)
+            if result.chosen is None or result.chosen.plan == chosen.plan:
+                continue
+            # Switch: bind the new plan and carry the produced tuples over.
+            switches += 1
+            old_state = executor.session.state
+            chosen = result.chosen
+            estimates = new_estimates
+            executor = self._build_executor(chosen.plan, estimates)
+            executor.session.state.add_left(list(old_state.left))
+            executor.session.state.add_right(list(old_state.right))
+        return execution, chosen, switches

@@ -1,0 +1,154 @@
+"""Binding declarative plans to live executors.
+
+The optimizer reasons over :class:`~repro.core.plan.JoinPlanSpec`
+descriptors; this module turns a chosen descriptor into a runnable join
+executor against concrete databases, extractors, classifiers, learned
+queries, and seed queries.  It also converts a plan evaluation's predicted
+operating point into executor :class:`~repro.joins.base.Budgets` (with a
+slack factor — the estimate-driven stopping condition does the fine-grained
+halt; budgets are the safety net).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.plan import JoinKind, JoinPlanSpec, RetrievalKind
+from ..extraction.base import Extractor
+from ..joins.base import Budgets, JoinAlgorithm, JoinInputs, QualityEstimator
+from ..joins.costs import CostModel
+from ..joins.idjn import IndependentJoin
+from ..joins.oijn import OuterInnerJoin
+from ..joins.zgjn import ZigZagJoin
+from ..retrieval.aqg import AQGRetriever, LearnedQuery
+from ..retrieval.base import DocumentRetriever
+from ..retrieval.classifier import RuleClassifier
+from ..retrieval.filtered_scan import FilteredScanRetriever
+from ..retrieval.queries import Query
+from ..retrieval.scan import ScanRetriever
+from ..textdb.database import TextDatabase
+from .optimizer import PlanEvaluation
+
+
+@dataclass
+class ExecutionEnvironment:
+    """Everything needed to run any plan of the space."""
+
+    database1: TextDatabase
+    database2: TextDatabase
+    extractor1: Extractor
+    extractor2: Extractor
+    classifier1: Optional[RuleClassifier] = None
+    classifier2: Optional[RuleClassifier] = None
+    learned_queries1: Sequence[LearnedQuery] = ()
+    learned_queries2: Sequence[LearnedQuery] = ()
+    seed_queries: Sequence[Query] = ()
+    costs: CostModel = field(default_factory=CostModel)
+    join_attribute: Optional[str] = None
+
+    def database(self, side: int) -> TextDatabase:
+        return self.database1 if side == 1 else self.database2
+
+    def extractor_at(self, side: int, theta: float) -> Extractor:
+        base = self.extractor1 if side == 1 else self.extractor2
+        return base.with_theta(theta)
+
+    def retriever(self, side: int, kind: RetrievalKind) -> DocumentRetriever:
+        database = self.database(side)
+        if kind is RetrievalKind.SCAN:
+            return ScanRetriever(database)
+        if kind is RetrievalKind.FILTERED_SCAN:
+            classifier = self.classifier1 if side == 1 else self.classifier2
+            if classifier is None:
+                raise ValueError(f"no classifier bound for side {side}")
+            return FilteredScanRetriever(database, classifier)
+        if kind is RetrievalKind.AQG:
+            queries = (
+                self.learned_queries1 if side == 1 else self.learned_queries2
+            )
+            if not queries:
+                raise ValueError(f"no learned queries bound for side {side}")
+            return AQGRetriever(database, queries)
+        raise ValueError(f"{kind} is not an explicit retrieval strategy")
+
+
+def bind_plan(
+    environment: ExecutionEnvironment,
+    plan: JoinPlanSpec,
+    estimator: Optional[QualityEstimator] = None,
+) -> JoinAlgorithm:
+    """Build a single-use executor for *plan*."""
+    inputs = JoinInputs(
+        database1=environment.database1,
+        database2=environment.database2,
+        extractor1=environment.extractor_at(1, plan.extractor1.theta),
+        extractor2=environment.extractor_at(2, plan.extractor2.theta),
+        join_attribute=environment.join_attribute,
+    )
+    if plan.join is JoinKind.IDJN:
+        return IndependentJoin(
+            inputs,
+            retriever1=environment.retriever(1, plan.retrieval1),
+            retriever2=environment.retriever(2, plan.retrieval2),
+            costs=environment.costs,
+            estimator=estimator,
+        )
+    if plan.join is JoinKind.OIJN:
+        return OuterInnerJoin(
+            inputs,
+            outer_retriever=environment.retriever(
+                plan.outer, plan.outer_retrieval
+            ),
+            costs=environment.costs,
+            estimator=estimator,
+            outer=plan.outer,
+        )
+    if not environment.seed_queries:
+        raise ValueError("ZGJN needs seed queries in the environment")
+    return ZigZagJoin(
+        inputs,
+        seed_queries=environment.seed_queries,
+        costs=environment.costs,
+        estimator=estimator,
+    )
+
+
+def budgets_from_evaluation(
+    plan: JoinPlanSpec, evaluation: PlanEvaluation, slack: float = 1.5
+) -> Budgets:
+    """Safety budgets from the evaluation's predicted operating point.
+
+    The per-side effort axes of the models map onto executor caps:
+    document-retrieval effort becomes ``max_retrieved`` (SC/FS) or
+    ``max_queries`` (AQG); query-driven sides (OIJN inner, ZGJN) get query
+    caps from the predicted query counts.
+    """
+    if evaluation.prediction is None:
+        return Budgets()
+    if slack < 1.0:
+        raise ValueError("slack must be at least 1")
+
+    def padded(value: float) -> int:
+        return max(1, int(math.ceil(value * slack)))
+
+    fields: Dict[str, int] = {}
+    events = evaluation.prediction.events
+    if plan.join is JoinKind.IDJN:
+        for side, kind in ((1, plan.retrieval1), (2, plan.retrieval2)):
+            if kind is RetrievalKind.AQG:
+                fields[f"max_queries{side}"] = padded(events[side].queries)
+            else:
+                fields[f"max_retrieved{side}"] = padded(events[side].retrieved)
+    elif plan.join is JoinKind.OIJN:
+        outer, inner = plan.outer, 2 if plan.outer == 1 else 1
+        if plan.outer_retrieval is RetrievalKind.AQG:
+            fields[f"max_queries{outer}"] = padded(events[outer].queries)
+        else:
+            fields[f"max_retrieved{outer}"] = padded(events[outer].retrieved)
+        fields[f"max_queries{inner}"] = padded(events[inner].queries)
+    else:
+        fields["max_queries1"] = padded(events[1].queries)
+        fields["max_queries2"] = padded(events[2].queries)
+    return Budgets(**fields)

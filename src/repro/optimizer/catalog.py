@@ -1,0 +1,98 @@
+"""Statistics catalogs: θ-indexed parameter bundles for the optimizer.
+
+A join plan fixes the knob settings (θ1, θ2), and the models need
+side statistics *at those operating points* (tp/fp change with θ).  A
+catalog lazily builds and caches :class:`~repro.models.parameters.JoinStatistics`
+per (θ1, θ2) pair, from either ground truth (profiles + characterizations)
+or on-the-fly estimates (Section VI) — the optimizer is agnostic to which.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..extraction.characterization import KnobCharacterization
+from ..models.parameters import JoinStatistics, SideStatistics, ValueOverlapModel
+from ..retrieval.classifier import ClassifierProfile
+from ..retrieval.queries import QueryStats
+from ..textdb.stats import DatabaseProfile
+
+
+SideBuilder = Callable[[float], SideStatistics]
+
+
+@dataclass
+class StatisticsCatalog:
+    """Lazily materialized per-θ statistics for both sides.
+
+    ``overlap`` is only needed when statistics are estimates (synthetic
+    value names): ground-truth sides share real value strings, and models
+    derive the overlap per value.
+    """
+
+    side_builder1: SideBuilder
+    side_builder2: SideBuilder
+    classifier1: Optional[ClassifierProfile] = None
+    classifier2: Optional[ClassifierProfile] = None
+    queries1: Tuple[QueryStats, ...] = ()
+    queries2: Tuple[QueryStats, ...] = ()
+    overlap: Optional[ValueOverlapModel] = None
+    per_value: bool = True
+
+    def __post_init__(self) -> None:
+        self._cache: Dict[Tuple[float, float], JoinStatistics] = {}
+
+    def at(self, theta1: float, theta2: float) -> JoinStatistics:
+        key = (theta1, theta2)
+        if key not in self._cache:
+            self._cache[key] = JoinStatistics(
+                side1=self.side_builder1(theta1),
+                side2=self.side_builder2(theta2),
+                classifier1=self.classifier1,
+                classifier2=self.classifier2,
+                queries1=tuple(self.queries1),
+                queries2=tuple(self.queries2),
+            )
+        return self._cache[key]
+
+    @classmethod
+    def from_profiles(
+        cls,
+        profile1: DatabaseProfile,
+        characterization1: KnobCharacterization,
+        profile2: DatabaseProfile,
+        characterization2: KnobCharacterization,
+        top_k1: int = 100,
+        top_k2: int = 100,
+        classifier1: Optional[ClassifierProfile] = None,
+        classifier2: Optional[ClassifierProfile] = None,
+        queries1: Tuple[QueryStats, ...] = (),
+        queries2: Tuple[QueryStats, ...] = (),
+    ) -> "StatisticsCatalog":
+        """Ground-truth catalog (the perfect-knowledge experiments)."""
+
+        def builder(
+            profile: DatabaseProfile,
+            char: KnobCharacterization,
+            top_k: int,
+        ) -> SideBuilder:
+            def build(theta: float) -> SideStatistics:
+                return SideStatistics.from_profile(
+                    profile,
+                    tp=char.tp_at(theta),
+                    fp=char.fp_at(theta),
+                    top_k=top_k,
+                )
+
+            return build
+
+        return cls(
+            side_builder1=builder(profile1, characterization1, top_k1),
+            side_builder2=builder(profile2, characterization2, top_k2),
+            classifier1=classifier1,
+            classifier2=classifier2,
+            queries1=queries1,
+            queries2=queries2,
+            per_value=True,
+        )

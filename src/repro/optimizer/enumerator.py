@@ -1,0 +1,59 @@
+"""Join-plan space enumeration.
+
+Generates the candidate plan space of Section VII: per relation, each knob
+setting is combined with each document retrieval strategy, and the
+single-relation configurations are composed under the three join
+algorithms (IDJN uses explicit strategies on both sides; OIJN an explicit
+strategy on its outer side only; ZGJN none).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.plan import (
+    ExtractorConfig,
+    JoinPlanSpec,
+    RetrievalKind,
+    idjn_plan,
+    oijn_plan,
+    zgjn_plan,
+)
+
+EXPLICIT_KINDS: Tuple[RetrievalKind, ...] = (
+    RetrievalKind.SCAN,
+    RetrievalKind.FILTERED_SCAN,
+    RetrievalKind.AQG,
+)
+
+
+def enumerate_plans(
+    extractor1: str,
+    extractor2: str,
+    thetas1: Sequence[float] = (0.4, 0.8),
+    thetas2: Sequence[float] = (0.4, 0.8),
+    retrieval_kinds: Sequence[RetrievalKind] = EXPLICIT_KINDS,
+    include_idjn: bool = True,
+    include_oijn: bool = True,
+    include_zgjn: bool = True,
+    oijn_outer_sides: Sequence[int] = (1, 2),
+) -> List[JoinPlanSpec]:
+    """All candidate join execution plans over the configuration space."""
+    plans: List[JoinPlanSpec] = []
+    configs1 = [ExtractorConfig(extractor1, theta) for theta in thetas1]
+    configs2 = [ExtractorConfig(extractor2, theta) for theta in thetas2]
+    for e1 in configs1:
+        for e2 in configs2:
+            if include_idjn:
+                for x1 in retrieval_kinds:
+                    for x2 in retrieval_kinds:
+                        plans.append(idjn_plan(e1, e2, x1, x2))
+            if include_oijn:
+                for outer in oijn_outer_sides:
+                    for kind in retrieval_kinds:
+                        plans.append(
+                            oijn_plan(e1, e2, outer_retrieval=kind, outer=outer)
+                        )
+            if include_zgjn:
+                plans.append(zgjn_plan(e1, e2))
+    return plans

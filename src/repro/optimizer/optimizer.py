@@ -1,0 +1,343 @@
+"""The quality-aware join optimizer (Section VI, "Putting It All Together").
+
+Given (τg, τb), the optimizer evaluates every candidate plan with the
+Section V models and picks the feasible plan with the minimum predicted
+execution time.  Per plan it must also choose the *operating point* — how
+many documents to retrieve / queries to issue.  Exhaustively plugging in
+every (|Dr1|, |Dr2|) is wasteful, so:
+
+* IDJN follows the paper's square-traversal heuristic: minimize the sum of
+  documents retrieved conditioned on their product by keeping the two
+  sides' progress balanced — both sides advance along a common fraction t
+  of their effort axes, and t is found by bisection on the (monotone)
+  predicted good-tuple count;
+* OIJN bisects its single effort axis (outer documents);
+* ZGJN bisects its query budget.
+
+A plan is *feasible* if some operating point satisfies both bounds:
+predicted good and bad tuples are both monotone in effort, so the minimal
+t reaching τg is the cheapest candidate — if it violates τb, no later
+point can repair it and the plan is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.plan import JoinKind, JoinPlanSpec
+from ..core.preferences import QualityRequirement
+from ..joins.costs import CostModel
+from ..models.idjn_model import IDJNModel
+from ..models.oijn_model import OIJNModel
+from ..models.predictions import QualityPrediction
+from ..models.zgjn_model import ZGJNModel
+from .catalog import StatisticsCatalog
+
+
+@dataclass(frozen=True)
+class PlanEvaluation:
+    """One candidate plan's assessment against a requirement."""
+
+    plan: JoinPlanSpec
+    feasible: bool
+    prediction: Optional[QualityPrediction]
+    #: the chosen operating point, as a fraction of the plan's effort axis
+    effort_fraction: float = 0.0
+
+    @property
+    def predicted_time(self) -> float:
+        if self.prediction is None:
+            return float("inf")
+        return self.prediction.total_time
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """The chosen plan plus the full candidate assessment (Table II data)."""
+
+    requirement: QualityRequirement
+    chosen: Optional[PlanEvaluation]
+    evaluations: Tuple[PlanEvaluation, ...]
+
+    @property
+    def feasible(self) -> Tuple[PlanEvaluation, ...]:
+        return tuple(e for e in self.evaluations if e.feasible)
+
+    def faster_than_chosen(self) -> Tuple[PlanEvaluation, ...]:
+        if self.chosen is None:
+            return ()
+        return tuple(
+            e
+            for e in self.feasible
+            if e.plan != self.chosen.plan
+            and e.predicted_time < self.chosen.predicted_time
+        )
+
+
+class JoinOptimizer:
+    """Evaluates candidate plans with the analytical models."""
+
+    def __init__(
+        self,
+        catalog: StatisticsCatalog,
+        costs: Optional[CostModel] = None,
+        effort_resolution: int = 64,
+        feasibility_margin: float = 0.0,
+    ) -> None:
+        self.catalog = catalog
+        self.costs = costs or CostModel()
+        if effort_resolution < 2:
+            raise ValueError("effort_resolution must be at least 2")
+        self.effort_resolution = effort_resolution
+        if feasibility_margin < 0.0:
+            raise ValueError("feasibility_margin must be non-negative")
+        #: Overprovisioning factor on τg: the optimizer plans for
+        #: ``τg · (1 + margin)`` good tuples.  The analytical models can
+        #: overestimate a plan's asymptotic reach by 5-15% (the paper
+        #: reports the same tendency), so a small margin keeps near-ceiling
+        #: requirements from being assigned plans that just miss them.
+        #: 0.0 reproduces the paper's optimizer exactly.
+        self.feasibility_margin = feasibility_margin
+        # Models are requirement-independent; cache them per plan so that
+        # sweeping many (τg, τb) levels re-uses every constructed model,
+        # and memoize predictions per (plan, effort) since bisection from
+        # different requirements frequently probes the same efforts.
+        self._predictors: Dict[
+            JoinPlanSpec, Tuple[Callable[[float], QualityPrediction], float]
+        ] = {}
+        self._prediction_memo: Dict[
+            Tuple[JoinPlanSpec, float], QualityPrediction
+        ] = {}
+
+    # -- per-plan evaluation ------------------------------------------------------
+
+    def evaluate(
+        self, plan: JoinPlanSpec, requirement: QualityRequirement
+    ) -> PlanEvaluation:
+        """Find the plan's cheapest operating point meeting (τg, τb).
+
+        Plans whose strategies lack the needed offline parameters (an AQG
+        side without query statistics, an FS side without a classifier
+        profile) are reported infeasible rather than crashing the sweep.
+        """
+        try:
+            predictor, max_effort = self._cached_predictor(plan)
+        except ValueError:
+            return PlanEvaluation(plan=plan, feasible=False, prediction=None)
+        target_good = requirement.tau_good * (1.0 + self.feasibility_margin)
+        fraction = self._minimal_fraction(
+            predictor, max_effort, target_good
+        )
+        if fraction is None:
+            return PlanEvaluation(plan=plan, feasible=False, prediction=None)
+        prediction = predictor(fraction * max_effort)
+        feasible = prediction.meets(requirement.tau_good, requirement.tau_bad)
+        return PlanEvaluation(
+            plan=plan,
+            feasible=feasible,
+            prediction=prediction,
+            effort_fraction=fraction,
+        )
+
+    def _cached_predictor(
+        self, plan: JoinPlanSpec
+    ) -> Tuple[Callable[[float], QualityPrediction], float]:
+        if plan not in self._predictors:
+            raw, max_effort = self._predictor(plan)
+
+            def memoized(
+                effort: float,
+                _raw: Callable[[float], QualityPrediction] = raw,
+                _plan: JoinPlanSpec = plan,
+            ) -> QualityPrediction:
+                key = (_plan, round(effort, 3))
+                found = self._prediction_memo.get(key)
+                if found is None:
+                    found = _raw(effort)
+                    self._prediction_memo[key] = found
+                return found
+
+            self._predictors[plan] = (memoized, max_effort)
+        return self._predictors[plan]
+
+    def _predictor(
+        self, plan: JoinPlanSpec
+    ) -> Tuple[Callable[[float], QualityPrediction], float]:
+        statistics = self.catalog.at(plan.extractor1.theta, plan.extractor2.theta)
+        per_value = self.catalog.per_value
+        overlap = self.catalog.overlap
+        if plan.join is JoinKind.IDJN:
+            model = IDJNModel(
+                statistics,
+                plan.retrieval1,
+                plan.retrieval2,
+                costs=self.costs,
+                per_value=per_value,
+                overlap=overlap,
+            )
+            max1, max2 = model.max_effort(1), model.max_effort(2)
+
+            def predict(effort: float) -> QualityPrediction:
+                t = effort / max(max1, max2, 1)
+                return model.predict(t * max1, t * max2)
+
+            return predict, float(max(max1, max2))
+        if plan.join is JoinKind.OIJN:
+            model = OIJNModel(
+                statistics,
+                plan.outer_retrieval,
+                outer=plan.outer,
+                costs=self.costs,
+                per_value=per_value,
+                overlap=overlap,
+            )
+            return model.predict, float(model.max_effort)
+        model = ZGJNModel(
+            statistics,
+            costs=self.costs,
+            per_value=per_value,
+            overlap=overlap,
+        )
+        return model.predict, float(model.max_queries_from_r1())
+
+    def _minimal_fraction(
+        self,
+        predictor: Callable[[float], QualityPrediction],
+        max_effort: float,
+        tau_good: float,
+    ) -> Optional[float]:
+        """Smallest effort fraction whose predicted good count reaches τg.
+
+        Bisection over the effort axis; the predicted good count is
+        monotone non-decreasing in effort for every model.
+        """
+        if max_effort <= 0:
+            return None
+        if predictor(max_effort).n_good < tau_good:
+            return None
+        lo, hi = 0.0, 1.0
+        for _ in range(self._bisection_steps(max_effort)):
+            mid = (lo + hi) / 2.0
+            if predictor(mid * max_effort).n_good >= tau_good:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def _bisection_steps(self, max_effort: float) -> int:
+        steps = 1
+        while (1 << steps) < max(self.effort_resolution, int(max_effort)):
+            steps += 1
+        return min(steps, 16)
+
+    # -- full optimization -------------------------------------------------------
+
+    def optimize(
+        self,
+        plans: Sequence[JoinPlanSpec],
+        requirement: QualityRequirement,
+    ) -> OptimizationResult:
+        """Assess all candidates; choose the fastest feasible one."""
+        evaluations = [self.evaluate(plan, requirement) for plan in plans]
+        feasible = [e for e in evaluations if e.feasible]
+        chosen = min(feasible, key=lambda e: e.predicted_time) if feasible else None
+        return OptimizationResult(
+            requirement=requirement,
+            chosen=chosen,
+            evaluations=tuple(evaluations),
+        )
+
+    # -- alternate preference model: time-budgeted quality ------------------------
+
+    def optimize_within_time(
+        self,
+        plans: Sequence[JoinPlanSpec],
+        time_budget: float,
+        precision_weight: float = 0.5,
+        reference_good: Optional[float] = None,
+    ) -> OptimizationResult:
+        """Maximize ``w·precision + (1-w)·recall`` within a time budget.
+
+        The paper's Section III-C names this cost function as one of the
+        higher-level preferences that map onto the (τg, τb) machinery.
+        Each plan is pushed to the largest effort whose predicted time fits
+        the budget; recall is measured against ``reference_good`` — by
+        default the largest predicted good-tuple count any candidate can
+        reach at full effort (the reachable ceiling of the plan space).
+        """
+        if time_budget <= 0:
+            raise ValueError("time_budget must be positive")
+        if not 0.0 <= precision_weight <= 1.0:
+            raise ValueError("precision_weight must be within [0, 1]")
+        if reference_good is None:
+            reference_good = 0.0
+            for plan in plans:
+                try:
+                    predictor, max_effort = self._cached_predictor(plan)
+                except ValueError:
+                    continue
+                reference_good = max(
+                    reference_good, predictor(max_effort).n_good
+                )
+        reference_good = max(reference_good, 1.0)
+
+        def score(prediction: QualityPrediction) -> float:
+            total = prediction.n_good + prediction.n_bad
+            if total <= 0:
+                # An empty result has vacuous precision; rank it last so a
+                # too-small budget never "wins" with zero output.
+                return 0.0
+            precision = prediction.n_good / total
+            recall = min(prediction.n_good / reference_good, 1.0)
+            return (
+                precision_weight * precision
+                + (1.0 - precision_weight) * recall
+            )
+
+        evaluations: List[PlanEvaluation] = []
+        for plan in plans:
+            try:
+                predictor, max_effort = self._cached_predictor(plan)
+            except ValueError:
+                evaluations.append(
+                    PlanEvaluation(plan=plan, feasible=False, prediction=None)
+                )
+                continue
+            if predictor(0.0).total_time > time_budget:
+                evaluations.append(
+                    PlanEvaluation(plan=plan, feasible=False, prediction=None)
+                )
+                continue
+            # Largest effort fraction fitting the budget (predicted time is
+            # monotone non-decreasing in effort for every model).
+            lo, hi = 0.0, 1.0
+            if predictor(max_effort).total_time <= time_budget:
+                lo = 1.0
+            else:
+                for _ in range(self._bisection_steps(max_effort)):
+                    mid = (lo + hi) / 2.0
+                    if predictor(mid * max_effort).total_time <= time_budget:
+                        lo = mid
+                    else:
+                        hi = mid
+            prediction = predictor(lo * max_effort)
+            evaluations.append(
+                PlanEvaluation(
+                    plan=plan,
+                    feasible=True,
+                    prediction=prediction,
+                    effort_fraction=lo,
+                )
+            )
+        feasible = [e for e in evaluations if e.feasible]
+        chosen = (
+            max(feasible, key=lambda e: score(e.prediction))
+            if feasible
+            else None
+        )
+        return OptimizationResult(
+            requirement=QualityRequirement(tau_good=0, tau_bad=2**62),
+            chosen=chosen,
+            evaluations=tuple(evaluations),
+        )

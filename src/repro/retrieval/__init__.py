@@ -1,0 +1,36 @@
+"""Document-retrieval strategies: Scan, Filtered Scan, AQG (Section III-B).
+
+Also home to the keyword-query machinery (measurement, probing) that the
+query-based join algorithms (OIJN, ZGJN) build on.
+"""
+
+from .aqg import (
+    AQGRetriever,
+    LearnedQuery,
+    learn_queries,
+    measure_learned_queries,
+    offline_query_stats,
+)
+from .base import DocumentRetriever, RetrievalCounters
+from .classifier import ClassifierProfile, RuleClassifier
+from .filtered_scan import FilteredScanRetriever
+from .queries import Query, QueryProbe, QueryStats, measure_query
+from .scan import ScanRetriever
+
+__all__ = [
+    "AQGRetriever",
+    "ClassifierProfile",
+    "DocumentRetriever",
+    "FilteredScanRetriever",
+    "LearnedQuery",
+    "Query",
+    "QueryProbe",
+    "QueryStats",
+    "RetrievalCounters",
+    "RuleClassifier",
+    "ScanRetriever",
+    "learn_queries",
+    "measure_learned_queries",
+    "offline_query_stats",
+    "measure_query",
+]

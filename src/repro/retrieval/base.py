@@ -1,0 +1,73 @@
+"""Document-retrieval strategy interface (Section III-B).
+
+A retriever hands an extraction pipeline the next database document to
+*process*, while transparently accounting for the work done to find it:
+documents retrieved, documents rejected by a filter, queries issued.  The
+execution-time models charge each of these events separately (tR, tF, tQ),
+so retrievers expose them as monotone counters.
+
+The three concrete strategies — :class:`~repro.retrieval.scan.ScanRetriever`,
+:class:`~repro.retrieval.filtered_scan.FilteredScanRetriever`, and
+:class:`~repro.retrieval.aqg.AQGRetriever` — serve IDJN for both relations
+and OIJN for its outer relation.  The query-driven retrieval of OIJN's
+inner relation and of ZGJN is managed by the join algorithms themselves via
+:class:`~repro.retrieval.queries.QueryProbe`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..textdb.database import TextDatabase
+from ..textdb.document import Document
+
+
+@dataclass
+class RetrievalCounters:
+    """Work performed by a retriever so far."""
+
+    retrieved: int = 0
+    #: Documents the strategy decided not to process (FS rejections).
+    rejected: int = 0
+    queries_issued: int = 0
+
+    def snapshot(self) -> "RetrievalCounters":
+        return RetrievalCounters(
+            retrieved=self.retrieved,
+            rejected=self.rejected,
+            queries_issued=self.queries_issued,
+        )
+
+
+class DocumentRetriever(abc.ABC):
+    """Pull-based supplier of documents for one extraction task."""
+
+    #: Whether every retrieved document passes through a classifier (and so
+    #: is charged filtering time tF by the execution-time model).
+    filters_documents: bool = False
+
+    def __init__(self, database: TextDatabase) -> None:
+        self.database = database
+        self.counters = RetrievalCounters()
+
+    @abc.abstractmethod
+    def next_document(self) -> Optional[Document]:
+        """The next document to process, or None when exhausted.
+
+        Implementations update :attr:`counters` for every piece of work
+        they do, including work on documents they end up not returning.
+        """
+
+    @property
+    @abc.abstractmethod
+    def exhausted(self) -> bool:
+        """Whether the strategy can supply no further documents."""
+
+    def __iter__(self) -> Iterator[Document]:
+        while True:
+            doc = self.next_document()
+            if doc is None:
+                return
+            yield doc

@@ -1,0 +1,50 @@
+"""Filtered Scan (FS): scan plus a document classifier.
+
+Retrieves documents sequentially like Scan but only *processes* the ones a
+trained classifier accepts, skipping most empty/bad documents at filter
+cost tF per retrieved document instead of extraction cost tE.  Since the
+classifier also rejects some good documents (its true-positive rate Ctp is
+below one), FS trades reachable recall for speed and cleanliness
+(Section III-B).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..textdb.database import TextDatabase
+from ..textdb.document import Document
+from .base import DocumentRetriever
+from .classifier import RuleClassifier
+
+
+class FilteredScanRetriever(DocumentRetriever):
+    """Sequential cursor that consults a classifier before processing."""
+
+    filters_documents = True
+
+    def __init__(self, database: TextDatabase, classifier: RuleClassifier) -> None:
+        super().__init__(database)
+        self.classifier = classifier
+        self._order: List[int] = database.scan_order()
+        self._position = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._position >= len(self._order)
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    def next_document(self) -> Optional[Document]:
+        """Next accepted document; rejected ones are counted, not returned."""
+        while self._position < len(self._order):
+            doc_id = self._order[self._position]
+            self._position += 1
+            self.counters.retrieved += 1
+            doc = self.database.get(doc_id)
+            if self.classifier.classify(doc):
+                return doc
+            self.counters.rejected += 1
+        return None

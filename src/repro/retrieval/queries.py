@@ -1,0 +1,125 @@
+"""Keyword queries: measurement and probing.
+
+Queries are the retrieval currency of AQG, OIJN, and ZGJN.  This module
+provides the query value type, offline measurement of the per-query
+statistics the models need — hit count ``H(q)`` and precision ``P(q)``
+(fraction of matching documents that are good, Sections V-C/V-D) — and
+:class:`QueryProbe`, the stateful issuer that join algorithms use to fetch
+*unseen* matching documents through the database's top-k search interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from ..core.types import DocumentClass
+from ..textdb.database import TextDatabase
+from ..textdb.document import Document
+
+
+@dataclass(frozen=True)
+class Query:
+    """An immutable conjunctive keyword query."""
+
+    tokens: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tokens:
+            raise ValueError("a query needs at least one token")
+
+    @classmethod
+    def of(cls, *tokens: str) -> "Query":
+        return cls(tokens=tuple(tokens))
+
+    def describe(self) -> str:
+        return "[" + " ".join(self.tokens) + "]"
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Offline statistics of one query against one database.
+
+    ``hits`` is H(q), the total number of matching documents; ``precision``
+    is P(q), the good fraction among *all* matches (the top-k truncation is
+    rank-random, so the returned sample has the same expected precision).
+    ``bad_fraction`` is the bad-document share of the matches; the empty
+    share is the remainder.  The class split lets the AQG model predict not
+    only good-document reach (Equation 2) but also how many bad and empty
+    documents the strategy drags in — which drives both bad-tuple counts
+    and wasted extraction time.
+    """
+
+    query: Query
+    hits: int
+    precision: float
+    bad_fraction: float = 0.0
+
+    @property
+    def good_hits(self) -> float:
+        """|Hg(q)| = H(q) · P(q)."""
+        return self.hits * self.precision
+
+    @property
+    def bad_hits(self) -> float:
+        return self.hits * self.bad_fraction
+
+    @property
+    def empty_fraction(self) -> float:
+        return max(0.0, 1.0 - self.precision - self.bad_fraction)
+
+
+def measure_query(
+    database: TextDatabase, query: Query, relation: str
+) -> QueryStats:
+    """Measure H(q), P(q), and the class split exactly (no truncation)."""
+    match_ids = database.index.search(query.tokens)
+    if not match_ids:
+        return QueryStats(query=query, hits=0, precision=0.0, bad_fraction=0.0)
+    good = bad = 0
+    for doc_id in match_ids:
+        klass = database.get(doc_id).classify(relation)
+        if klass is DocumentClass.GOOD:
+            good += 1
+        elif klass is DocumentClass.BAD:
+            bad += 1
+    return QueryStats(
+        query=query,
+        hits=len(match_ids),
+        precision=good / len(match_ids),
+        bad_fraction=bad / len(match_ids),
+    )
+
+
+class QueryProbe:
+    """Issues queries against a database, returning only unseen documents.
+
+    Join algorithms share one probe per database so that a document
+    retrieved by an earlier query (or by a scan cursor, when mixed) is
+    never charged or processed twice.  ``queries_issued`` counts every
+    issue — including ones that return nothing new — because the time
+    model charges tQ per issued query regardless of its yield.
+    """
+
+    def __init__(self, database: TextDatabase) -> None:
+        self.database = database
+        self.seen: Set[int] = set()
+        self.queries_issued = 0
+        self.documents_retrieved = 0
+        self._issued: Set[Tuple[str, ...]] = set()
+
+    def already_issued(self, query: Query) -> bool:
+        return query.tokens in self._issued
+
+    def issue(self, query: Query) -> List[Document]:
+        """Issue *query*; return the unseen documents among its top-k."""
+        self.queries_issued += 1
+        self._issued.add(query.tokens)
+        fresh: List[Document] = []
+        for doc_id in self.database.search(query.tokens):
+            if doc_id in self.seen:
+                continue
+            self.seen.add(doc_id)
+            self.documents_retrieved += 1
+            fresh.append(self.database.get(doc_id))
+        return fresh

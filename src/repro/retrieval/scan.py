@@ -1,0 +1,41 @@
+"""Scan (SC): sequential retrieval of every database document.
+
+Guaranteed to eventually process all good documents — maximal reachable
+recall — but also processes every bad and empty document, paying their
+retrieval/extraction time and admitting every extractable bad tuple
+(Section III-B).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..textdb.database import TextDatabase
+from ..textdb.document import Document
+from .base import DocumentRetriever
+
+
+class ScanRetriever(DocumentRetriever):
+    """Sequential cursor over the database's scan order."""
+
+    def __init__(self, database: TextDatabase) -> None:
+        super().__init__(database)
+        self._order: List[int] = database.scan_order()
+        self._position = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._position >= len(self._order)
+
+    @property
+    def position(self) -> int:
+        """How many documents have been retrieved so far."""
+        return self._position
+
+    def next_document(self) -> Optional[Document]:
+        if self.exhausted:
+            return None
+        doc_id = self._order[self._position]
+        self._position += 1
+        self.counters.retrieved += 1
+        return self.database.get(doc_id)

@@ -1,0 +1,63 @@
+"""Text-database substrate: documents, search interface, synthetic corpora.
+
+Everything the paper assumes of its text collections (NYT95/NYT96/WSJ) is
+reproduced here: scan access, a top-k-limited conjunctive keyword-search
+interface, and — since the original corpora are not redistributable — a
+seeded generative world + corpus generator with the same statistical
+structure (good/bad/empty documents, power-law attribute frequencies).
+"""
+
+from .corpus import (
+    CorpusConfig,
+    CorpusGenerator,
+    HostedRelation,
+    MentionStyle,
+    generate_corpus,
+)
+from .database import TextDatabase
+from .document import Document, Mention
+from .index import InvertedIndex
+from .io import (
+    database_from_texts,
+    load_database,
+    save_database,
+    sentences_from_text,
+)
+from .stats import DatabaseProfile, FrequencyHistogram, profile_database
+from .tokenizer import normalize_token, tokenize
+from .vocabulary import (
+    BackgroundSampler,
+    background_tokens,
+    pattern_tokens,
+    trigger_tokens,
+)
+from .world import RelationSpec, World, WorldConfig, zipf_weights
+
+__all__ = [
+    "BackgroundSampler",
+    "CorpusConfig",
+    "CorpusGenerator",
+    "DatabaseProfile",
+    "Document",
+    "FrequencyHistogram",
+    "HostedRelation",
+    "InvertedIndex",
+    "Mention",
+    "MentionStyle",
+    "RelationSpec",
+    "TextDatabase",
+    "World",
+    "WorldConfig",
+    "background_tokens",
+    "database_from_texts",
+    "generate_corpus",
+    "load_database",
+    "normalize_token",
+    "pattern_tokens",
+    "profile_database",
+    "save_database",
+    "sentences_from_text",
+    "tokenize",
+    "trigger_tokens",
+    "zipf_weights",
+]

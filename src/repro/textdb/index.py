@@ -1,0 +1,69 @@
+"""Inverted index over a document collection.
+
+Backs the keyword-search interface of :class:`~repro.textdb.database.TextDatabase`.
+Queries use conjunctive (AND) semantics, matching the behaviour the paper
+assumes of the underlying search engine, and results are returned in a
+stable document order so the interface's top-k truncation is deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Set
+
+from .document import Document
+from .tokenizer import normalize_token
+
+
+class InvertedIndex:
+    """Token -> sorted list of document ids."""
+
+    def __init__(self, documents: Iterable[Document] = ()) -> None:
+        self._postings: Dict[str, List[int]] = defaultdict(list)
+        self._doc_count = 0
+        for doc in documents:
+            self.add(doc)
+
+    def add(self, doc: Document) -> None:
+        """Index one document (tokens deduplicated per document)."""
+        for token in sorted(doc.token_set()):
+            postings = self._postings[token]
+            if postings and postings[-1] == doc.doc_id:
+                continue
+            postings.append(doc.doc_id)
+        self._doc_count += 1
+
+    def __len__(self) -> int:
+        return self._doc_count
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def tokens(self) -> List[str]:
+        """All indexed tokens (the collection vocabulary)."""
+        return list(self._postings)
+
+    def postings(self, token: str) -> List[int]:
+        """Document ids containing *token* (empty list if unseen)."""
+        return list(self._postings.get(normalize_token(token), ()))
+
+    def document_frequency(self, token: str) -> int:
+        return len(self._postings.get(normalize_token(token), ()))
+
+    def search(self, tokens: Sequence[str]) -> List[int]:
+        """Documents containing *all* of the query tokens, in id order."""
+        if not tokens:
+            return []
+        normalized = [normalize_token(t) for t in tokens]
+        # Intersect starting from the rarest token for efficiency.
+        posting_lists = [self._postings.get(t, []) for t in normalized]
+        if any(not p for p in posting_lists):
+            return []
+        posting_lists.sort(key=len)
+        result: Set[int] = set(posting_lists[0])
+        for postings in posting_lists[1:]:
+            result &= set(postings)
+            if not result:
+                return []
+        return sorted(result)

@@ -1,0 +1,143 @@
+"""Loading and persisting text databases.
+
+Two use cases:
+
+* **real text in** — ``database_from_texts`` turns plain strings into a
+  :class:`~repro.textdb.database.TextDatabase` (sentence-split, tokenized,
+  indexed), so the extraction/retrieval/join stack runs on user documents,
+  not only on generated corpora.  Ground-truth mentions are optional: real
+  text usually has none, and tuple labels then come from a user-supplied
+  gold set (see ``label_oracle`` on the extractors), mirroring the paper's
+  web-based gold-set verification;
+* **reproducibility out** — ``save_database``/``load_database`` round-trip
+  a database (documents, sentences, planted mentions, interface limit)
+  through a JSON-lines file, so a generated corpus can be shipped alongside
+  experiment results.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from typing import Dict, List, Mapping, Sequence, Union
+
+from ..core.types import Fact
+from .database import TextDatabase
+from .document import Document, Mention
+from .tokenizer import tokenize
+
+_SENTENCE_SPLIT = re.compile(r"[.!?]+")
+
+
+def sentences_from_text(text: str) -> List[List[str]]:
+    """Sentence-split and tokenize raw text (empty sentences dropped)."""
+    sentences = []
+    for raw in _SENTENCE_SPLIT.split(text):
+        tokens = tokenize(raw)
+        if tokens:
+            sentences.append(tokens)
+    return sentences
+
+
+def database_from_texts(
+    texts: Union[Sequence[str], Mapping[int, str]],
+    name: str = "user",
+    max_results: int = 100,
+    rank_seed: int = 0,
+) -> TextDatabase:
+    """Build a searchable database from raw document strings."""
+    if isinstance(texts, Mapping):
+        items = sorted(texts.items())
+    else:
+        items = list(enumerate(texts))
+    documents = [
+        Document(doc_id=doc_id, sentences=sentences_from_text(text))
+        for doc_id, text in items
+    ]
+    if not documents:
+        raise ValueError("no documents supplied")
+    return TextDatabase(
+        name=name,
+        documents=documents,
+        max_results=max_results,
+        rank_seed=rank_seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# JSONL round-trip
+# ---------------------------------------------------------------------------
+
+
+def _mention_to_json(mention: Mention) -> Dict:
+    return {
+        "relation": mention.fact.relation,
+        "values": list(mention.fact.values),
+        "is_true": mention.fact.is_true,
+        "sentence": mention.sentence_index,
+        "positions": list(mention.entity_positions),
+    }
+
+
+def _mention_from_json(payload: Dict) -> Mention:
+    return Mention(
+        fact=Fact(
+            relation=payload["relation"],
+            values=tuple(payload["values"]),
+            is_true=payload["is_true"],
+        ),
+        sentence_index=payload["sentence"],
+        entity_positions=tuple(payload["positions"]),
+    )
+
+
+def save_database(database: TextDatabase, path: Union[str, pathlib.Path]) -> None:
+    """Persist a database as JSON lines (header line + one per document)."""
+    path = pathlib.Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            "kind": "repro.textdb",
+            "version": 1,
+            "name": database.name,
+            "max_results": database.max_results,
+            "rank_seed": database.rank_seed,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for document in database.documents:
+            record = {
+                "id": document.doc_id,
+                "sentences": document.sentences,
+                "mentions": [_mention_to_json(m) for m in document.mentions],
+            }
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_database(path: Union[str, pathlib.Path]) -> TextDatabase:
+    """Load a database saved by :func:`save_database`."""
+    path = pathlib.Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"{path} is empty")
+        header = json.loads(header_line)
+        if header.get("kind") != "repro.textdb":
+            raise ValueError(f"{path} is not a repro text-database file")
+        documents = []
+        for line in handle:
+            record = json.loads(line)
+            documents.append(
+                Document(
+                    doc_id=record["id"],
+                    sentences=[list(s) for s in record["sentences"]],
+                    mentions=[
+                        _mention_from_json(m) for m in record["mentions"]
+                    ],
+                )
+            )
+    return TextDatabase(
+        name=header["name"],
+        documents=documents,
+        max_results=header["max_results"],
+        rank_seed=header.get("rank_seed", 0),
+    )

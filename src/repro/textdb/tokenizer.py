@@ -1,0 +1,27 @@
+"""Minimal tokenizer for the synthetic corpora.
+
+Documents in this reproduction are generated from controlled vocabularies
+(entity identifiers, pattern terms, background terms), so tokenization is a
+simple lowercase word split.  The tokenizer still handles arbitrary text so
+user-supplied documents can be indexed too.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_TOKEN_RE = re.compile(r"[a-z0-9_]+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase word tokens of *text* (letters, digits, underscores)."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def normalize_token(token: str) -> str:
+    """Canonical form used by the inverted index and keyword queries."""
+    matches = _TOKEN_RE.findall(token.lower())
+    if len(matches) != 1:
+        raise ValueError(f"not a single token: {token!r}")
+    return matches[0]

@@ -1,0 +1,139 @@
+"""Shared fixtures: a mini world/corpus for unit tests and the session
+testbed for integration-level tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RelationSchema
+from repro.experiments import TestbedConfig, build_testbed
+from repro.extraction import SnowballExtractor, characterize
+from repro.textdb import (
+    CorpusConfig,
+    HostedRelation,
+    RelationSpec,
+    World,
+    WorldConfig,
+    generate_corpus,
+    pattern_tokens,
+    profile_database,
+)
+
+
+@pytest.fixture(scope="session")
+def mini_world() -> World:
+    hq = RelationSpec(
+        schema=RelationSchema("HQ", ("Company", "Location")),
+        secondary_prefix="city",
+        n_true_facts=80,
+        n_false_facts=60,
+        n_secondary=120,
+    )
+    ex = RelationSpec(
+        schema=RelationSchema("EX", ("Company", "CEO")),
+        secondary_prefix="person",
+        n_true_facts=80,
+        n_false_facts=60,
+        n_secondary=120,
+    )
+    return World(WorldConfig(seed=5, n_companies=120, relations=(hq, ex)))
+
+
+@pytest.fixture(scope="session")
+def mini_db1(mini_world):
+    return generate_corpus(
+        mini_world,
+        CorpusConfig(
+            name="mini1",
+            seed=21,
+            hosted=(HostedRelation("HQ", n_good_docs=180, n_bad_docs=70),),
+            n_empty_docs=200,
+            max_results=25,
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def mini_db2(mini_world):
+    return generate_corpus(
+        mini_world,
+        CorpusConfig(
+            name="mini2",
+            seed=22,
+            hosted=(HostedRelation("EX", n_good_docs=180, n_bad_docs=70),),
+            n_empty_docs=200,
+            max_results=25,
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def mini_train(mini_world):
+    return generate_corpus(
+        mini_world,
+        CorpusConfig(
+            name="minitrain",
+            seed=23,
+            hosted=(
+                HostedRelation("HQ", n_good_docs=150, n_bad_docs=60),
+                HostedRelation("EX", n_good_docs=150, n_bad_docs=60),
+            ),
+            n_empty_docs=180,
+            max_results=25,
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def mini_extractor1(mini_world) -> SnowballExtractor:
+    return SnowballExtractor(
+        mini_world.schemas["HQ"],
+        mini_world.entity_dictionary("HQ"),
+        pattern_tokens("HQ"),
+        theta=0.4,
+    )
+
+
+@pytest.fixture(scope="session")
+def mini_extractor2(mini_world) -> SnowballExtractor:
+    return SnowballExtractor(
+        mini_world.schemas["EX"],
+        mini_world.entity_dictionary("EX"),
+        pattern_tokens("EX"),
+        theta=0.4,
+    )
+
+
+@pytest.fixture(scope="session")
+def mini_profile1(mini_db1):
+    return profile_database(mini_db1, "HQ")
+
+
+@pytest.fixture(scope="session")
+def mini_profile2(mini_db2):
+    return profile_database(mini_db2, "EX")
+
+
+@pytest.fixture(scope="session")
+def mini_char1(mini_extractor1, mini_db1):
+    return characterize(
+        mini_extractor1, mini_db1, thetas=[0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+    )
+
+
+@pytest.fixture(scope="session")
+def mini_char2(mini_extractor2, mini_db2):
+    return characterize(
+        mini_extractor2, mini_db2, thetas=[0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+    )
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """The canonical (paper-setup) testbed, built once per session."""
+    return build_testbed(TestbedConfig(scale=0.6))
+
+
+@pytest.fixture(scope="session")
+def hq_ex_task(testbed):
+    return testbed.task()

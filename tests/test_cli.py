@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def scale_args():
+    # Tiny testbed keeps CLI tests fast; build_testbed memoizes per config.
+    return ["--scale", "0.4", "--seed", "11"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    def test_optimize_requires_taus(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["optimize"])
+
+
+class TestCommands:
+    def test_characterize(self, capsys, scale_args):
+        assert main(["characterize", *scale_args]) == 0
+        out = capsys.readouterr().out
+        assert "tp(θ)" in out
+        assert "EX" in out and "HQ" in out and "MG" in out
+
+    def test_figures_single(self, capsys, scale_args):
+        assert main(["figures", "--figure", "9", "--step", "50", *scale_args]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "est good" in out
+
+    def test_figure12(self, capsys, scale_args):
+        assert main(["figures", "--figure", "12", "--step", "50", *scale_args]) == 0
+        assert "est |Dr1|" in capsys.readouterr().out
+
+    def test_table2_limited(self, capsys, scale_args):
+        assert main(["table2", "--rows", "2", *scale_args]) == 0
+        out = capsys.readouterr().out
+        assert "chosen plan" in out
+
+    def test_optimize(self, capsys, scale_args):
+        code = main(
+            ["optimize", "--tau-good", "20", "--tau-bad", "5000", *scale_args]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Chosen:" in out
+
+    def test_optimize_infeasible(self, capsys, scale_args):
+        code = main(
+            [
+                "optimize",
+                "--tau-good",
+                "99999999",
+                "--tau-bad",
+                "0",
+                *scale_args,
+            ]
+        )
+        assert code == 1
+
+    def test_frontier(self, capsys, scale_args):
+        assert main(["frontier", *scale_args]) == 0
+        out = capsys.readouterr().out
+        assert "frontier" in out.lower()
+        assert "precision" in out
+
+    def test_budget(self, capsys, scale_args):
+        code = main(["budget", "--time", "1500", *scale_args])
+        assert code == 0
+        assert "precision" in capsys.readouterr().out
+
+    def test_report(self, capsys, scale_args, tmp_path):
+        output = tmp_path / "report.md"
+        code = main(
+            ["report", "--output", str(output), "--rows", "2", *scale_args]
+        )
+        assert code == 0
+        text = output.read_text()
+        assert "# Experiment report" in text
+        assert "Figure 9" in text
+        assert "Table II" in text
+        assert "frontier" in text.lower()
+        assert "calibration" in text.lower()
+
+    def test_adaptive(self, capsys):
+        # Runs at the standard test scale (0.6): estimation from a small
+        # pilot is too noisy on the tiny 0.4-scale corpus to be a stable
+        # test target (see EXPERIMENTS.md, estimation calibration).
+        code = main(
+            [
+                "adaptive",
+                "--tau-good",
+                "40",
+                "--tau-bad",
+                "99999",
+                "--pilot",
+                "100",
+                "--scale",
+                "0.6",
+                "--seed",
+                "11",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Chosen:" in out
+        assert "Requirement met" in out

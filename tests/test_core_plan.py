@@ -1,0 +1,110 @@
+"""Tests for join execution plan descriptors (Definition 3.1)."""
+
+import pytest
+
+from repro.core import (
+    ExtractorConfig,
+    JoinKind,
+    JoinPlanSpec,
+    RetrievalKind,
+    idjn_plan,
+    oijn_plan,
+    zgjn_plan,
+)
+
+E1 = ExtractorConfig("snowball-hq", 0.4)
+E2 = ExtractorConfig("snowball-ex", 0.8)
+
+
+class TestExtractorConfig:
+    def test_theta_bounds(self):
+        with pytest.raises(ValueError):
+            ExtractorConfig("x", -0.1)
+        with pytest.raises(ValueError):
+            ExtractorConfig("x", 1.1)
+
+    def test_describe(self):
+        assert "0.4" in E1.describe()
+        assert "snowball-hq" in E1.describe()
+
+
+class TestIDJNPlans:
+    def test_valid(self):
+        plan = idjn_plan(E1, E2, RetrievalKind.SCAN, RetrievalKind.AQG)
+        assert plan.join is JoinKind.IDJN
+
+    def test_join_driven_rejected(self):
+        with pytest.raises(ValueError):
+            idjn_plan(E1, E2, RetrievalKind.JOIN_DRIVEN, RetrievalKind.SCAN)
+
+
+class TestOIJNPlans:
+    def test_outer1(self):
+        plan = oijn_plan(E1, E2, RetrievalKind.FILTERED_SCAN, outer=1)
+        assert plan.retrieval1 is RetrievalKind.FILTERED_SCAN
+        assert plan.retrieval2 is RetrievalKind.JOIN_DRIVEN
+        assert plan.outer_extractor == E1
+        assert plan.inner_extractor == E2
+
+    def test_outer2(self):
+        plan = oijn_plan(E1, E2, RetrievalKind.AQG, outer=2)
+        assert plan.retrieval2 is RetrievalKind.AQG
+        assert plan.retrieval1 is RetrievalKind.JOIN_DRIVEN
+        assert plan.outer_retrieval is RetrievalKind.AQG
+
+    def test_invalid_outer(self):
+        with pytest.raises(ValueError):
+            JoinPlanSpec(
+                extractor1=E1,
+                extractor2=E2,
+                retrieval1=RetrievalKind.SCAN,
+                retrieval2=RetrievalKind.JOIN_DRIVEN,
+                join=JoinKind.OIJN,
+                outer=3,
+            )
+
+    def test_inner_must_be_join_driven(self):
+        with pytest.raises(ValueError):
+            JoinPlanSpec(
+                extractor1=E1,
+                extractor2=E2,
+                retrieval1=RetrievalKind.SCAN,
+                retrieval2=RetrievalKind.SCAN,
+                join=JoinKind.OIJN,
+            )
+
+
+class TestZGJNPlans:
+    def test_both_sides_join_driven(self):
+        plan = zgjn_plan(E1, E2)
+        assert plan.retrieval1 is RetrievalKind.JOIN_DRIVEN
+        assert plan.retrieval2 is RetrievalKind.JOIN_DRIVEN
+
+    def test_explicit_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            JoinPlanSpec(
+                extractor1=E1,
+                extractor2=E2,
+                retrieval1=RetrievalKind.SCAN,
+                retrieval2=RetrievalKind.JOIN_DRIVEN,
+                join=JoinKind.ZGJN,
+            )
+
+
+class TestDescribe:
+    def test_table2_style_rendering(self):
+        plan = idjn_plan(E1, E2, RetrievalKind.FILTERED_SCAN, RetrievalKind.AQG)
+        desc = plan.describe()
+        assert "IDJN" in desc
+        assert "FS" in desc
+        assert "AQG" in desc
+        assert "0.4" in desc and "0.8" in desc
+
+    def test_oijn_shows_outer(self):
+        assert "outer=R2" in oijn_plan(E1, E2, RetrievalKind.SCAN, outer=2).describe()
+
+    def test_plans_hashable(self):
+        a = idjn_plan(E1, E2, RetrievalKind.SCAN, RetrievalKind.SCAN)
+        b = idjn_plan(E1, E2, RetrievalKind.SCAN, RetrievalKind.SCAN)
+        assert a == b
+        assert len({a, b}) == 1

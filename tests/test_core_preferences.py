@@ -1,0 +1,93 @@
+"""Tests for quality requirements and their higher-level mappings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    QualityRequirement,
+    requirement_from_precision,
+    requirement_from_recall,
+)
+
+
+class TestQualityRequirement:
+    def test_satisfied(self):
+        req = QualityRequirement(tau_good=10, tau_bad=5)
+        assert req.satisfied_by(10, 5)
+        assert req.satisfied_by(11, 0)
+
+    def test_not_satisfied_on_good_shortfall(self):
+        req = QualityRequirement(tau_good=10, tau_bad=5)
+        assert not req.satisfied_by(9, 0)
+
+    def test_not_satisfied_on_bad_excess(self):
+        req = QualityRequirement(tau_good=10, tau_bad=5)
+        assert not req.satisfied_by(100, 6)
+
+    def test_bad_exceeded(self):
+        req = QualityRequirement(tau_good=1, tau_bad=5)
+        assert req.bad_exceeded(6)
+        assert not req.bad_exceeded(5)
+
+    def test_good_met(self):
+        req = QualityRequirement(tau_good=3, tau_bad=5)
+        assert req.good_met(3)
+        assert not req.good_met(2.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            QualityRequirement(tau_good=-1, tau_bad=0)
+        with pytest.raises(ValueError):
+            QualityRequirement(tau_good=0, tau_bad=-1)
+
+    def test_zero_requirement_trivially_satisfiable(self):
+        assert QualityRequirement(0, 0).satisfied_by(0, 0)
+
+
+class TestPrecisionMapping:
+    def test_exact_example(self):
+        # precision >= 0.8 over top-10 → 8 good, at most 2 bad
+        req = requirement_from_precision(0.8, 10)
+        assert req.tau_good == 8
+        assert req.tau_bad == 2
+
+    def test_full_precision(self):
+        req = requirement_from_precision(1.0, 7)
+        assert req.tau_good == 7
+        assert req.tau_bad == 0
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            requirement_from_precision(0.0, 10)
+        with pytest.raises(ValueError):
+            requirement_from_precision(1.2, 10)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            requirement_from_precision(0.5, 0)
+
+    @given(st.floats(0.01, 1.0), st.integers(1, 1000))
+    def test_mapping_is_consistent(self, precision, k):
+        req = requirement_from_precision(precision, k)
+        assert req.tau_good + req.tau_bad == k
+        assert req.tau_good / k >= precision - 1e-9
+
+
+class TestRecallMapping:
+    def test_exact_example(self):
+        req = requirement_from_recall(0.5, 100, max_bad=30)
+        assert req.tau_good == 50
+        assert req.tau_bad == 30
+
+    def test_rounds_up(self):
+        req = requirement_from_recall(0.34, 10, max_bad=1)
+        assert req.tau_good == 4
+
+    def test_invalid_recall(self):
+        with pytest.raises(ValueError):
+            requirement_from_recall(0.0, 10, max_bad=1)
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            requirement_from_recall(0.5, -1, max_bad=1)

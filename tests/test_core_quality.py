@@ -1,0 +1,81 @@
+"""Tests for quality metrics and execution reports."""
+
+import pytest
+
+from repro.core import (
+    ExecutionReport,
+    JoinComposition,
+    QualityMetrics,
+    QualityRequirement,
+    TimeBreakdown,
+)
+
+
+class TestQualityMetrics:
+    def test_precision(self):
+        metrics = QualityMetrics(n_good=8, n_bad=2)
+        assert metrics.precision == pytest.approx(0.8)
+
+    def test_precision_of_empty_result_is_one(self):
+        assert QualityMetrics(n_good=0, n_bad=0).precision == 1.0
+
+    def test_recall(self):
+        metrics = QualityMetrics(n_good=5, n_bad=0, reachable_good=10)
+        assert metrics.recall == pytest.approx(0.5)
+
+    def test_recall_unknown_without_reachable(self):
+        assert QualityMetrics(n_good=5, n_bad=0).recall is None
+
+    def test_recall_capped_at_one(self):
+        metrics = QualityMetrics(n_good=15, n_bad=0, reachable_good=10)
+        assert metrics.recall == 1.0
+
+    def test_recall_of_zero_reachable(self):
+        assert QualityMetrics(n_good=0, n_bad=0, reachable_good=0).recall == 1.0
+
+    def test_from_composition(self):
+        comp = JoinComposition(n_good=3, n_good_bad=1, n_bad_good=1, n_bad_bad=1)
+        metrics = QualityMetrics.from_composition(comp)
+        assert metrics.n_good == 3
+        assert metrics.n_bad == 3
+
+
+class TestTimeBreakdown:
+    def test_total(self):
+        time = TimeBreakdown(retrieval=1, extraction=2, filtering=3, querying=4)
+        assert time.total == 10
+
+    def test_add(self):
+        a = TimeBreakdown(retrieval=1)
+        a.add(TimeBreakdown(extraction=2, querying=1))
+        assert a.total == 4
+        assert a.extraction == 2
+
+
+class TestJoinComposition:
+    def test_bad_is_sum_of_components(self):
+        comp = JoinComposition(n_good=1, n_good_bad=2, n_bad_good=3, n_bad_bad=4)
+        assert comp.n_bad == 9
+        assert comp.n_total == 10
+
+
+class TestExecutionReport:
+    def _report(self, good=5, bad=2):
+        return ExecutionReport(
+            composition=JoinComposition(n_good=good, n_good_bad=bad),
+            time=TimeBreakdown(retrieval=10.0),
+        )
+
+    def test_check_requirement(self):
+        report = self._report(good=5, bad=2)
+        assert report.check(QualityRequirement(5, 2))
+        assert not report.check(QualityRequirement(6, 2))
+        assert not report.check(QualityRequirement(5, 1))
+
+    def test_metrics(self):
+        assert self._report().metrics().precision == pytest.approx(5 / 7)
+
+    def test_summary_mentions_counts(self):
+        summary = self._report().summary()
+        assert "good=5" in summary
+        assert "bad=2" in summary

@@ -1,0 +1,228 @@
+"""Unit and property tests for relations and join composition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ExtractedRelation,
+    ExtractedTuple,
+    JoinState,
+    RelationSchema,
+    ValueOverlap,
+    compose_join,
+)
+
+HQ = RelationSchema("HQ", ("Company", "Location"))
+EX = RelationSchema("EX", ("Company", "CEO"))
+
+
+def tup(relation, values, good, doc, schema_name=None):
+    return ExtractedTuple(
+        relation=relation,
+        values=tuple(values),
+        document_id=doc,
+        confidence=1.0,
+        is_good=good,
+    )
+
+
+class TestExtractedRelation:
+    def test_add_and_len(self):
+        rel = ExtractedRelation(HQ)
+        assert rel.add(tup("HQ", ("a", "x"), True, 1))
+        assert len(rel) == 1
+
+    def test_duplicate_per_document_ignored(self):
+        rel = ExtractedRelation(HQ)
+        assert rel.add(tup("HQ", ("a", "x"), True, 1))
+        assert not rel.add(tup("HQ", ("a", "x"), True, 1))
+        assert len(rel) == 1
+
+    def test_same_values_different_documents_kept(self):
+        rel = ExtractedRelation(HQ)
+        rel.add(tup("HQ", ("a", "x"), True, 1))
+        rel.add(tup("HQ", ("a", "x"), True, 2))
+        assert len(rel) == 2
+
+    def test_wrong_relation_rejected(self):
+        rel = ExtractedRelation(HQ)
+        with pytest.raises(ValueError):
+            rel.add(tup("EX", ("a", "x"), True, 1))
+
+    def test_wrong_arity_rejected(self):
+        rel = ExtractedRelation(HQ)
+        with pytest.raises(ValueError):
+            rel.add(tup("HQ", ("a",), True, 1))
+
+    def test_good_bad_split(self):
+        rel = ExtractedRelation(HQ)
+        rel.add(tup("HQ", ("a", "x"), True, 1))
+        rel.add(tup("HQ", ("b", "y"), False, 2))
+        assert len(rel.good_tuples()) == 1
+        assert len(rel.bad_tuples()) == 1
+
+    def test_occurrence_counts(self):
+        rel = ExtractedRelation(HQ)
+        rel.add(tup("HQ", ("a", "x"), True, 1))
+        rel.add(tup("HQ", ("a", "y"), True, 2))
+        rel.add(tup("HQ", ("a", "z"), False, 3))
+        good, bad = rel.occurrence_counts(0)
+        assert good["a"] == 2
+        assert bad["a"] == 1
+
+    def test_value_sets_can_overlap(self):
+        rel = ExtractedRelation(HQ)
+        rel.add(tup("HQ", ("a", "x"), True, 1))
+        rel.add(tup("HQ", ("a", "z"), False, 3))
+        assert "a" in rel.good_values(0)
+        assert "a" in rel.bad_values(0)
+
+    def test_extend_returns_new_count(self):
+        rel = ExtractedRelation(HQ)
+        added = rel.extend(
+            [
+                tup("HQ", ("a", "x"), True, 1),
+                tup("HQ", ("a", "x"), True, 1),
+                tup("HQ", ("b", "y"), False, 2),
+            ]
+        )
+        assert added == 2
+
+    def test_tuples_by_value(self):
+        rel = ExtractedRelation(HQ)
+        rel.add(tup("HQ", ("a", "x"), True, 1))
+        rel.add(tup("HQ", ("a", "y"), True, 2))
+        index = rel.tuples_by_value(0)
+        assert len(index["a"]) == 2
+
+
+class TestFigure2Example:
+    """The paper's Figure 2: R1 with Ag1={a,c}, Ab1={b,d,e}; R2 with
+    Ag2={a,b}, Ab2={x,c,e} → |Tgood⋈|=1, |Tbad⋈|=3."""
+
+    def build(self):
+        r1 = ExtractedRelation(HQ)
+        r1.add(tup("HQ", ("a", "l1"), True, 1))
+        r1.add(tup("HQ", ("c", "l2"), True, 2))
+        r1.add(tup("HQ", ("b", "l3"), False, 3))
+        r1.add(tup("HQ", ("d", "l4"), False, 4))
+        r1.add(tup("HQ", ("e", "l5"), False, 5))
+        r2 = ExtractedRelation(EX)
+        r2.add(tup("EX", ("a", "p1"), True, 1))
+        r2.add(tup("EX", ("b", "p2"), True, 2))
+        r2.add(tup("EX", ("x", "p3"), False, 3))
+        r2.add(tup("EX", ("c", "p4"), False, 4))
+        r2.add(tup("EX", ("e", "p5"), False, 5))
+        return r1, r2
+
+    def test_composition_counts(self):
+        r1, r2 = self.build()
+        comp = compose_join(r1, r2, "Company")
+        assert comp.n_good == 1  # a ⋈ a
+        assert comp.n_bad == 3  # c (gb), b (bg), e (bb)
+        assert comp.n_good_bad == 1
+        assert comp.n_bad_good == 1
+        assert comp.n_bad_bad == 1
+
+    def test_value_overlap_classes(self):
+        r1, r2 = self.build()
+        overlap = ValueOverlap.from_relations(r1, r2, "Company")
+        assert overlap.agg == frozenset({"a"})
+        assert overlap.agb == frozenset({"c"})
+        assert overlap.abg == frozenset({"b"})
+        assert overlap.abb == frozenset({"e"})
+
+
+class TestJoinState:
+    def test_join_attribute_inferred(self):
+        state = JoinState(HQ, EX)
+        assert state.join_attribute == "Company"
+
+    def test_ambiguous_attribute_requires_explicit(self):
+        with pytest.raises(ValueError):
+            JoinState(HQ, HQ)
+        state = JoinState(HQ, HQ, join_attribute="Company")
+        assert state.join_attribute == "Company"
+
+    def test_incremental_matches_batch_composition(self):
+        state = JoinState(HQ, EX)
+        left = [
+            tup("HQ", ("a", "x"), True, 1),
+            tup("HQ", ("b", "y"), False, 2),
+            tup("HQ", ("a", "z"), False, 3),
+        ]
+        right = [
+            tup("EX", ("a", "p"), True, 1),
+            tup("EX", ("b", "q"), True, 2),
+            tup("EX", ("a", "r"), False, 3),
+        ]
+        state.add_left(left[:2])
+        state.add_right(right[:1])
+        state.add_left(left[2:])
+        state.add_right(right[1:])
+        batch = compose_join(state.left, state.right, "Company")
+        assert state.composition.n_good == batch.n_good
+        assert state.composition.n_bad == batch.n_bad
+
+    def test_results_since(self):
+        state = JoinState(HQ, EX)
+        state.add_left([tup("HQ", ("a", "x"), True, 1)])
+        state.add_right([tup("EX", ("a", "p"), True, 1)])
+        assert len(state.results_since(0)) == 1
+        assert state.results_since(1) == []
+
+    def test_produced_tuples_reported(self):
+        state = JoinState(HQ, EX)
+        state.add_left([tup("HQ", ("a", "x"), True, 1)])
+        produced = state.add_right([tup("EX", ("a", "p"), False, 1)])
+        assert len(produced) == 1
+        assert not produced[0].is_good
+
+
+@st.composite
+def relation_pair(draw):
+    values = [f"v{i}" for i in range(6)]
+    n1 = draw(st.integers(1, 12))
+    n2 = draw(st.integers(1, 12))
+
+    def rel(schema, relation, count):
+        out = ExtractedRelation(schema)
+        for i in range(count):
+            value = draw(st.sampled_from(values))
+            good = draw(st.booleans())
+            out.add(tup(relation, (value, f"s{i}"), good, i))
+        return out
+
+    return rel(HQ, "HQ", n1), rel(EX, "EX", n2)
+
+
+class TestCompositionProperties:
+    @given(relation_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_composition_equals_materialized_join(self, pair):
+        r1, r2 = pair
+        comp = compose_join(r1, r2, "Company")
+        # Materialize naively.
+        good = bad = 0
+        for t1 in r1:
+            for t2 in r2:
+                if t1.value_of(0) == t2.value_of(0):
+                    if t1.is_good and t2.is_good:
+                        good += 1
+                    else:
+                        bad += 1
+        assert comp.n_good == good
+        assert comp.n_bad == bad
+
+    @given(relation_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_join_state_matches_compose(self, pair):
+        r1, r2 = pair
+        state = JoinState(HQ, EX)
+        state.add_left(list(r1))
+        state.add_right(list(r2))
+        comp = compose_join(r1, r2, "Company")
+        assert state.composition.n_good == comp.n_good
+        assert state.composition.n_bad == comp.n_bad
+        assert len(state) == comp.n_total

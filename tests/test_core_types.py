@@ -1,0 +1,125 @@
+"""Unit tests for repro.core.types."""
+
+import pytest
+
+from repro.core import (
+    DocumentClass,
+    ExtractedTuple,
+    Fact,
+    JoinTuple,
+    RelationSchema,
+    TupleLabel,
+)
+
+
+def make_tuple(relation="HQ", values=("acme", "boston"), good=True, doc=0):
+    return ExtractedTuple(
+        relation=relation,
+        values=values,
+        document_id=doc,
+        confidence=0.9,
+        is_good=good,
+    )
+
+
+class TestRelationSchema:
+    def test_arity(self):
+        schema = RelationSchema("HQ", ("Company", "Location"))
+        assert schema.arity == 2
+
+    def test_index_of(self):
+        schema = RelationSchema("HQ", ("Company", "Location"))
+        assert schema.index_of("Company") == 0
+        assert schema.index_of("Location") == 1
+
+    def test_index_of_missing_raises(self):
+        schema = RelationSchema("HQ", ("Company", "Location"))
+        with pytest.raises(KeyError):
+            schema.index_of("CEO")
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            RelationSchema("R", ())
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            RelationSchema("R", ("A", "A"))
+
+    def test_unary_schema_allowed(self):
+        assert RelationSchema("R", ("A",)).arity == 1
+
+
+class TestFact:
+    def test_value_of(self):
+        fact = Fact("HQ", ("acme", "boston"), is_true=True)
+        assert fact.value_of(0) == "acme"
+        assert fact.value_of(1) == "boston"
+
+    def test_facts_hashable_and_distinct_by_truth(self):
+        a = Fact("HQ", ("acme", "boston"), is_true=True)
+        b = Fact("HQ", ("acme", "boston"), is_true=False)
+        assert a != b
+        assert len({a, b}) == 2
+
+
+class TestExtractedTuple:
+    def test_label_good(self):
+        assert make_tuple(good=True).label is TupleLabel.GOOD
+
+    def test_label_bad(self):
+        assert make_tuple(good=False).label is TupleLabel.BAD
+
+    def test_value_of(self):
+        tup = make_tuple(values=("acme", "boston"))
+        assert tup.value_of(1) == "boston"
+
+    def test_immutable(self):
+        tup = make_tuple()
+        with pytest.raises(AttributeError):
+            tup.confidence = 0.1
+
+
+class TestJoinTuple:
+    def _join(self, good_left, good_right):
+        left = make_tuple("HQ", ("acme", "boston"), good=good_left)
+        right = ExtractedTuple(
+            relation="EX",
+            values=("acme", "jones"),
+            document_id=7,
+            confidence=0.8,
+            is_good=good_right,
+        )
+        return JoinTuple(left=left, right=right, join_value="acme")
+
+    def test_good_only_when_both_good(self):
+        assert self._join(True, True).is_good
+        assert not self._join(True, False).is_good
+        assert not self._join(False, True).is_good
+        assert not self._join(False, False).is_good
+
+    def test_label(self):
+        assert self._join(True, True).label is TupleLabel.GOOD
+        assert self._join(False, True).label is TupleLabel.BAD
+
+    def test_values_states_join_value_once(self):
+        joined = self._join(True, True)
+        assert joined.values == ("acme", "boston", "jones")
+
+    def test_values_respects_right_join_index(self):
+        left = make_tuple("HQ", ("acme", "boston"))
+        right = ExtractedTuple(
+            relation="EX",
+            values=("jones", "acme"),
+            document_id=7,
+            confidence=0.8,
+            is_good=True,
+        )
+        joined = JoinTuple(
+            left=left, right=right, join_value="acme", right_join_index=1
+        )
+        assert joined.values == ("acme", "boston", "jones")
+
+
+class TestDocumentClass:
+    def test_three_classes(self):
+        assert {c.value for c in DocumentClass} == {"good", "bad", "empty"}

@@ -1,0 +1,123 @@
+"""Deeper estimation tests: channel round-trips, split quality, reports."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimation import PowerLawModel, estimate_parameters
+from repro.estimation.mle import ObservationContext, _fit_single_class
+from repro.joins.stats_collector import RelationObservations
+
+
+class TestSingleClassChannelRoundTrip:
+    """Generate s(a) from a known (N, β, p_obs); the class fit must
+    recover the population size and exponent."""
+
+    @pytest.mark.parametrize("beta,p_obs", [(0.8, 0.5), (1.4, 0.3), (1.0, 0.7)])
+    def test_recovery(self, beta, p_obs):
+        rng = np.random.default_rng(11)
+        law = PowerLawModel(beta=beta, k_max=60)
+        n_values = 400
+        frequencies = rng.choice(
+            law.support(), size=n_values, p=law.pmf()
+        )
+        observed = rng.binomial(frequencies, p_obs)
+        histogram = {}
+        for s in observed:
+            if s > 0:
+                histogram[int(s)] = histogram.get(int(s), 0) + 1
+        s_values = np.array(sorted(histogram), dtype=int)
+        weights = np.array([histogram[int(s)] for s in s_values], dtype=float)
+        fitted_beta, fitted_n, _ = _fit_single_class(
+            s_values,
+            weights,
+            p_obs,
+            k_max=60,
+            beta_grid=np.linspace(0.2, 2.6, 25),
+        )
+        assert fitted_beta == pytest.approx(beta, abs=0.45)
+        assert fitted_n == pytest.approx(n_values, rel=0.35)
+
+    @given(st.floats(0.5, 1.8), st.floats(0.25, 0.9))
+    @settings(max_examples=10, deadline=None)
+    def test_recovery_property(self, beta, p_obs):
+        rng = np.random.default_rng(5)
+        law = PowerLawModel(beta=beta, k_max=40)
+        frequencies = rng.choice(law.support(), size=500, p=law.pmf())
+        observed = rng.binomial(frequencies, p_obs)
+        histogram = {}
+        for s in observed:
+            if s > 0:
+                histogram[int(s)] = histogram.get(int(s), 0) + 1
+        if not histogram:
+            return
+        s_values = np.array(sorted(histogram), dtype=int)
+        weights = np.array([histogram[int(s)] for s in s_values], dtype=float)
+        _, fitted_n, _ = _fit_single_class(
+            s_values, weights, p_obs, 40, np.linspace(0.2, 2.6, 13)
+        )
+        assert 500 / 2.5 <= fitted_n <= 500 * 2.5
+
+
+class TestConfidenceSplitBeatsBlind:
+    def test_split_quality(
+        self, mini_db1, mini_db2, mini_extractor1, mini_extractor2,
+        mini_char1, mini_profile1,
+    ):
+        """With the confidence reference, the fitted good-occurrence share
+        is markedly closer to truth than the blind mixture's."""
+        from repro.joins import Budgets, IndependentJoin, JoinInputs
+        from repro.retrieval import ScanRetriever
+
+        inputs = JoinInputs(
+            database1=mini_db1,
+            database2=mini_db2,
+            extractor1=mini_extractor1,
+            extractor2=mini_extractor2,
+        )
+        pilot = IndependentJoin(
+            inputs, ScanRetriever(mini_db1), ScanRetriever(mini_db2)
+        ).run(budgets=Budgets(max_documents1=180, max_documents2=20))
+        observations = pilot.observations.side(1)
+        context = ObservationContext(
+            database_size=len(mini_db1),
+            coverage=observations.documents_processed / len(mini_db1),
+            tp=mini_char1.tp_at(0.4),
+            fp=mini_char1.fp_at(0.4),
+            theta=0.4,
+        )
+        informed = estimate_parameters(
+            observations, context, reference=mini_char1.confidences
+        )
+        blind = estimate_parameters(observations, context, reference=None)
+        truth = mini_profile1.n_good_occurrences / (
+            mini_profile1.n_good_occurrences + mini_profile1.n_bad_occurrences
+        )
+        informed_error = abs(informed.good_occurrence_share - truth)
+        blind_error = abs(blind.good_occurrence_share - truth)
+        assert informed_error <= blind_error + 0.05
+        assert informed_error < 0.2
+
+
+class TestObservationsMerging:
+    def test_growing_pilot_monotone_observations(
+        self, mini_db1, mini_db2, mini_extractor1, mini_extractor2
+    ):
+        from repro.joins import Budgets, IndependentJoin, JoinInputs
+        from repro.retrieval import ScanRetriever
+
+        inputs = JoinInputs(
+            database1=mini_db1,
+            database2=mini_db2,
+            extractor1=mini_extractor1,
+            extractor2=mini_extractor2,
+        )
+        join = IndependentJoin(
+            inputs, ScanRetriever(mini_db1), ScanRetriever(mini_db2)
+        )
+        join.run(budgets=Budgets(max_documents1=40, max_documents2=40))
+        first = join.session.collector.side(1).distinct_values
+        join.run(budgets=Budgets(max_documents1=120, max_documents2=120))
+        second = join.session.collector.side(1).distinct_values
+        assert second >= first

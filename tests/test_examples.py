@@ -1,0 +1,61 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples execute in-process (runpy) so they share the session's memoized
+testbed; stdout is captured and spot-checked for each example's key output.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.usefixtures("testbed")
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "Chosen plan:" in out
+        assert "Requirement met: True" in out
+
+    def test_financial_analyst(self, capsys):
+        out = run_example("financial_analyst.py", capsys)
+        assert "IDJN + Scan/Scan" in out
+        assert "erroneous join result" in out
+
+    def test_real_text_demo(self, capsys):
+        out = run_example("real_text_demo.py", capsys)
+        # The paper's Figure 1 punchline appears verbatim.
+        assert "('microsoft', 'symantec', 'steve_ballmer')  [WRONG]" in out
+        assert "('microsoft', 'softricity', 'steve_ballmer')  [good]" in out
+
+    def test_adaptive_optimization(self, capsys):
+        out = run_example("adaptive_optimization.py", capsys)
+        assert "Chosen plan:" in out
+        assert "Requirement actually met: True" in out
+
+    def test_model_accuracy(self, capsys):
+        out = run_example("model_accuracy.py", capsys)
+        for figure in ("Figure 9", "Figure 10", "Figure 11", "Figure 12"):
+            assert figure in out
+
+    def test_quality_frontier(self, capsys):
+        out = run_example("quality_frontier.py", capsys)
+        assert "frontier" in out.lower()
+        assert "precision-first" in out
+
+    def test_three_way_join(self, capsys):
+        out = run_example("three_way_join.py", capsys)
+        assert "Three-way star join" in out
+        assert "dossiers" in out
+
+    def test_chain_join(self, capsys):
+        out = run_example("chain_join.py", capsys)
+        assert "Chain composition" in out
+        assert "matches, as factors are exact" in out

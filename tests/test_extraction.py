@@ -1,0 +1,258 @@
+"""Tests for the IE substrate: Snowball, oracle, training, characterization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RelationSchema
+from repro.extraction import (
+    LinearKnob,
+    OracleExtractor,
+    SnowballExtractor,
+    characterize,
+    label_candidate,
+    learn_pattern_terms,
+)
+from repro.textdb import Document, Mention, pattern_tokens
+from repro.core.types import Fact
+
+HQ = RelationSchema("HQ", ("Company", "Location"))
+DICTS = {
+    "Company": frozenset({"acme", "globex"}),
+    "Location": frozenset({"boston", "tokyo"}),
+}
+PATTERNS = ["headquartered", "based", "offices"]
+
+
+def mention_doc(doc_id, company, location, context, is_true=True):
+    sentence = [company, *context, location]
+    fact = Fact("HQ", (company, location), is_true=is_true)
+    return Document(
+        doc_id=doc_id,
+        sentences=[sentence],
+        mentions=[
+            Mention(
+                fact=fact,
+                sentence_index=0,
+                entity_positions=(0, len(sentence) - 1),
+            )
+        ],
+    )
+
+
+class TestSnowballExtractor:
+    def make(self, theta=0.4):
+        return SnowballExtractor(HQ, DICTS, PATTERNS, theta=theta)
+
+    def test_extracts_high_similarity_candidate(self):
+        doc = mention_doc(1, "acme", "boston", ["headquartered", "based"])
+        tuples = self.make(0.5).extract(doc)
+        assert len(tuples) == 1
+        assert tuples[0].values == ("acme", "boston")
+        assert tuples[0].is_good
+
+    def test_threshold_filters_low_similarity(self):
+        doc = mention_doc(1, "acme", "boston", ["lorem", "ipsum", "headquartered"])
+        assert self.make(0.9).extract(doc) == []
+        assert len(self.make(0.2).extract(doc)) == 1
+
+    def test_confidence_is_pattern_fraction(self):
+        doc = mention_doc(1, "acme", "boston", ["headquartered", "lorem"])
+        [tup] = self.make(0.1).extract(doc)
+        assert tup.confidence == pytest.approx(0.5)
+
+    def test_monotone_in_theta(self):
+        doc = mention_doc(1, "acme", "boston", ["headquartered", "lorem", "based"])
+        lo = {t.values for t in self.make(0.1).extract(doc)}
+        hi = {t.values for t in self.make(0.9).extract(doc)}
+        assert hi <= lo
+
+    def test_false_fact_labelled_bad(self):
+        doc = mention_doc(1, "acme", "tokyo", ["headquartered"], is_true=False)
+        [tup] = self.make(0.3).extract(doc)
+        assert not tup.is_good
+
+    def test_unplanted_pairing_labelled_bad(self):
+        # A sentence with two entity pairs: the planted one and a spurious one.
+        doc = mention_doc(1, "acme", "boston", ["headquartered"])
+        doc.sentences[0].append("tokyo")  # spurious second location
+        tuples = self.make(0.3).extract(doc)
+        by_values = {t.values: t for t in tuples}
+        assert by_values[("acme", "boston")].is_good
+        assert not by_values[("acme", "tokyo")].is_good
+
+    def test_no_entities_no_tuples(self):
+        doc = Document(doc_id=1, sentences=[["just", "noise"]])
+        assert self.make(0.0).extract(doc) == []
+
+    def test_single_entity_no_tuples(self):
+        doc = Document(doc_id=1, sentences=[["acme", "alone"]])
+        assert self.make(0.0).extract(doc) == []
+
+    def test_with_theta_returns_reconfigured_copy(self):
+        base = self.make(0.4)
+        other = base.with_theta(0.8)
+        assert other.theta == 0.8
+        assert base.theta == 0.4
+        assert other.pattern_terms == base.pattern_terms
+
+    def test_requires_binary_schema(self):
+        with pytest.raises(ValueError):
+            SnowballExtractor(
+                RelationSchema("U", ("A",)), {"A": frozenset({"x"})}, PATTERNS
+            )
+
+    def test_requires_dictionaries(self):
+        with pytest.raises(KeyError):
+            SnowballExtractor(HQ, {"Company": frozenset({"acme"})}, PATTERNS)
+
+    def test_theta_bounds(self):
+        with pytest.raises(ValueError):
+            self.make(theta=1.5)
+
+
+class TestLabelCandidate:
+    def test_true_fact(self):
+        doc = mention_doc(1, "acme", "boston", ["x"], is_true=True)
+        assert label_candidate(doc, "HQ", ("acme", "boston"))
+
+    def test_false_fact(self):
+        doc = mention_doc(1, "acme", "boston", ["x"], is_true=False)
+        assert not label_candidate(doc, "HQ", ("acme", "boston"))
+
+    def test_unplanted(self):
+        doc = mention_doc(1, "acme", "boston", ["x"])
+        assert not label_candidate(doc, "HQ", ("globex", "tokyo"))
+
+
+class TestOracleExtractor:
+    def make(self, theta=0.4, tp=LinearKnob(1.0, 0.4), fp=LinearKnob(1.0, 0.1)):
+        return OracleExtractor(HQ, theta=theta, tp_curve=tp, fp_curve=fp)
+
+    def test_deterministic(self):
+        doc = mention_doc(1, "acme", "boston", ["x"])
+        oracle = self.make()
+        assert [t.values for t in oracle.extract(doc)] == [
+            t.values for t in self.make().extract(doc)
+        ]
+
+    def test_monotone_in_theta(self):
+        docs = [
+            mention_doc(i, "acme", "boston", ["x"], is_true=(i % 2 == 0))
+            for i in range(60)
+        ]
+        lo = {
+            (t.document_id, t.values)
+            for d in docs
+            for t in self.make(0.1).extract(d)
+        }
+        hi = {
+            (t.document_id, t.values)
+            for d in docs
+            for t in self.make(0.9).extract(d)
+        }
+        assert hi <= lo
+
+    def test_everything_extracted_at_theta_zero(self):
+        docs = [mention_doc(i, "acme", "boston", ["x"]) for i in range(20)]
+        oracle = self.make(0.0)
+        assert sum(len(oracle.extract(d)) for d in docs) == 20
+
+    def test_rates_approach_curves(self):
+        curve = LinearKnob(1.0, 0.2)
+        oracle = OracleExtractor(
+            HQ, theta=1.0, tp_curve=curve, fp_curve=LinearKnob(1.0, 0.0)
+        )
+        docs = [mention_doc(i, "acme", "boston", ["x"]) for i in range(600)]
+        extracted = sum(len(oracle.extract(d)) for d in docs)
+        assert extracted / 600 == pytest.approx(0.2, abs=0.06)
+
+    def test_linear_knob_validation(self):
+        with pytest.raises(ValueError):
+            LinearKnob(0.9, 1.0)  # at1 > at0
+        with pytest.raises(ValueError):
+            LinearKnob(1.2, 0.1)
+
+
+class TestPatternLearning:
+    def test_recovers_planted_patterns(self, mini_train, mini_world):
+        learned = learn_pattern_terms(
+            mini_train,
+            mini_world.schemas["HQ"],
+            mini_world.entity_dictionary("HQ"),
+            seed_facts=mini_world.true_facts("HQ")[:25],
+            top_k=40,
+        )
+        truth = set(pattern_tokens("HQ"))
+        assert len(set(learned) & truth) >= 30
+
+    def test_no_seeds_found_raises(self, mini_train, mini_world):
+        fake = [Fact("HQ", ("nonexistent1", "nonexistent2"), True)]
+        with pytest.raises(RuntimeError):
+            learn_pattern_terms(
+                mini_train,
+                mini_world.schemas["HQ"],
+                mini_world.entity_dictionary("HQ"),
+                seed_facts=fake,
+            )
+
+    def test_top_k_positive(self, mini_train, mini_world):
+        with pytest.raises(ValueError):
+            learn_pattern_terms(
+                mini_train,
+                mini_world.schemas["HQ"],
+                mini_world.entity_dictionary("HQ"),
+                seed_facts=mini_world.true_facts("HQ")[:5],
+                top_k=0,
+            )
+
+
+class TestCharacterization:
+    def test_endpoints(self, mini_char1):
+        assert mini_char1.tp_at(0.0) == pytest.approx(1.0)
+        assert mini_char1.fp_at(0.0) == pytest.approx(1.0)
+        assert mini_char1.tp_at(1.0) < 0.35
+        assert mini_char1.fp_at(1.0) < 0.15
+
+    def test_monotone_nonincreasing(self, mini_char1):
+        tps = [mini_char1.tp_at(t / 10) for t in range(11)]
+        fps = [mini_char1.fp_at(t / 10) for t in range(11)]
+        assert all(a >= b - 1e-9 for a, b in zip(tps, tps[1:]))
+        assert all(a >= b - 1e-9 for a, b in zip(fps, fps[1:]))
+
+    def test_knob_separates_classes(self, mini_char1):
+        """At a mid threshold the knob must favour good over bad."""
+        assert mini_char1.tp_at(0.4) > mini_char1.fp_at(0.4) + 0.2
+
+    def test_interpolation_between_grid_points(self, mini_char1):
+        mid = mini_char1.tp_at(0.3)
+        assert mini_char1.tp_at(0.2) >= mid >= mini_char1.tp_at(0.4)
+
+    def test_confidence_reference_present(self, mini_char1):
+        ref = mini_char1.confidences
+        assert ref is not None
+        assert sum(ref.good) == pytest.approx(1.0)
+        assert sum(ref.bad) == pytest.approx(1.0)
+
+    def test_good_scores_higher_than_bad(self, mini_char1):
+        ref = mini_char1.confidences
+        mean_good = sum(i * p for i, p in enumerate(ref.good))
+        mean_bad = sum(i * p for i, p in enumerate(ref.bad))
+        assert mean_good > mean_bad + 1.5
+
+    def test_conditional_distributions_renormalized(self, mini_char1):
+        ref = mini_char1.confidences
+        conditional = ref.good_at(0.5)
+        assert sum(conditional) == pytest.approx(1.0)
+        cutoff = ref.bin_of(0.5)
+        assert all(p == 0.0 for p in conditional[:cutoff])
+
+    def test_sample_size_limits_work(self, mini_extractor1, mini_db1):
+        result = characterize(
+            mini_extractor1, mini_db1, thetas=[0.0, 0.5, 1.0], sample_size=50
+        )
+        assert result.n_good_reference > 0
+
+    def test_invalid_theta_grid(self, mini_extractor1, mini_db1):
+        with pytest.raises(ValueError):
+            characterize(mini_extractor1, mini_db1, thetas=[-0.5, 0.5])

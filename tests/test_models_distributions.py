@@ -1,0 +1,104 @@
+"""Property and unit tests for the probability helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import (
+    expected_distinct_sampled,
+    probability_none_extracted,
+    thinned_hypergeom_mean,
+    thinned_hypergeom_pmf,
+)
+
+
+class TestThinnedHypergeom:
+    @given(
+        st.integers(1, 60),
+        st.integers(0, 60),
+        st.integers(0, 20),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pmf_sums_to_one(self, population, draws, occurrences, rate):
+        draws = min(draws, population)
+        occurrences = min(occurrences, population)
+        l_values = np.arange(occurrences + 1)
+        pmf = thinned_hypergeom_pmf(population, draws, occurrences, rate, l_values)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+        assert (pmf >= -1e-12).all()
+
+    @given(
+        st.integers(1, 60),
+        st.integers(0, 60),
+        st.integers(0, 20),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_mean_formula(self, population, draws, occurrences, rate):
+        draws = min(draws, population)
+        occurrences = min(occurrences, population)
+        l_values = np.arange(occurrences + 1)
+        pmf = thinned_hypergeom_pmf(population, draws, occurrences, rate, l_values)
+        empirical_mean = float((l_values * pmf).sum())
+        assert empirical_mean == pytest.approx(
+            thinned_hypergeom_mean(population, draws, occurrences, rate),
+            abs=1e-9,
+        )
+
+    def test_full_draw_full_rate_is_deterministic(self):
+        pmf = thinned_hypergeom_pmf(10, 10, 4, 1.0, np.arange(5))
+        assert pmf[-1] == pytest.approx(1.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            thinned_hypergeom_pmf(10, 5, 2, 1.5, np.arange(3))
+
+
+class TestProbabilityNoneExtracted:
+    def test_zero_occurrences(self):
+        assert probability_none_extracted(100, 50, 0, 0.9) == 1.0
+
+    def test_zero_rate(self):
+        assert probability_none_extracted(100, 50, 10, 0.0) == pytest.approx(1.0)
+
+    def test_full_coverage_full_rate(self):
+        assert probability_none_extracted(100, 100, 3, 1.0) == pytest.approx(0.0)
+
+    def test_matches_pmf_at_zero(self):
+        pmf = thinned_hypergeom_pmf(40, 18, 6, 0.7, np.array([0]))
+        assert probability_none_extracted(40, 18, 6, 0.7) == pytest.approx(
+            float(pmf[0])
+        )
+
+    @given(
+        st.integers(1, 50),
+        st.integers(0, 50),
+        st.integers(0, 12),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_draws(self, population, draws, occurrences, rate):
+        draws = min(draws, population)
+        occurrences = min(occurrences, population)
+        p_small = probability_none_extracted(population, draws, occurrences, rate)
+        p_large = probability_none_extracted(
+            population, population, occurrences, rate
+        )
+        assert p_large <= p_small + 1e-9
+
+
+class TestExpectedDistinct:
+    def test_full_draw_sees_everything(self):
+        frequencies = np.array([1, 2, 5])
+        assert expected_distinct_sampled(10, 10, frequencies) == pytest.approx(3.0)
+
+    def test_zero_draw_sees_nothing(self):
+        assert expected_distinct_sampled(10, 0, np.array([3, 4])) == pytest.approx(
+            0.0
+        )
+
+    def test_between_bounds(self):
+        value = expected_distinct_sampled(100, 30, np.array([1, 1, 10, 50]))
+        assert 0.0 < value < 4.0

@@ -1,0 +1,165 @@
+"""Property tests for the generating-function machinery (Section V-E)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import GeneratingFunction
+
+
+@st.composite
+def pgf(draw, max_degree=8):
+    degree = draw(st.integers(1, max_degree))
+    coeffs = draw(
+        st.lists(
+            st.floats(0.0, 1.0), min_size=degree + 1, max_size=degree + 1
+        ).filter(lambda c: sum(c) > 1e-6)
+    )
+    return GeneratingFunction(coeffs)
+
+
+class TestBasics:
+    def test_from_histogram(self):
+        gf = GeneratingFunction.from_histogram({1: 3, 4: 1})
+        assert gf.probability(1) == pytest.approx(0.75)
+        assert gf.probability(4) == pytest.approx(0.25)
+        assert gf.probability(2) == 0.0
+
+    def test_degenerate(self):
+        gf = GeneratingFunction.degenerate(5)
+        assert gf.mean() == pytest.approx(5.0)
+        assert gf.variance() == pytest.approx(0.0)
+
+    def test_evaluate_at_one_is_one(self):
+        gf = GeneratingFunction([0.2, 0.5, 0.3])
+        assert gf(1.0) == pytest.approx(1.0)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratingFunction([0.5, -0.5, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratingFunction([])
+
+    @given(pgf())
+    @settings(max_examples=60, deadline=None)
+    def test_normalized(self, gf):
+        assert gf(1.0) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestMomentsProperty:
+    @given(pgf())
+    @settings(max_examples=60, deadline=None)
+    def test_mean_is_derivative_at_one(self, gf):
+        # f'(1) by finite difference.
+        h = 1e-6
+        numeric = (gf(1.0) - gf(1.0 - h)) / h
+        assert gf.mean() == pytest.approx(numeric, abs=1e-3, rel=1e-3)
+
+    def test_variance_of_bernoulli(self):
+        gf = GeneratingFunction([0.7, 0.3])
+        assert gf.variance() == pytest.approx(0.3 * 0.7)
+
+
+class TestPowerProperty:
+    @given(pgf(max_degree=4), st.integers(0, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_power_mean_additivity(self, gf, exponent):
+        powered = gf.power(exponent)
+        assert powered.mean() == pytest.approx(exponent * gf.mean(), rel=1e-6, abs=1e-6)
+
+    def test_power_matches_convolution(self):
+        gf = GeneratingFunction([0.5, 0.5])
+        squared = gf.power(2)
+        assert squared.probability(0) == pytest.approx(0.25)
+        assert squared.probability(1) == pytest.approx(0.5)
+        assert squared.probability(2) == pytest.approx(0.25)
+
+    def test_power_zero_is_degenerate(self):
+        gf = GeneratingFunction([0.5, 0.5])
+        assert gf.power(0).mean() == 0.0
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratingFunction([1.0]).power(-1)
+
+
+class TestCompositionProperty:
+    @given(pgf(max_degree=4), pgf(max_degree=4))
+    @settings(max_examples=50, deadline=None)
+    def test_composition_mean_is_product(self, outer, inner):
+        composed = outer.compose(inner)
+        assert composed.mean() == pytest.approx(
+            outer.mean() * inner.mean(), rel=1e-6, abs=1e-6
+        )
+
+    @given(pgf(max_degree=4), pgf(max_degree=4), st.floats(0.1, 0.9))
+    @settings(max_examples=50, deadline=None)
+    def test_composition_pointwise(self, outer, inner, x):
+        composed = outer.compose(inner)
+        assert composed(x) == pytest.approx(outer(inner(x)), abs=1e-6)
+
+
+class TestSizeBiasing:
+    def test_uniform_bias(self):
+        # Degrees 1 and 3 equally likely; edge-following favours 3.
+        gf = GeneratingFunction.from_histogram({1: 1, 3: 1})
+        biased = gf.size_biased()
+        assert biased.probability(1) == pytest.approx(0.25)
+        assert biased.probability(3) == pytest.approx(0.75)
+
+    @given(pgf())
+    @settings(max_examples=50, deadline=None)
+    def test_size_biased_mean_formula(self, gf):
+        if gf.mean() <= 0:
+            return
+        biased = gf.size_biased()
+        assert biased.mean() == pytest.approx(gf.size_biased_mean(), rel=1e-9, abs=1e-9)
+
+    @given(pgf())
+    @settings(max_examples=50, deadline=None)
+    def test_size_biased_mean_at_least_mean(self, gf):
+        if gf.mean() <= 0:
+            return
+        assert gf.size_biased_mean() >= gf.mean() - 1e-9
+
+    def test_degenerate_at_zero_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratingFunction.degenerate(0).size_biased()
+
+
+class TestThinning:
+    @given(pgf(), st.floats(0.0, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_thinned_mean(self, gf, rate):
+        thinned = gf.thinned(rate)
+        assert thinned.mean() == pytest.approx(rate * gf.mean(), abs=1e-9)
+
+    def test_thinning_binomial(self):
+        gf = GeneratingFunction.degenerate(2).thinned(0.5)
+        assert gf.probability(0) == pytest.approx(0.25)
+        assert gf.probability(1) == pytest.approx(0.5)
+        assert gf.probability(2) == pytest.approx(0.25)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            GeneratingFunction([1.0]).thinned(1.5)
+
+
+class TestTruncation:
+    def test_mass_collapses_onto_cap(self):
+        gf = GeneratingFunction.from_histogram({1: 1, 5: 1, 9: 2})
+        capped = gf.truncated(5)
+        assert capped.probability(5) == pytest.approx(0.75)
+        assert capped.probability(9) == 0.0
+        assert capped(1.0) == pytest.approx(1.0)
+
+    def test_cap_above_support_is_identity(self):
+        gf = GeneratingFunction.from_histogram({1: 1, 2: 1})
+        assert gf.truncated(10) is gf
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratingFunction([1.0]).truncated(-1)

@@ -1,0 +1,156 @@
+"""Tests for the per-strategy retrieval models against empirical behaviour."""
+
+import pytest
+
+from repro.core import DocumentClass, RetrievalKind
+from repro.models import (
+    AQGModel,
+    FilteredScanModel,
+    ScanModel,
+    SideStatistics,
+    build_retrieval_model,
+)
+from repro.retrieval import (
+    AQGRetriever,
+    FilteredScanRetriever,
+    RuleClassifier,
+    learn_queries,
+    measure_learned_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def side(mini_profile1, mini_char1, mini_db1):
+    return SideStatistics.from_profile(
+        mini_profile1,
+        tp=mini_char1.tp_at(0.4),
+        fp=mini_char1.fp_at(0.4),
+        top_k=mini_db1.max_results,
+    )
+
+
+class TestScanModel:
+    def test_class_mix_proportional(self, side):
+        model = ScanModel(side)
+        mix = model.class_mix(side.n_documents // 2)
+        assert mix.good == pytest.approx(side.n_good_docs / 2)
+        assert mix.bad == pytest.approx(side.n_bad_docs / 2)
+        assert mix.empty == pytest.approx(side.n_empty_docs / 2)
+
+    def test_effort_clipped_at_database_size(self, side):
+        model = ScanModel(side)
+        assert model.class_mix(10**9).good == pytest.approx(side.n_good_docs)
+
+    def test_events(self, side):
+        events = ScanModel(side).events(100)
+        assert events.retrieved == 100
+        assert events.processed == 100
+        assert events.filtered == 0
+        assert events.queries == 0
+
+    def test_coverage_fractions(self, side):
+        model = ScanModel(side)
+        assert model.good_fraction_processed(side.n_documents) == pytest.approx(1.0)
+        assert model.good_fraction_processed(0) == 0.0
+
+
+class TestFilteredScanModel:
+    def test_classifier_thins_classes(self, side, mini_train, mini_db1):
+        classifier = RuleClassifier.train(mini_train, "HQ")
+        profile = classifier.measure(mini_db1)
+        model = FilteredScanModel(side, profile)
+        mix = model.class_mix(side.n_documents)
+        assert mix.good == pytest.approx(side.n_good_docs * profile.c_tp)
+        assert mix.bad == pytest.approx(side.n_bad_docs * profile.c_fp)
+
+    def test_predicts_empirical_processing(self, side, mini_train, mini_db1):
+        classifier = RuleClassifier.train(mini_train, "HQ")
+        profile = classifier.measure(mini_db1)
+        model = FilteredScanModel(side, profile)
+        retriever = FilteredScanRetriever(mini_db1, classifier)
+        actual = sum(1 for _ in retriever)
+        predicted = model.events(side.n_documents).processed
+        assert predicted == pytest.approx(actual, rel=0.02)
+
+    def test_filter_events_charge_all_retrieved(self, side, mini_train, mini_db1):
+        classifier = RuleClassifier.train(mini_train, "HQ")
+        model = FilteredScanModel(side, classifier.measure(mini_db1))
+        events = model.events(200)
+        assert events.filtered == 200
+        assert events.processed < 200
+
+
+class TestAQGModel:
+    @pytest.fixture(scope="class")
+    def queries(self, mini_train, mini_db1):
+        learned = learn_queries(mini_train, "HQ", max_queries=10)
+        return learned, measure_learned_queries(learned, mini_db1, "HQ")
+
+    def test_good_reach_close_to_empirical(self, side, queries, mini_db1):
+        learned, stats = queries
+        model = AQGModel(side, stats)
+        predicted = model.class_mix(len(stats)).good
+        docs = list(AQGRetriever(mini_db1, learned))
+        actual = sum(
+            1 for d in docs if d.classify("HQ") is DocumentClass.GOOD
+        )
+        assert predicted == pytest.approx(actual, rel=0.35)
+
+    def test_total_retrieved_close_to_empirical(self, side, queries, mini_db1):
+        learned, stats = queries
+        model = AQGModel(side, stats)
+        predicted = model.events(len(stats)).retrieved
+        actual = sum(1 for _ in AQGRetriever(mini_db1, learned))
+        assert predicted == pytest.approx(actual, rel=0.35)
+
+    def test_monotone_in_queries(self, side, queries):
+        _, stats = queries
+        model = AQGModel(side, stats)
+        reach = [model.class_mix(q).good for q in range(len(stats) + 1)]
+        assert all(a <= b + 1e-9 for a, b in zip(reach, reach[1:]))
+
+    def test_fractional_effort_interpolates(self, side, queries):
+        _, stats = queries
+        model = AQGModel(side, stats)
+        assert (
+            model.class_mix(1).good
+            <= model.class_mix(1.5).good
+            <= model.class_mix(2).good
+        )
+
+    def test_reach_never_exceeds_class(self, side, queries):
+        _, stats = queries
+        model = AQGModel(side, stats)
+        assert model.class_mix(10**6).good <= side.n_good_docs + 1e-9
+
+    def test_needs_queries(self, side):
+        with pytest.raises(ValueError):
+            AQGModel(side, [])
+
+
+class TestFactory:
+    def test_builds_each_kind(self, side, mini_train, mini_db1):
+        classifier = RuleClassifier.train(mini_train, "HQ").measure(mini_db1)
+        learned = learn_queries(mini_train, "HQ", max_queries=4)
+        stats = measure_learned_queries(learned, mini_db1, "HQ")
+        assert isinstance(
+            build_retrieval_model(RetrievalKind.SCAN, side), ScanModel
+        )
+        assert isinstance(
+            build_retrieval_model(
+                RetrievalKind.FILTERED_SCAN, side, classifier=classifier
+            ),
+            FilteredScanModel,
+        )
+        assert isinstance(
+            build_retrieval_model(RetrievalKind.AQG, side, queries=stats),
+            AQGModel,
+        )
+
+    def test_missing_parameters_raise(self, side):
+        with pytest.raises(ValueError):
+            build_retrieval_model(RetrievalKind.FILTERED_SCAN, side)
+        with pytest.raises(ValueError):
+            build_retrieval_model(RetrievalKind.AQG, side)
+        with pytest.raises(ValueError):
+            build_retrieval_model(RetrievalKind.JOIN_DRIVEN, side)

@@ -1,0 +1,118 @@
+"""Tests for the Monte Carlo outcome simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import QualityRequirement, RetrievalKind
+from repro.experiments.figures import task_statistics
+from repro.models import IDJNModel, SideStatistics, simulate_idjn
+
+
+@pytest.fixture(scope="module")
+def setup(hq_ex_task):
+    statistics = task_statistics(hq_ex_task, 0.4, 0.4)
+    model = IDJNModel(statistics, RetrievalKind.SCAN, RetrievalKind.SCAN)
+    n1 = len(hq_ex_task.database1) // 2
+    n2 = len(hq_ex_task.database2) // 2
+    rho1 = (
+        model.models[1].good_fraction_processed(n1),
+        model.models[1].bad_fraction_processed(n1),
+    )
+    rho2 = (
+        model.models[2].good_fraction_processed(n2),
+        model.models[2].bad_fraction_processed(n2),
+    )
+    outcomes = simulate_idjn(
+        statistics.side1,
+        statistics.side2,
+        rho1,
+        rho2,
+        n_samples=3000,
+        seed=7,
+    )
+    return statistics, model, (n1, n2), outcomes
+
+
+class TestSimulateIDJN:
+    def test_mean_matches_analytic_model(self, setup):
+        statistics, model, (n1, n2), outcomes = setup
+        prediction = model.predict(n1, n2)
+        assert outcomes.mean_good == pytest.approx(prediction.n_good, rel=0.05)
+        assert outcomes.mean_bad == pytest.approx(prediction.n_bad, rel=0.05)
+
+    def test_quantiles_bracket_mean(self, setup):
+        _, _, _, outcomes = setup
+        quantiles = outcomes.quantiles((0.05, 0.5, 0.95))
+        assert quantiles[0.05][0] <= outcomes.mean_good <= quantiles[0.95][0]
+        assert quantiles[0.05][0] < quantiles[0.95][0]
+
+    def test_analytic_interval_consistent_with_mc(self, setup):
+        """The normal-approximation interval should roughly match the MC
+        2.5/97.5% quantiles."""
+        _, model, (n1, n2), outcomes = setup
+        good_iv, _ = model.predict_interval(n1, n2)
+        quantiles = outcomes.quantiles((0.025, 0.975))
+        assert good_iv.low == pytest.approx(quantiles[0.025][0], rel=0.25)
+        assert good_iv.high == pytest.approx(quantiles[0.975][0], rel=0.25)
+
+    def test_meeting_probability_calibrated(self, setup):
+        """τg at the mean → P(meet) ≈ 0.5; far above → ≈ 0; far below → ≈ 1."""
+        _, model, (n1, n2), outcomes = setup
+        prediction = model.predict(n1, n2)
+        at_mean = QualityRequirement(int(prediction.n_good), 10**9)
+        assert 0.3 <= outcomes.probability_of_meeting(at_mean) <= 0.7
+        trivial = QualityRequirement(1, 10**9)
+        assert outcomes.probability_of_meeting(trivial) == 1.0
+        impossible = QualityRequirement(10**9, 10**9)
+        assert outcomes.probability_of_meeting(impossible) == 0.0
+
+    def test_bad_bound_lowers_probability(self, setup):
+        _, model, (n1, n2), outcomes = setup
+        prediction = model.predict(n1, n2)
+        loose = QualityRequirement(int(prediction.n_good * 0.5), 10**9)
+        strict = QualityRequirement(
+            int(prediction.n_good * 0.5), int(prediction.n_bad * 0.5)
+        )
+        assert outcomes.probability_of_meeting(
+            strict
+        ) <= outcomes.probability_of_meeting(loose)
+
+    def test_deterministic_by_seed(self, setup):
+        statistics, _, _, _ = setup
+        a = simulate_idjn(
+            statistics.side1, statistics.side2, (0.5, 0.5), (0.5, 0.5),
+            n_samples=200, seed=42,
+        )
+        b = simulate_idjn(
+            statistics.side1, statistics.side2, (0.5, 0.5), (0.5, 0.5),
+            n_samples=200, seed=42,
+        )
+        assert np.array_equal(a.good, b.good)
+
+    def test_disjoint_sides_all_zero(self):
+        def side(name, value):
+            return SideStatistics(
+                relation=name,
+                n_documents=100,
+                n_good_docs=50,
+                n_bad_docs=10,
+                good_frequency={value: 5.0},
+                bad_frequency={},
+                bad_in_good_frequency={},
+                tp=0.9,
+                fp=0.5,
+            )
+
+        outcomes = simulate_idjn(
+            side("A", "x"), side("B", "y"), (1.0, 1.0), (1.0, 1.0),
+            n_samples=50,
+        )
+        assert outcomes.mean_good == 0.0
+        assert outcomes.mean_bad == 0.0
+
+    def test_invalid_rho(self, setup):
+        statistics, _, _, _ = setup
+        with pytest.raises(ValueError):
+            simulate_idjn(
+                statistics.side1, statistics.side2, (1.5, 0.5), (0.5, 0.5)
+            )

@@ -1,0 +1,168 @@
+"""Tests for prediction-variance machinery and interval coverage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RetrievalKind
+from repro.joins import Budgets, IndependentJoin, JoinInputs
+from repro.models import (
+    IDJNModel,
+    IntervalEstimate,
+    JoinStatistics,
+    SideStatistics,
+    compose_with_variance,
+    occurrence_factors,
+    occurrence_variances,
+)
+from repro.models.scheme import SideFactors
+from repro.models.uncertainty import SideVariances, _product_moments
+from repro.retrieval import ScanRetriever
+from repro.textdb.database import TextDatabase
+
+
+class TestIntervalEstimate:
+    def test_bounds(self):
+        interval = IntervalEstimate(mean=100.0, variance=25.0, z=2.0)
+        assert interval.stddev == pytest.approx(5.0)
+        assert interval.low == pytest.approx(90.0)
+        assert interval.high == pytest.approx(110.0)
+
+    def test_low_clamped_at_zero(self):
+        interval = IntervalEstimate(mean=1.0, variance=100.0)
+        assert interval.low == 0.0
+
+    def test_contains(self):
+        interval = IntervalEstimate(mean=10.0, variance=4.0, z=1.0)
+        assert interval.contains(10.0)
+        assert interval.contains(8.0)
+        assert not interval.contains(13.0)
+
+
+class TestProductMoments:
+    @given(
+        st.floats(0.0, 50.0),
+        st.floats(0.0, 20.0),
+        st.floats(0.0, 50.0),
+        st.floats(0.0, 20.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_nonnegative_and_symmetric(self, mx, vx, my, vy):
+        mean_a, var_a = _product_moments(mx, vx, my, vy)
+        mean_b, var_b = _product_moments(my, vy, mx, vx)
+        assert mean_a == pytest.approx(mean_b)
+        assert var_a == pytest.approx(var_b)
+        assert var_a >= 0
+
+    def test_degenerate_factors(self):
+        mean, variance = _product_moments(3.0, 0.0, 4.0, 0.0)
+        assert mean == 12.0
+        assert variance == 0.0
+
+
+class TestOccurrenceVariances:
+    def test_zero_coverage_zero_variance(self, mini_profile1, mini_char1):
+        side = SideStatistics.from_profile(
+            mini_profile1, tp=mini_char1.tp_at(0.4), fp=mini_char1.fp_at(0.4)
+        )
+        variances = occurrence_variances(side, 0.0, 0.0)
+        assert all(v == 0.0 for v in variances.good.values())
+
+    def test_full_coverage_full_rate_zero_variance(self, mini_profile1):
+        side = SideStatistics.from_profile(mini_profile1, tp=1.0, fp=1.0)
+        variances = occurrence_variances(side, 1.0, 1.0)
+        assert all(v == pytest.approx(0.0) for v in variances.good.values())
+
+    def test_binomial_formula(self, mini_profile1, mini_char1):
+        side = SideStatistics.from_profile(
+            mini_profile1, tp=mini_char1.tp_at(0.4), fp=mini_char1.fp_at(0.4)
+        )
+        variances = occurrence_variances(side, 0.5, 0.5)
+        value, freq = next(iter(side.good_frequency.items()))
+        p = side.tp * 0.5
+        assert variances.good[value] == pytest.approx(freq * p * (1 - p))
+
+    def test_invalid_rho(self, mini_profile1):
+        side = SideStatistics.from_profile(mini_profile1, tp=0.9, fp=0.5)
+        with pytest.raises(ValueError):
+            occurrence_variances(side, 1.5, 0.0)
+
+
+class TestComposeWithVariance:
+    def test_mean_matches_composition(self):
+        f1 = SideFactors(good={"a": 2.0}, bad={"a": 1.0})
+        f2 = SideFactors(good={"a": 3.0}, bad={"a": 0.5})
+        v0 = SideVariances(good={"a": 0.0}, bad={"a": 0.0})
+        good, bad = compose_with_variance(f1, v0, f2, v0)
+        assert good.mean == pytest.approx(6.0)
+        assert bad.mean == pytest.approx(2.0 * 0.5 + 1.0 * 3.0 + 1.0 * 0.5)
+        assert good.variance == 0.0
+
+    def test_variance_grows_with_input_variance(self):
+        f1 = SideFactors(good={"a": 2.0}, bad={})
+        f2 = SideFactors(good={"a": 3.0}, bad={})
+        quiet = SideVariances(good={"a": 0.1}, bad={})
+        noisy = SideVariances(good={"a": 2.0}, bad={})
+        _, _ = compose_with_variance(f1, quiet, f2, quiet)
+        good_quiet, _ = compose_with_variance(f1, quiet, f2, quiet)
+        good_noisy, _ = compose_with_variance(f1, noisy, f2, noisy)
+        assert good_noisy.variance > good_quiet.variance
+
+
+class TestIDJNIntervalCoverage:
+    def test_empirical_coverage(self, hq_ex_task):
+        """Across scan orders, ~95% of actuals must fall in the interval."""
+        from repro.experiments.figures import task_statistics
+
+        statistics = task_statistics(hq_ex_task, 0.4, 0.4)
+        model = IDJNModel(
+            statistics, RetrievalKind.SCAN, RetrievalKind.SCAN
+        )
+        n1 = len(hq_ex_task.database1) // 2
+        n2 = len(hq_ex_task.database2) // 2
+        good_iv, bad_iv = model.predict_interval(n1, n2)
+        docs1 = list(hq_ex_task.database1.documents)
+        docs2 = list(hq_ex_task.database2.documents)
+        hits = 0
+        trials = 6
+        for seed in range(trials):
+            d1 = TextDatabase("a", docs1, max_results=30, rank_seed=seed * 3 + 1)
+            d2 = TextDatabase("b", docs2, max_results=30, rank_seed=seed * 5 + 2)
+            inputs = JoinInputs(
+                database1=d1,
+                database2=d2,
+                extractor1=hq_ex_task.extractor1.with_theta(0.4),
+                extractor2=hq_ex_task.extractor2.with_theta(0.4),
+            )
+            run = IndependentJoin(
+                inputs, ScanRetriever(d1), ScanRetriever(d2)
+            ).run(budgets=Budgets(max_documents1=n1, max_documents2=n2))
+            if good_iv.contains(run.report.composition.n_good):
+                hits += 1
+        assert hits >= trials - 2
+
+    def test_interval_tightens_with_certainty(self, hq_ex_task):
+        from repro.experiments.figures import task_statistics
+
+        statistics = task_statistics(hq_ex_task, 0.4, 0.4)
+        model = IDJNModel(statistics, RetrievalKind.SCAN, RetrievalKind.SCAN)
+        n1 = len(hq_ex_task.database1)
+        n2 = len(hq_ex_task.database2)
+        half_good, _ = model.predict_interval(n1 // 2, n2 // 2)
+        # Relative width shrinks as coverage grows.
+        full_good, _ = model.predict_interval(n1, n2)
+        rel = lambda iv: (iv.high - iv.low) / max(iv.mean, 1)
+        assert rel(full_good) < rel(half_good)
+
+    def test_aggregate_mode_rejected(self, hq_ex_task):
+        from repro.experiments.figures import task_statistics
+
+        statistics = task_statistics(hq_ex_task, 0.4, 0.4)
+        model = IDJNModel(
+            statistics,
+            RetrievalKind.SCAN,
+            RetrievalKind.SCAN,
+            per_value=False,
+        )
+        with pytest.raises(RuntimeError):
+            model.predict_interval(10, 10)

@@ -1,0 +1,282 @@
+"""Tests for the n-way join extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QualityRequirement, RelationSchema, RetrievalKind
+from repro.core.types import ExtractedTuple
+from repro.joins import SideCosts
+from repro.models import SideStatistics
+from repro.multiway import (
+    MultiJoinState,
+    MultiwayIDJNModel,
+    MultiwayIndependentJoin,
+    MultiwaySide,
+)
+from repro.retrieval import ScanRetriever
+from repro.textdb import (
+    CorpusConfig,
+    HostedRelation,
+    generate_corpus,
+    pattern_tokens,
+    profile_database,
+)
+from repro.extraction import SnowballExtractor, characterize
+
+HQ = RelationSchema("HQ", ("Company", "Location"))
+EX = RelationSchema("EX", ("Company", "CEO"))
+MG = RelationSchema("MG", ("Company", "MergedWith"))
+
+
+def tup(relation, values, good, doc):
+    return ExtractedTuple(
+        relation=relation,
+        values=tuple(values),
+        document_id=doc,
+        confidence=1.0,
+        is_good=good,
+    )
+
+
+class TestMultiJoinState:
+    def test_join_attribute_inferred(self):
+        state = MultiJoinState([HQ, EX, MG])
+        assert state.join_attribute == "Company"
+
+    def test_needs_two_relations(self):
+        with pytest.raises(ValueError):
+            MultiJoinState([HQ])
+
+    def test_three_way_counts(self):
+        state = MultiJoinState([HQ, EX, MG])
+        state.add(1, [tup("HQ", ("a", "x"), True, 1)])
+        state.add(2, [tup("EX", ("a", "p"), True, 1)])
+        assert state.composition.n_total == 0  # MG side still empty
+        state.add(3, [tup("MG", ("a", "m"), True, 1)])
+        assert state.composition.n_good == 1
+        assert state.composition.n_bad == 0
+
+    def test_bad_propagates(self):
+        state = MultiJoinState([HQ, EX, MG])
+        state.add(1, [tup("HQ", ("a", "x"), True, 1)])
+        state.add(2, [tup("EX", ("a", "p"), False, 1)])
+        state.add(3, [tup("MG", ("a", "m"), True, 1)])
+        assert state.composition.n_good == 0
+        assert state.composition.n_bad == 1
+
+    def test_products_multiply(self):
+        state = MultiJoinState([HQ, EX, MG])
+        state.add(1, [tup("HQ", ("a", f"x{i}"), True, i) for i in range(2)])
+        state.add(2, [tup("EX", ("a", f"p{i}"), True, i) for i in range(3)])
+        state.add(3, [tup("MG", ("a", f"m{i}"), True, i) for i in range(4)])
+        assert state.composition.n_good == 2 * 3 * 4
+
+    def test_iter_results_matches_counts(self):
+        state = MultiJoinState([HQ, EX, MG])
+        state.add(1, [tup("HQ", ("a", "x"), True, 1),
+                      tup("HQ", ("b", "y"), False, 2)])
+        state.add(2, [tup("EX", ("a", "p"), False, 1),
+                      tup("EX", ("b", "q"), True, 2)])
+        state.add(3, [tup("MG", ("a", "m"), True, 1),
+                      tup("MG", ("b", "n"), True, 2)])
+        materialized = state.verify_composition()
+        assert materialized.n_good == state.composition.n_good
+        assert materialized.n_bad == state.composition.n_bad
+
+    def test_result_values_shape(self):
+        state = MultiJoinState([HQ, EX])
+        state.add(1, [tup("HQ", ("a", "x"), True, 1)])
+        state.add(2, [tup("EX", ("a", "p"), True, 1)])
+        [result] = list(state.iter_results())
+        assert result.values == ("a", "x", "p")
+        assert result.is_good
+
+    @given(st.lists(
+        st.tuples(
+            st.integers(1, 3),              # side
+            st.sampled_from(["a", "b", "c"]),  # join value
+            st.booleans(),                   # good?
+        ),
+        min_size=1, max_size=24,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_equals_materialized(self, inserts):
+        state = MultiJoinState([HQ, EX, MG])
+        names = {1: "HQ", 2: "EX", 3: "MG"}
+        for i, (side, value, good) in enumerate(inserts):
+            state.add(side, [tup(names[side], (value, f"s{i}"), good, i)])
+        recount = state.verify_composition()
+        assert state.composition.n_good == recount.n_good
+        assert state.composition.n_bad == recount.n_bad
+
+
+@pytest.fixture(scope="module")
+def three_way(mini_world):
+    """Three databases over a 3-relation world (HQ, EX, MG)."""
+    from repro.textdb import RelationSpec, World, WorldConfig
+
+    mg = RelationSpec(
+        schema=MG, secondary_prefix="target",
+        n_true_facts=80, n_false_facts=60, n_secondary=120,
+    )
+    hq = RelationSpec(
+        schema=HQ, secondary_prefix="city",
+        n_true_facts=80, n_false_facts=60, n_secondary=120,
+    )
+    ex = RelationSpec(
+        schema=EX, secondary_prefix="person",
+        n_true_facts=80, n_false_facts=60, n_secondary=120,
+    )
+    world = World(
+        WorldConfig(seed=5, n_companies=120, relations=(hq, ex, mg))
+    )
+    databases = []
+    extractors = []
+    for i, rel in enumerate(("HQ", "EX", "MG")):
+        db = generate_corpus(
+            world,
+            CorpusConfig(
+                name=f"m{i}",
+                seed=31 + i,
+                hosted=(HostedRelation(rel, 140, 60),),
+                n_empty_docs=160,
+                max_results=25,
+            ),
+        )
+        databases.append(db)
+        extractors.append(
+            SnowballExtractor(
+                world.schemas[rel],
+                world.entity_dictionary(rel),
+                pattern_tokens(rel),
+                theta=0.4,
+            )
+        )
+    return world, databases, extractors
+
+
+class TestMultiwayExecutor:
+    def test_three_way_execution(self, three_way):
+        _, databases, extractors = three_way
+        sides = [
+            MultiwaySide(db, ex, ScanRetriever(db))
+            for db, ex in zip(databases, extractors)
+        ]
+        execution = MultiwayIndependentJoin(sides).run()
+        assert execution.report.exhausted
+        assert execution.state.composition.n_total > 0
+        # Incremental counters equal a full recount.
+        recount = execution.state.verify_composition()
+        assert execution.state.composition.n_good == recount.n_good
+
+    def test_requirement_stops_early(self, three_way):
+        _, databases, extractors = three_way
+        sides = [
+            MultiwaySide(db, ex, ScanRetriever(db))
+            for db, ex in zip(databases, extractors)
+        ]
+        requirement = QualityRequirement(tau_good=5, tau_bad=10**9)
+        execution = MultiwayIndependentJoin(sides).run(requirement)
+        assert execution.report.composition.n_good >= 5
+        assert execution.report.documents_processed[1] < len(databases[0])
+
+    def test_per_side_budgets(self, three_way):
+        _, databases, extractors = three_way
+        sides = [
+            MultiwaySide(db, ex, ScanRetriever(db), max_documents=20)
+            for db, ex in zip(databases, extractors)
+        ]
+        execution = MultiwayIndependentJoin(sides).run()
+        for i in range(1, 4):
+            assert execution.report.documents_processed[i] == 20
+
+    def test_resumable(self, three_way):
+        _, databases, extractors = three_way
+        sides = [
+            MultiwaySide(db, ex, ScanRetriever(db))
+            for db, ex in zip(databases, extractors)
+        ]
+        join = MultiwayIndependentJoin(sides)
+        first = join.run(QualityRequirement(tau_good=3, tau_bad=10**9))
+        second = join.run(QualityRequirement(tau_good=30, tau_bad=10**9))
+        assert (
+            second.report.composition.n_good
+            >= first.report.composition.n_good
+        )
+
+    def test_retriever_validation(self, three_way):
+        _, databases, extractors = three_way
+        with pytest.raises(ValueError):
+            MultiwaySide(
+                databases[0], extractors[0], ScanRetriever(databases[1])
+            )
+
+
+class TestMultiwayModel:
+    @pytest.fixture(scope="class")
+    def model_and_sides(self, three_way):
+        world, databases, extractors = three_way
+        stats = []
+        for db, ex in zip(databases, extractors):
+            char = characterize(ex, db, thetas=[0.0, 0.4])
+            profile = profile_database(db, ex.relation)
+            stats.append(
+                SideStatistics.from_profile(
+                    profile,
+                    tp=char.tp_at(0.4),
+                    fp=char.fp_at(0.4),
+                    top_k=db.max_results,
+                )
+            )
+        model = MultiwayIDJNModel(
+            stats, [RetrievalKind.SCAN] * 3
+        )
+        return model, databases, extractors
+
+    def test_exact_at_full_coverage(self, model_and_sides):
+        model, databases, extractors = model_and_sides
+        efforts = [len(db) for db in databases]
+        predicted, _ = model.predict(efforts)
+        sides = [
+            MultiwaySide(db, ex, ScanRetriever(db))
+            for db, ex in zip(databases, extractors)
+        ]
+        actual = MultiwayIndependentJoin(sides).run().state.composition
+        assert predicted.n_good == pytest.approx(actual.n_good, rel=0.35)
+        assert predicted.n_total == pytest.approx(actual.n_total, rel=0.35)
+
+    def test_monotone_in_effort(self, model_and_sides):
+        model, databases, _ = model_and_sides
+        goods = []
+        for fraction in (0.25, 0.5, 1.0):
+            predicted, _ = model.predict(
+                [fraction * len(db) for db in databases]
+            )
+            goods.append(predicted.n_good)
+        assert goods == sorted(goods)
+
+    def test_balanced_effort_search(self, model_and_sides):
+        model, databases, _ = model_and_sides
+        full, _ = model.predict([len(db) for db in databases])
+        target = max(1, full.n_good // 4)
+        fraction = model.minimal_balanced_effort(target)
+        assert fraction is not None
+        predicted, _ = model.predict(
+            [fraction * len(db) for db in databases]
+        )
+        assert predicted.n_good >= target
+
+    def test_unreachable_target(self, model_and_sides):
+        model, _, _ = model_and_sides
+        assert model.minimal_balanced_effort(10**9) is None
+
+    def test_time_accumulates_across_sides(self, model_and_sides):
+        model, databases, _ = model_and_sides
+        _, time = model.predict([100, 100, 100])
+        assert time.total == pytest.approx(3 * 100 * 5)
+
+    def test_effort_arity_checked(self, model_and_sides):
+        model, _, _ = model_and_sides
+        with pytest.raises(ValueError):
+            model.predict([10, 10])

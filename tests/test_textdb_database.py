@@ -1,0 +1,140 @@
+"""Tests for the tokenizer, inverted index, and text-database interfaces."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.textdb import (
+    Document,
+    InvertedIndex,
+    TextDatabase,
+    normalize_token,
+    tokenize,
+)
+
+
+def doc(doc_id, *sentences):
+    return Document(doc_id=doc_id, sentences=[list(s) for s in sentences])
+
+
+class TestTokenizer:
+    def test_lowercase_split(self):
+        assert tokenize("Acme Corp, Boston!") == ["acme", "corp", "boston"]
+
+    def test_underscores_and_digits_kept(self):
+        assert tokenize("comp_01 x9") == ["comp_01", "x9"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_normalize_single(self):
+        assert normalize_token("Acme") == "acme"
+
+    def test_normalize_rejects_multiword(self):
+        with pytest.raises(ValueError):
+            normalize_token("two words")
+
+    @given(st.text())
+    def test_tokenize_never_raises(self, text):
+        tokens = tokenize(text)
+        assert all(t == normalize_token(t) for t in tokens)
+
+
+class TestInvertedIndex:
+    def build(self):
+        return InvertedIndex(
+            [
+                doc(0, ["alpha", "beta"]),
+                doc(1, ["beta", "gamma"]),
+                doc(2, ["alpha", "beta", "gamma"]),
+            ]
+        )
+
+    def test_document_frequency(self):
+        index = self.build()
+        assert index.document_frequency("alpha") == 2
+        assert index.document_frequency("beta") == 3
+        assert index.document_frequency("missing") == 0
+
+    def test_postings_sorted(self):
+        index = self.build()
+        assert index.postings("alpha") == [0, 2]
+
+    def test_duplicate_tokens_counted_once_per_doc(self):
+        index = InvertedIndex([doc(0, ["x", "x", "x"])])
+        assert index.document_frequency("x") == 1
+
+    def test_conjunctive_search(self):
+        index = self.build()
+        assert index.search(["alpha", "gamma"]) == [2]
+        assert index.search(["beta"]) == [0, 1, 2]
+
+    def test_search_no_match(self):
+        index = self.build()
+        assert index.search(["alpha", "missing"]) == []
+
+    def test_empty_query(self):
+        assert self.build().search([]) == []
+
+    def test_vocabulary(self):
+        index = self.build()
+        assert set(index.tokens()) == {"alpha", "beta", "gamma"}
+        assert index.vocabulary_size == 3
+
+
+class TestTextDatabase:
+    def build(self, n=30, max_results=5):
+        docs = [doc(i, [f"tok{i % 3}", "shared"]) for i in range(n)]
+        return TextDatabase("test", docs, max_results=max_results, rank_seed=3)
+
+    def test_len_and_get(self):
+        db = self.build()
+        assert len(db) == 30
+        assert db.get(7).doc_id == 7
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            TextDatabase("dup", [doc(1, ["a"]), doc(1, ["b"])])
+
+    def test_scan_order_is_permutation(self):
+        db = self.build()
+        order = db.scan_order()
+        assert sorted(order) == list(range(30))
+        assert order != list(range(30))  # shuffled with this seed
+
+    def test_scan_pagination(self):
+        db = self.build()
+        first = [d.doc_id for d in db.scan(0, 10)]
+        second = [d.doc_id for d in db.scan(10, 10)]
+        assert first == db.scan_order()[:10]
+        assert second == db.scan_order()[10:20]
+        assert not set(first) & set(second)
+
+    def test_match_count_untruncated(self):
+        db = self.build()
+        assert db.match_count(["shared"]) == 30
+
+    def test_search_truncates_to_max_results(self):
+        db = self.build(max_results=5)
+        assert len(db.search(["shared"])) == 5
+
+    def test_search_override_cannot_exceed_interface_limit(self):
+        db = self.build(max_results=5)
+        assert len(db.search(["shared"], max_results=100)) == 5
+        assert len(db.search(["shared"], max_results=2)) == 2
+
+    def test_search_deterministic(self):
+        db = self.build()
+        assert db.search(["shared"]) == db.search(["shared"])
+
+    def test_distinct_queries_get_distinct_rankings(self):
+        """The per-query ranking that makes top-k a per-query random sample."""
+        docs = [doc(i, ["alpha", "beta"]) for i in range(40)]
+        db = TextDatabase("q", docs, max_results=10, rank_seed=1)
+        top_alpha = db.search(["alpha"])
+        top_beta = db.search(["beta"])
+        assert top_alpha != top_beta
+
+    def test_max_results_positive(self):
+        with pytest.raises(ValueError):
+            TextDatabase("bad", [doc(0, ["a"])], max_results=0)

@@ -1,0 +1,85 @@
+"""Tests for real-text loading and JSONL persistence."""
+
+import pytest
+
+from repro.textdb import (
+    database_from_texts,
+    load_database,
+    profile_database,
+    save_database,
+    sentences_from_text,
+)
+
+
+class TestSentencesFromText:
+    def test_splits_and_tokenizes(self):
+        sentences = sentences_from_text(
+            "Microsoft merged with Softricity. The deal closed!"
+        )
+        assert sentences == [
+            ["microsoft", "merged", "with", "softricity"],
+            ["the", "deal", "closed"],
+        ]
+
+    def test_empty_text(self):
+        assert sentences_from_text("") == []
+        assert sentences_from_text("...!!!") == []
+
+
+class TestDatabaseFromTexts:
+    def test_from_list(self):
+        db = database_from_texts(["Alpha beta.", "Gamma delta."], name="t")
+        assert len(db) == 2
+        assert db.get(0).sentences == [["alpha", "beta"]]
+
+    def test_from_mapping_keeps_ids(self):
+        db = database_from_texts({7: "Seven.", 3: "Three."})
+        assert {d.doc_id for d in db.documents} == {3, 7}
+
+    def test_searchable(self):
+        db = database_from_texts(
+            ["Microsoft merged with Softricity.", "Merck earnings."]
+        )
+        assert db.search(["microsoft"]) == [0]
+        assert db.match_count(["merck"]) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            database_from_texts([])
+
+
+class TestRoundTrip:
+    def test_generated_corpus_round_trips(self, mini_db1, tmp_path):
+        path = tmp_path / "db.jsonl"
+        save_database(mini_db1, path)
+        loaded = load_database(path)
+        assert len(loaded) == len(mini_db1)
+        assert loaded.name == mini_db1.name
+        assert loaded.max_results == mini_db1.max_results
+        # Scan order and search results are reproduced exactly.
+        assert loaded.scan_order() == mini_db1.scan_order()
+        value = next(
+            iter(profile_database(mini_db1, "HQ").good_frequency)
+        )
+        assert loaded.search([value]) == mini_db1.search([value])
+
+    def test_mentions_survive(self, mini_db1, tmp_path):
+        path = tmp_path / "db.jsonl"
+        save_database(mini_db1, path)
+        loaded = load_database(path)
+        original = profile_database(mini_db1, "HQ")
+        restored = profile_database(loaded, "HQ")
+        assert restored.n_good_docs == original.n_good_docs
+        assert restored.good_frequency == original.good_frequency
+
+    def test_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(ValueError):
+            load_database(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_database(path)

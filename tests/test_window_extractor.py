@@ -1,0 +1,146 @@
+"""Tests for the window co-occurrence extractor and the label oracle."""
+
+import pytest
+
+from repro.core import RelationSchema
+from repro.extraction import SnowballExtractor, WindowExtractor, characterize
+from repro.textdb import database_from_texts
+
+SCHEMA = RelationSchema("Mergers", ("Company", "MergedWith"))
+COMPANIES = frozenset({"microsoft", "softricity", "symantec"})
+DICTS = {"Company": COMPANIES, "MergedWith": COMPANIES}
+
+
+def doc_of(text):
+    return database_from_texts([text]).get(0)
+
+
+class TestWindowExtractor:
+    def make(self, theta=0.3, **kwargs):
+        return WindowExtractor(SCHEMA, DICTS, theta=theta, **kwargs)
+
+    def test_extracts_adjacent_pair(self):
+        doc = doc_of("Microsoft acquired Softricity.")
+        values = {t.values for t in self.make().extract(doc)}
+        assert ("microsoft", "softricity") in values
+
+    def test_proximity_decreases_with_gap(self):
+        extractor = self.make(theta=0.0)
+        near = doc_of("Microsoft merged Softricity.")
+        far = doc_of(
+            "Microsoft said a lot of unrelated words before Softricity."
+        )
+        conf_near = max(
+            t.confidence
+            for t in extractor.extract(near)
+            if t.values == ("microsoft", "softricity")
+        )
+        conf_far = max(
+            t.confidence
+            for t in extractor.extract(far)
+            if t.values == ("microsoft", "softricity")
+        )
+        assert conf_near > conf_far
+
+    def test_theta_thresholds(self):
+        far = doc_of(
+            "Microsoft said many many many many many words before Softricity."
+        )
+        assert self.make(theta=0.9).extract(far) == []
+        assert any(
+            t.values == ("microsoft", "softricity")
+            for t in self.make(theta=0.05).extract(far)
+        )
+
+    def test_pattern_terms_boost(self):
+        with_patterns = self.make(
+            theta=0.0, pattern_terms=["merged"], pattern_weight=0.5
+        )
+        without = self.make(theta=0.0)
+        doc = doc_of("Microsoft merged Softricity.")
+
+        def conf(extractor):
+            return max(
+                t.confidence
+                for t in extractor.extract(doc)
+                if t.values == ("microsoft", "softricity")
+            )
+
+        assert conf(with_patterns) >= conf(without) - 1e-9
+
+    def test_label_oracle(self):
+        gold = {("microsoft", "softricity")}
+        extractor = self.make(
+            theta=0.1, label_oracle=lambda values: values in gold
+        )
+        doc = doc_of("Microsoft merged Softricity and Microsoft met Symantec.")
+        labels = {t.values: t.is_good for t in extractor.extract(doc)}
+        assert labels[("microsoft", "softricity")]
+        assert not labels[("microsoft", "symantec")]
+
+    def test_no_mentions_no_oracle_all_bad(self):
+        # Real text without planted mentions or a gold set: everything is
+        # conservatively labelled bad.
+        doc = doc_of("Microsoft merged Softricity.")
+        assert all(not t.is_good for t in self.make(theta=0.0).extract(doc))
+
+    def test_with_theta_preserves_configuration(self):
+        extractor = self.make(theta=0.2, pattern_terms=["merged"])
+        other = extractor.with_theta(0.7)
+        assert other.theta == 0.7
+        assert other.proximity_scale == extractor.proximity_scale
+        assert other.pattern_weight == extractor.pattern_weight
+
+    def test_monotone_in_theta(self):
+        doc = doc_of(
+            "Microsoft merged Softricity. Symantec met Microsoft later on."
+        )
+        lo = {t.values for t in self.make(theta=0.05).extract(doc)}
+        hi = {t.values for t in self.make(theta=0.6).extract(doc)}
+        assert hi <= lo
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(proximity_scale=0)
+        with pytest.raises(ValueError):
+            self.make(pattern_weight=1.5)
+        with pytest.raises(KeyError):
+            WindowExtractor(SCHEMA, {"Company": COMPANIES})
+
+    def test_characterizable(self, mini_world, mini_db1):
+        """The window extractor plugs into the knob-characterization harness."""
+        extractor = WindowExtractor(
+            mini_world.schemas["HQ"],
+            mini_world.entity_dictionary("HQ"),
+            pattern_terms=[],
+            theta=0.3,
+        )
+        char = characterize(
+            extractor, mini_db1, thetas=[0.0, 0.5, 1.0], sample_size=80
+        )
+        assert char.tp_at(0.0) == pytest.approx(1.0)
+        assert char.tp_at(1.0) <= char.tp_at(0.0)
+
+
+class TestSnowballLabelOracle:
+    def test_oracle_overrides_planted_labels(self, mini_world, mini_db1):
+        base = SnowballExtractor(
+            mini_world.schemas["HQ"],
+            mini_world.entity_dictionary("HQ"),
+            ["whatever"],
+            theta=0.0,
+            label_oracle=lambda values: True,
+        )
+        doc = next(iter(mini_db1.documents))
+        for tup in base.extract(doc):
+            assert tup.is_good
+
+    def test_oracle_survives_with_theta(self, mini_world):
+        extractor = SnowballExtractor(
+            mini_world.schemas["HQ"],
+            mini_world.entity_dictionary("HQ"),
+            ["whatever"],
+            theta=0.0,
+            label_oracle=lambda values: True,
+        )
+        assert extractor.with_theta(0.5)._label_oracle is not None
