@@ -1,0 +1,104 @@
+"""Fault tolerance: execution outcome across fault rate × retry budget.
+
+Runs a fixed IDJN Scan/Scan plan against the canonical testbed with the
+databases wrapped in deterministic fault injectors, sweeping the transient
+fault rate against the retry budget, and records for each cell whether the
+quality contract was still met, the simulated time paid (including
+backoff), and the fault/retry/loss accounting.  The expected shape: with
+retries available the contract survives moderate fault rates at a modest
+simulated-time premium; with a zero retry budget every fault permanently
+loses a document and recall erodes with the fault rate.
+"""
+
+from repro.core import JoinKind, QualityRequirement, RetrievalKind
+from repro.experiments import format_table
+from repro.optimizer import bind_plan, enumerate_plans
+from repro.robustness import (
+    AccessPathUnavailable,
+    FaultProfile,
+    RetryPolicy,
+    harden,
+)
+
+FAULT_RATES = (0.0, 0.05, 0.1, 0.2)
+RETRY_BUDGETS = (0, 8, None)
+REQUIREMENT = QualityRequirement(tau_good=40, tau_bad=10**6)
+THETA = 0.4
+
+
+def _scan_plan(task):
+    plans = enumerate_plans(
+        task.extractor1.name,
+        task.extractor2.name,
+        thetas1=(THETA,),
+        thetas2=(THETA,),
+    )
+    for plan in plans:
+        if (
+            plan.join is JoinKind.IDJN
+            and plan.retrieval1 is RetrievalKind.SCAN
+            and plan.retrieval2 is RetrievalKind.SCAN
+        ):
+            return plan
+    raise AssertionError("no IDJN Scan/Scan plan enumerated")
+
+
+def test_fault_tolerance_sweep(benchmark, task, report_sink):
+    plan = _scan_plan(task)
+
+    def run():
+        rows = []
+        for rate in FAULT_RATES:
+            for budget in RETRY_BUDGETS:
+                environment = harden(
+                    task.environment(THETA, THETA),
+                    profile=FaultProfile(transient=rate, seed=17),
+                    policy=RetryPolicy(retry_budget=budget, seed=17),
+                )
+                executor = bind_plan(environment, plan)
+                try:
+                    report = executor.run(requirement=REQUIREMENT).report
+                    met = "yes" if report.check(REQUIREMENT) else "no"
+                    total_time = report.time.total
+                except AccessPathUnavailable:
+                    # A bare executor (no adaptive optimizer above it to
+                    # degrade) dies when a breaker opens — itself a sweep
+                    # outcome worth recording.
+                    met = "path down"
+                    total_time = executor.session.time.total
+                resilience = environment.resilience.report()
+                rows.append(
+                    (
+                        f"{rate:.0%}",
+                        "unlimited" if budget is None else str(budget),
+                        met,
+                        f"{total_time:.0f}",
+                        str(resilience.total_faults),
+                        str(resilience.retries),
+                        f"{resilience.backoff_time:.0f}",
+                        str(resilience.documents_lost),
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_sink(
+        "fault_tolerance",
+        format_table(
+            [
+                "fault rate",
+                "retry budget",
+                "met",
+                "time (s)",
+                "faults",
+                "retries",
+                "backoff (s)",
+                "docs lost",
+            ],
+            rows,
+        ),
+    )
+    # With no faults the contract must hold; the fault-free row is the
+    # zero-overhead baseline every other cell is compared against.
+    assert rows[0][2] == "yes"
+    assert rows[0][4] == "0"

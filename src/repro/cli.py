@@ -44,6 +44,7 @@ from .optimizer import (
     bind_plan,
     enumerate_plans,
 )
+from .robustness import FaultProfile, RetryPolicy, harden
 
 
 def _add_testbed_arguments(parser: argparse.ArgumentParser) -> None:
@@ -55,6 +56,55 @@ def _add_testbed_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--seed", type=int, default=11, help="testbed world seed"
+    )
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fault-profile",
+        default="none",
+        help=(
+            "inject database faults: 'none', a bare transient rate "
+            "('0.1'), or 'transient=0.1,timeout=0.05,...' pairs"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic fault stream and retry jitter",
+    )
+    parser.add_argument(
+        "--retry-budget",
+        type=int,
+        default=None,
+        help="total retries allowed across the whole run (default unlimited)",
+    )
+
+
+def _maybe_harden(environment, args: argparse.Namespace):
+    """Wire fault injection + resilience in, or pass through untouched.
+
+    With the default flags the environment is returned unchanged, so
+    fault-free runs stay byte-identical to runs without the flags at all.
+    """
+    profile = FaultProfile.parse(args.fault_profile, seed=args.fault_seed)
+    if profile.disabled and args.retry_budget is None:
+        return environment
+    policy = RetryPolicy(retry_budget=args.retry_budget, seed=args.fault_seed)
+    return harden(environment, profile=profile, policy=policy)
+
+
+def _print_resilience(report) -> None:
+    resilience = report.resilience
+    if resilience is None:
+        return
+    print(
+        f"Resilience: {resilience.total_faults} faults injected, "
+        f"{resilience.retries} retries (+{resilience.backoff_time:.0f}s "
+        f"backoff), {resilience.failed_operations} operations failed, "
+        f"{resilience.documents_lost} documents lost, "
+        f"{resilience.breaker_opens} breaker opens"
     )
 
 
@@ -123,14 +173,16 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         f"{chosen.prediction.total_time:.0f}s"
     )
     if args.execute:
-        executor = bind_plan(
+        environment = _maybe_harden(
             task.environment(
                 chosen.plan.extractor1.theta, chosen.plan.extractor2.theta
             ),
-            chosen.plan,
+            args,
         )
+        executor = bind_plan(environment, chosen.plan)
         report = executor.run(requirement=requirement).report
         print(f"Actual:    {report.summary()}")
+        _print_resilience(report)
         print(f"Requirement met: {report.check(requirement)}")
     return 0
 
@@ -185,7 +237,7 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
         tau_good=args.tau_good, tau_bad=args.tau_bad
     )
     adaptive = AdaptiveJoinExecutor(
-        environment=task.environment(),
+        environment=_maybe_harden(task.environment(), args),
         characterization1=task.characterization1,
         characterization2=task.characterization2,
         plans=enumerate_plans(task.extractor1.name, task.extractor2.name),
@@ -204,6 +256,13 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
     print(f"Chosen: {result.chosen.plan.describe()}")
     report = result.execution.report
     print(f"Actual: {report.summary()}")
+    _print_resilience(report)
+    if result.degraded_paths:
+        print(
+            "Degraded around dead access paths: "
+            + ", ".join(result.degraded_paths)
+            + f" (+{result.wasted_time:.0f}s re-accounted)"
+        )
     print(f"Requirement met: {report.check(requirement)}")
     print(f"Total simulated time: {result.total_time:.0f}s")
     return 0
@@ -253,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument(
         "--execute", action="store_true", help="also run the chosen plan"
     )
+    _add_resilience_arguments(optimize)
     _add_testbed_arguments(optimize)
     optimize.set_defaults(handler=_cmd_optimize)
 
@@ -289,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
     adaptive.add_argument("--tau-bad", type=int, required=True)
     adaptive.add_argument("--pilot", type=int, default=100)
     adaptive.add_argument("--margin", type=float, default=0.3)
+    _add_resilience_arguments(adaptive)
     _add_testbed_arguments(adaptive)
     adaptive.set_defaults(handler=_cmd_adaptive)
 
@@ -297,7 +358,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return 130
+    except Exception as error:  # noqa: BLE001 — the CLI's last line of defense
+        kind = type(error).__name__
+        print(f"repro: error: {kind}: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -9,7 +9,7 @@ plus the simulated execution-time breakdown used throughout Section V.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from .preferences import QualityRequirement
 from .relation import JoinComposition
@@ -79,6 +79,38 @@ class TimeBreakdown:
 
 
 @dataclass
+class ResilienceReport:
+    """Fault/retry/breaker accounting of one join execution.
+
+    Produced by :mod:`repro.robustness` when an execution runs with a
+    resilience context; ``None`` on an ExecutionReport means the execution
+    ran without one (the raw, zero-overhead path).  All counts are totals
+    across both sides and every access path.
+    """
+
+    #: injected/observed faults by exception kind, e.g. {"TransientAccessError": 3}
+    faults: Dict[str, int] = field(default_factory=dict)
+    #: retry attempts performed after a fault
+    retries: int = 0
+    #: simulated seconds spent waiting in retry backoff
+    backoff_time: float = 0.0
+    #: operations abandoned after exhausting their retry allowance
+    failed_operations: int = 0
+    #: scan documents skipped because their fetch failed permanently
+    documents_lost: int = 0
+    #: documents returned with a truncated payload by the fault injector
+    documents_truncated: int = 0
+    #: closed→open circuit-breaker transitions
+    breaker_opens: int = 0
+    #: access paths whose breaker was open when the execution finished
+    open_paths: Tuple[str, ...] = ()
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.faults.values())
+
+
+@dataclass
 class ExecutionReport:
     """Everything a finished join execution reports back.
 
@@ -96,6 +128,8 @@ class ExecutionReport:
     tuples_extracted: Dict[int, int] = field(default_factory=dict)
     satisfied: Optional[bool] = None
     exhausted: bool = False
+    #: fault/retry/breaker accounting (None when run without resilience)
+    resilience: Optional[ResilienceReport] = None
 
     def metrics(self, reachable_good: Optional[int] = None) -> QualityMetrics:
         return QualityMetrics.from_composition(self.composition, reachable_good)

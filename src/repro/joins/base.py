@@ -28,6 +28,7 @@ from ..core.quality import ExecutionReport, TimeBreakdown
 from ..core.relation import JoinState
 from ..core.types import ExtractedTuple
 from ..extraction.base import Extractor
+from ..robustness.context import ResilienceContext
 from ..textdb.database import TextDatabase
 from .costs import CostModel
 from .stats_collector import ObservationCollector
@@ -135,10 +136,14 @@ class JoinAlgorithm(abc.ABC):
         inputs: JoinInputs,
         costs: Optional[CostModel] = None,
         estimator: Optional[QualityEstimator] = None,
+        resilience: Optional[ResilienceContext] = None,
     ) -> None:
         self.inputs = inputs
         self.costs = costs or CostModel()
         self.estimator = estimator or ActualQuality()
+        #: fault-handling context shared with this executor's retrievers
+        #: and probes; None means the raw, always-succeeds access path
+        self.resilience = resilience
         #: Optional hook called after each unit of work with the live
         #: (state, time).  Lets experiment harnesses record quality/time
         #: trajectories from a single exhaustive run instead of re-running
@@ -197,8 +202,8 @@ class JoinAlgorithm(abc.ABC):
         """The Figures 3/5/7 stopping condition."""
         return requirement.good_met(est_good) or requirement.bad_exceeded(est_bad)
 
-    @staticmethod
     def _finish(
+        self,
         state: JoinState,
         time: TimeBreakdown,
         requirement: QualityRequirement,
@@ -232,5 +237,8 @@ class JoinAlgorithm(abc.ABC):
                 )
             ),
             exhausted=exhausted,
+            resilience=(
+                self.resilience.report() if self.resilience is not None else None
+            ),
         )
         return JoinExecution(state=state, report=report, observations=collector)

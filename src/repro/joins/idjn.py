@@ -42,8 +42,9 @@ class IndependentJoin(JoinAlgorithm):
         costs: Optional[CostModel] = None,
         estimator: Optional[QualityEstimator] = None,
         rates: Tuple[int, int] = (1, 1),
+        resilience=None,
     ) -> None:
-        super().__init__(inputs, costs, estimator)
+        super().__init__(inputs, costs, estimator, resilience)
         if retriever1.database is not inputs.database1:
             raise ValueError("retriever1 must read from database1")
         if retriever2.database is not inputs.database2:
@@ -52,6 +53,10 @@ class IndependentJoin(JoinAlgorithm):
             raise ValueError("rates must be positive")
         self._retrievers = {1: retriever1, 2: retriever2}
         self._rates = {1: rates[0], 2: rates[1]}
+
+    def retriever(self, side: int) -> DocumentRetriever:
+        """This side's document retriever (checkpointing)."""
+        return self._retrievers[side]
 
     def run(
         self,

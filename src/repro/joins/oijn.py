@@ -19,6 +19,7 @@ from ..core.quality import TimeBreakdown
 from ..core.types import ExtractedTuple
 from ..retrieval.base import DocumentRetriever
 from ..retrieval.queries import Query, QueryProbe
+from ..robustness.context import AccessFailedError
 from .base import (
     UNLIMITED,
     Budgets,
@@ -45,8 +46,9 @@ class OuterInnerJoin(JoinAlgorithm):
         costs: Optional[CostModel] = None,
         estimator: Optional[QualityEstimator] = None,
         outer: int = 1,
+        resilience=None,
     ) -> None:
-        super().__init__(inputs, costs, estimator)
+        super().__init__(inputs, costs, estimator, resilience)
         if outer not in (1, 2):
             raise ValueError("outer must be 1 or 2")
         self.outer = outer
@@ -54,7 +56,19 @@ class OuterInnerJoin(JoinAlgorithm):
         if outer_retriever.database is not inputs.database(outer):
             raise ValueError("outer_retriever must read from the outer database")
         self._outer_retriever = outer_retriever
-        self._probe = QueryProbe(inputs.database(self.inner))
+        self._probe = QueryProbe(
+            inputs.database(self.inner), resilience=resilience
+        )
+
+    @property
+    def outer_retriever(self) -> DocumentRetriever:
+        """The outer side's retriever (checkpointing)."""
+        return self._outer_retriever
+
+    @property
+    def probe(self) -> QueryProbe:
+        """The inner side's query probe (checkpointing)."""
+        return self._probe
 
     def run(
         self,
@@ -126,7 +140,14 @@ class OuterInnerJoin(JoinAlgorithm):
                     break
                 if not self._inner_budget_open(budgets, processed):
                     break
-                fresh = self._probe.issue(query)
+                try:
+                    fresh = self._probe.issue(query)
+                except AccessFailedError:
+                    # Failed access ≠ empty probe: no tQ charge, the query
+                    # stays un-issued so a later outer tuple with the same
+                    # value can retry it, and the s(a) sample frequencies
+                    # see nothing.
+                    continue
                 time.add(inner_costs.charge(queries=1, retrieved=len(fresh)))
                 inner_extractor = self.inputs.extractor(inner)
                 for inner_doc in fresh:

@@ -12,12 +12,13 @@ queries touch — capped further by the search interface's top-k limit.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..core.preferences import QualityRequirement
 from ..core.quality import TimeBreakdown
 from ..core.types import ExtractedTuple
 from ..retrieval.queries import Query, QueryProbe
+from ..robustness.context import AccessFailedError
 from .base import (
     UNLIMITED,
     Budgets,
@@ -36,22 +37,46 @@ class ZigZagJoin(JoinAlgorithm):
     in the paper's example, which starts from a seed company query.
     """
 
+    #: how often one query may fail with an access error before it is
+    #: dropped instead of requeued
+    MAX_QUERY_FAILURES = 2
+
     def __init__(
         self,
         inputs: JoinInputs,
         seed_queries: Sequence[Query],
         costs: Optional[CostModel] = None,
         estimator: Optional[QualityEstimator] = None,
+        resilience=None,
     ) -> None:
-        super().__init__(inputs, costs, estimator)
+        super().__init__(inputs, costs, estimator, resilience)
         if not seed_queries:
             raise ValueError("ZGJN needs at least one seed query")
         self._seeds = list(seed_queries)
         self._probes = {
-            1: QueryProbe(inputs.database1),
-            2: QueryProbe(inputs.database2),
+            1: QueryProbe(inputs.database1, resilience=resilience),
+            2: QueryProbe(inputs.database2, resilience=resilience),
         }
         self._queues: Optional[Dict[int, Deque[Query]]] = None
+        #: per-query access-failure counts (for bounded requeueing)
+        self._query_failures: Dict[Tuple[int, Tuple[str, ...]], int] = {}
+
+    def probe(self, side: int) -> QueryProbe:
+        """This side's query probe (checkpointing)."""
+        return self._probes[side]
+
+    def queue(self, side: int) -> Deque[Query]:
+        """This side's pending query queue (checkpointing)."""
+        if self._queues is None:
+            self._queues = {1: deque(self._seeds), 2: deque()}
+        return self._queues[side]
+
+    def restore_queues(self, queues: Dict[int, Sequence[Query]]) -> None:
+        """Replace both pending queues (checkpoint restore)."""
+        self._queues = {
+            1: deque(queues.get(1, ())),
+            2: deque(queues.get(2, ())),
+        }
 
     def run(
         self,
@@ -128,7 +153,17 @@ class ZigZagJoin(JoinAlgorithm):
         if probe.already_issued(query):
             return
         costs = self.costs.side(side)
-        fresh = probe.issue(query)
+        try:
+            fresh = probe.issue(query)
+        except AccessFailedError:
+            # Failed access ≠ empty result: nothing is charged or recorded.
+            # Requeue the query (at the back, bounded) so a recovering
+            # service still gets asked; drop it after repeated failures.
+            key = (side, query.tokens)
+            self._query_failures[key] = self._query_failures.get(key, 0) + 1
+            if self._query_failures[key] < self.MAX_QUERY_FAILURES:
+                queues[side].append(query)
+            return
         time.add(costs.charge(queries=1, retrieved=len(fresh)))
         extractor = self.inputs.extractor(side)
         new_tuples: List[ExtractedTuple] = []

@@ -31,7 +31,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.plan import JoinPlanSpec
 from ..core.preferences import QualityRequirement
@@ -45,6 +45,8 @@ from ..joins.base import JoinInputs
 from ..joins.stats_collector import RelationObservations
 from ..models.parameters import SideStatistics
 from ..retrieval.scan import ScanRetriever
+from ..robustness.context import AccessPathUnavailable
+from ..robustness.degradation import split_path, surviving_plans
 from .binder import ExecutionEnvironment, bind_plan, budgets_from_evaluation
 from .catalog import StatisticsCatalog
 from .optimizer import JoinOptimizer, OptimizationResult, PlanEvaluation
@@ -127,6 +129,13 @@ class AdaptiveResult:
     rounds: int
     #: number of mid-flight plan switches (0 without reoptimization points)
     plan_switches: int = 0
+    #: access paths whose circuit breaker opened mid-run, in the order the
+    #: optimizer degraded around them (empty = no degradation happened)
+    degraded_paths: Tuple[str, ...] = ()
+    #: simulated seconds spent inside executors that later hit a dead
+    #: access path; carried into the final report's time (accounted, not
+    #: dropped), surfaced here so degraded runs can be audited
+    wasted_time: float = 0.0
 
     @property
     def total_time(self) -> float:
@@ -181,6 +190,9 @@ class AdaptiveJoinExecutor:
         if any(not 0.0 < point < 1.0 for point in points):
             raise ValueError("reoptimization points must lie in (0, 1)")
         self.reoptimization_points = points
+        #: how many opened access paths the executor will degrade around
+        #: before giving up and propagating :class:`AccessPathUnavailable`
+        self.max_degradations = 4
 
     # -- pilot ----------------------------------------------------------------
 
@@ -195,9 +207,10 @@ class AdaptiveJoinExecutor:
         )
         pilot = IndependentJoin(
             inputs,
-            retriever1=ScanRetriever(env.database1),
-            retriever2=ScanRetriever(env.database2),
+            retriever1=ScanRetriever(env.database1, resilience=env.resilience),
+            retriever2=ScanRetriever(env.database2, resilience=env.resilience),
             costs=env.costs,
+            resilience=env.resilience,
         )
         return pilot.run(
             budgets=Budgets(
@@ -421,7 +434,7 @@ class AdaptiveJoinExecutor:
         target_good = int(
             math.ceil(requirement.tau_good * (1.0 + self.feasibility_margin))
         )
-        execution, chosen, switches = self._execute(
+        execution, chosen, switches, degraded, wasted = self._execute(
             requirement, target_good, chosen, (estimate1, estimate2), pilot
         )
         return AdaptiveResult(
@@ -433,6 +446,8 @@ class AdaptiveJoinExecutor:
             estimates=(estimate1, estimate2),
             rounds=rounds,
             plan_switches=switches,
+            degraded_paths=tuple(degraded),
+            wasted_time=wasted,
         )
 
     # -- execution (with optional mid-flight re-optimization) -------------------
@@ -499,53 +514,114 @@ class AdaptiveJoinExecutor:
             )
         return (estimates[0], estimates[1]), merged
 
+    def _side_of_path(self, path: str) -> int:
+        """Which join side an access path belongs to (by database name)."""
+        name, _ = split_path(path)
+        if name == self.environment.database1.name:
+            return 1
+        if name == self.environment.database2.name:
+            return 2
+        raise ValueError(f"access path {path!r} matches neither database")
+
+    def _reoptimize(self, plans, requirement, estimates, pilot):
+        """Optimize *plans* under the current estimates; None if infeasible."""
+        catalog = self._catalog(
+            estimates[0],
+            estimates[1],
+            pilot.observations.side(1),
+            pilot.observations.side(2),
+        )
+        optimizer = JoinOptimizer(
+            catalog,
+            costs=self.environment.costs,
+            feasibility_margin=self.feasibility_margin,
+        )
+        return optimizer.optimize(plans, requirement)
+
+    def _carry_over(self, old_executor, chosen, estimates):
+        """Bind *chosen* and move the old executor's tuples and time into it.
+
+        This is the Section VI "build on the current execution" option:
+        nothing already extracted is re-paid, and the old executor's
+        simulated time flows into the new session so the final report
+        accounts for every second spent.
+        """
+        old_state = old_executor.session.state
+        old_time = old_executor.session.time
+        executor = self._build_executor(chosen.plan, estimates)
+        executor.session.state.add_left(list(old_state.left))
+        executor.session.state.add_right(list(old_state.right))
+        executor.session.time.add(old_time)
+        return executor
+
     def _execute(self, requirement, target_good, chosen, estimates, pilot):
         """Run the chosen plan, optionally re-optimizing at milestones.
 
         Returns (final execution, final evaluation, number of plan
-        switches).  On a switch, the produced base tuples are carried into
-        the new plan's executor — the Section VI "build on the current
-        execution" option.
+        switches, degraded access paths, wasted time).  On a switch, the
+        produced base tuples are carried into the new plan's executor —
+        the Section VI "build on the current execution" option.
+
+        When a circuit breaker opens (an executor raises
+        :class:`AccessPathUnavailable`), the optimizer *degrades*: it
+        drops every plan that needs the dead path, re-optimizes over the
+        survivors, and resumes from the tuples already produced.  The time
+        spent inside the failed executor is carried into the replacement
+        (and reported as ``wasted_time``), so degradation never makes a
+        run look cheaper than it was.
         """
         executor = self._build_executor(chosen.plan, estimates)
         switches = 0
+        degraded: List[str] = []
+        wasted = 0.0
+        plans = list(self.plans)
         milestones = [
             max(1, int(math.ceil(point * target_good)))
             for point in self.reoptimization_points
         ] + [target_good]
         execution = None
-        for milestone in milestones:
+        index = 0
+        while index < len(milestones):
+            milestone = milestones[index]
             partial = QualityRequirement(
                 tau_good=milestone, tau_bad=requirement.tau_bad
             )
-            execution = executor.run(
-                requirement=partial,
-                budgets=budgets_from_evaluation(chosen.plan, chosen, slack=3.0),
-            )
+            try:
+                execution = executor.run(
+                    requirement=partial,
+                    budgets=budgets_from_evaluation(
+                        chosen.plan, chosen, slack=3.0
+                    ),
+                )
+            except AccessPathUnavailable as failure:
+                if len(degraded) >= self.max_degradations:
+                    raise
+                side = self._side_of_path(failure.path)
+                _, operation = split_path(failure.path)
+                plans = surviving_plans(plans, side, operation)
+                result = (
+                    self._reoptimize(plans, requirement, estimates, pilot)
+                    if plans
+                    else None
+                )
+                if result is None or result.chosen is None:
+                    raise
+                degraded.append(failure.path)
+                wasted += executor.session.time.total
+                chosen = result.chosen
+                executor = self._carry_over(executor, chosen, estimates)
+                continue  # retry the same milestone on the new plan
+            index += 1
             if milestone >= target_good:
                 break
             # Re-estimate from everything observed, re-optimize the rest.
             new_estimates, _ = self._reestimate_with_execution(pilot, execution)
-            catalog = self._catalog(
-                new_estimates[0],
-                new_estimates[1],
-                pilot.observations.side(1),
-                pilot.observations.side(2),
-            )
-            optimizer = JoinOptimizer(
-                catalog,
-                costs=self.environment.costs,
-                feasibility_margin=self.feasibility_margin,
-            )
-            result = optimizer.optimize(self.plans, requirement)
+            result = self._reoptimize(plans, requirement, new_estimates, pilot)
             if result.chosen is None or result.chosen.plan == chosen.plan:
                 continue
             # Switch: bind the new plan and carry the produced tuples over.
             switches += 1
-            old_state = executor.session.state
             chosen = result.chosen
             estimates = new_estimates
-            executor = self._build_executor(chosen.plan, estimates)
-            executor.session.state.add_left(list(old_state.left))
-            executor.session.state.add_right(list(old_state.right))
-        return execution, chosen, switches
+            executor = self._carry_over(executor, chosen, estimates)
+        return execution, chosen, switches, degraded, wasted

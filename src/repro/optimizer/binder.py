@@ -28,6 +28,7 @@ from ..retrieval.classifier import RuleClassifier
 from ..retrieval.filtered_scan import FilteredScanRetriever
 from ..retrieval.queries import Query
 from ..retrieval.scan import ScanRetriever
+from ..robustness.context import ResilienceContext
 from ..textdb.database import TextDatabase
 from .optimizer import PlanEvaluation
 
@@ -47,6 +48,9 @@ class ExecutionEnvironment:
     seed_queries: Sequence[Query] = ()
     costs: CostModel = field(default_factory=CostModel)
     join_attribute: Optional[str] = None
+    #: shared fault-handling context (installed by
+    #: :func:`repro.robustness.environment.harden`); None = raw access
+    resilience: Optional[ResilienceContext] = None
 
     def database(self, side: int) -> TextDatabase:
         return self.database1 if side == 1 else self.database2
@@ -58,19 +62,21 @@ class ExecutionEnvironment:
     def retriever(self, side: int, kind: RetrievalKind) -> DocumentRetriever:
         database = self.database(side)
         if kind is RetrievalKind.SCAN:
-            return ScanRetriever(database)
+            return ScanRetriever(database, resilience=self.resilience)
         if kind is RetrievalKind.FILTERED_SCAN:
             classifier = self.classifier1 if side == 1 else self.classifier2
             if classifier is None:
                 raise ValueError(f"no classifier bound for side {side}")
-            return FilteredScanRetriever(database, classifier)
+            return FilteredScanRetriever(
+                database, classifier, resilience=self.resilience
+            )
         if kind is RetrievalKind.AQG:
             queries = (
                 self.learned_queries1 if side == 1 else self.learned_queries2
             )
             if not queries:
                 raise ValueError(f"no learned queries bound for side {side}")
-            return AQGRetriever(database, queries)
+            return AQGRetriever(database, queries, resilience=self.resilience)
         raise ValueError(f"{kind} is not an explicit retrieval strategy")
 
 
@@ -94,6 +100,7 @@ def bind_plan(
             retriever2=environment.retriever(2, plan.retrieval2),
             costs=environment.costs,
             estimator=estimator,
+            resilience=environment.resilience,
         )
     if plan.join is JoinKind.OIJN:
         return OuterInnerJoin(
@@ -104,6 +111,7 @@ def bind_plan(
             costs=environment.costs,
             estimator=estimator,
             outer=plan.outer,
+            resilience=environment.resilience,
         )
     if not environment.seed_queries:
         raise ValueError("ZGJN needs seed queries in the environment")
@@ -112,6 +120,7 @@ def bind_plan(
         seed_queries=environment.seed_queries,
         costs=environment.costs,
         estimator=estimator,
+        resilience=environment.resilience,
     )
 
 

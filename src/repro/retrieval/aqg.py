@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.types import DocumentClass
+from ..robustness.context import AccessFailedError, ResilienceContext
 from ..textdb.database import TextDatabase
 from ..textdb.document import Document
 from .base import DocumentRetriever
@@ -124,24 +125,54 @@ def offline_query_stats(
 
 
 class AQGRetriever(DocumentRetriever):
-    """Issues learned queries in order; yields unseen matching documents."""
+    """Issues learned queries in order; yields unseen matching documents.
+
+    Under a resilience context, a learned query whose search access fails
+    permanently is dropped (the context records the failure) and the
+    retriever moves on to the next query — the failed attempt never counts
+    as an issued query, so it cannot masquerade as "matched nothing".
+    """
 
     def __init__(
         self,
         database: TextDatabase,
         queries: Sequence[LearnedQuery],
+        resilience: Optional[ResilienceContext] = None,
     ) -> None:
-        super().__init__(database)
+        super().__init__(database, resilience)
         if not queries:
             raise ValueError("AQG needs at least one learned query")
         self._queries: List[Query] = [lq.query for lq in queries]
-        self._probe = QueryProbe(database)
+        self._probe = QueryProbe(database, resilience=resilience)
         self._buffer: List[Document] = []
         self._next_query = 0
 
     @property
     def queries_remaining(self) -> int:
         return len(self._queries) - self._next_query
+
+    @property
+    def next_query_index(self) -> int:
+        """Index of the next learned query to issue (checkpointing)."""
+        return self._next_query
+
+    @property
+    def probe(self) -> QueryProbe:
+        """The underlying query probe (checkpointing)."""
+        return self._probe
+
+    def buffered_ids(self) -> List[int]:
+        """Doc ids retrieved but not yet handed out (checkpointing)."""
+        return [doc.doc_id for doc in self._buffer]
+
+    def restore_progress(
+        self, next_query: int, buffer: Sequence[Document]
+    ) -> None:
+        """Reset cursor and pending buffer (checkpoint restore)."""
+        if not 0 <= next_query <= len(self._queries):
+            raise ValueError(f"query cursor {next_query} out of range")
+        self._next_query = next_query
+        self._buffer = list(buffer)
 
     @property
     def exhausted(self) -> bool:
@@ -151,7 +182,11 @@ class AQGRetriever(DocumentRetriever):
         while not self._buffer and self._next_query < len(self._queries):
             query = self._queries[self._next_query]
             self._next_query += 1
-            fresh = self._probe.issue(query)
+            try:
+                fresh = self._probe.issue(query)
+            except AccessFailedError:
+                # The query could not be asked; move on to the next one.
+                continue
             self.counters.queries_issued += 1
             self.counters.retrieved += len(fresh)
             self._buffer.extend(fresh)

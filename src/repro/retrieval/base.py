@@ -18,10 +18,14 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional, TypeVar
 
+from ..robustness.context import ResilienceContext
+from ..robustness.degradation import access_path
 from ..textdb.database import TextDatabase
 from ..textdb.document import Document
+
+T = TypeVar("T")
 
 
 @dataclass
@@ -48,9 +52,31 @@ class DocumentRetriever(abc.ABC):
     #: is charged filtering time tF by the execution-time model).
     filters_documents: bool = False
 
-    def __init__(self, database: TextDatabase) -> None:
+    def __init__(
+        self,
+        database: TextDatabase,
+        resilience: Optional[ResilienceContext] = None,
+    ) -> None:
         self.database = database
         self.counters = RetrievalCounters()
+        #: optional fault-handling context; when None, database calls go
+        #: through raw (the original zero-overhead path)
+        self.resilience = resilience
+
+    def _access(self, operation: str, fn: Callable[[], T]) -> T:
+        """One database access, via the resilience context when present.
+
+        With a context, a retryable fault may surface as
+        :class:`~repro.robustness.context.AccessFailedError` (retries
+        exhausted — the caller skips or requeues the unit of work) or
+        :class:`~repro.robustness.context.AccessPathUnavailable` (circuit
+        open — propagates so the optimizer can degrade gracefully).
+        """
+        if self.resilience is None:
+            return fn()
+        return self.resilience.call(
+            access_path(self.database.name, operation), fn
+        )
 
     @abc.abstractmethod
     def next_document(self) -> Optional[Document]:

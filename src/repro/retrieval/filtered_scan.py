@@ -6,12 +6,17 @@ cost tF per retrieved document instead of extraction cost tE.  Since the
 classifier also rejects some good documents (its true-positive rate Ctp is
 below one), FS trades reachable recall for speed and cleanliness
 (Section III-B).
+
+Failure semantics under a resilience context match
+:class:`~repro.retrieval.scan.ScanRetriever`: permanently unreachable
+documents are skipped and counted as lost, never as retrieved or rejected.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
+from ..robustness.context import AccessFailedError, ResilienceContext
 from ..textdb.database import TextDatabase
 from ..textdb.document import Document
 from .base import DocumentRetriever
@@ -23,8 +28,13 @@ class FilteredScanRetriever(DocumentRetriever):
 
     filters_documents = True
 
-    def __init__(self, database: TextDatabase, classifier: RuleClassifier) -> None:
-        super().__init__(database)
+    def __init__(
+        self,
+        database: TextDatabase,
+        classifier: RuleClassifier,
+        resilience: Optional[ResilienceContext] = None,
+    ) -> None:
+        super().__init__(database, resilience)
         self.classifier = classifier
         self._order: List[int] = database.scan_order()
         self._position = 0
@@ -37,13 +47,25 @@ class FilteredScanRetriever(DocumentRetriever):
     def position(self) -> int:
         return self._position
 
+    def restore_position(self, position: int) -> None:
+        """Move the cursor (checkpoint restore)."""
+        if not 0 <= position <= len(self._order):
+            raise ValueError(f"scan position {position} out of range")
+        self._position = position
+
     def next_document(self) -> Optional[Document]:
         """Next accepted document; rejected ones are counted, not returned."""
         while self._position < len(self._order):
             doc_id = self._order[self._position]
+            try:
+                doc = self._access("fetch", lambda: self.database.get(doc_id))
+            except AccessFailedError:
+                self._position += 1
+                if self.resilience is not None:
+                    self.resilience.documents_lost += 1
+                continue
             self._position += 1
             self.counters.retrieved += 1
-            doc = self.database.get(doc_id)
             if self.classifier.classify(doc):
                 return doc
             self.counters.rejected += 1

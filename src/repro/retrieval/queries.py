@@ -11,9 +11,11 @@ statistics the models need — hit count ``H(q)`` and precision ``P(q)``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..core.types import DocumentClass
+from ..robustness.context import AccessFailedError, ResilienceContext
+from ..robustness.degradation import access_path
 from ..textdb.database import TextDatabase
 from ..textdb.document import Document
 
@@ -99,27 +101,71 @@ class QueryProbe:
     never charged or processed twice.  ``queries_issued`` counts every
     issue — including ones that return nothing new — because the time
     model charges tQ per issued query regardless of its yield.
+
+    Failure semantics (with a resilience context): a search whose access
+    fails raises — it is *not* an empty result, is not counted as issued,
+    and is not remembered in :meth:`already_issued`, so callers can retry
+    the query later without skewing the s(a) sample frequencies the MLE
+    estimator reads.  A matching document whose fetch fails is skipped and
+    left out of ``seen`` so a later query may reach it.
     """
 
-    def __init__(self, database: TextDatabase) -> None:
+    def __init__(
+        self,
+        database: TextDatabase,
+        resilience: Optional[ResilienceContext] = None,
+    ) -> None:
         self.database = database
         self.seen: Set[int] = set()
         self.queries_issued = 0
         self.documents_retrieved = 0
+        self.resilience = resilience
         self._issued: Set[Tuple[str, ...]] = set()
 
     def already_issued(self, query: Query) -> bool:
         return query.tokens in self._issued
 
+    @property
+    def issued_queries(self) -> FrozenSet[Tuple[str, ...]]:
+        """Token tuples of every successfully issued query (checkpointing)."""
+        return frozenset(self._issued)
+
+    def restore_issued(self, issued: Iterable[Tuple[str, ...]]) -> None:
+        """Replace the issued-query memory (checkpoint restore)."""
+        self._issued = {tuple(tokens) for tokens in issued}
+
+    def _access(self, operation: str, fn):
+        if self.resilience is None:
+            return fn()
+        return self.resilience.call(
+            access_path(self.database.name, operation), fn
+        )
+
     def issue(self, query: Query) -> List[Document]:
-        """Issue *query*; return the unseen documents among its top-k."""
+        """Issue *query*; return the unseen documents among its top-k.
+
+        Raises :class:`~repro.robustness.context.AccessFailedError` or
+        :class:`~repro.robustness.context.AccessPathUnavailable` when the
+        search access fails — deliberately distinct from returning ``[]``
+        (a successful query that matched nothing new).
+        """
+        match_ids = self._access(
+            "search", lambda: self.database.search(query.tokens)
+        )
+        # Only a search that actually answered counts as issued.
         self.queries_issued += 1
         self._issued.add(query.tokens)
         fresh: List[Document] = []
-        for doc_id in self.database.search(query.tokens):
+        for doc_id in match_ids:
             if doc_id in self.seen:
+                continue
+            try:
+                doc = self._access("fetch", lambda: self.database.get(doc_id))
+            except AccessFailedError:
+                if self.resilience is not None:
+                    self.resilience.documents_lost += 1
                 continue
             self.seen.add(doc_id)
             self.documents_retrieved += 1
-            fresh.append(self.database.get(doc_id))
+            fresh.append(doc)
         return fresh

@@ -1,0 +1,308 @@
+"""Checkpoint/resume of join execution state.
+
+An interrupted join execution has already paid for document retrieval and
+extraction; resuming from scratch re-pays all of it.  This module
+serializes everything a :class:`~repro.joins.base.JoinAlgorithm` session
+holds — the ripple cursor (retriever positions / probe state / query
+queues), accumulated relations, per-side processed counts, simulated time,
+and :class:`~repro.joins.stats_collector.ObservationCollector` counts —
+into a JSON-compatible dict, and restores it into a freshly constructed
+executor of the same shape.
+
+The contract: for a deterministic execution, ``run→checkpoint→restore→run``
+produces an :class:`~repro.core.quality.ExecutionReport` identical to the
+uninterrupted run (same join composition, counters, and simulated time).
+
+Quality estimators are not serialized.  The built-in estimators
+(:class:`~repro.joins.base.ActualQuality`,
+:class:`~repro.optimizer.adaptive.PosteriorQuality`) re-derive their
+accumulators from the restored join state on their first ``estimate``
+call, so they need no state of their own in the snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..core.quality import TimeBreakdown
+from ..core.types import ExtractedTuple
+from ..joins.base import JoinAlgorithm
+from ..joins.idjn import IndependentJoin
+from ..joins.oijn import OuterInnerJoin
+from ..joins.stats_collector import RelationObservations
+from ..joins.zgjn import ZigZagJoin
+from ..retrieval.aqg import AQGRetriever
+from ..retrieval.base import DocumentRetriever
+from ..retrieval.filtered_scan import FilteredScanRetriever
+from ..retrieval.queries import Query, QueryProbe
+from ..retrieval.scan import ScanRetriever
+from .faults import raw_database
+
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """The snapshot does not fit the executor it is being restored into."""
+
+
+# -- leaf (de)serializers ----------------------------------------------------
+
+
+def _tuple_to_dict(tup: ExtractedTuple) -> Dict[str, Any]:
+    return {
+        "relation": tup.relation,
+        "values": list(tup.values),
+        "document_id": tup.document_id,
+        "confidence": tup.confidence,
+        "is_good": tup.is_good,
+    }
+
+
+def _tuple_from_dict(data: Dict[str, Any]) -> ExtractedTuple:
+    return ExtractedTuple(
+        relation=data["relation"],
+        values=tuple(data["values"]),
+        document_id=data["document_id"],
+        confidence=data["confidence"],
+        is_good=data["is_good"],
+    )
+
+
+def _observations_to_dict(obs: RelationObservations) -> Dict[str, Any]:
+    return {
+        "relation": obs.relation,
+        "attribute_index": obs.attribute_index,
+        "documents_processed": obs.documents_processed,
+        "productive_documents": obs.productive_documents,
+        "sample_frequency": dict(obs.sample_frequency),
+        "tuples_per_document": {
+            str(k): v for k, v in obs.tuples_per_document.items()
+        },
+        "value_confidences": {
+            value: list(confs) for value, confs in obs.value_confidences.items()
+        },
+    }
+
+
+def _restore_observations(
+    obs: RelationObservations, data: Dict[str, Any]
+) -> None:
+    if obs.relation != data["relation"]:
+        raise CheckpointError(
+            f"snapshot observes relation {data['relation']!r}, "
+            f"executor collects {obs.relation!r}"
+        )
+    obs.attribute_index = data["attribute_index"]
+    obs.documents_processed = data["documents_processed"]
+    obs.productive_documents = data["productive_documents"]
+    obs.sample_frequency.clear()
+    obs.sample_frequency.update(data["sample_frequency"])
+    obs.tuples_per_document.clear()
+    obs.tuples_per_document.update(
+        {int(k): v for k, v in data["tuples_per_document"].items()}
+    )
+    obs.value_confidences.clear()
+    obs.value_confidences.update(
+        {value: list(confs) for value, confs in data["value_confidences"].items()}
+    )
+
+
+def _probe_to_dict(probe: QueryProbe) -> Dict[str, Any]:
+    return {
+        "seen": sorted(probe.seen),
+        "queries_issued": probe.queries_issued,
+        "documents_retrieved": probe.documents_retrieved,
+        "issued": sorted(list(tokens) for tokens in probe.issued_queries),
+    }
+
+
+def _restore_probe(probe: QueryProbe, data: Dict[str, Any]) -> None:
+    probe.seen.clear()
+    probe.seen.update(data["seen"])
+    probe.queries_issued = data["queries_issued"]
+    probe.documents_retrieved = data["documents_retrieved"]
+    probe.restore_issued(tuple(tokens) for tokens in data["issued"])
+
+
+def _retriever_to_dict(retriever: DocumentRetriever) -> Dict[str, Any]:
+    counters = {
+        "retrieved": retriever.counters.retrieved,
+        "rejected": retriever.counters.rejected,
+        "queries_issued": retriever.counters.queries_issued,
+    }
+    if isinstance(retriever, ScanRetriever):
+        return {"kind": "scan", "position": retriever.position, "counters": counters}
+    if isinstance(retriever, FilteredScanRetriever):
+        return {
+            "kind": "filtered_scan",
+            "position": retriever.position,
+            "counters": counters,
+        }
+    if isinstance(retriever, AQGRetriever):
+        return {
+            "kind": "aqg",
+            "next_query": retriever.next_query_index,
+            "buffer": retriever.buffered_ids(),
+            "probe": _probe_to_dict(retriever.probe),
+            "counters": counters,
+        }
+    raise CheckpointError(
+        f"cannot checkpoint retriever type {type(retriever).__name__}"
+    )
+
+
+def _restore_retriever(
+    retriever: DocumentRetriever, data: Dict[str, Any]
+) -> None:
+    kinds = {
+        ScanRetriever: "scan",
+        FilteredScanRetriever: "filtered_scan",
+        AQGRetriever: "aqg",
+    }
+    expected = kinds.get(type(retriever))
+    if expected != data["kind"]:
+        raise CheckpointError(
+            f"snapshot holds a {data['kind']!r} retriever, executor has "
+            f"{type(retriever).__name__}"
+        )
+    counters = data["counters"]
+    retriever.counters.retrieved = counters["retrieved"]
+    retriever.counters.rejected = counters["rejected"]
+    retriever.counters.queries_issued = counters["queries_issued"]
+    if isinstance(retriever, (ScanRetriever, FilteredScanRetriever)):
+        retriever.restore_position(data["position"])
+    else:
+        assert isinstance(retriever, AQGRetriever)
+        # Re-fetch buffered documents from the (unwrapped) database: the
+        # buffer holds retrieved-but-unprocessed documents, already paid
+        # for before the checkpoint, so the refetch bypasses fault
+        # injection and charges nothing.
+        database = raw_database(retriever.database)
+        retriever.restore_progress(
+            next_query=data["next_query"],
+            buffer=[database.get(doc_id) for doc_id in data["buffer"]],
+        )
+        _restore_probe(retriever.probe, data["probe"])
+
+
+# -- executor snapshots ------------------------------------------------------
+
+
+def checkpoint_execution(executor: JoinAlgorithm) -> Dict[str, Any]:
+    """Snapshot *executor*'s session as a JSON-compatible dict."""
+    session = executor.session
+    state = session.state
+    snapshot: Dict[str, Any] = {
+        "version": CHECKPOINT_VERSION,
+        "algorithm": type(executor).__name__,
+        "processed": {str(k): v for k, v in session.processed.items()},
+        "time": {
+            "retrieval": session.time.retrieval,
+            "extraction": session.time.extraction,
+            "filtering": session.time.filtering,
+            "querying": session.time.querying,
+        },
+        "left": [_tuple_to_dict(t) for t in state.left],
+        "right": [_tuple_to_dict(t) for t in state.right],
+        "observations": {
+            str(side): _observations_to_dict(session.collector.side(side))
+            for side in (1, 2)
+        },
+    }
+    if isinstance(executor, IndependentJoin):
+        snapshot["retrievers"] = {
+            str(side): _retriever_to_dict(executor.retriever(side))
+            for side in (1, 2)
+        }
+    elif isinstance(executor, OuterInnerJoin):
+        snapshot["outer_retriever"] = _retriever_to_dict(
+            executor.outer_retriever
+        )
+        snapshot["probe"] = _probe_to_dict(executor.probe)
+    elif isinstance(executor, ZigZagJoin):
+        snapshot["queues"] = {
+            str(side): [list(q.tokens) for q in executor.queue(side)]
+            for side in (1, 2)
+        }
+        snapshot["probes"] = {
+            str(side): _probe_to_dict(executor.probe(side)) for side in (1, 2)
+        }
+    else:
+        raise CheckpointError(
+            f"cannot checkpoint executor type {type(executor).__name__}"
+        )
+    return snapshot
+
+
+def restore_execution(
+    executor: JoinAlgorithm, snapshot: Dict[str, Any]
+) -> None:
+    """Load *snapshot* into a freshly constructed, unstarted *executor*."""
+    if snapshot.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {snapshot.get('version')!r}"
+        )
+    if snapshot["algorithm"] != type(executor).__name__:
+        raise CheckpointError(
+            f"snapshot of {snapshot['algorithm']} cannot restore into "
+            f"{type(executor).__name__}"
+        )
+    if executor.started:
+        raise CheckpointError("restore target must be an unstarted executor")
+    session = executor.session
+    # Re-adding the base tuples in their original insertion order rebuilds
+    # the ripple-join results and composition deterministically.
+    session.state.add_left(
+        [_tuple_from_dict(d) for d in snapshot["left"]]
+    )
+    session.state.add_right(
+        [_tuple_from_dict(d) for d in snapshot["right"]]
+    )
+    session.processed.update(
+        {int(k): v for k, v in snapshot["processed"].items()}
+    )
+    time = snapshot["time"]
+    session.time.add(
+        TimeBreakdown(
+            retrieval=time["retrieval"],
+            extraction=time["extraction"],
+            filtering=time["filtering"],
+            querying=time["querying"],
+        )
+    )
+    for side in (1, 2):
+        _restore_observations(
+            session.collector.side(side), snapshot["observations"][str(side)]
+        )
+    if isinstance(executor, IndependentJoin):
+        for side in (1, 2):
+            _restore_retriever(
+                executor.retriever(side), snapshot["retrievers"][str(side)]
+            )
+    elif isinstance(executor, OuterInnerJoin):
+        _restore_retriever(
+            executor.outer_retriever, snapshot["outer_retriever"]
+        )
+        _restore_probe(executor.probe, snapshot["probe"])
+    elif isinstance(executor, ZigZagJoin):
+        executor.restore_queues(
+            {
+                int(side): [Query(tokens=tuple(t)) for t in queue]
+                for side, queue in snapshot["queues"].items()
+            }
+        )
+        for side in (1, 2):
+            _restore_probe(executor.probe(side), snapshot["probes"][str(side)])
+
+
+def save_checkpoint(executor: JoinAlgorithm, path: str) -> None:
+    """Checkpoint *executor* to a JSON file at *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(checkpoint_execution(executor), handle)
+
+
+def load_checkpoint(executor: JoinAlgorithm, path: str) -> None:
+    """Restore *executor* from a JSON checkpoint file at *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        restore_execution(executor, json.load(handle))

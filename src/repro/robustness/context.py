@@ -1,0 +1,169 @@
+"""The resilience context: retry + breaker + accounting for one execution.
+
+Retrieval strategies and query probes route every database access through
+:meth:`ResilienceContext.call` instead of calling the database raw.  The
+context:
+
+* consults the access path's :class:`~repro.robustness.breaker.CircuitBreaker`
+  and rejects immediately (raising :class:`AccessPathUnavailable`) when the
+  path is down;
+* retries retryable faults under the :class:`~repro.robustness.retry.RetryPolicy`,
+  accounting simulated backoff time;
+* raises :class:`AccessFailedError` when one operation exhausts its retry
+  allowance — callers must treat this as *access failed*, never as "the
+  query matched nothing";
+* aggregates everything into a
+  :class:`~repro.core.quality.ResilienceReport` for the execution report.
+
+One context is shared by every retriever/probe/executor of one logical
+execution (including adaptive re-planning across plan switches), so the
+final report covers the whole run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, List, Optional, TypeVar
+
+from ..core.quality import ResilienceReport
+from .breaker import CircuitBreaker
+from .faults import RETRYABLE_ERRORS, FaultInjectingDatabase
+from .retry import RetryPolicy
+
+T = TypeVar("T")
+
+
+class AccessFailedError(RuntimeError):
+    """One database operation failed even after retrying.
+
+    Distinct from an empty result: callers skip or requeue the operation
+    and must not record it as "matched nothing" (which would silently skew
+    the s(a) sample frequencies feeding the MLE estimator).
+    """
+
+    def __init__(self, path: str, cause: Optional[BaseException] = None) -> None:
+        self.path = path
+        super().__init__(f"access to {path} failed after retries: {cause}")
+
+
+class AccessPathUnavailable(RuntimeError):
+    """An access path's circuit breaker is open — the path is down.
+
+    Join executors let this propagate; the adaptive optimizer catches it,
+    excludes the path from the plan space, and re-plans with what is left.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        super().__init__(f"access path {path} is unavailable (circuit open)")
+
+
+class ResilienceContext:
+    """Shared fault-handling state of one (possibly multi-plan) execution."""
+
+    def __init__(
+        self,
+        policy: Optional[RetryPolicy] = None,
+        failure_threshold: int = 5,
+        cooldown: int = 20,
+        recovery_successes: int = 2,
+    ) -> None:
+        self.policy = policy or RetryPolicy()
+        self._breaker_config = dict(
+            failure_threshold=failure_threshold,
+            cooldown=cooldown,
+            recovery_successes=recovery_successes,
+        )
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._injectors: List[FaultInjectingDatabase] = []
+        self._operations = 0
+        self.faults: Counter = Counter()
+        self.retries = 0
+        self.retries_remaining = self.policy.retry_budget
+        self.backoff_time = 0.0
+        self.failed_operations = 0
+        self.documents_lost = 0
+
+    def breaker(self, path: str) -> CircuitBreaker:
+        """The circuit breaker guarding *path* (created on first use)."""
+        if path not in self._breakers:
+            self._breakers[path] = CircuitBreaker(**self._breaker_config)
+        return self._breakers[path]
+
+    def attach_injector(self, database: FaultInjectingDatabase) -> None:
+        """Register a fault injector so its counts appear in reports."""
+        self._injectors.append(database)
+
+    def call(self, path: str, fn: Callable[[], T]) -> T:
+        """Run one database access with breaker + retry protection.
+
+        Raises :class:`AccessPathUnavailable` when the breaker rejects the
+        call, :class:`AccessFailedError` when retries are exhausted, and
+        returns ``fn()``'s result otherwise.
+        """
+        breaker = self.breaker(path)
+        if not breaker.allow():
+            raise AccessPathUnavailable(path)
+        self._operations += 1
+        delays = self.policy.delays(f"{path}|{self._operations}")
+        attempts = 0
+        spent = 0.0
+        while True:
+            attempts += 1
+            try:
+                result = fn()
+            except RETRYABLE_ERRORS as exc:
+                self.faults[type(exc).__name__] += 1
+                breaker.record_failure()
+                if breaker.is_open:
+                    self.failed_operations += 1
+                    raise AccessPathUnavailable(path) from exc
+                if not self._may_retry(attempts, spent):
+                    self.failed_operations += 1
+                    raise AccessFailedError(path, exc) from exc
+                delay = next(delays)
+                if (
+                    self.policy.deadline is not None
+                    and spent + delay > self.policy.deadline
+                ):
+                    self.failed_operations += 1
+                    raise AccessFailedError(path, exc) from exc
+                spent += delay
+                self.backoff_time += delay
+                self.retries += 1
+                if self.retries_remaining is not None:
+                    self.retries_remaining -= 1
+            else:
+                breaker.record_success()
+                return result
+
+    def _may_retry(self, attempts: int, spent: float) -> bool:
+        if attempts >= self.policy.max_attempts:
+            return False
+        if self.retries_remaining is not None and self.retries_remaining <= 0:
+            return False
+        return True
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def open_paths(self) -> List[str]:
+        return sorted(
+            path for path, b in self._breakers.items() if b.is_open
+        )
+
+    def report(self) -> ResilienceReport:
+        """Immutable snapshot of everything observed so far."""
+        truncated = sum(db.injected["truncated"] for db in self._injectors)
+        return ResilienceReport(
+            faults=dict(self.faults),
+            retries=self.retries,
+            backoff_time=self.backoff_time,
+            failed_operations=self.failed_operations,
+            documents_lost=self.documents_lost,
+            documents_truncated=truncated,
+            breaker_opens=sum(
+                b.times_opened for b in self._breakers.values()
+            ),
+            open_paths=tuple(self.open_paths),
+        )

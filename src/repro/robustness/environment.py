@@ -1,0 +1,73 @@
+"""Hardening an execution environment against access failures.
+
+:func:`harden` is the one-call entry point used by the CLI, tests, and
+benchmarks: it wraps an
+:class:`~repro.optimizer.binder.ExecutionEnvironment`'s databases in
+deterministic fault injectors (when a fault profile is given) and installs
+a shared :class:`~repro.robustness.context.ResilienceContext` that the
+whole execution stack — retrieval strategies, query probes, join
+executors, the adaptive optimizer — consults on every database access.
+
+With ``profile=None`` (or a disabled profile) the databases are left
+untouched; passing ``resilience=None`` *and* no profile returns the
+environment unchanged, preserving the raw zero-overhead path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from .context import ResilienceContext
+from .faults import FaultInjectingDatabase, FaultProfile
+from .retry import RetryPolicy
+
+
+def harden(
+    environment,
+    profile: Optional[FaultProfile] = None,
+    policy: Optional[RetryPolicy] = None,
+    failure_threshold: int = 5,
+    cooldown: int = 20,
+    recovery_successes: int = 2,
+):
+    """A copy of *environment* with fault injection and resilience wired in.
+
+    Returns the hardened environment; its ``resilience`` attribute holds
+    the shared context (for reports), and its databases are
+    :class:`FaultInjectingDatabase` wrappers when *profile* injects
+    anything.  The original environment is not modified.
+    """
+    context = ResilienceContext(
+        policy=policy,
+        failure_threshold=failure_threshold,
+        cooldown=cooldown,
+        recovery_successes=recovery_successes,
+    )
+    replacements = {"resilience": context}
+    if profile is not None and not profile.disabled:
+        database1, database2 = _wrap_databases(
+            environment.database1, environment.database2, profile, context
+        )
+        replacements["database1"] = database1
+        replacements["database2"] = database2
+    return dataclasses.replace(environment, **replacements)
+
+
+def _wrap_databases(
+    database1,
+    database2,
+    profile: FaultProfile,
+    context: ResilienceContext,
+) -> Tuple[FaultInjectingDatabase, FaultInjectingDatabase]:
+    # Derive a distinct sub-seed per side so the two databases do not fail
+    # in lockstep.
+    wrapped = []
+    for offset, database in enumerate((database1, database2)):
+        side_profile = dataclasses.replace(
+            profile, seed=profile.seed * 2 + offset
+        )
+        injector = FaultInjectingDatabase(database, side_profile)
+        context.attach_injector(injector)
+        wrapped.append(injector)
+    return wrapped[0], wrapped[1]

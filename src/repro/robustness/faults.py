@@ -1,0 +1,272 @@
+"""Fault taxonomy and deterministic fault injection for text databases.
+
+The paper assumes scan and search access always succeed; a production text
+database is a remote, rate-limited service that times out, drops
+connections, and returns truncated documents.  This module makes those
+failure modes *first-class and reproducible*:
+
+* a small exception taxonomy (:class:`TransientAccessError`,
+  :class:`AccessTimeout`, :class:`RateLimitError`) for retryable access
+  failures — plus payload truncation, which is not an error at all but a
+  silently degraded response;
+* :class:`FaultProfile`, the declarative description of how often each
+  fault fires on each access path;
+* :class:`FaultInjectingDatabase`, a wrapper over
+  :class:`~repro.textdb.database.TextDatabase` that injects faults from a
+  seeded counter-mode hash — the same seed and call sequence always yields
+  the same faults, so every failure scenario is replayable in tests and
+  benchmarks.
+
+Access paths are classified two ways, matching how the retrieval stack
+uses a database:
+
+* ``fetch`` — retrieving one document body (scan cursors and query probes
+  both fetch); subject to transient errors, timeouts, and truncation;
+* ``search`` — issuing a keyword query; subject to transient errors,
+  timeouts, and rate limiting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..textdb.database import TextDatabase
+from ..textdb.document import Document
+
+
+class AccessError(RuntimeError):
+    """Base class of injected (retryable) database-access failures."""
+
+    def __init__(self, operation: str, detail: str = "") -> None:
+        self.operation = operation
+        super().__init__(detail or f"{type(self).__name__} during {operation}")
+
+
+class TransientAccessError(AccessError):
+    """A dropped connection / 5xx-style failure; retrying usually works."""
+
+
+class AccessTimeout(AccessError):
+    """The access ran past its (simulated) time limit."""
+
+
+class RateLimitError(AccessError):
+    """The search interface rejected the query for exceeding its rate."""
+
+
+#: Exception types a retry policy is allowed to retry.
+RETRYABLE_ERRORS = (TransientAccessError, AccessTimeout, RateLimitError)
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """How often each fault kind fires, per access path.
+
+    All rates are probabilities in ``[0, 1]`` evaluated independently per
+    call from a seeded hash.  ``break_search_after`` models a search
+    service going *hard down* mid-run: once that many searches have been
+    issued, every further search fails — the scenario that exercises the
+    circuit breaker and the optimizer's graceful degradation.
+    """
+
+    #: dropped-connection rate (fetch and search)
+    transient: float = 0.0
+    #: timeout rate (fetch and search)
+    timeout: float = 0.0
+    #: rate-limit rejection rate (search only)
+    rate_limit: float = 0.0
+    #: truncated-payload rate (fetch only; degrades, does not raise)
+    truncate: float = 0.0
+    #: after this many search calls, all further searches fail (None = never)
+    break_search_after: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("transient", "timeout", "rate_limit", "truncate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be within [0, 1]")
+        if self.break_search_after is not None and self.break_search_after < 0:
+            raise ValueError("break_search_after must be non-negative")
+
+    @property
+    def disabled(self) -> bool:
+        """True when the profile can never inject anything."""
+        return (
+            self.transient == 0.0
+            and self.timeout == 0.0
+            and self.rate_limit == 0.0
+            and self.truncate == 0.0
+            and self.break_search_after is None
+        )
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultProfile":
+        """Parse a CLI fault-profile spec.
+
+        Accepts ``"none"``, a bare rate (``"0.1"`` means a 10% transient
+        rate), or comma-separated ``name=value`` pairs over the field
+        names, e.g. ``"transient=0.1,timeout=0.05,rate_limit=0.02"``.
+        """
+        text = spec.strip().lower()
+        if text in ("", "none", "off", "0"):
+            return cls(seed=seed)
+        try:
+            rate = float(text)
+        except ValueError:
+            pass
+        else:
+            return cls(transient=rate, seed=seed)
+        fields = {}
+        for part in text.split(","):
+            if "=" not in part:
+                raise ValueError(f"bad fault-profile entry {part!r}")
+            name, _, value = part.partition("=")
+            name = name.strip().replace("-", "_")
+            if name not in (
+                "transient", "timeout", "rate_limit", "truncate",
+                "break_search_after",
+            ):
+                raise ValueError(f"unknown fault kind {name!r}")
+            if name == "break_search_after":
+                fields[name] = int(value)
+            else:
+                fields[name] = float(value)
+        return cls(seed=seed, **fields)
+
+
+class FaultInjectingDatabase:
+    """A :class:`TextDatabase` lookalike that injects deterministic faults.
+
+    Wraps an inner database and exposes the same interface; every fault
+    decision comes from ``blake2b(seed | operation | call-counter)``, so a
+    given seed and call sequence replays byte-identically.  Read-only
+    metadata (size, index, scan order, hit counts) passes through
+    untouched — faults model the *access* being unreliable, not the data
+    changing.
+    """
+
+    def __init__(self, inner: TextDatabase, profile: FaultProfile) -> None:
+        self.inner = inner
+        self.profile = profile
+        #: injected faults by kind name, plus "truncated" payloads
+        self.injected: Counter = Counter()
+        self._calls: Counter = Counter()
+
+    # -- passthrough metadata ------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def max_results(self) -> int:
+        return self.inner.max_results
+
+    @property
+    def index(self):
+        return self.inner.index
+
+    @property
+    def rank_seed(self) -> int:
+        return self.inner.rank_seed
+
+    @property
+    def documents(self):
+        return self.inner.documents
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self.inner
+
+    def scan_order(self) -> List[int]:
+        return self.inner.scan_order()
+
+    def match_count(self, tokens: Sequence[str]) -> int:
+        return self.inner.match_count(tokens)
+
+    # -- fault machinery -----------------------------------------------------
+
+    def _draw(self, operation: str) -> float:
+        """Deterministic uniform [0, 1) draw for the next *operation* call."""
+        self._calls[operation] += 1
+        payload = (
+            f"{self.profile.seed}|{operation}|{self._calls[operation]}".encode()
+        )
+        raw = hashlib.blake2b(payload, digest_size=8).digest()
+        return int.from_bytes(raw, "big") / 2.0**64
+
+    def _inject(self, kind: type, operation: str) -> None:
+        self.injected[kind.__name__] += 1
+        raise kind(operation)
+
+    # -- faulty access paths -------------------------------------------------
+
+    def get(self, doc_id: int) -> Document:
+        profile = self.profile
+        if profile.transient or profile.timeout or profile.truncate:
+            draw = self._draw("fetch")
+            if draw < profile.transient:
+                self._inject(TransientAccessError, f"fetch doc {doc_id}")
+            draw -= profile.transient
+            if draw < profile.timeout:
+                self._inject(AccessTimeout, f"fetch doc {doc_id}")
+            draw -= profile.timeout
+            if draw < profile.truncate:
+                self.injected["truncated"] += 1
+                return self._truncate(self.inner.get(doc_id))
+        return self.inner.get(doc_id)
+
+    def search(
+        self, tokens: Sequence[str], max_results: Optional[int] = None
+    ) -> List[int]:
+        profile = self.profile
+        faulty = profile.transient or profile.timeout or profile.rate_limit
+        if faulty or profile.break_search_after is not None:
+            self._calls["search_total"] += 1
+            after = profile.break_search_after
+            if after is not None and self._calls["search_total"] > after:
+                self._inject(
+                    TransientAccessError,
+                    f"search {' '.join(tokens)} (service down)",
+                )
+            if faulty:
+                draw = self._draw("search")
+                if draw < profile.rate_limit:
+                    self._inject(RateLimitError, f"search {' '.join(tokens)}")
+                draw -= profile.rate_limit
+                if draw < profile.timeout:
+                    self._inject(AccessTimeout, f"search {' '.join(tokens)}")
+                draw -= profile.timeout
+                if draw < profile.transient:
+                    self._inject(
+                        TransientAccessError, f"search {' '.join(tokens)}"
+                    )
+        return self.inner.search(tokens, max_results)
+
+    def _truncate(self, doc: Document) -> Document:
+        """A copy of *doc* with the tail of its payload dropped.
+
+        Models a connection cut mid-body: roughly half the sentences
+        survive (always at least one), and mentions in dropped sentences
+        are gone — the extractor simply sees less text, which degrades
+        recall without raising.
+        """
+        keep = max(1, len(doc.sentences) // 2)
+        return Document(
+            doc_id=doc.doc_id,
+            sentences=[list(s) for s in doc.sentences[:keep]],
+            mentions=[m for m in doc.mentions if m.sentence_index < keep],
+        )
+
+
+def raw_database(database) -> TextDatabase:
+    """Unwrap fault-injecting layers down to the real database."""
+    while isinstance(database, FaultInjectingDatabase):
+        database = database.inner
+    return database

@@ -1,0 +1,70 @@
+"""Retry policy: exponential backoff with decorrelated jitter.
+
+Backoff waits are *simulated* seconds, like every other time quantity in
+the reproduction: they are accounted into resilience reports rather than
+slept, keeping executions fast and deterministic.
+
+The jitter scheme is the "decorrelated jitter" variant: each delay is
+drawn uniformly from ``[base, previous * 3]`` and clamped to ``max_delay``,
+which keeps retries spread out (avoiding synchronized retry storms against
+a struggling service) while growing the envelope exponentially.  Draws
+come from a :class:`random.Random` seeded per operation key, so the same
+execution replays the same delays.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how long to retry a failed database access.
+
+    ``max_attempts`` counts the first try: 4 means one try plus up to three
+    retries.  ``retry_budget`` caps *total* retries across an execution
+    (None = unlimited) — a safety valve against pathological fault rates;
+    the budget is enforced by the resilience context, which owns the
+    running count.  ``deadline`` caps the cumulative simulated backoff a
+    single operation may accrue before it is abandoned.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 1.0
+    max_delay: float = 30.0
+    retry_budget: Optional[int] = None
+    deadline: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay <= 0:
+            raise ValueError("base_delay must be positive")
+        if self.max_delay < self.base_delay:
+            raise ValueError("max_delay must be at least base_delay")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ValueError("retry_budget must be non-negative")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+
+    def delays(self, key: str) -> Iterator[float]:
+        """Deterministic decorrelated-jitter delay sequence for one operation.
+
+        Every yielded delay lies in ``[base_delay, max_delay]``; the
+        *envelope* ``min(max_delay, base_delay * 3**k)`` grows
+        monotonically, so later retries can (and tend to) wait longer.
+        """
+        rng = random.Random(f"{self.seed}|{key}")
+        previous = self.base_delay
+        while True:
+            previous = min(
+                self.max_delay, rng.uniform(self.base_delay, previous * 3.0)
+            )
+            yield previous
+
+    def envelope(self, attempt: int) -> float:
+        """Upper bound of the delay drawn for retry number *attempt* (1-based)."""
+        return min(self.max_delay, self.base_delay * 3.0**attempt)

@@ -1,0 +1,150 @@
+"""Checkpoint/resume tests: an interrupted execution restored into a
+fresh executor must finish with exactly the report of the uninterrupted
+run."""
+
+import pytest
+
+from repro.joins import (
+    Budgets,
+    IndependentJoin,
+    JoinInputs,
+    OuterInnerJoin,
+    ZigZagJoin,
+)
+from repro.retrieval import Query, ScanRetriever
+from repro.robustness import (
+    CheckpointError,
+    checkpoint_execution,
+    load_checkpoint,
+    restore_execution,
+    save_checkpoint,
+)
+
+
+@pytest.fixture
+def inputs(mini_db1, mini_db2, mini_extractor1, mini_extractor2):
+    return JoinInputs(
+        database1=mini_db1,
+        database2=mini_db2,
+        extractor1=mini_extractor1,
+        extractor2=mini_extractor2,
+    )
+
+
+@pytest.fixture
+def seeds(mini_profile1):
+    return [
+        Query.of(v) for v, _ in mini_profile1.good_frequency.most_common(3)
+    ]
+
+
+def _idjn(inputs):
+    return IndependentJoin(
+        inputs,
+        ScanRetriever(inputs.database1),
+        ScanRetriever(inputs.database2),
+    )
+
+
+def _oijn(inputs):
+    return OuterInnerJoin(
+        inputs, outer_retriever=ScanRetriever(inputs.database1), outer=1
+    )
+
+
+def _zgjn(inputs, seeds):
+    return ZigZagJoin(inputs, seed_queries=seeds)
+
+
+def _assert_same_outcome(resumed, uninterrupted):
+    left, right = resumed.report, uninterrupted.report
+    assert left.composition == right.composition
+    assert left.documents_processed == right.documents_processed
+    assert left.documents_retrieved == right.documents_retrieved
+    assert left.queries_issued == right.queries_issued
+    assert left.time.total == pytest.approx(right.time.total)
+    assert left.exhausted == right.exhausted
+    assert repr(resumed.state.composition) == repr(
+        uninterrupted.state.composition
+    )
+
+
+class TestIndependentJoinCheckpoint:
+    def test_round_trip_matches_uninterrupted_run(self, inputs):
+        baseline = _idjn(inputs).run()
+
+        interrupted = _idjn(inputs)
+        interrupted.run(budgets=Budgets(max_documents1=40, max_documents2=40))
+        snapshot = checkpoint_execution(interrupted)
+
+        fresh = _idjn(inputs)
+        restore_execution(fresh, snapshot)
+        resumed = fresh.run()
+        _assert_same_outcome(resumed, baseline)
+
+    def test_snapshot_is_json_serializable(self, inputs, tmp_path):
+        executor = _idjn(inputs)
+        executor.run(budgets=Budgets(max_documents1=25, max_documents2=25))
+        path = tmp_path / "idjn.json"
+        save_checkpoint(executor, str(path))
+
+        fresh = _idjn(inputs)
+        load_checkpoint(fresh, str(path))
+        assert fresh.session.processed[1] == 25
+        assert fresh.session.time.total == pytest.approx(
+            executor.session.time.total
+        )
+
+
+class TestOuterInnerJoinCheckpoint:
+    def test_round_trip_matches_uninterrupted_run(self, inputs):
+        baseline = _oijn(inputs).run()
+
+        interrupted = _oijn(inputs)
+        interrupted.run(budgets=Budgets(max_documents1=30))
+        snapshot = checkpoint_execution(interrupted)
+
+        fresh = _oijn(inputs)
+        restore_execution(fresh, snapshot)
+        resumed = fresh.run()
+        _assert_same_outcome(resumed, baseline)
+
+
+class TestZigZagJoinCheckpoint:
+    def test_round_trip_matches_uninterrupted_run(self, inputs, seeds):
+        baseline = _zgjn(inputs, seeds).run()
+
+        interrupted = _zgjn(inputs, seeds)
+        interrupted.run(budgets=Budgets(max_queries1=2, max_queries2=2))
+        snapshot = checkpoint_execution(interrupted)
+
+        fresh = _zgjn(inputs, seeds)
+        restore_execution(fresh, snapshot)
+        resumed = fresh.run()
+        _assert_same_outcome(resumed, baseline)
+
+
+class TestCheckpointValidation:
+    def test_rejects_wrong_algorithm(self, inputs, seeds):
+        executor = _idjn(inputs)
+        executor.run(budgets=Budgets(max_documents1=5, max_documents2=5))
+        snapshot = checkpoint_execution(executor)
+        with pytest.raises(CheckpointError):
+            restore_execution(_zgjn(inputs, seeds), snapshot)
+
+    def test_rejects_started_target(self, inputs):
+        executor = _idjn(inputs)
+        executor.run(budgets=Budgets(max_documents1=5, max_documents2=5))
+        snapshot = checkpoint_execution(executor)
+        target = _idjn(inputs)
+        target.run(budgets=Budgets(max_documents1=1, max_documents2=1))
+        with pytest.raises(CheckpointError):
+            restore_execution(target, snapshot)
+
+    def test_rejects_unknown_version(self, inputs):
+        executor = _idjn(inputs)
+        executor.run(budgets=Budgets(max_documents1=5, max_documents2=5))
+        snapshot = checkpoint_execution(executor)
+        snapshot["version"] = 99
+        with pytest.raises(CheckpointError):
+            restore_execution(_idjn(inputs), snapshot)
