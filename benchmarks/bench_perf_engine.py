@@ -1,0 +1,189 @@
+"""Performance benchmark: vectorized engine vs. the scalar reference path.
+
+Times two workloads against the same catalog, once with the default
+configuration (vectorized kernels + :class:`PlanEvaluationEngine`) and
+once with the scalar reference path (``vectorized=False,
+use_engine=False``, per-requirement bisection):
+
+* ``plan_space_optimization`` — a single cold ``optimize()`` over the full
+  plan space;
+* ``tau_sweep`` — a dense (τg, τb) requirement grid over the plan space,
+  the workload behind Table II and the requirement sweeps.
+
+Every vectorized evaluation is checked against the scalar one (feasibility
+equal, effort fraction within 1e-12, predicted good tuples within 1e-9)
+before the timing is trusted, and the results are written to
+``BENCH_perf.json`` at the repository root to seed the perf trajectory.
+
+Run standalone for the full-scale numbers::
+
+    PYTHONPATH=src python benchmarks/bench_perf_engine.py --scale 1.0
+
+or via pytest (small scale, asserts the vectorized path is not slower)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_engine.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+from typing import List, Optional, Sequence
+
+from repro.core import QualityRequirement
+from repro.models.distributions import probability_none_extracted
+from repro.optimizer import JoinOptimizer, enumerate_plans
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_PATH = ROOT / "BENCH_perf.json"
+
+
+def sweep_requirements(n_taus: int = 48) -> List[QualityRequirement]:
+    """The dense (τg, τb) grid: n_taus good targets × {tight, lax} bad."""
+    return [
+        QualityRequirement(tau_good=good, tau_bad=bad)
+        for good in range(2, 2 + 4 * n_taus, 4)
+        for bad in (100, 100000)
+    ]
+
+
+def _check_equivalent(fast_results, slow_results) -> None:
+    for fast, slow in zip(fast_results, slow_results):
+        for a, b in zip(fast.evaluations, slow.evaluations):
+            assert a.plan == b.plan
+            assert a.feasible == b.feasible, a.plan
+            if not a.feasible:
+                continue
+            assert abs(a.effort_fraction - b.effort_fraction) <= 1e-12, a.plan
+            good_tolerance = 1e-9 * max(1.0, abs(b.prediction.n_good))
+            assert (
+                abs(a.prediction.n_good - b.prediction.n_good)
+                <= good_tolerance
+            ), a.plan
+
+
+def _timed_sweep(task, plans, requirements, **optimizer_kwargs):
+    # Each measurement starts cold: fresh optimizer (per-plan memos, side
+    # cache, curves) and a cleared scalar pmf cache, so the two paths and
+    # the two workloads don't warm each other.
+    probability_none_extracted.cache_clear()
+    optimizer = JoinOptimizer(
+        task.catalog(), costs=task.costs, **optimizer_kwargs
+    )
+    start = time.perf_counter()
+    results = [
+        optimizer.optimize(plans, requirement) for requirement in requirements
+    ]
+    return time.perf_counter() - start, results
+
+
+def run_perf_bench(
+    task,
+    requirements: Sequence[QualityRequirement],
+    plans=None,
+) -> List[dict]:
+    """Time both paths on both workloads; returns the op records."""
+    if plans is None:
+        plans = enumerate_plans(task.extractor1.name, task.extractor2.name)
+    scalar_kwargs = {"vectorized": False, "use_engine": False}
+    records = []
+    workloads = [
+        ("plan_space_optimization", list(requirements[:1])),
+        ("tau_sweep", list(requirements)),
+    ]
+    for op, workload in workloads:
+        fast_seconds, fast_results = _timed_sweep(task, plans, workload)
+        slow_seconds, slow_results = _timed_sweep(
+            task, plans, workload, **scalar_kwargs
+        )
+        _check_equivalent(fast_results, slow_results)
+        records.append(
+            {
+                "op": op,
+                "plans": len(plans),
+                "requirements": len(workload),
+                "seconds_vectorized": fast_seconds,
+                "seconds_scalar": slow_seconds,
+                "speedup": slow_seconds / fast_seconds,
+            }
+        )
+    return records
+
+
+def write_results(records: List[dict], scale: float, path=RESULT_PATH) -> None:
+    payload = {"benchmark": "bench_perf_engine", "scale": scale, "ops": records}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _format(records: List[dict]) -> str:
+    lines = []
+    for record in records:
+        lines.append(
+            f"{record['op']}: {record['seconds_vectorized']:.3f}s vectorized"
+            f" vs {record['seconds_scalar']:.3f}s scalar"
+            f" ({record['speedup']:.1f}x, {record['plans']} plans,"
+            f" {record['requirements']} requirements)"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (small scale; CI perf-smoke)
+# ---------------------------------------------------------------------------
+
+
+def test_perf_engine(task, report_sink):
+    records = run_perf_bench(task, sweep_requirements(n_taus=16))
+    write_results(records, scale=0.6)  # the session testbed's scale
+    report_sink("perf_engine", _format(records))
+    sweep = next(r for r in records if r["op"] == "tau_sweep")
+    # The vectorized path must not lose to the scalar reference on the
+    # sweep workload at any scale; full-scale runs show ≥5x.
+    assert sweep["speedup"] >= 1.0
+
+
+# ---------------------------------------------------------------------------
+# standalone entry point (full scale)
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--taus", type=int, default=48, help="τg grid size for the sweep"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero if the sweep speedup lands below this",
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=RESULT_PATH)
+    args = parser.parse_args(argv)
+
+    from repro.experiments import TestbedConfig, build_testbed
+
+    testbed = build_testbed(TestbedConfig(seed=args.seed, scale=args.scale))
+    records = run_perf_bench(
+        testbed.task(), sweep_requirements(n_taus=args.taus)
+    )
+    write_results(records, scale=args.scale, path=args.out)
+    print(_format(records))
+    print(f"[written to {args.out}]")
+    if args.min_speedup is not None:
+        sweep = next(r for r in records if r["op"] == "tau_sweep")
+        if sweep["speedup"] < args.min_speedup:
+            print(
+                f"FAIL: sweep speedup {sweep['speedup']:.2f}x below "
+                f"required {args.min_speedup:.2f}x"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

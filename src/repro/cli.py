@@ -59,6 +59,18 @@ def _add_testbed_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "evaluate plans in N forked processes (default serial; "
+            "results are identical either way)"
+        ),
+    )
+
+
 def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fault-profile",
@@ -160,7 +172,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     optimizer = JoinOptimizer(
         task.catalog(), costs=task.costs, feasibility_margin=args.margin
     )
-    result = optimizer.optimize(plans, requirement)
+    result = optimizer.optimize(plans, requirement, workers=args.workers)
     if result.chosen is None:
         print("No plan is predicted to meet the requirement.")
         return 1
@@ -222,7 +234,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_frontier(args: argparse.Namespace) -> int:
     _, task = _testbed_task(args)
     plans = enumerate_plans(task.extractor1.name, task.extractor2.name)
-    frontier = quality_frontier(task.catalog(), plans, costs=task.costs)
+    frontier = quality_frontier(
+        task.catalog(), plans, costs=task.costs, workers=args.workers
+    )
     print(
         format_frontier(
             frontier, "Quality/time frontier (Pareto-optimal operating points)"
@@ -312,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument(
         "--execute", action="store_true", help="also run the chosen plan"
     )
+    _add_workers_argument(optimize)
     _add_resilience_arguments(optimize)
     _add_testbed_arguments(optimize)
     optimize.set_defaults(handler=_cmd_optimize)
@@ -327,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
     frontier = subparsers.add_parser(
         "frontier", help="Pareto frontier of achievable (time, quality) points"
     )
+    _add_workers_argument(frontier)
     _add_testbed_arguments(frontier)
     frontier.set_defaults(handler=_cmd_frontier)
 

@@ -136,23 +136,40 @@ def _class_log_pmf(
     return np.log(np.clip(marginal, 1e-300, None)), p_seen
 
 
+def _class_log_pmf_grid(
+    s_values: np.ndarray, beta_grid: np.ndarray, k_max: int, p_obs: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """:func:`_class_log_pmf` for every β at once.
+
+    The binomial observation matrix ``Bnm(g, s, p_obs)`` is β-independent,
+    so the whole grid costs one binomial matrix plus one matmul with the
+    stacked power-law priors — instead of rebuilding the matrix per β.
+    Returns ``(log_pmf[β, s], p_seen[β])``.
+    """
+    g = np.arange(1, k_max + 1)
+    pmf_matrix = stats.binom.pmf(s_values[None, :], g[:, None], p_obs)
+    betas = np.asarray(beta_grid, dtype=float)
+    weights = g.astype(float)[None, :] ** (-betas[:, None])
+    priors = weights / weights.sum(axis=1, keepdims=True)
+    marginal = priors @ pmf_matrix
+    p_zero = priors @ stats.binom.pmf(0, g, p_obs)
+    p_seen = np.maximum(1.0 - p_zero, 1e-12)
+    return np.log(np.clip(marginal, 1e-300, None)), p_seen
+
+
 def _support_cap(max_s: int, p_obs: float, factor: float, database_size: int) -> int:
     cap = max(max_s, int(math.ceil(factor * max_s / max(p_obs, 1e-9))))
     return max(1, min(cap, database_size))
 
 
-def _fit_single_class(
+def _fit_single_class_scalar(
     s_values: np.ndarray,
     weights: np.ndarray,
     p_obs: float,
     k_max: int,
     beta_grid: np.ndarray,
 ) -> Tuple[float, float, float]:
-    """Fit (β, N) for one class from a weighted s-histogram.
-
-    Returns (beta, n_values, log_likelihood).  N follows from the
-    truncated-count identity E[#observed] = N · Pr{s ≥ 1}.
-    """
+    """Reference implementation: per-β loop over the likelihood grid."""
     total = float(weights.sum())
     if total <= 0:
         return float(beta_grid[0]), 0.0, 0.0
@@ -164,6 +181,41 @@ def _fit_single_class(
         if best is None or loglik > best[2]:
             best = (float(beta), n_values, loglik)
     return best
+
+
+def _fit_single_class(
+    s_values: np.ndarray,
+    weights: np.ndarray,
+    p_obs: float,
+    k_max: int,
+    beta_grid: np.ndarray,
+    vectorized: bool = True,
+) -> Tuple[float, float, float]:
+    """Fit (β, N) for one class from a weighted s-histogram.
+
+    Returns (beta, n_values, log_likelihood).  N follows from the
+    truncated-count identity E[#observed] = N · Pr{s ≥ 1}.  The default
+    path evaluates the whole β grid in one matrix pass
+    (:func:`_class_log_pmf_grid`); ``vectorized=False`` keeps the scalar
+    per-β reference loop.
+    """
+    total = float(weights.sum())
+    if total <= 0:
+        return float(beta_grid[0]), 0.0, 0.0
+    if not vectorized:
+        return _fit_single_class_scalar(
+            s_values, weights, p_obs, k_max, beta_grid
+        )
+    log_pmf, p_seen = _class_log_pmf_grid(s_values, beta_grid, k_max, p_obs)
+    logliks = np.sum(
+        weights[None, :] * (log_pmf - np.log(p_seen)[:, None]), axis=1
+    )
+    best = int(np.argmax(logliks))
+    return (
+        float(beta_grid[best]),
+        total / float(p_seen[best]),
+        float(logliks[best]),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -320,15 +372,21 @@ def _fit_blind_mixture(
     """Grid-search the two-class mixture without confidence information."""
     n_observed = float(s_counts.sum())
     coarse = beta_grid[:: max(1, len(beta_grid) // 13)]
+    # The class log-pmfs depend on one β each, so hoist them out of the
+    # (β_good, β_bad) product loop: |grid| evaluations per class instead of
+    # |grid|² for the bad class.  Numerics are unchanged — the same rows
+    # feed the same mixture fit.
+    rows_good = [
+        _class_log_pmf(s_values, float(b), k_max_good, context.p_obs_good)
+        for b in coarse
+    ]
+    rows_bad = [
+        _class_log_pmf(s_values, float(b), k_max_bad, context.p_obs_bad)
+        for b in coarse
+    ]
     best = None
-    for beta_g in coarse:
-        log_pmf_g, p_seen_g = _class_log_pmf(
-            s_values, float(beta_g), k_max_good, context.p_obs_good
-        )
-        for beta_b in coarse:
-            log_pmf_b, p_seen_b = _class_log_pmf(
-                s_values, float(beta_b), k_max_bad, context.p_obs_bad
-            )
+    for beta_g, (log_pmf_g, p_seen_g) in zip(coarse, rows_good):
+        for beta_b, (log_pmf_b, p_seen_b) in zip(coarse, rows_bad):
 
             def negative(w: float) -> float:
                 mix = (

@@ -7,16 +7,22 @@ frontier over (execution time ↓, good tuples ↑).  Each frontier point
 records the plan, the operating point, and the predicted composition, so a
 user can read off the achievable good-tuple count at any time budget (or
 vice versa) before committing to a contract.
+
+Per-plan sweeps are independent, so ``quality_frontier(..., workers=N)``
+fans them out with :func:`~repro.optimizer.engine.fork_map`; candidates
+are merged back in plan order, so the frontier is identical to a serial
+sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.plan import JoinPlanSpec
 from ..joins.costs import CostModel
 from ..optimizer.catalog import StatisticsCatalog
+from ..optimizer.engine import fork_map
 from ..optimizer.optimizer import JoinOptimizer
 
 
@@ -36,6 +42,33 @@ class FrontierPoint:
         return self.n_good / total if total > 0 else 1.0
 
 
+def _frontier_candidates(
+    optimizer: JoinOptimizer,
+    plan: JoinPlanSpec,
+    effort_fractions: Sequence[float],
+) -> List[FrontierPoint]:
+    """One plan's sweep: a candidate point per productive effort level."""
+    try:
+        predictor, max_effort = optimizer._cached_predictor(plan)
+    except ValueError:
+        return []  # plan lacks offline parameters (no queries/classifier)
+    candidates: List[FrontierPoint] = []
+    for fraction in effort_fractions:
+        prediction = predictor(fraction * max_effort)
+        if prediction.n_good <= 0:
+            continue
+        candidates.append(
+            FrontierPoint(
+                plan=plan,
+                effort_fraction=fraction,
+                n_good=prediction.n_good,
+                n_bad=prediction.n_bad,
+                time=prediction.total_time,
+            )
+        )
+    return candidates
+
+
 def quality_frontier(
     catalog: StatisticsCatalog,
     plans: Sequence[JoinPlanSpec],
@@ -43,32 +76,30 @@ def quality_frontier(
     effort_fractions: Sequence[float] = (
         0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8, 1.0,
     ),
+    workers: Optional[int] = None,
 ) -> List[FrontierPoint]:
     """Pareto frontier over (time ↓, good ↑) across plans × efforts.
 
     Points are returned sorted by time; by construction their good-tuple
-    counts are strictly increasing along the list.
+    counts are strictly increasing along the list.  With ``workers > 1``
+    the per-plan sweeps run in forked processes; the result is identical
+    to the serial sweep.
     """
     optimizer = JoinOptimizer(catalog, costs=costs)
-    candidates: List[FrontierPoint] = []
-    for plan in plans:
-        try:
-            predictor, max_effort = optimizer._cached_predictor(plan)
-        except ValueError:
-            continue  # plan lacks offline parameters (no queries/classifier)
-        for fraction in effort_fractions:
-            prediction = predictor(fraction * max_effort)
-            if prediction.n_good <= 0:
-                continue
-            candidates.append(
-                FrontierPoint(
-                    plan=plan,
-                    effort_fraction=fraction,
-                    n_good=prediction.n_good,
-                    n_bad=prediction.n_bad,
-                    time=prediction.total_time,
-                )
-            )
+    plans = list(plans)
+    per_plan: Optional[List[List[FrontierPoint]]] = None
+    global _FORK_STATE
+    _FORK_STATE = (optimizer, plans, tuple(effort_fractions))
+    try:
+        per_plan = fork_map(_sweep_plan_index, len(plans), workers)
+    finally:
+        _FORK_STATE = None
+    if per_plan is None:
+        per_plan = [
+            _frontier_candidates(optimizer, plan, effort_fractions)
+            for plan in plans
+        ]
+    candidates = [point for sweep in per_plan for point in sweep]
     candidates.sort(key=lambda point: (point.time, -point.n_good))
     frontier: List[FrontierPoint] = []
     best_good = 0.0
@@ -77,6 +108,18 @@ def quality_frontier(
             frontier.append(point)
             best_good = point.n_good
     return frontier
+
+
+# fork_map workers read their inputs from pre-fork module state; see
+# repro.optimizer.engine.fork_map.
+_FORK_STATE: Optional[
+    Tuple[JoinOptimizer, List[JoinPlanSpec], Tuple[float, ...]]
+] = None
+
+
+def _sweep_plan_index(index: int) -> Tuple[int, List[FrontierPoint]]:
+    optimizer, plans, effort_fractions = _FORK_STATE
+    return index, _frontier_candidates(optimizer, plans[index], effort_fractions)
 
 
 def format_frontier(points: Sequence[FrontierPoint], title: str) -> str:

@@ -20,8 +20,68 @@ from typing import Union
 
 import numpy as np
 from scipy import stats
+from scipy.special import gammaln
 
 ArrayLike = Union[float, np.ndarray]
+
+
+_GAMMALN_TABLE = gammaln(np.arange(256, dtype=float))
+
+
+def _gammaln_table(limit: int) -> np.ndarray:
+    """``gammaln(0..limit)`` as a lookup table, grown geometrically.
+
+    Every argument the hypergeometric pmf needs is an integer bounded by
+    ``population + 1``, so one cached table turns six transcendental
+    matrix evaluations into integer fancy-indexing.
+    """
+    global _GAMMALN_TABLE
+    if _GAMMALN_TABLE.size <= limit:
+        size = max(limit + 1, 2 * _GAMMALN_TABLE.size)
+        _GAMMALN_TABLE = gammaln(np.arange(size, dtype=float))
+    return _GAMMALN_TABLE
+
+
+def _hypergeom_pmf_table(
+    population: int, draws: int, successes: np.ndarray, k: np.ndarray
+) -> np.ndarray:
+    """Matrix ``P[i, j] = Hyper(population, draws, successes[i], k[j])``.
+
+    Direct log-gamma evaluation of ``C(n,k)·C(M-n,N-k)/C(M,N)`` — the
+    same quantity ``scipy.stats.hypergeom.pmf`` computes (and agrees with
+    to ~1e-13 relative), minus the frozen-distribution dispatch overhead
+    that dominates the models' inner loops.  Out-of-support entries are
+    exactly zero.
+    """
+    if np.any(successes > population):
+        # Out-of-model input (more occurrences than documents): defer to
+        # scipy, which flags it with NaNs, rather than mis-index the table.
+        return stats.hypergeom.pmf(
+            k[None, :], population, successes[:, None], draws
+        )
+    n = successes.astype(np.int64)[:, None]
+    kk = k.astype(np.int64)[None, :]
+    total = int(population)
+    sample = int(draws)
+    lower = np.maximum(0, sample + n - total)
+    upper = np.minimum(n, sample)
+    valid = (kk >= lower) & (kk <= upper)
+    # Clamp masked-out entries into the support so every table index
+    # stays in range; their values are discarded by the mask below.
+    kc = np.clip(kk, lower, np.maximum(upper, lower))
+    table = _gammaln_table(total + 1)
+    logp = (
+        table[n + 1]
+        - table[kc + 1]
+        - table[n - kc + 1]
+        + table[total - n + 1]
+        - table[sample - kc + 1]
+        - table[total - n - sample + kc + 1]
+        + table[sample + 1]
+        + table[total - sample + 1]
+        - table[total + 1]
+    )
+    return np.where(valid, np.exp(logp), 0.0)
 
 
 def hypergeom_pmf(
@@ -65,6 +125,37 @@ def thinned_hypergeom_pmf(
     return weights @ pmf_matrix
 
 
+def thinned_hypergeom_pmf_batch(
+    population: int,
+    draws: int,
+    occurrences: np.ndarray,
+    rate: float,
+    l_values: np.ndarray,
+) -> np.ndarray:
+    """:func:`thinned_hypergeom_pmf` for many occurrence counts at once.
+
+    Returns a matrix ``P[i, j] = Pr{l_values[j] extracted | occurrences[i]
+    occurrences}`` — one vectorized evaluation instead of a Python loop
+    over values with distinct frequencies.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be within [0, 1]")
+    if rate < 1e-12:
+        rate = 0.0
+    draws = min(draws, population)
+    occ = np.asarray(occurrences, dtype=int)
+    l_grid = np.asarray(l_values, dtype=int)
+    if occ.size == 0:
+        return np.zeros((0, l_grid.size))
+    unique, inverse = np.unique(occ, return_inverse=True)
+    k = np.arange(int(unique[-1]) + 1)
+    # weights[u, k] = Hyper(population, draws, unique[u], k), with the
+    # out-of-support entries k > unique[u] exactly zero.
+    weights = _hypergeom_pmf_table(population, draws, unique, k)
+    pmf_matrix = stats.binom.pmf(l_grid[None, :], k[:, None], rate)
+    return (weights @ pmf_matrix)[inverse]
+
+
 def thinned_hypergeom_mean(
     population: int, draws: int, occurrences: int, rate: float
 ) -> float:
@@ -92,6 +183,98 @@ def probability_none_extracted(
     k = np.arange(occurrences + 1)
     weights = hypergeom_pmf(population, draws, occurrences, k)
     return float(np.sum(weights * (1.0 - rate) ** k))
+
+
+class NoneExtractedBatch:
+    """``probability_none_extracted`` over a *fixed* occurrence array.
+
+    Models evaluate the same occurrence array at many (draws, rate)
+    operating points — every bisection probe, every curve grid point — so
+    the array's unique counts, inverse mapping, and support grid are
+    precomputed once here and only the hypergeometric table varies per
+    call.
+    """
+
+    __slots__ = ("shape", "unique", "inverse", "k", "zero_mask", "_col", "_pows")
+
+    def __init__(self, occurrences: np.ndarray) -> None:
+        occ = np.asarray(occurrences, dtype=np.int64)
+        self.shape = occ.shape
+        if occ.size:
+            self.unique, self.inverse = np.unique(occ, return_inverse=True)
+            self.k = np.arange(int(self.unique[-1]) + 1, dtype=np.int64)
+        else:
+            self.unique = np.zeros(0, dtype=np.int64)
+            self.inverse = np.zeros(0, dtype=np.int64)
+            self.k = np.zeros(1, dtype=np.int64)
+        self.zero_mask = self.unique == 0
+        # population -> (n column, draws-independent log-pmf column), or
+        # "scipy" when the counts exceed the population (out-of-model)
+        self._col: dict = {}
+        # rate -> (1 - rate) ** k
+        self._pows: dict = {}
+
+    def evaluate(self, population: int, draws: int, rate: float) -> np.ndarray:
+        """Pr{none extracted} per occurrence count at one operating point."""
+        if self.unique.size == 0 or population <= 0:
+            return np.ones(self.shape)
+        draws = min(draws, population)
+        total = int(population)
+        sample = int(draws)
+        col = self._col.get(total)
+        if col is None:
+            if bool(self.unique[-1] > total):
+                col = "scipy"
+            else:
+                table = _gammaln_table(total + 1)
+                n = self.unique[:, None]
+                col = (n, table[n + 1] + table[total - n + 1] - table[total + 1])
+            self._col[total] = col
+        pows = self._pows.get(rate)
+        if pows is None:
+            pows = (1.0 - rate) ** self.k
+            self._pows[rate] = pows
+        if col == "scipy":
+            weights = stats.hypergeom.pmf(
+                self.k[None, :], total, self.unique[:, None], sample
+            )
+        else:
+            n, base = col
+            table = _gammaln_table(total + 1)
+            kk = self.k[None, :]
+            lower = np.maximum(0, sample + n - total)
+            upper = np.minimum(n, sample)
+            valid = (kk >= lower) & (kk <= upper)
+            # minimum/maximum instead of np.clip: same result, skips the
+            # np.clip dispatch wrapper that shows up at this call rate
+            kc = np.minimum(np.maximum(kk, lower), np.maximum(upper, lower))
+            logp = (
+                base
+                + (table[sample + 1] + table[total - sample + 1])
+                - table[kc + 1]
+                - table[n - kc + 1]
+                - table[sample - kc + 1]
+                - table[total - n - sample + kc + 1]
+            )
+            weights = np.where(valid, np.exp(logp), 0.0)
+        result = weights @ pows
+        result = np.where(self.zero_mask, 1.0, result)
+        return result[self.inverse].reshape(self.shape)
+
+
+def probability_none_extracted_many(
+    population: int, draws: int, occurrences: np.ndarray, rate: float
+) -> np.ndarray:
+    """:func:`probability_none_extracted` over an array of occurrence counts.
+
+    The scalar version is the reference implementation; this one evaluates
+    ``E[(1-rate)^K]`` for every distinct occurrence count in one
+    hypergeometric matrix call — the kernel behind the vectorized OIJN
+    issuance model, where thousands of values share few distinct
+    frequencies.  Callers with a fixed occurrence array should hold a
+    :class:`NoneExtractedBatch` instead.
+    """
+    return NoneExtractedBatch(occurrences).evaluate(population, draws, rate)
 
 
 def expected_distinct_sampled(

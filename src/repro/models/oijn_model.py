@@ -27,14 +27,19 @@ documents they retrieve.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.plan import RetrievalKind
 from ..joins.costs import CostModel
-from .distributions import probability_none_extracted
+from .distributions import (
+    NoneExtractedBatch,
+    probability_none_extracted,
+)
+from .kernels import compose_aggregate_arrays, composition_kernel, side_kernel
 from .parameters import JoinStatistics, SideStatistics, ValueOverlapModel
 from .predictions import QualityPrediction, charge_events
 from .retrieval_models import (
@@ -116,6 +121,131 @@ class InnerReach:
         return self.good_docs + self.bad_docs
 
 
+#: Bound on the class-mean issuance cache.  The previous implementation
+#: kept exactly one entry, so bisection alternating between two mixes
+#: recomputed the class means on every probe.
+_ISSUE_CACHE_SIZE = 256
+
+
+def _occurrence_arrays(
+    side: SideStatistics, values: List[str]
+) -> Tuple[NoneExtractedBatch, NoneExtractedBatch, NoneExtractedBatch]:
+    """(good, bad-in-good, bad-in-bad) occurrence counts of *values* in *side*.
+
+    Counts go through ``int(...)`` exactly as the scalar
+    :meth:`OIJNModel.issue_probability` converts them, and are wrapped as
+    :class:`NoneExtractedBatch` so their unique/inverse decompositions are
+    computed once rather than per effort probe.
+    """
+    occ_good = np.array(
+        [int(side.good_frequency.get(v, 0)) for v in values], dtype=int
+    )
+    occ_bad_good = np.array(
+        [int(side.bad_in_good_frequency.get(v, 0)) for v in values], dtype=int
+    )
+    occ_bad_bad = np.array(
+        [int(side.bad_in_bad(v)) for v in values], dtype=int
+    )
+    return (
+        NoneExtractedBatch(occ_good),
+        NoneExtractedBatch(occ_bad_good),
+        NoneExtractedBatch(occ_bad_bad),
+    )
+
+
+class _OIJNVectors:
+    """Effort-independent arrays behind the vectorized OIJN hot path.
+
+    Everything here is a pure function of the statistics bundle: value
+    orderings, occurrence counts (for issuance), own-query reach per inner
+    value, and the alignment of the inner value union onto the side
+    kernel's good/bad orderings.  Built once per model, shared across all
+    effort levels and requirements.
+    """
+
+    def __init__(
+        self,
+        statistics: JoinStatistics,
+        outer: int,
+        inner: int,
+        overlap: Optional[ValueOverlapModel],
+    ) -> None:
+        outer_side = statistics.side(outer)
+        inner_side = statistics.side(inner)
+        self.outer_values = sorted(
+            set(outer_side.good_frequency) | set(outer_side.bad_frequency)
+        )
+        self.outer_occ = _occurrence_arrays(outer_side, self.outer_values)
+        self.inner_values = sorted(
+            set(inner_side.good_frequency) | set(inner_side.bad_frequency)
+        )
+        #: outer-side occurrences of the inner values (per-value issuance)
+        self.inner_occ = _occurrence_arrays(outer_side, self.inner_values)
+        self.is_good_inner = np.array(
+            [v in inner_side.good_frequency for v in self.inner_values]
+        )
+        g = np.array(
+            [inner_side.good_frequency.get(v, 0.0) for v in self.inner_values]
+        )
+        b = np.array(
+            [inner_side.bad_frequency.get(v, 0.0) for v in self.inner_values]
+        )
+        bad_in_good = np.array(
+            [
+                inner_side.bad_in_good_frequency.get(v, 0.0)
+                for v in self.inner_values
+            ]
+        )
+        hits = g + b
+        matched = hits > 0
+        good_matches = g + bad_in_good
+        safe_hits = np.where(matched, hits, 1.0)
+        self.rate = np.where(
+            matched, np.minimum(hits, inner_side.top_k) / safe_hits, 0.0
+        )
+        self.good_matches = np.where(matched, good_matches, 0.0)
+        self.bad_matches = np.where(matched, hits - good_matches, 0.0)
+        # class-mean issuance inputs (aggregate mode)
+        good_values = list(outer_side.good_frequency)
+        bad_only = [
+            v
+            for v in outer_side.bad_frequency
+            if v not in outer_side.good_frequency
+        ]
+        self.mean_good_occ = _occurrence_arrays(outer_side, good_values)
+        self.mean_bad_occ = _occurrence_arrays(outer_side, bad_only)
+        # alignment of the union ordering onto the inner kernel's orderings
+        self.inner_kernel = side_kernel(inner_side)
+        index_of = {value: i for i, value in enumerate(self.inner_values)}
+        self.idx_good = np.array(
+            [index_of[v] for v in self.inner_kernel.good_values], dtype=int
+        )
+        self.idx_bad = np.array(
+            [index_of[v] for v in self.inner_kernel.bad_values], dtype=int
+        )
+        #: masks mirroring the scalar inner_factors dict membership (the
+        #: scalar walk only records a factor when it is non-zero; aggregate
+        #: composition takes moments over the recorded entries)
+        self.good_mask = self.inner_kernel.g != 0
+        self.bad_mask = (self.inner_kernel.bg != 0) | (
+            self.inner_kernel.bb != 0
+        )
+        # overlap shares of _inner_issue_probability (aggregate mode)
+        if overlap is not None:
+            population_good = max(len(inner_side.good_frequency), 1)
+            population_bad = max(len(inner_side.bad_frequency), 1)
+            if inner == 2:
+                from_good_g, from_bad_g = overlap.n_gg, overlap.n_bg
+                from_good_b, from_bad_b = overlap.n_gb, overlap.n_bb
+            else:
+                from_good_g, from_bad_g = overlap.n_gg, overlap.n_gb
+                from_good_b, from_bad_b = overlap.n_bg, overlap.n_bb
+            self.share_good_g = min(from_good_g / population_good, 1.0)
+            self.share_bad_g = min(from_bad_g / population_good, 1.0)
+            self.share_good_b = min(from_good_b / population_bad, 1.0)
+            self.share_bad_b = min(from_bad_b / population_bad, 1.0)
+
+
 class OIJNModel:
     """Predicts output quality and time of OIJN plans.
 
@@ -131,6 +261,7 @@ class OIJNModel:
         costs: Optional[CostModel] = None,
         per_value: bool = True,
         overlap: Optional[ValueOverlapModel] = None,
+        vectorized: bool = True,
     ) -> None:
         if outer not in (1, 2):
             raise ValueError("outer must be 1 or 2")
@@ -139,6 +270,10 @@ class OIJNModel:
         self.inner = 2 if outer == 1 else 1
         self.costs = costs or CostModel()
         self.per_value = per_value
+        #: ``True`` runs issuance/reach/composition on precomputed arrays
+        #: (:class:`_OIJNVectors`); ``False`` walks the scalar reference
+        #: loops.  Both agree within 1e-9 (golden-tested).
+        self.vectorized = vectorized
         self.outer_model: RetrievalModel = build_retrieval_model(
             outer_retrieval,
             statistics.side(outer),
@@ -151,6 +286,20 @@ class OIJNModel:
             self.overlap = overlap or ValueOverlapModel.from_side_values(
                 statistics.side1, statistics.side2
             )
+        self._issue_cache: "OrderedDict[Tuple[float, float], Tuple[float, float]]" = (
+            OrderedDict()
+        )
+        # p_issue arrays per (draws_good, draws_bad): one prediction needs
+        # the same batch for reach and for the inner factors, bisection
+        # revisits operating points across requirements, and nearby effort
+        # levels quantize to the same integer draws.
+        self._inner_issue_cache: "OrderedDict[Tuple[int, int], np.ndarray]" = (
+            OrderedDict()
+        )
+        self._outer_issue_cache: "OrderedDict[Tuple[int, int], np.ndarray]" = (
+            OrderedDict()
+        )
+        self._vectors: Optional[_OIJNVectors] = None
 
     @property
     def max_effort(self) -> int:
@@ -193,8 +342,51 @@ class OIJNModel:
         good_matches = g + inner.bad_in_good_frequency.get(value, 0.0)
         return rate, good_matches, hits - good_matches
 
+    def _vec(self) -> _OIJNVectors:
+        if self._vectors is None:
+            self._vectors = _OIJNVectors(
+                self.statistics, self.outer, self.inner, self.overlap
+            )
+        return self._vectors
+
+    def _issue_batch(
+        self,
+        occurrences: Tuple[
+            NoneExtractedBatch, NoneExtractedBatch, NoneExtractedBatch
+        ],
+        mix: ClassMix,
+    ) -> np.ndarray:
+        """:meth:`issue_probability` over precomputed occurrence batches."""
+        side = self.statistics.side(self.outer)
+        occ_good, occ_bad_good, occ_bad_bad = occurrences
+        draws_good = int(round(mix.good))
+        draws_bad = int(round(mix.bad))
+        p_missed = occ_good.evaluate(
+            max(side.n_good_docs, 1), draws_good, side.tp
+        )
+        p_missed = p_missed * occ_bad_good.evaluate(
+            max(side.n_good_docs, 1), draws_good, side.fp
+        )
+        p_missed = p_missed * occ_bad_bad.evaluate(
+            max(side.n_bad_docs, 1), draws_bad, side.fp
+        )
+        return 1.0 - p_missed
+
     def _class_mean_issue(self, mix: ClassMix) -> Tuple[float, float]:
         """Mean issuance probability over the outer side's value classes."""
+        if self.vectorized:
+            vec = self._vec()
+            mean_good = (
+                float(np.mean(self._issue_batch(vec.mean_good_occ, mix)))
+                if vec.mean_good_occ[0].shape[0]
+                else 0.0
+            )
+            mean_bad = (
+                float(np.mean(self._issue_batch(vec.mean_bad_occ, mix)))
+                if vec.mean_bad_occ[0].shape[0]
+                else 0.0
+            )
+            return mean_good, mean_bad
         outer_side = self.statistics.side(self.outer)
         good_values = list(outer_side.good_frequency)
         bad_values = [
@@ -250,12 +442,21 @@ class OIJNModel:
         return min(share_good * mean_good + share_bad * mean_bad, 1.0)
 
     def _mean_issue_cache(self, mix: ClassMix) -> Tuple[float, float]:
+        """Bounded LRU over the class-mean issuance probabilities.
+
+        Keyed on the (rounded) mix so that bisection probes alternating
+        between effort levels hit instead of thrashing.
+        """
         key = (round(mix.good, 6), round(mix.bad, 6))
-        cached = getattr(self, "_issue_cache", None)
-        if cached is not None and cached[0] == key:
-            return cached[1]
+        cache = self._issue_cache
+        found = cache.get(key)
+        if found is not None:
+            cache.move_to_end(key)
+            return found
         result = self._class_mean_issue(mix)
-        self._issue_cache = (key, result)
+        cache[key] = result
+        if len(cache) > _ISSUE_CACHE_SIZE:
+            cache.popitem(last=False)
         return result
 
     def inner_reach(self, outer_effort: float) -> InnerReach:
@@ -269,6 +470,8 @@ class OIJNModel:
         over the *inner* side's values (only they can be matched).
         """
         mix = self.outer_model.class_mix(outer_effort)
+        if self.vectorized:
+            return self._inner_reach_from_mix(mix)
         outer_side = self.statistics.side(self.outer)
         inner_side = self.statistics.side(self.inner)
         outer_values = sorted(
@@ -308,6 +511,75 @@ class OIJNModel:
         bad_docs = inner_side.n_bad_docs * (1.0 - math.exp(log_miss_bad))
         return InnerReach(queries=n_queries, good_docs=good_docs, bad_docs=bad_docs)
 
+    def _inner_issue_batch(self, mix: ClassMix) -> np.ndarray:
+        """p_issue for every inner value (union ordering), one mix."""
+        vec = self._vec()
+        if self.per_value:
+            key = (int(round(mix.good)), int(round(mix.bad)))
+            cache = self._inner_issue_cache
+            found = cache.get(key)
+            if found is not None:
+                cache.move_to_end(key)
+                return found
+            result = self._issue_batch(vec.inner_occ, mix)
+            cache[key] = result
+            if len(cache) > _ISSUE_CACHE_SIZE:
+                cache.popitem(last=False)
+            return result
+        mean_good, mean_bad = self._mean_issue_cache(mix)
+        p_good_class = min(
+            vec.share_good_g * mean_good + vec.share_bad_g * mean_bad, 1.0
+        )
+        p_bad_class = min(
+            vec.share_good_b * mean_good + vec.share_bad_b * mean_bad, 1.0
+        )
+        return np.where(vec.is_good_inner, p_good_class, p_bad_class)
+
+    def _inner_reach_from_mix(self, mix: ClassMix) -> InnerReach:
+        """Array evaluation of :meth:`inner_reach` at one outer mix."""
+        vec = self._vec()
+        inner_side = self.statistics.side(self.inner)
+        key = (int(round(mix.good)), int(round(mix.bad)))
+        cache = self._outer_issue_cache
+        outer_issue = cache.get(key)
+        if outer_issue is None:
+            outer_issue = self._issue_batch(vec.outer_occ, mix)
+            cache[key] = outer_issue
+            if len(cache) > _ISSUE_CACHE_SIZE:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(key)
+        n_queries = float(outer_issue.sum())
+        p_issue = self._inner_issue_batch(mix)
+        n_good = max(inner_side.n_good_docs, 1)
+        n_bad = max(inner_side.n_bad_docs, 1)
+        p_good = np.minimum(
+            p_issue * vec.rate * vec.good_matches / n_good, 1.0
+        )
+        p_bad = np.minimum(p_issue * vec.rate * vec.bad_matches / n_bad, 1.0)
+        # Masked log1p instead of an errstate block: numpy 2 implements
+        # errstate with ContextVar writes, measurable at this call rate.
+        # Entries with p == 1 contribute -inf either way.
+        log_miss_good = float(
+            np.log1p(
+                -p_good,
+                where=p_good < 1.0,
+                out=np.full_like(p_good, -np.inf),
+            ).sum()
+        )
+        log_miss_bad = float(
+            np.log1p(
+                -p_bad,
+                where=p_bad < 1.0,
+                out=np.full_like(p_bad, -np.inf),
+            ).sum()
+        )
+        good_docs = inner_side.n_good_docs * (1.0 - math.exp(log_miss_good))
+        bad_docs = inner_side.n_bad_docs * (1.0 - math.exp(log_miss_bad))
+        return InnerReach(
+            queries=n_queries, good_docs=good_docs, bad_docs=bad_docs
+        )
+
     # -- factors and prediction ----------------------------------------------------
 
     def inner_factors(self, outer_effort: float) -> SideFactors:
@@ -342,24 +614,93 @@ class OIJNModel:
                 bad[value] = inner_side.fp * (b_good * cov_good + b_bad * cov_bad)
         return SideFactors(good=good, bad=bad)
 
+    def _inner_factor_arrays(
+        self, mix: ClassMix, reach: InnerReach
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`inner_factors` on arrays, aligned to the inner kernel."""
+        vec = self._vec()
+        inner_side = self.statistics.side(self.inner)
+        rho_good_rest = min(
+            reach.good_docs / max(inner_side.n_good_docs, 1), 1.0
+        )
+        rho_bad_rest = min(reach.bad_docs / max(inner_side.n_bad_docs, 1), 1.0)
+        p_issue = self._inner_issue_batch(mix)
+        own = p_issue * vec.rate
+        cov_good = own + (1.0 - own) * rho_good_rest
+        cov_bad = own + (1.0 - own) * rho_bad_rest
+        kernel = vec.inner_kernel
+        good = inner_side.tp * kernel.g * cov_good[vec.idx_good]
+        bad = inner_side.fp * (
+            kernel.bg * cov_good[vec.idx_bad]
+            + kernel.bb * cov_bad[vec.idx_bad]
+        )
+        return good, bad
+
+    def _compose_vectorized(
+        self,
+        rho_good: float,
+        rho_bad: float,
+        mix: ClassMix,
+        reach: InnerReach,
+    ):
+        """Kernel composition of the separable outer and array inner factors."""
+        outer_side = self.statistics.side(self.outer)
+        outer_kernel = side_kernel(outer_side)
+        outer_good = outer_kernel.good_factors(rho_good)
+        outer_bad = outer_kernel.bad_factors(rho_good, rho_bad)
+        inner_good, inner_bad = self._inner_factor_arrays(mix, reach)
+        if not self.per_value:
+            vec = self._vec()
+            inner_good = inner_good[vec.good_mask]
+            inner_bad = inner_bad[vec.bad_mask]
+        if self.outer == 1:
+            good1, bad1, good2, bad2 = (
+                outer_good,
+                outer_bad,
+                inner_good,
+                inner_bad,
+            )
+        else:
+            good1, bad1, good2, bad2 = (
+                inner_good,
+                inner_bad,
+                outer_good,
+                outer_bad,
+            )
+        if self.per_value:
+            kernel = composition_kernel(
+                self.statistics.side1, self.statistics.side2
+            )
+            return kernel.compose_arrays(good1, bad1, good2, bad2)
+        return compose_aggregate_arrays(good1, bad1, good2, bad2, self.overlap)
+
     def predict(self, outer_effort: float) -> QualityPrediction:
         """Expected join composition and time at one outer effort level."""
         outer_side = self.statistics.side(self.outer)
-        outer_factors = occurrence_factors(
-            outer_side,
-            rho_good=self.outer_model.good_fraction_processed(outer_effort),
-            rho_bad=self.outer_model.bad_fraction_processed(outer_effort),
-        )
-        inner_factors = self.inner_factors(outer_effort)
-        if self.outer == 1:
-            factors1, factors2 = outer_factors, inner_factors
+        rho_good = self.outer_model.good_fraction_processed(outer_effort)
+        rho_bad = self.outer_model.bad_fraction_processed(outer_effort)
+        if self.vectorized:
+            mix = self.outer_model.class_mix(outer_effort)
+            reach = self._inner_reach_from_mix(mix)
+            composition = self._compose_vectorized(
+                rho_good, rho_bad, mix, reach
+            )
         else:
-            factors1, factors2 = inner_factors, outer_factors
-        if self.per_value:
-            composition = compose_per_value(factors1, factors2)
-        else:
-            composition = compose_aggregate(factors1, factors2, self.overlap)
-        reach = self.inner_reach(outer_effort)
+            outer_factors = occurrence_factors(
+                outer_side, rho_good=rho_good, rho_bad=rho_bad
+            )
+            inner_factors = self.inner_factors(outer_effort)
+            if self.outer == 1:
+                factors1, factors2 = outer_factors, inner_factors
+            else:
+                factors1, factors2 = inner_factors, outer_factors
+            if self.per_value:
+                composition = compose_per_value(factors1, factors2)
+            else:
+                composition = compose_aggregate(
+                    factors1, factors2, self.overlap
+                )
+            reach = self.inner_reach(outer_effort)
         events = {
             self.outer: self.outer_model.events(outer_effort),
             self.inner: EffortEvents(

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,6 +60,7 @@ class RetrievalModel(abc.ABC):
 
     def __init__(self, side: SideStatistics) -> None:
         self.side = side
+        self._mix_cache: Dict[float, ClassMix] = {}
 
     @property
     @abc.abstractmethod
@@ -67,8 +68,21 @@ class RetrievalModel(abc.ABC):
         """Largest meaningful effort value (inclusive)."""
 
     @abc.abstractmethod
-    def class_mix(self, effort: float) -> ClassMix:
+    def _class_mix(self, effort: float) -> ClassMix:
         """Expected processed documents per class at *effort*."""
+
+    def class_mix(self, effort: float) -> ClassMix:
+        """Memoized :meth:`_class_mix`.
+
+        Models are shared across plans (see :func:`build_retrieval_model`),
+        and the optimizer probes the same dyadic efforts from every plan
+        and requirement, so the mix per distinct effort is computed once.
+        """
+        found = self._mix_cache.get(effort)
+        if found is None:
+            found = self._class_mix(effort)
+            self._mix_cache[effort] = found
+        return found
 
     @abc.abstractmethod
     def events(self, effort: float) -> EffortEvents:
@@ -94,7 +108,7 @@ class ScanModel(RetrievalModel):
     def max_effort(self) -> int:
         return self.side.n_documents
 
-    def class_mix(self, effort: float) -> ClassMix:
+    def _class_mix(self, effort: float) -> ClassMix:
         effort = min(effort, self.max_effort)
         n = self.side.n_documents
         if n == 0:
@@ -124,7 +138,7 @@ class FilteredScanModel(RetrievalModel):
     def max_effort(self) -> int:
         return self.side.n_documents
 
-    def class_mix(self, effort: float) -> ClassMix:
+    def _class_mix(self, effort: float) -> ClassMix:
         effort = min(effort, self.max_effort)
         n = self.side.n_documents
         if n == 0:
@@ -147,21 +161,85 @@ class FilteredScanModel(RetrievalModel):
 
 
 class AQGModel(RetrievalModel):
-    """AQG: effort = queries issued (prefix of the learned query list)."""
+    """AQG: effort = queries issued (prefix of the learned query list).
+
+    ``vectorized=True`` (default) answers :meth:`class_mix` from per-class
+    prefix sums of the per-query log-miss terms, computed once — O(1) per
+    effort instead of a Python loop over the query list.  The scalar
+    :meth:`_reach` walk is kept as the reference implementation; both paths
+    accumulate the same float64 terms in the same order, so they agree
+    bit-for-bit.
+    """
 
     def __init__(
         self,
         side: SideStatistics,
         queries: Sequence[QueryStats],
+        vectorized: bool = True,
     ) -> None:
         super().__init__(side)
         if not queries:
             raise ValueError("AQG model needs the learned queries' statistics")
         self.queries = list(queries)
+        self.vectorized = vectorized
+        self._tables: Optional[dict] = None
 
     @property
     def max_effort(self) -> int:
         return len(self.queries)
+
+    def _prefix_tables(self) -> dict:
+        """Per-class (reach per query, prefix log-miss) arrays."""
+        if self._tables is None:
+            hits = np.array([q.hits for q in self.queries], dtype=float)
+            retrieved = np.minimum(hits, self.side.top_k)
+            denominator = np.maximum(hits, 1)
+            tables: dict = {}
+            per_class = {
+                "good": (
+                    self.side.n_good_docs,
+                    np.array([q.good_hits for q in self.queries], dtype=float),
+                ),
+                "bad": (
+                    self.side.n_bad_docs,
+                    np.array([q.bad_hits for q in self.queries], dtype=float),
+                ),
+                "empty": (
+                    self.side.n_empty_docs,
+                    np.array(
+                        [q.hits * q.empty_fraction for q in self.queries],
+                        dtype=float,
+                    ),
+                ),
+            }
+            for name, (class_size, class_hits) in per_class.items():
+                reach = class_hits / denominator * retrieved
+                if class_size > 0:
+                    p = np.minimum(reach / class_size, 1.0)
+                    with np.errstate(divide="ignore"):
+                        log_terms = np.log1p(-p)
+                    prefix = np.concatenate(
+                        ([0.0], np.cumsum(log_terms))
+                    )
+                else:
+                    prefix = np.zeros(len(self.queries) + 1)
+                tables[name] = (reach, prefix)
+            self._tables = tables
+        return self._tables
+
+    def _reach_fast(self, effort: float, class_size: int, name: str) -> float:
+        """Prefix-sum evaluation of :meth:`_reach` (bit-identical)."""
+        if class_size <= 0:
+            return 0.0
+        effort = min(effort, self.max_effort)
+        reach, prefix = self._prefix_tables()[name]
+        whole = int(effort)
+        log_miss = float(prefix[whole])
+        frac = effort - whole
+        if frac > 0 and whole < len(self.queries):
+            p = min(frac * float(reach[whole]) / class_size, 1.0)
+            log_miss += float(np.log1p(-p)) if p < 1.0 else -np.inf
+        return class_size * (1.0 - float(np.exp(log_miss)))
 
     def _reach(self, effort: float, class_size: int, per_query_hits) -> float:
         """Expected documents of one class reached by the first q queries.
@@ -195,7 +273,15 @@ class AQGModel(RetrievalModel):
             log_miss += np.log1p(-p)
         return class_size * (1.0 - float(np.exp(log_miss)))
 
-    def class_mix(self, effort: float) -> ClassMix:
+    def _class_mix(self, effort: float) -> ClassMix:
+        if self.vectorized:
+            return ClassMix(
+                good=self._reach_fast(effort, self.side.n_good_docs, "good"),
+                bad=self._reach_fast(effort, self.side.n_bad_docs, "bad"),
+                empty=self._reach_fast(
+                    effort, self.side.n_empty_docs, "empty"
+                ),
+            )
         return ClassMix(
             good=self._reach(
                 effort, self.side.n_good_docs, lambda s: s.good_hits
@@ -223,8 +309,35 @@ def build_retrieval_model(
     side: SideStatistics,
     classifier: Optional[ClassifierProfile] = None,
     queries: Sequence[QueryStats] = (),
+    shared: bool = True,
 ) -> RetrievalModel:
-    """Factory keyed by the plan's retrieval kind."""
+    """Factory keyed by the plan's retrieval kind.
+
+    With ``shared=True`` (default) the constructed model is cached on the
+    *side-statistics object itself*, so every plan evaluated over the same
+    catalog entry — i.e. the same (θ, retrieval kind) — reuses one model
+    instance (and its precomputed tables).  Retrieval models are pure
+    functions of their inputs, so sharing is observationally transparent.
+    Cache hits require the classifier/queries to be the *same objects*, so
+    a stale entry can never be returned for different parameters.
+    """
+    if shared:
+        cache = getattr(side, "_retrieval_cache", None)
+        if cache is None:
+            cache = []
+            object.__setattr__(side, "_retrieval_cache", cache)
+        for entry_kind, entry_classifier, entry_queries, model in cache:
+            if (
+                entry_kind is kind
+                and entry_classifier is classifier
+                and entry_queries is queries
+            ):
+                return model
+        model = build_retrieval_model(
+            kind, side, classifier=classifier, queries=queries, shared=False
+        )
+        cache.append((kind, classifier, queries, model))
+        return model
     if kind is RetrievalKind.SCAN:
         return ScanModel(side)
     if kind is RetrievalKind.FILTERED_SCAN:

@@ -30,10 +30,13 @@ which it reports as a source of bad-tuple overestimation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..joins.costs import CostModel
 from .generating import GeneratingFunction
+from .kernels import compose_aggregate_arrays, composition_kernel, side_kernel
 from .parameters import JoinStatistics, SideStatistics, ValueOverlapModel
 from .predictions import QualityPrediction, charge_events
 from .retrieval_models import EffortEvents
@@ -166,11 +169,19 @@ class ZGJNModel:
         overlap: Optional[ValueOverlapModel] = None,
         include_stall: bool = True,
         dedup_correction: bool = True,
+        vectorized: bool = True,
     ) -> None:
         self.statistics = statistics
         self.costs = costs or CostModel()
         self.per_value = per_value
         self.include_stall = include_stall
+        #: ``True`` evaluates the reachable-document ceilings and the join
+        #: composition on arrays; ``False`` walks the scalar reference
+        #: loops.  Both agree within 1e-9 (golden-tested).
+        self.vectorized = vectorized
+        #: the ceilings are effort-independent; computing them inside every
+        #: reach() call was pure rework
+        self._ceiling_cache: Dict[int, float] = {}
         #: The raw generating-function chain counts every hit, but the
         #: execution retrieves each document (and issues each value query)
         #: once; the occupancy correction N·(1 - e^(-raw/N)) accounts for
@@ -218,7 +229,36 @@ class ZGJNModel:
         side's non-empty documents.  Without this correction the model
         predicts near-complete coverage and ZGJN looks far better than it
         is — the paper reports the matching overestimation.
+
+        The ceiling is effort-independent, so it is computed once per side
+        and cached.
         """
+        key = 1 if side is self.statistics.side1 else 2
+        if key not in self._ceiling_cache:
+            self._ceiling_cache[key] = self._compute_reachable(side)
+        return self._ceiling_cache[key]
+
+    def _vectorized_slots(
+        self, side: SideStatistics, other: SideStatistics
+    ) -> float:
+        """Array evaluation of the per-value slot sum (reference: below)."""
+        values = sorted(set(side.good_frequency) | set(side.bad_frequency))
+        g_other = np.array(
+            [other.good_frequency.get(v, 0.0) for v in values]
+        )
+        b_other = np.array([other.bad_frequency.get(v, 0.0) for v in values])
+        mask = (g_other != 0) | (b_other != 0)
+        p_queryable = 1.0 - (1.0 - other.tp) ** g_other * (
+            1.0 - other.fp
+        ) ** b_other
+        hits = np.array(
+            [side.good_frequency.get(v, 0.0) for v in values]
+        ) + np.array([side.bad_frequency.get(v, 0.0) for v in values])
+        return float(
+            np.sum((p_queryable * np.minimum(hits, side.top_k))[mask])
+        )
+
+    def _compute_reachable(self, side: SideStatistics) -> float:
         other = (
             self.statistics.side2
             if side is self.statistics.side1
@@ -227,7 +267,9 @@ class ZGJNModel:
         non_empty = float(side.n_good_docs + side.n_bad_docs)
         if non_empty <= 0:
             return 0.0
-        if self.per_value:
+        if self.per_value and self.vectorized:
+            slots = self._vectorized_slots(side, other)
+        elif self.per_value:
             slots = 0.0
             for value in sorted(
                 set(side.good_frequency) | set(side.bad_frequency)
@@ -319,25 +361,57 @@ class ZGJNModel:
             return 0.0
         return good_docs / all_docs
 
-    def side_factors(self, side_index: int, documents: float) -> SideFactors:
-        """Occurrence factors given this side's retrieved-document count."""
+    def _coverage_fractions(
+        self, side_index: int, documents: float
+    ) -> Tuple[float, float]:
+        """(ρ_good, ρ_bad) given this side's retrieved-document count."""
         side = self.statistics.side(side_index)
         share = self._good_share(side)
         good_docs = documents * share
         bad_docs = documents * (1.0 - share)
         rho_good = min(good_docs / max(side.n_good_docs, 1), 1.0)
         rho_bad = min(bad_docs / max(side.n_bad_docs, 1), 1.0)
+        return rho_good, rho_bad
+
+    def side_factors(self, side_index: int, documents: float) -> SideFactors:
+        """Occurrence factors given this side's retrieved-document count."""
+        side = self.statistics.side(side_index)
+        rho_good, rho_bad = self._coverage_fractions(side_index, documents)
         return occurrence_factors(side, rho_good=rho_good, rho_bad=rho_bad)
 
     def predict(self, q1: float) -> QualityPrediction:
         """Expected composition and time after q1 queries from R1 values."""
         reach = self.reach(q1)
-        factors1 = self.side_factors(1, reach.documents1)
-        factors2 = self.side_factors(2, reach.documents2)
-        if self.per_value:
-            composition = compose_per_value(factors1, factors2)
+        if self.vectorized:
+            # ZGJN factors are coverage-separable, so composition reduces
+            # to the precomputed kernel dot products (per-value mode) or
+            # the factor-array moments (aggregate mode).
+            rho1 = self._coverage_fractions(1, reach.documents1)
+            rho2 = self._coverage_fractions(2, reach.documents2)
+            side1, side2 = self.statistics.side1, self.statistics.side2
+            if self.per_value:
+                kernel = composition_kernel(side1, side2)
+                composition = kernel.compose_coverage(
+                    rho1[0], rho1[1], rho2[0], rho2[1]
+                )
+            else:
+                k1, k2 = side_kernel(side1), side_kernel(side2)
+                composition = compose_aggregate_arrays(
+                    k1.good_factors(rho1[0]),
+                    k1.bad_factors(rho1[0], rho1[1]),
+                    k2.good_factors(rho2[0]),
+                    k2.bad_factors(rho2[0], rho2[1]),
+                    self.overlap,
+                )
         else:
-            composition = compose_aggregate(factors1, factors2, self.overlap)
+            factors1 = self.side_factors(1, reach.documents1)
+            factors2 = self.side_factors(2, reach.documents2)
+            if self.per_value:
+                composition = compose_per_value(factors1, factors2)
+            else:
+                composition = compose_aggregate(
+                    factors1, factors2, self.overlap
+                )
         events = {
             1: EffortEvents(
                 retrieved=reach.documents1,

@@ -17,6 +17,7 @@ from .binder import (
     budgets_from_evaluation,
 )
 from .catalog import StatisticsCatalog
+from .engine import PlanCurve, PlanEvaluationEngine, fork_map
 from .enumerator import EXPLICIT_KINDS, enumerate_plans
 from .optimizer import (
     JoinOptimizer,
@@ -31,11 +32,14 @@ __all__ = [
     "ExecutionEnvironment",
     "JoinOptimizer",
     "OptimizationResult",
+    "PlanCurve",
     "PlanEvaluation",
+    "PlanEvaluationEngine",
     "PosteriorQuality",
     "TuplePosterior",
     "StatisticsCatalog",
     "bind_plan",
     "budgets_from_evaluation",
     "enumerate_plans",
+    "fork_map",
 ]

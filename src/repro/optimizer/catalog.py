@@ -42,13 +42,26 @@ class StatisticsCatalog:
 
     def __post_init__(self) -> None:
         self._cache: Dict[Tuple[float, float], JoinStatistics] = {}
+        # Side statistics depend on one θ only, so they are cached per
+        # (side, θ) and *shared* across every (θ1, θ2) pair that uses
+        # them.  Sharing the objects — not just the values — is what lets
+        # the model layer attach per-side sub-model caches (retrieval
+        # models, composition kernels) that all plans then reuse.
+        self._side_cache: Dict[Tuple[int, float], SideStatistics] = {}
+
+    def _side(self, index: int, theta: float) -> SideStatistics:
+        key = (index, theta)
+        if key not in self._side_cache:
+            builder = self.side_builder1 if index == 1 else self.side_builder2
+            self._side_cache[key] = builder(theta)
+        return self._side_cache[key]
 
     def at(self, theta1: float, theta2: float) -> JoinStatistics:
         key = (theta1, theta2)
         if key not in self._cache:
             self._cache[key] = JoinStatistics(
-                side1=self.side_builder1(theta1),
-                side2=self.side_builder2(theta2),
+                side1=self._side(1, theta1),
+                side2=self._side(2, theta2),
                 classifier1=self.classifier1,
                 classifier2=self.classifier2,
                 queries1=tuple(self.queries1),

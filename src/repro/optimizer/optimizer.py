@@ -33,6 +33,7 @@ from ..models.oijn_model import OIJNModel
 from ..models.predictions import QualityPrediction
 from ..models.zgjn_model import ZGJNModel
 from .catalog import StatisticsCatalog
+from .engine import PlanEvaluationEngine, fork_map
 
 
 @dataclass(frozen=True)
@@ -84,9 +85,18 @@ class JoinOptimizer:
         costs: Optional[CostModel] = None,
         effort_resolution: int = 64,
         feasibility_margin: float = 0.0,
+        vectorized: bool = True,
+        use_engine: bool = True,
     ) -> None:
         self.catalog = catalog
         self.costs = costs or CostModel()
+        #: run the analytical models through the array kernels
+        #: (``False`` keeps the scalar reference paths — same results
+        #: within 1e-9, used for golden tests and benchmarks)
+        self.vectorized = vectorized
+        #: answer feasibility via the shared plan-curve engine instead of
+        #: re-bisecting each plan per requirement; results are identical
+        self.use_engine = use_engine
         if effort_resolution < 2:
             raise ValueError("effort_resolution must be at least 2")
         self.effort_resolution = effort_resolution
@@ -107,8 +117,9 @@ class JoinOptimizer:
             JoinPlanSpec, Tuple[Callable[[float], QualityPrediction], float]
         ] = {}
         self._prediction_memo: Dict[
-            Tuple[JoinPlanSpec, float], QualityPrediction
+            JoinPlanSpec, Dict[float, QualityPrediction]
         ] = {}
+        self._engine = PlanEvaluationEngine(self)
 
     # -- per-plan evaluation ------------------------------------------------------
 
@@ -126,9 +137,12 @@ class JoinOptimizer:
         except ValueError:
             return PlanEvaluation(plan=plan, feasible=False, prediction=None)
         target_good = requirement.tau_good * (1.0 + self.feasibility_margin)
-        fraction = self._minimal_fraction(
-            predictor, max_effort, target_good
-        )
+        if self.use_engine:
+            fraction = self._engine.minimal_fraction(plan, target_good)
+        else:
+            fraction = self._minimal_fraction(
+                predictor, max_effort, target_good
+            )
         if fraction is None:
             return PlanEvaluation(plan=plan, feasible=False, prediction=None)
         prediction = predictor(fraction * max_effort)
@@ -145,17 +159,24 @@ class JoinOptimizer:
     ) -> Tuple[Callable[[float], QualityPrediction], float]:
         if plan not in self._predictors:
             raw, max_effort = self._predictor(plan)
+            memo = self._prediction_memo.setdefault(plan, {})
 
             def memoized(
                 effort: float,
                 _raw: Callable[[float], QualityPrediction] = raw,
-                _plan: JoinPlanSpec = plan,
+                _memo: Dict[float, QualityPrediction] = memo,
             ) -> QualityPrediction:
-                key = (_plan, round(effort, 3))
-                found = self._prediction_memo.get(key)
+                # Keyed on the exact effort: every probe the bisection,
+                # grid, or sweeps produce is a dyadic fraction of
+                # max_effort, so keys are reproducible floats — rounding
+                # (the old key) made distinct efforts on large axes
+                # collide and return a neighbouring point's prediction.
+                # One dict per plan keeps the hot path from re-hashing
+                # the whole plan dataclass on every probe.
+                found = _memo.get(effort)
                 if found is None:
                     found = _raw(effort)
-                    self._prediction_memo[key] = found
+                    _memo[effort] = found
                 return found
 
             self._predictors[plan] = (memoized, max_effort)
@@ -175,6 +196,7 @@ class JoinOptimizer:
                 costs=self.costs,
                 per_value=per_value,
                 overlap=overlap,
+                vectorized=self.vectorized,
             )
             max1, max2 = model.max_effort(1), model.max_effort(2)
 
@@ -191,6 +213,7 @@ class JoinOptimizer:
                 costs=self.costs,
                 per_value=per_value,
                 overlap=overlap,
+                vectorized=self.vectorized,
             )
             return model.predict, float(model.max_effort)
         model = ZGJNModel(
@@ -198,6 +221,7 @@ class JoinOptimizer:
             costs=self.costs,
             per_value=per_value,
             overlap=overlap,
+            vectorized=self.vectorized,
         )
         return model.predict, float(model.max_queries_from_r1())
 
@@ -237,9 +261,26 @@ class JoinOptimizer:
         self,
         plans: Sequence[JoinPlanSpec],
         requirement: QualityRequirement,
+        workers: Optional[int] = None,
     ) -> OptimizationResult:
-        """Assess all candidates; choose the fastest feasible one."""
-        evaluations = [self.evaluate(plan, requirement) for plan in plans]
+        """Assess all candidates; choose the fastest feasible one.
+
+        ``workers > 1`` fans the per-plan evaluations out over fork-based
+        processes; results are reassembled in plan order and are identical
+        to the serial run (falls back to serial where fork is unavailable).
+        """
+        evaluations = None
+        if workers is not None and workers > 1:
+            global _FORK_STATE
+            _FORK_STATE = (self, list(plans), requirement)
+            try:
+                evaluations = fork_map(
+                    _evaluate_plan_index, len(plans), workers
+                )
+            finally:
+                _FORK_STATE = None
+        if evaluations is None:
+            evaluations = [self.evaluate(plan, requirement) for plan in plans]
         feasible = [e for e in evaluations if e.feasible]
         chosen = min(feasible, key=lambda e: e.predicted_time) if feasible else None
         return OptimizationResult(
@@ -341,3 +382,17 @@ class JoinOptimizer:
             chosen=chosen,
             evaluations=tuple(evaluations),
         )
+
+
+# Inputs for the fork workers of ``optimize(workers=...)``.  Set just
+# before forking so copy-on-write hands the children the optimizer and
+# plan list without pickling (catalogs hold closures); cleared right
+# after.  Fork-based pools require this to be module-level state.
+_FORK_STATE: Optional[
+    Tuple[JoinOptimizer, List[JoinPlanSpec], QualityRequirement]
+] = None
+
+
+def _evaluate_plan_index(index: int) -> Tuple[int, PlanEvaluation]:
+    optimizer, plans, requirement = _FORK_STATE
+    return index, optimizer.evaluate(plans[index], requirement)

@@ -1,0 +1,328 @@
+"""Golden equivalence tests for the performance engineering layer.
+
+Every vectorized kernel keeps its scalar predecessor as the reference
+implementation; these tests pin the contract:
+
+* vectorized model predictions match the scalar paths within 1e-9;
+* the :class:`~repro.optimizer.engine.PlanEvaluationEngine` answers
+  requirements *byte-for-byte* identically to the legacy per-requirement
+  bisection (same predictor);
+* parallel plan evaluation (``workers=N``) is byte-for-byte identical to
+  serial.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core import QualityRequirement
+from repro.core.plan import RetrievalKind
+from repro.estimation.mle import _fit_single_class
+from repro.experiments import quality_frontier
+from repro.experiments.figures import task_statistics
+from repro.models.distributions import (
+    NoneExtractedBatch,
+    _hypergeom_pmf_table,
+    probability_none_extracted,
+    thinned_hypergeom_pmf,
+    thinned_hypergeom_pmf_batch,
+)
+from repro.models.generating import GeneratingFunction
+from repro.models.idjn_model import IDJNModel
+from repro.models.oijn_model import OIJNModel
+from repro.models.retrieval_models import AQGModel
+from repro.models.zgjn_model import ZGJNModel
+from repro.optimizer import JoinOptimizer, enumerate_plans, fork_map
+
+TOL = 1e-9
+
+
+def _fork_available() -> bool:
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# distribution kernels
+# ---------------------------------------------------------------------------
+
+
+class TestDistributionKernels:
+    def test_hypergeom_table_matches_scipy(self):
+        population, draws = 500, 120
+        successes = np.array([0, 1, 3, 17, 60, 499, 500])
+        k = np.arange(0, 130)
+        ours = _hypergeom_pmf_table(population, draws, successes, k)
+        scipys = stats.hypergeom.pmf(
+            k[None, :], population, successes[:, None], draws
+        )
+        np.testing.assert_allclose(ours, scipys, atol=TOL, rtol=TOL)
+
+    def test_hypergeom_table_out_of_model_defers_to_scipy(self):
+        # successes > population is out of model; both paths must agree
+        # (scipy flags the bad rows with NaN).
+        ours = _hypergeom_pmf_table(
+            10, 4, np.array([3, 12]), np.arange(5)
+        )
+        scipys = stats.hypergeom.pmf(
+            np.arange(5)[None, :], 10, np.array([3, 12])[:, None], 4
+        )
+        np.testing.assert_array_equal(np.isnan(ours), np.isnan(scipys))
+        mask = ~np.isnan(scipys)
+        np.testing.assert_allclose(ours[mask], scipys[mask], atol=TOL)
+
+    def test_none_extracted_batch_matches_scalar(self):
+        occurrences = np.array([0, 1, 2, 2, 5, 13, 40, 0])
+        batch = NoneExtractedBatch(occurrences)
+        for population, draws, rate in [
+            (200, 50, 0.7),
+            (200, 0, 0.7),
+            (200, 200, 0.3),
+            (40, 39, 1.0),
+            (40, 17, 0.0),
+        ]:
+            got = batch.evaluate(population, draws, rate)
+            want = np.array(
+                [
+                    probability_none_extracted(population, draws, int(f), rate)
+                    for f in occurrences
+                ]
+            )
+            np.testing.assert_allclose(got, want, atol=TOL, rtol=TOL)
+
+    def test_none_extracted_batch_empty_and_degenerate(self):
+        assert NoneExtractedBatch(np.array([])).evaluate(10, 5, 0.5).size == 0
+        np.testing.assert_array_equal(
+            NoneExtractedBatch(np.array([3, 0])).evaluate(0, 5, 0.5),
+            np.ones(2),
+        )
+
+    def test_thinned_pmf_batch_matches_scalar(self):
+        l_values = np.arange(0, 12)
+        occ = np.array([0, 2, 5, 5, 9])
+        batch = thinned_hypergeom_pmf_batch(300, 80, occ, 0.6, l_values)
+        for i, f in enumerate(occ):
+            want = thinned_hypergeom_pmf(300, 80, int(f), 0.6, l_values)
+            np.testing.assert_allclose(batch[i], want, atol=TOL, rtol=TOL)
+
+
+# ---------------------------------------------------------------------------
+# generating functions
+# ---------------------------------------------------------------------------
+
+
+class TestGeneratingFunctionMethods:
+    def test_power_fft_matches_direct(self):
+        coeffs = np.linspace(1.0, 0.01, 150)
+        gf = GeneratingFunction(coeffs)
+        direct = gf.power(7, max_degree=400, method="direct")
+        fft = gf.power(7, max_degree=400, method="fft")
+        np.testing.assert_allclose(
+            direct.coefficients, fft.coefficients, atol=TOL, rtol=TOL
+        )
+
+    def test_compose_fft_matches_direct(self):
+        outer = GeneratingFunction(np.linspace(0.5, 0.01, 120))
+        inner = GeneratingFunction(np.linspace(1.0, 0.1, 110))
+        direct = outer.compose(inner, max_degree=300, method="direct")
+        fft = outer.compose(inner, max_degree=300, method="fft")
+        np.testing.assert_allclose(
+            direct.coefficients, fft.coefficients, atol=TOL, rtol=TOL
+        )
+
+
+# ---------------------------------------------------------------------------
+# model predictions: vectorized vs scalar
+# ---------------------------------------------------------------------------
+
+
+def _assert_predictions_close(fast, slow):
+    assert fast.n_good == pytest.approx(slow.n_good, abs=TOL, rel=TOL)
+    assert fast.n_bad == pytest.approx(slow.n_bad, abs=TOL, rel=TOL)
+    assert fast.total_time == pytest.approx(slow.total_time, abs=TOL, rel=TOL)
+
+
+@pytest.fixture(scope="module")
+def statistics(hq_ex_task):
+    return task_statistics(hq_ex_task, 0.4, 0.4)
+
+
+class TestModelEquivalence:
+    @pytest.mark.parametrize("per_value", [True, False])
+    def test_idjn(self, statistics, per_value):
+        fast = IDJNModel(
+            statistics,
+            RetrievalKind.SCAN,
+            RetrievalKind.SCAN,
+            per_value=per_value,
+            vectorized=True,
+        )
+        slow = IDJNModel(
+            statistics,
+            RetrievalKind.SCAN,
+            RetrievalKind.SCAN,
+            per_value=per_value,
+            vectorized=False,
+        )
+        for share in (0.0, 0.17, 0.5, 1.0):
+            e1 = share * statistics.side1.n_documents
+            e2 = share * statistics.side2.n_documents
+            _assert_predictions_close(fast.predict(e1, e2), slow.predict(e1, e2))
+
+    @pytest.mark.parametrize("outer", [1, 2])
+    def test_oijn(self, statistics, outer):
+        fast = OIJNModel(
+            statistics, RetrievalKind.SCAN, outer=outer, vectorized=True
+        )
+        slow = OIJNModel(
+            statistics, RetrievalKind.SCAN, outer=outer, vectorized=False
+        )
+        max_effort = fast.outer_model.max_effort
+        for share in (0.0, 0.25, 0.75, 1.0):
+            effort = share * max_effort
+            _assert_predictions_close(fast.predict(effort), slow.predict(effort))
+
+    def test_zgjn(self, statistics):
+        fast = ZGJNModel(statistics, vectorized=True)
+        slow = ZGJNModel(statistics, vectorized=False)
+        for queries in (0.0, 3.0, 11.5, 40.0):
+            _assert_predictions_close(
+                fast.predict(queries), slow.predict(queries)
+            )
+
+    def test_aqg_reach_fast_matches_scalar(self, hq_ex_task, statistics):
+        model = AQGModel(statistics.side1, hq_ex_task.query_stats1)
+        side = statistics.side1
+        for effort in (0.0, 1.0, 2.5, float(model.max_effort)):
+            fast = model._reach_fast(effort, side.n_good_docs, "good")
+            slow = model._reach(
+                effort, side.n_good_docs, lambda s: s.good_hits
+            )
+            assert fast == slow  # bit-identical by construction
+
+    def test_class_mix_is_memoized(self, statistics, hq_ex_task):
+        model = AQGModel(statistics.side1, hq_ex_task.query_stats1)
+        assert model.class_mix(2.0) is model.class_mix(2.0)
+
+
+class TestMLEEquivalence:
+    def test_fit_single_class_matches_scalar(self):
+        s_values = np.array([1, 2, 3, 5, 8])
+        weights = np.array([30.0, 11.0, 4.0, 2.0, 1.0])
+        beta_grid = np.linspace(0.5, 3.0, 26)
+        fast = _fit_single_class(
+            s_values, weights, 0.4, 40, beta_grid, vectorized=True
+        )
+        slow = _fit_single_class(
+            s_values, weights, 0.4, 40, beta_grid, vectorized=False
+        )
+        assert fast[0] == pytest.approx(slow[0], abs=TOL)
+        assert fast[1] == pytest.approx(slow[1], rel=TOL)
+        assert fast[2] == pytest.approx(slow[2], rel=TOL)
+
+
+# ---------------------------------------------------------------------------
+# engine and parallel fan-out
+# ---------------------------------------------------------------------------
+
+REQUIREMENTS = [
+    QualityRequirement(tau_good=g, tau_bad=b)
+    for g in (2, 15, 40, 80)
+    for b in (30, 100000)
+]
+
+
+@pytest.fixture(scope="module")
+def plan_space(hq_ex_task):
+    return enumerate_plans(
+        hq_ex_task.extractor1.name, hq_ex_task.extractor2.name
+    )
+
+
+class TestEngineEquivalence:
+    def test_engine_matches_bisection_byte_for_byte(
+        self, hq_ex_task, plan_space
+    ):
+        engine = JoinOptimizer(hq_ex_task.catalog(), costs=hq_ex_task.costs)
+        legacy = JoinOptimizer(
+            hq_ex_task.catalog(), costs=hq_ex_task.costs, use_engine=False
+        )
+        for requirement in REQUIREMENTS:
+            got = engine.optimize(plan_space, requirement)
+            want = legacy.optimize(plan_space, requirement)
+            assert repr(got) == repr(want)
+
+    def test_vectorized_matches_scalar_within_tolerance(
+        self, hq_ex_task, plan_space
+    ):
+        fast = JoinOptimizer(hq_ex_task.catalog(), costs=hq_ex_task.costs)
+        slow = JoinOptimizer(
+            hq_ex_task.catalog(),
+            costs=hq_ex_task.costs,
+            vectorized=False,
+            use_engine=False,
+        )
+        for requirement in REQUIREMENTS[:4]:
+            got = fast.optimize(plan_space, requirement)
+            want = slow.optimize(plan_space, requirement)
+            for a, b in zip(got.evaluations, want.evaluations):
+                assert a.plan == b.plan
+                assert a.feasible == b.feasible
+                assert a.effort_fraction == pytest.approx(
+                    b.effort_fraction, abs=1e-12
+                )
+                if a.feasible:
+                    assert a.prediction.n_good == pytest.approx(
+                        b.prediction.n_good, abs=TOL, rel=TOL
+                    )
+
+
+@pytest.mark.skipif(not _fork_available(), reason="fork start method unavailable")
+class TestParallelDeterminism:
+    def test_parallel_optimize_identical_to_serial(
+        self, hq_ex_task, plan_space
+    ):
+        serial = JoinOptimizer(hq_ex_task.catalog(), costs=hq_ex_task.costs)
+        parallel = JoinOptimizer(hq_ex_task.catalog(), costs=hq_ex_task.costs)
+        for requirement in REQUIREMENTS[:3]:
+            want = serial.optimize(plan_space, requirement)
+            got = parallel.optimize(plan_space, requirement, workers=2)
+            assert repr(got) == repr(want)
+
+    def test_parallel_frontier_identical_to_serial(
+        self, hq_ex_task, plan_space
+    ):
+        want = quality_frontier(
+            hq_ex_task.catalog(), plan_space, costs=hq_ex_task.costs
+        )
+        got = quality_frontier(
+            hq_ex_task.catalog(),
+            plan_space,
+            costs=hq_ex_task.costs,
+            workers=2,
+        )
+        assert repr(got) == repr(want)
+
+
+class TestForkMap:
+    def test_serial_requests_return_none(self):
+        assert fork_map(_double_index, 5, None) is None
+        assert fork_map(_double_index, 5, 1) is None
+        assert fork_map(_double_index, 1, 4) is None
+
+    @pytest.mark.skipif(
+        not _fork_available(), reason="fork start method unavailable"
+    )
+    def test_results_ordered_by_index(self):
+        assert fork_map(_double_index, 5, 2) == [0, 2, 4, 6, 8]
+
+
+def _double_index(index):
+    return index, index * 2
