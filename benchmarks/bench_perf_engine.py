@@ -115,6 +115,32 @@ def run_perf_bench(
 def write_results(records: List[dict], scale: float, path=RESULT_PATH) -> None:
     payload = {"benchmark": "bench_perf_engine", "scale": scale, "ops": records}
     path.write_text(json.dumps(payload, indent=2) + "\n")
+    metrics_path = path.parent / (path.stem + ".metrics.txt")
+    metrics_path.write_text(render_metrics(records))
+
+
+def render_metrics(records: List[dict]) -> str:
+    """The op records in Prometheus text form — the exact seconds the JSON
+    carries, rendered the way ``--metrics-out`` and the benchmark session
+    dump render theirs, so the two artifacts can be diffed directly."""
+    from repro.observability import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for record in records:
+        for path_label, key in (
+            ("vectorized", "seconds_vectorized"),
+            ("scalar", "seconds_scalar"),
+        ):
+            registry.gauge(
+                "bench_seconds",
+                benchmark="bench_perf_engine",
+                op=record["op"],
+                path=path_label,
+            ).set(record[key])
+        registry.gauge(
+            "bench_speedup", benchmark="bench_perf_engine", op=record["op"]
+        ).set(record["speedup"])
+    return registry.render()
 
 
 def _format(records: List[dict]) -> str:
@@ -134,9 +160,22 @@ def _format(records: List[dict]) -> str:
 # ---------------------------------------------------------------------------
 
 
-def test_perf_engine(task, report_sink):
+def test_perf_engine(task, report_sink, bench_timings):
     records = run_perf_bench(task, sweep_requirements(n_taus=16))
     write_results(records, scale=0.6)  # the session testbed's scale
+    for record in records:
+        bench_timings.record(
+            "bench_perf_engine",
+            record["op"],
+            record["seconds_vectorized"],
+            path="vectorized",
+        )
+        bench_timings.record(
+            "bench_perf_engine",
+            record["op"],
+            record["seconds_scalar"],
+            path="scalar",
+        )
     report_sink("perf_engine", _format(records))
     sweep = next(r for r in records if r["op"] == "tau_sweep")
     # The vectorized path must not lose to the scalar reference on the

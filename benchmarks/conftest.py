@@ -4,17 +4,53 @@ Benchmarks regenerate every table and figure of the paper's evaluation on
 the canonical testbed and write the reproduced rows/series to
 ``benchmarks/results/*.txt`` (also echoed to stdout; run pytest with ``-s``
 to see them live).  pytest-benchmark times the regeneration itself.
+
+The session also carries a shared :class:`BenchTimings` harness backed by
+the observability :class:`~repro.observability.MetricsRegistry`: any
+benchmark can record its measured wall-clock seconds, and the session
+teardown renders the whole registry in the Prometheus text format to
+``benchmarks/results/bench_metrics.txt`` — the same numbers that go into
+the ``BENCH_*.json`` trajectory files, in the same format a deployment
+would scrape, so the two artifacts can be diffed against each other.
 """
 
 from __future__ import annotations
 
 import pathlib
+import time
+from contextlib import contextmanager
 
 import pytest
 
 from repro.experiments import TestbedConfig, build_testbed
+from repro.observability import MetricsRegistry
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class BenchTimings:
+    """Session-wide wall-clock accounting in the metrics text format."""
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+
+    def record(self, benchmark: str, op: str, seconds: float, **labels) -> None:
+        """Publish one measured duration (the same value the JSON gets)."""
+        self.registry.gauge(
+            "bench_seconds", benchmark=benchmark, op=op, **labels
+        ).set(seconds)
+        self.registry.counter(
+            "bench_runs_total", benchmark=benchmark
+        ).inc()
+
+    @contextmanager
+    def timeit(self, benchmark: str, op: str, **labels):
+        start = time.perf_counter()
+        yield
+        self.record(benchmark, op, time.perf_counter() - start, **labels)
+
+    def render(self) -> str:
+        return self.registry.render()
 
 
 @pytest.fixture(scope="session")
@@ -37,3 +73,13 @@ def report_sink():
         print(f"\n{text}\n[written to {path}]")
 
     return write
+
+
+@pytest.fixture(scope="session")
+def bench_timings():
+    timings = BenchTimings()
+    yield timings
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "bench_metrics.txt"
+    path.write_text(timings.render())
+    print(f"\n[benchmark metrics written to {path}]")

@@ -21,6 +21,12 @@ import sys
 from typing import Optional, Sequence
 
 from .core import QualityRequirement
+from .observability import (
+    ObservabilityContext,
+    configure_logging,
+    get_logger,
+)
+from .observability.logs import LEVELS
 from .experiments import (
     CHARACTERIZATION_THETAS,
     TABLE2_REQUIREMENTS,
@@ -45,6 +51,10 @@ from .optimizer import (
     enumerate_plans,
 )
 from .robustness import FaultProfile, RetryPolicy, harden
+
+#: diagnostics logger — everything here goes to stderr, level-filtered by
+#: ``-v/--log-level``; machine-readable results stay on stdout via print
+_LOG = get_logger("cli")
 
 
 def _add_testbed_arguments(parser: argparse.ArgumentParser) -> None:
@@ -94,6 +104,80 @@ def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_logging_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="shorthand for --log-level debug",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=sorted(LEVELS),
+        help="diagnostics verbosity on stderr (default info)",
+    )
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a JSONL span log to PATH plus a Chrome trace "
+            "(PATH.chrome.json; open in chrome://tracing or Perfetto)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write a Prometheus-style metrics text dump to PATH",
+    )
+
+
+def _configure_logging(args: argparse.Namespace) -> None:
+    level = (
+        "debug"
+        if getattr(args, "verbose", False)
+        else getattr(args, "log_level", "info")
+    )
+    configure_logging(level)
+
+
+def _observability_from(args: argparse.Namespace) -> Optional[ObservabilityContext]:
+    """A live context when ``--trace``/``--metrics-out`` ask for one.
+
+    Returns None otherwise so the whole stack keeps the shared no-op
+    context — flag-free runs stay byte-identical to pre-observability ones.
+    """
+    if getattr(args, "trace", None) is None and (
+        getattr(args, "metrics_out", None) is None
+    ):
+        return None
+    return ObservabilityContext()
+
+
+def _write_observability(
+    observability: Optional[ObservabilityContext], args: argparse.Namespace
+) -> None:
+    if observability is None:
+        return
+    trace = getattr(args, "trace", None)
+    if trace is not None:
+        written = observability.write_trace(trace)
+        _LOG.info(
+            "Trace written to %s (Chrome trace: %s)",
+            written["jsonl"],
+            written["chrome"],
+        )
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is not None:
+        observability.write_metrics(metrics_out)
+        _LOG.info("Metrics written to %s", metrics_out)
+
+
 def _maybe_harden(environment, args: argparse.Namespace):
     """Wire fault injection + resilience in, or pass through untouched.
 
@@ -107,16 +191,19 @@ def _maybe_harden(environment, args: argparse.Namespace):
     return harden(environment, profile=profile, policy=policy)
 
 
-def _print_resilience(report) -> None:
+def _log_resilience(report) -> None:
     resilience = report.resilience
     if resilience is None:
         return
-    print(
-        f"Resilience: {resilience.total_faults} faults injected, "
-        f"{resilience.retries} retries (+{resilience.backoff_time:.0f}s "
-        f"backoff), {resilience.failed_operations} operations failed, "
-        f"{resilience.documents_lost} documents lost, "
-        f"{resilience.breaker_opens} breaker opens"
+    _LOG.info(
+        "Resilience: %d faults injected, %d retries (+%.0fs backoff), "
+        "%d operations failed, %d documents lost, %d breaker opens",
+        resilience.total_faults,
+        resilience.retries,
+        resilience.backoff_time,
+        resilience.failed_operations,
+        resilience.documents_lost,
+        resilience.breaker_opens,
     )
 
 
@@ -168,13 +255,18 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     requirement = QualityRequirement(
         tau_good=args.tau_good, tau_bad=args.tau_bad
     )
+    observability = _observability_from(args)
     plans = enumerate_plans(task.extractor1.name, task.extractor2.name)
     optimizer = JoinOptimizer(
-        task.catalog(), costs=task.costs, feasibility_margin=args.margin
+        task.catalog(),
+        costs=task.costs,
+        feasibility_margin=args.margin,
+        observability=observability,
     )
     result = optimizer.optimize(plans, requirement, workers=args.workers)
     if result.chosen is None:
         print("No plan is predicted to meet the requirement.")
+        _write_observability(observability, args)
         return 1
     chosen = result.chosen
     print(f"Candidates: {len(plans)}; feasible: {len(result.feasible)}")
@@ -185,17 +277,17 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         f"{chosen.prediction.total_time:.0f}s"
     )
     if args.execute:
-        environment = _maybe_harden(
-            task.environment(
-                chosen.plan.extractor1.theta, chosen.plan.extractor2.theta
-            ),
-            args,
+        environment = task.environment(
+            chosen.plan.extractor1.theta, chosen.plan.extractor2.theta
         )
+        environment.observability = observability
+        environment = _maybe_harden(environment, args)
         executor = bind_plan(environment, chosen.plan)
         report = executor.run(requirement=requirement).report
         print(f"Actual:    {report.summary()}")
-        _print_resilience(report)
+        _log_resilience(report)
         print(f"Requirement met: {report.check(requirement)}")
+    _write_observability(observability, args)
     return 0
 
 
@@ -250,8 +342,11 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
     requirement = QualityRequirement(
         tau_good=args.tau_good, tau_bad=args.tau_bad
     )
+    observability = _observability_from(args)
+    environment = task.environment()
+    environment.observability = observability
     adaptive = AdaptiveJoinExecutor(
-        environment=_maybe_harden(task.environment(), args),
+        environment=_maybe_harden(environment, args),
         characterization1=task.characterization1,
         characterization2=task.characterization2,
         plans=enumerate_plans(task.extractor1.name, task.extractor2.name),
@@ -265,20 +360,22 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
     result = adaptive.run(requirement)
     if result.chosen is None:
         print("Adaptive optimizer found no feasible plan.")
+        _write_observability(observability, args)
         return 1
     print(f"Pilot rounds: {result.rounds}")
     print(f"Chosen: {result.chosen.plan.describe()}")
     report = result.execution.report
     print(f"Actual: {report.summary()}")
-    _print_resilience(report)
+    _log_resilience(report)
     if result.degraded_paths:
-        print(
-            "Degraded around dead access paths: "
-            + ", ".join(result.degraded_paths)
-            + f" (+{result.wasted_time:.0f}s re-accounted)"
+        _LOG.warning(
+            "Degraded around dead access paths: %s (+%.0fs re-accounted)",
+            ", ".join(result.degraded_paths),
+            result.wasted_time,
         )
     print(f"Requirement met: {report.check(requirement)}")
     print(f"Total simulated time: {result.total_time:.0f}s")
+    _write_observability(observability, args)
     return 0
 
 
@@ -300,6 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figures.add_argument("--step", type=int, default=10, help="sweep step (%%)")
     _add_testbed_arguments(figures)
+    _add_logging_arguments(figures)
     figures.set_defaults(handler=_cmd_figures)
 
     table2 = subparsers.add_parser(
@@ -309,12 +407,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--rows", type=int, default=None, help="limit to the first N rows"
     )
     _add_testbed_arguments(table2)
+    _add_logging_arguments(table2)
     table2.set_defaults(handler=_cmd_table2)
 
     characterize = subparsers.add_parser(
         "characterize", help="tp(θ)/fp(θ) knob curves per relation"
     )
     _add_testbed_arguments(characterize)
+    _add_logging_arguments(characterize)
     characterize.set_defaults(handler=_cmd_characterize)
 
     optimize = subparsers.add_parser(
@@ -328,7 +428,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_argument(optimize)
     _add_resilience_arguments(optimize)
+    _add_observability_arguments(optimize)
     _add_testbed_arguments(optimize)
+    _add_logging_arguments(optimize)
     optimize.set_defaults(handler=_cmd_optimize)
 
     budget = subparsers.add_parser(
@@ -337,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     budget.add_argument("--time", type=float, required=True)
     budget.add_argument("--precision-weight", type=float, default=0.5)
     _add_testbed_arguments(budget)
+    _add_logging_arguments(budget)
     budget.set_defaults(handler=_cmd_budget)
 
     frontier = subparsers.add_parser(
@@ -344,6 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_argument(frontier)
     _add_testbed_arguments(frontier)
+    _add_logging_arguments(frontier)
     frontier.set_defaults(handler=_cmd_frontier)
 
     report = subparsers.add_parser(
@@ -356,6 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--rows", type=int, default=12, help="Table II rows to include"
     )
     _add_testbed_arguments(report)
+    _add_logging_arguments(report)
     report.set_defaults(handler=_cmd_report)
 
     adaptive = subparsers.add_parser(
@@ -366,7 +471,9 @@ def build_parser() -> argparse.ArgumentParser:
     adaptive.add_argument("--pilot", type=int, default=100)
     adaptive.add_argument("--margin", type=float, default=0.3)
     _add_resilience_arguments(adaptive)
+    _add_observability_arguments(adaptive)
     _add_testbed_arguments(adaptive)
+    _add_logging_arguments(adaptive)
     adaptive.set_defaults(handler=_cmd_adaptive)
 
     return parser
@@ -374,14 +481,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args)
     try:
         return args.handler(args)
     except KeyboardInterrupt:
-        print("repro: interrupted", file=sys.stderr)
+        _LOG.warning("repro: interrupted")
         return 130
     except Exception as error:  # noqa: BLE001 — the CLI's last line of defense
         kind = type(error).__name__
-        print(f"repro: error: {kind}: {error}", file=sys.stderr)
+        _LOG.error("repro: error: %s: %s", kind, error)
         return 2
 
 

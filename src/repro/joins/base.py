@@ -28,6 +28,7 @@ from ..core.quality import ExecutionReport, TimeBreakdown
 from ..core.relation import JoinState
 from ..core.types import ExtractedTuple
 from ..extraction.base import Extractor
+from ..observability.context import ObservabilityContext, ensure_observability
 from ..robustness.context import ResilienceContext
 from ..textdb.database import TextDatabase
 from .costs import CostModel
@@ -137,6 +138,7 @@ class JoinAlgorithm(abc.ABC):
         costs: Optional[CostModel] = None,
         estimator: Optional[QualityEstimator] = None,
         resilience: Optional[ResilienceContext] = None,
+        observability: Optional[ObservabilityContext] = None,
     ) -> None:
         self.inputs = inputs
         self.costs = costs or CostModel()
@@ -144,6 +146,9 @@ class JoinAlgorithm(abc.ABC):
         #: fault-handling context shared with this executor's retrievers
         #: and probes; None means the raw, always-succeeds access path
         self.resilience = resilience
+        #: tracing/metrics context shared with this executor's retrievers
+        #: and probes; defaults to the no-op context (zero overhead)
+        self.observability = ensure_observability(observability)
         #: Optional hook called after each unit of work with the live
         #: (state, time).  Lets experiment harnesses record quality/time
         #: trajectories from a single exhaustive run instead of re-running
@@ -169,6 +174,22 @@ class JoinAlgorithm(abc.ABC):
     def _report_progress(self, state: JoinState, time: TimeBreakdown) -> None:
         if self.on_progress is not None:
             self.on_progress(state, time)
+
+    #: short label for metrics/spans; concrete executors override
+    algorithm = "join"
+
+    def _observe_document(self, side: int, n_tuples: int) -> None:
+        """Account one processed document in the metrics registry."""
+        metrics = self.observability.metrics
+        metrics.counter(
+            "repro_documents_processed_total",
+            side=side,
+            algorithm=self.algorithm,
+        ).inc()
+        if n_tuples:
+            metrics.counter("repro_tuples_extracted_total", side=side).inc(
+                n_tuples
+            )
 
     @abc.abstractmethod
     def run(
@@ -214,6 +235,23 @@ class JoinAlgorithm(abc.ABC):
         queries_issued: Dict[int, int],
         exhausted: bool,
     ) -> JoinExecution:
+        observability = self.observability
+        if observability.enabled:
+            # The oracle composition is always maintained by JoinState, so
+            # the good/bad gauges are available whenever labels exist in
+            # the corpus (telemetry only — estimators never read them).
+            comp = state.composition
+            metrics = observability.metrics
+            metrics.gauge("repro_join_tuples", label="good").set(comp.n_good)
+            metrics.gauge("repro_join_tuples", label="bad").set(comp.n_bad)
+            metrics.gauge("repro_simulated_seconds", component="total").set(
+                time.total
+            )
+            for side in (1, 2):
+                obs_side = collector.side(side)
+                metrics.gauge(
+                    "repro_productive_fraction", side=side
+                ).set(obs_side.productive_fraction)
         report = ExecutionReport(
             composition=state.composition,
             # Snapshot: the session's time keeps accumulating across
@@ -239,6 +277,9 @@ class JoinAlgorithm(abc.ABC):
             exhausted=exhausted,
             resilience=(
                 self.resilience.report() if self.resilience is not None else None
+            ),
+            observability=(
+                observability.report() if observability.enabled else None
             ),
         )
         return JoinExecution(state=state, report=report, observations=collector)

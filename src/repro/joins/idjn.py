@@ -19,6 +19,7 @@ from typing import Dict, Optional, Tuple
 
 from ..core.preferences import QualityRequirement
 from ..core.quality import TimeBreakdown
+from ..observability.tracer import SpanKind
 from ..retrieval.base import DocumentRetriever
 from .base import (
     UNLIMITED,
@@ -34,6 +35,8 @@ from .costs import CostModel
 class IndependentJoin(JoinAlgorithm):
     """IDJN executor over two pre-built retrievers (resumable)."""
 
+    algorithm = "idjn"
+
     def __init__(
         self,
         inputs: JoinInputs,
@@ -43,8 +46,9 @@ class IndependentJoin(JoinAlgorithm):
         estimator: Optional[QualityEstimator] = None,
         rates: Tuple[int, int] = (1, 1),
         resilience=None,
+        observability=None,
     ) -> None:
-        super().__init__(inputs, costs, estimator, resilience)
+        super().__init__(inputs, costs, estimator, resilience, observability)
         if retriever1.database is not inputs.database1:
             raise ValueError("retriever1 must read from database1")
         if retriever2.database is not inputs.database2:
@@ -83,17 +87,26 @@ class IndependentJoin(JoinAlgorithm):
                 return False
             return not retriever.exhausted
 
+        observability = self.observability
+        rounds = 0
         while True:
             est_good, est_bad = self.estimator.estimate(state)
             if self._should_stop(requirement, est_good, est_bad):
                 break
             if not side_open(1) and not side_open(2):
                 break
-            for side in (1, 2):
-                for _ in range(self._rates[side]):
-                    if not side_open(side):
-                        break
-                    self._step(side, state, collector, time, processed)
+            rounds += 1
+            with observability.span(
+                SpanKind.JOIN_ROUND,
+                f"idjn.round.{rounds}",
+                algorithm=self.algorithm,
+                round=rounds,
+            ):
+                for side in (1, 2):
+                    for _ in range(self._rates[side]):
+                        if not side_open(side):
+                            break
+                        self._step(side, state, collector, time, processed)
             self._report_progress(state, time)
             # Re-check quality between rounds happens at loop top.
 
@@ -129,11 +142,21 @@ class IndependentJoin(JoinAlgorithm):
         processed: Dict[int, int],
     ) -> None:
         """Retrieve and process one document on one side."""
+        observability = self.observability
         retriever = self._retrievers[side]
         before = retriever.counters.snapshot()
-        doc = retriever.next_document()
-        delta_retrieved = retriever.counters.retrieved - before.retrieved
-        delta_queries = retriever.counters.queries_issued - before.queries_issued
+        with observability.span(
+            SpanKind.DOCUMENT_RETRIEVAL,
+            f"retrieve.side{side}",
+            side=side,
+            strategy=type(retriever).__name__,
+        ) as span:
+            doc = retriever.next_document()
+            delta_retrieved = retriever.counters.retrieved - before.retrieved
+            delta_queries = (
+                retriever.counters.queries_issued - before.queries_issued
+            )
+            span.set(retrieved=delta_retrieved, queries=delta_queries)
         costs = self.costs.side(side)
         filtered = delta_retrieved if retriever.filters_documents else 0
         time.add(
@@ -145,9 +168,17 @@ class IndependentJoin(JoinAlgorithm):
         )
         if doc is None:
             return
-        tuples = self.inputs.extractor(side).extract(doc)
+        with observability.span(
+            SpanKind.EXTRACTION,
+            f"extract.side{side}",
+            side=side,
+            document=doc.doc_id,
+        ) as span:
+            tuples = self.inputs.extractor(side).extract(doc)
+            span.set(tuples=len(tuples))
         time.add(costs.charge(processed=1))
         processed[side] += 1
+        self._observe_document(side, len(tuples))
         collector.record(side, tuples)
         if side == 1:
             state.add_left(tuples)

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from ..core.preferences import QualityRequirement
 from ..core.quality import TimeBreakdown
 from ..core.types import ExtractedTuple
+from ..observability.tracer import SpanKind
 from ..retrieval.base import DocumentRetriever
 from ..retrieval.queries import Query, QueryProbe
 from ..robustness.context import AccessFailedError
@@ -39,6 +40,8 @@ class OuterInnerJoin(JoinAlgorithm):
     the database's top-k search interface.
     """
 
+    algorithm = "oijn"
+
     def __init__(
         self,
         inputs: JoinInputs,
@@ -47,8 +50,9 @@ class OuterInnerJoin(JoinAlgorithm):
         estimator: Optional[QualityEstimator] = None,
         outer: int = 1,
         resilience=None,
+        observability=None,
     ) -> None:
-        super().__init__(inputs, costs, estimator, resilience)
+        super().__init__(inputs, costs, estimator, resilience, observability)
         if outer not in (1, 2):
             raise ValueError("outer must be 1 or 2")
         self.outer = outer
@@ -57,7 +61,9 @@ class OuterInnerJoin(JoinAlgorithm):
             raise ValueError("outer_retriever must read from the outer database")
         self._outer_retriever = outer_retriever
         self._probe = QueryProbe(
-            inputs.database(self.inner), resilience=resilience
+            inputs.database(self.inner),
+            resilience=resilience,
+            observability=self.observability,
         )
 
     @property
@@ -102,64 +108,98 @@ class OuterInnerJoin(JoinAlgorithm):
             est_good, est_bad = self.estimator.estimate(state)
             return self._should_stop(requirement, est_good, est_bad)
 
+        observability = self.observability
         stopped = False
+        rounds = 0
         while not stopped:
             if stop_now():
                 stopped = True
                 break
             if not outer_open():
                 break
-            # -- one outer document ------------------------------------------
-            before = self._outer_retriever.counters.snapshot()
-            doc = self._outer_retriever.next_document()
-            counters = self._outer_retriever.counters
-            delta_retrieved = counters.retrieved - before.retrieved
-            time.add(
-                outer_costs.charge(
-                    retrieved=delta_retrieved,
-                    queries=counters.queries_issued - before.queries_issued,
-                    filtered=(
-                        delta_retrieved
-                        if self._outer_retriever.filters_documents
-                        else 0
-                    ),
+            rounds += 1
+            with observability.span(
+                SpanKind.JOIN_ROUND,
+                f"oijn.round.{rounds}",
+                algorithm=self.algorithm,
+                round=rounds,
+            ):
+                # -- one outer document --------------------------------------
+                before = self._outer_retriever.counters.snapshot()
+                with observability.span(
+                    SpanKind.DOCUMENT_RETRIEVAL,
+                    f"retrieve.side{outer}",
+                    side=outer,
+                    strategy=type(self._outer_retriever).__name__,
+                ) as span:
+                    doc = self._outer_retriever.next_document()
+                    counters = self._outer_retriever.counters
+                    delta_retrieved = counters.retrieved - before.retrieved
+                    span.set(retrieved=delta_retrieved)
+                time.add(
+                    outer_costs.charge(
+                        retrieved=delta_retrieved,
+                        queries=counters.queries_issued - before.queries_issued,
+                        filtered=(
+                            delta_retrieved
+                            if self._outer_retriever.filters_documents
+                            else 0
+                        ),
+                    )
                 )
-            )
-            if doc is None:
-                break
-            outer_tuples = self.inputs.extractor(outer).extract(doc)
-            time.add(outer_costs.charge(processed=1))
-            processed[outer] += 1
-            collector.record(outer, outer_tuples)
-            self._add(state, outer, outer_tuples)
-            self._report_progress(state, time)
-            # -- probe the inner relation for each new join value -------------
-            for query in self._queries_from(outer_tuples, outer_join_index):
-                if stop_now():
-                    stopped = True
+                if doc is None:
                     break
-                if not self._inner_budget_open(budgets, processed):
-                    break
-                try:
-                    fresh = self._probe.issue(query)
-                except AccessFailedError:
-                    # Failed access ≠ empty probe: no tQ charge, the query
-                    # stays un-issued so a later outer tuple with the same
-                    # value can retry it, and the s(a) sample frequencies
-                    # see nothing.
-                    continue
-                time.add(inner_costs.charge(queries=1, retrieved=len(fresh)))
-                inner_extractor = self.inputs.extractor(inner)
-                for inner_doc in fresh:
-                    cap = budgets.max_documents(inner)
-                    if cap is not None and processed[inner] >= cap:
-                        break
-                    inner_tuples = inner_extractor.extract(inner_doc)
-                    time.add(inner_costs.charge(processed=1))
-                    processed[inner] += 1
-                    collector.record(inner, inner_tuples)
-                    self._add(state, inner, inner_tuples)
+                with observability.span(
+                    SpanKind.EXTRACTION,
+                    f"extract.side{outer}",
+                    side=outer,
+                    document=doc.doc_id,
+                ) as span:
+                    outer_tuples = self.inputs.extractor(outer).extract(doc)
+                    span.set(tuples=len(outer_tuples))
+                time.add(outer_costs.charge(processed=1))
+                processed[outer] += 1
+                self._observe_document(outer, len(outer_tuples))
+                collector.record(outer, outer_tuples)
+                self._add(state, outer, outer_tuples)
                 self._report_progress(state, time)
+                # -- probe the inner relation for each new join value ---------
+                for query in self._queries_from(outer_tuples, outer_join_index):
+                    if stop_now():
+                        stopped = True
+                        break
+                    if not self._inner_budget_open(budgets, processed):
+                        break
+                    try:
+                        fresh = self._probe.issue(query)
+                    except AccessFailedError:
+                        # Failed access ≠ empty probe: no tQ charge, the query
+                        # stays un-issued so a later outer tuple with the same
+                        # value can retry it, and the s(a) sample frequencies
+                        # see nothing.
+                        continue
+                    time.add(
+                        inner_costs.charge(queries=1, retrieved=len(fresh))
+                    )
+                    inner_extractor = self.inputs.extractor(inner)
+                    for inner_doc in fresh:
+                        cap = budgets.max_documents(inner)
+                        if cap is not None and processed[inner] >= cap:
+                            break
+                        with observability.span(
+                            SpanKind.EXTRACTION,
+                            f"extract.side{inner}",
+                            side=inner,
+                            document=inner_doc.doc_id,
+                        ) as span:
+                            inner_tuples = inner_extractor.extract(inner_doc)
+                            span.set(tuples=len(inner_tuples))
+                        time.add(inner_costs.charge(processed=1))
+                        processed[inner] += 1
+                        self._observe_document(inner, len(inner_tuples))
+                        collector.record(inner, inner_tuples)
+                        self._add(state, inner, inner_tuples)
+                    self._report_progress(state, time)
 
         if self._outer_retriever.filters_documents:
             documents_filtered = {

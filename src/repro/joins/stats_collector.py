@@ -26,6 +26,11 @@ class RelationObservations:
     documents_processed: int = 0
     #: documents that produced at least one tuple
     productive_documents: int = 0
+    #: documents that produced no tuple at all — tracked explicitly (not
+    #: derived as ``processed - productive``) so telemetry and the MLE
+    #: read the same denominator even when observations are merged,
+    #: halved, or checkpoint-restored piecewise
+    unproductive_documents: int = 0
     #: value -> number of processed documents that generated the value
     sample_frequency: Counter = field(default_factory=Counter)
     #: per-document tuple yield histogram (documents with >= 1 tuple)
@@ -46,9 +51,24 @@ class RelationObservations:
         if count:
             self.productive_documents += 1
             self.tuples_per_document[count] += 1
+        else:
+            self.unproductive_documents += 1
         for value, confidence in values.items():
             self.sample_frequency[value] += 1
             self.value_confidences.setdefault(value, []).append(confidence)
+
+    @property
+    def productive_fraction(self) -> float:
+        """Share of processed documents that yielded at least one tuple.
+
+        0.0 before any document has been processed.  Uses the explicit
+        productive/unproductive split, so consumers (telemetry, the MLE's
+        per-document yield model) all agree on the denominator.
+        """
+        total = self.productive_documents + self.unproductive_documents
+        if total == 0:
+            return 0.0
+        return self.productive_documents / total
 
     @property
     def distinct_values(self) -> int:

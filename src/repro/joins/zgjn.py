@@ -17,6 +17,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 from ..core.preferences import QualityRequirement
 from ..core.quality import TimeBreakdown
 from ..core.types import ExtractedTuple
+from ..observability.tracer import SpanKind
 from ..retrieval.queries import Query, QueryProbe
 from ..robustness.context import AccessFailedError
 from .base import (
@@ -41,6 +42,8 @@ class ZigZagJoin(JoinAlgorithm):
     #: dropped instead of requeued
     MAX_QUERY_FAILURES = 2
 
+    algorithm = "zgjn"
+
     def __init__(
         self,
         inputs: JoinInputs,
@@ -48,14 +51,23 @@ class ZigZagJoin(JoinAlgorithm):
         costs: Optional[CostModel] = None,
         estimator: Optional[QualityEstimator] = None,
         resilience=None,
+        observability=None,
     ) -> None:
-        super().__init__(inputs, costs, estimator, resilience)
+        super().__init__(inputs, costs, estimator, resilience, observability)
         if not seed_queries:
             raise ValueError("ZGJN needs at least one seed query")
         self._seeds = list(seed_queries)
         self._probes = {
-            1: QueryProbe(inputs.database1, resilience=resilience),
-            2: QueryProbe(inputs.database2, resilience=resilience),
+            1: QueryProbe(
+                inputs.database1,
+                resilience=resilience,
+                observability=self.observability,
+            ),
+            2: QueryProbe(
+                inputs.database2,
+                resilience=resilience,
+                observability=self.observability,
+            ),
         }
         self._queues: Optional[Dict[int, Deque[Query]]] = None
         #: per-query access-failure counts (for bounded requeueing)
@@ -107,16 +119,27 @@ class ZigZagJoin(JoinAlgorithm):
                 return False
             return True
 
+        observability = self.observability
         stopped = False
+        rounds = 0
         while not stopped and (side_open(1) or side_open(2)):
-            for side in (1, 2):
-                if not side_open(side):
-                    continue
-                self._sweep(side, queues, state, collector, time, processed, budgets)
-                self._report_progress(state, time)
-                if stop_now():
-                    stopped = True
-                    break
+            rounds += 1
+            with observability.span(
+                SpanKind.JOIN_ROUND,
+                f"zgjn.round.{rounds}",
+                algorithm=self.algorithm,
+                round=rounds,
+            ):
+                for side in (1, 2):
+                    if not side_open(side):
+                        continue
+                    self._sweep(
+                        side, queues, state, collector, time, processed, budgets
+                    )
+                    self._report_progress(state, time)
+                    if stop_now():
+                        stopped = True
+                        break
 
         return self._finish(
             state=state,
@@ -171,9 +194,17 @@ class ZigZagJoin(JoinAlgorithm):
             cap = budgets.max_documents(side)
             if cap is not None and processed[side] >= cap:
                 break
-            tuples = extractor.extract(doc)
+            with self.observability.span(
+                SpanKind.EXTRACTION,
+                f"extract.side{side}",
+                side=side,
+                document=doc.doc_id,
+            ) as span:
+                tuples = extractor.extract(doc)
+                span.set(tuples=len(tuples))
             time.add(costs.charge(processed=1))
             processed[side] += 1
+            self._observe_document(side, len(tuples))
             collector.record(side, tuples)
             new_tuples.extend(tuples)
         if side == 1:

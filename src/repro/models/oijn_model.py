@@ -289,6 +289,10 @@ class OIJNModel:
         self._issue_cache: "OrderedDict[Tuple[float, float], Tuple[float, float]]" = (
             OrderedDict()
         )
+        # Passive LRU hit/miss tallies, scraped into the metrics registry
+        # by the optimizer when observability is on.
+        self._issue_cache_hits = 0
+        self._issue_cache_misses = 0
         # p_issue arrays per (draws_good, draws_bad): one prediction needs
         # the same batch for reach and for the inner factors, bisection
         # revisits operating points across requirements, and nearby effort
@@ -451,8 +455,10 @@ class OIJNModel:
         cache = self._issue_cache
         found = cache.get(key)
         if found is not None:
+            self._issue_cache_hits += 1
             cache.move_to_end(key)
             return found
+        self._issue_cache_misses += 1
         result = self._class_mean_issue(mix)
         cache[key] = result
         if len(cache) > _ISSUE_CACHE_SIZE:

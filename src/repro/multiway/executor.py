@@ -19,6 +19,8 @@ from ..extraction.base import Extractor
 from ..joins.base import UNLIMITED
 from ..joins.costs import SideCosts
 from ..joins.stats_collector import RelationObservations
+from ..observability.context import ObservabilityContext, ensure_observability
+from ..observability.tracer import SpanKind
 from ..retrieval.base import DocumentRetriever
 from ..textdb.database import TextDatabase
 from .state import MultiJoinState
@@ -66,12 +68,15 @@ class MultiwayExecution:
 class MultiwayIndependentJoin:
     """Ripple-style n-way IDJN (resumable)."""
 
+    algorithm = "multiway"
+
     def __init__(
         self,
         sides: Sequence[MultiwaySide],
         join_attribute: Optional[str] = None,
         estimator: Optional[MultiQualityEstimator] = None,
         state=None,
+        observability: Optional[ObservabilityContext] = None,
     ) -> None:
         """``state`` defaults to a star :class:`MultiJoinState`; pass a
         :class:`~repro.multiway.chain.ChainJoinState` (or any object with
@@ -102,6 +107,7 @@ class MultiwayIndependentJoin:
             for i, side in enumerate(sides)
         ]
         self.time = TimeBreakdown()
+        self.observability = ensure_observability(observability)
         self.processed: Dict[int, int] = {i + 1: 0 for i in range(len(sides))}
         self.on_progress: Optional[
             Callable[[MultiJoinState, TimeBreakdown], None]
@@ -118,10 +124,21 @@ class MultiwayIndependentJoin:
 
     def _step(self, index: int) -> None:
         side = self.sides[index]
+        observability = self.observability
         before = side.retriever.counters.snapshot()
-        doc = side.retriever.next_document()
-        counters = side.retriever.counters
-        delta_retrieved = counters.retrieved - before.retrieved
+        with observability.span(
+            SpanKind.DOCUMENT_RETRIEVAL,
+            f"retrieve.side{index + 1}",
+            side=index + 1,
+            strategy=type(side.retriever).__name__,
+        ) as span:
+            doc = side.retriever.next_document()
+            counters = side.retriever.counters
+            delta_retrieved = counters.retrieved - before.retrieved
+            span.set(
+                retrieved=delta_retrieved,
+                queries=counters.queries_issued - before.queries_issued,
+            )
         self.time.add(
             side.costs.charge(
                 retrieved=delta_retrieved,
@@ -133,15 +150,35 @@ class MultiwayIndependentJoin:
         )
         if doc is None:
             return
-        tuples = side.extractor.extract(doc)
+        with observability.span(
+            SpanKind.EXTRACTION,
+            f"extract.side{index + 1}",
+            side=index + 1,
+            document=doc.doc_id,
+        ) as span:
+            tuples = side.extractor.extract(doc)
+            span.set(tuples=len(tuples))
         self.time.add(side.costs.charge(processed=1))
         self.processed[index + 1] += 1
         self.observations[index].record_document(tuples)
         self.state.add(index + 1, tuples)
+        if observability.enabled:
+            metrics = observability.metrics
+            metrics.counter(
+                "repro_documents_processed_total",
+                side=index + 1,
+                algorithm=self.algorithm,
+            ).inc()
+            if tuples:
+                metrics.counter(
+                    "repro_tuples_extracted_total", side=index + 1
+                ).inc(len(tuples))
 
     def run(
         self, requirement: QualityRequirement = UNLIMITED
     ) -> MultiwayExecution:
+        observability = self.observability
+        rounds = 0
         while True:
             est_good, est_bad = self.estimator.estimate(self.state)
             if requirement.good_met(est_good) or requirement.bad_exceeded(
@@ -153,11 +190,30 @@ class MultiwayIndependentJoin:
             ]
             if not open_sides:
                 break
-            for index in open_sides:
-                self._step(index)
+            rounds += 1
+            with observability.span(
+                SpanKind.JOIN_ROUND,
+                f"{self.algorithm}.round.{rounds}",
+                algorithm=self.algorithm,
+                round=rounds,
+                open_sides=len(open_sides),
+            ):
+                for index in open_sides:
+                    self._step(index)
             if self.on_progress is not None:
                 self.on_progress(self.state, self.time)
         comp = self.state.composition
+        if observability.enabled:
+            metrics = observability.metrics
+            metrics.gauge("repro_join_tuples", label="good").set(comp.n_good)
+            metrics.gauge("repro_join_tuples", label="bad").set(comp.n_bad)
+            metrics.gauge("repro_simulated_seconds", component="total").set(
+                self.time.total
+            )
+            for i, observation in enumerate(self.observations):
+                metrics.gauge(
+                    "repro_productive_fraction", side=i + 1
+                ).set(observation.productive_fraction)
         report = ExecutionReport(
             composition=JoinComposition(n_good=comp.n_good, n_good_bad=comp.n_bad),
             time=TimeBreakdown(
@@ -185,6 +241,9 @@ class MultiwayIndependentJoin:
                 else requirement.satisfied_by(comp.n_good, comp.n_bad)
             ),
             exhausted=all(side.retriever.exhausted for side in self.sides),
+            observability=(
+                observability.report() if observability.enabled else None
+            ),
         )
         return MultiwayExecution(
             state=self.state, report=report, observations=self.observations

@@ -1,0 +1,46 @@
+"""End-to-end observability: tracing, metrics, and estimator-drift telemetry.
+
+The subsystem the production-scale north star needs to *see* where time,
+documents, and quality go (DESIGN §6.3):
+
+* :mod:`~repro.observability.tracer` — zero-dependency nested spans with
+  JSONL and Chrome-trace (``chrome://tracing`` / Perfetto) export;
+* :mod:`~repro.observability.metrics` — counters/gauges/histograms with a
+  Prometheus-style text dump;
+* :mod:`~repro.observability.drift` — predicted-vs-observed join quality
+  snapshots at every MLE refit (Section VI convergence as a time series);
+* :mod:`~repro.observability.context` — the shared
+  :class:`ObservabilityContext` threaded through executors, retrievers,
+  probes, the optimizer, the adaptive driver, and the resilience layer;
+* :mod:`~repro.observability.logs` — CLI/library logging configuration.
+
+Everything defaults to the shared no-op context, so an uninstrumented run
+is byte-identical to one built without this package.
+"""
+
+from .context import (
+    NULL_OBSERVABILITY,
+    ObservabilityContext,
+    ensure_observability,
+)
+from .drift import DriftSnapshot, DriftTracker
+from .logs import configure_logging, get_logger
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import NullTracer, SpanKind, Tracer
+
+__all__ = [
+    "NULL_OBSERVABILITY",
+    "ObservabilityContext",
+    "ensure_observability",
+    "DriftSnapshot",
+    "DriftTracker",
+    "configure_logging",
+    "get_logger",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "SpanKind",
+    "Tracer",
+]

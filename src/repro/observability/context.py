@@ -1,0 +1,183 @@
+"""The shared observability context: tracer + metrics + drift in one handle.
+
+Mirrors :class:`~repro.robustness.context.ResilienceContext`: one context
+is threaded through every component of a logical execution — join
+executors, retrieval strategies, query probes, the optimizer and its
+evaluation engine, the adaptive driver, and the resilience layer — so a
+single trace/metrics dump covers the whole run.
+
+``None`` observability everywhere defaults to :data:`NULL_OBSERVABILITY`,
+whose tracer, metrics, and drift tracker are shared no-op singletons:
+the disabled path allocates nothing per unit of work and leaves results
+byte-identical to a build without instrumentation.  Hot loops may
+additionally guard on :attr:`ObservabilityContext.enabled` to skip
+attribute packing entirely.
+
+Fork workers (``fork_map``) call :meth:`begin_child` after the fork,
+run with fresh buffers, and ship :meth:`export_child_state` back; the
+parent :meth:`merge_child`\\ s payloads in worker-index order, keeping
+merged telemetry deterministic.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Dict, Optional
+
+from ..core.quality import ObservabilityReport
+from .drift import DriftTracker, NullDriftTracker
+from .metrics import MetricsRegistry, NullMetrics
+from .tracer import NullTracer, SpanKind, Tracer
+
+__all__ = [
+    "ObservabilityContext",
+    "NULL_OBSERVABILITY",
+    "ensure_observability",
+    "SpanKind",
+]
+
+
+class ObservabilityContext:
+    """Tracing, metrics, and drift telemetry for one logical execution."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        drift: Optional[DriftTracker] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.drift = drift if drift is not None else DriftTracker()
+
+    # -- delegation shorthands ------------------------------------------------
+
+    def span(self, kind: str, name: Optional[str] = None, **attrs: Any):
+        return self.tracer.span(kind, name, **attrs)
+
+    def event(self, kind: str, name: Optional[str] = None, **attrs: Any) -> None:
+        self.tracer.event(kind, name, **attrs)
+
+    def counter(self, name: str, **labels: Any):
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: Any):
+        return self.metrics.gauge(name, **labels)
+
+    # -- drift ----------------------------------------------------------------
+
+    def record_drift(self, **kwargs: Any) -> None:
+        """Record a drift snapshot and mirror it into trace + metrics."""
+        snapshot = self.drift.record(**kwargs)
+        if snapshot is None:
+            return
+        self.event(
+            SpanKind.DRIFT_SNAPSHOT,
+            name=snapshot.label,
+            refit=snapshot.refit,
+            plan=snapshot.plan,
+            observed_good=snapshot.observed_good,
+            observed_bad=snapshot.observed_bad,
+            predicted_good=snapshot.predicted_good,
+            predicted_bad=snapshot.predicted_bad,
+            good_error=snapshot.good_error,
+            bad_error=snapshot.bad_error,
+        )
+        self.metrics.counter("repro_mle_refits_total").inc()
+        self.metrics.gauge("repro_drift_good_error").set(snapshot.good_error)
+        self.metrics.gauge("repro_drift_bad_error").set(snapshot.bad_error)
+
+    # -- reporting ------------------------------------------------------------
+
+    def report(self) -> ObservabilityReport:
+        """Immutable summary for an :class:`ExecutionReport`."""
+        spans = sum(1 for r in self.tracer.records if r["type"] == "span")
+        events = len(self.tracer.records) - spans
+        return ObservabilityReport(
+            spans=spans,
+            events=events,
+            counters=self.metrics.totals(),
+            drift_snapshots=tuple(s.to_dict() for s in self.drift.snapshots),
+        )
+
+    def write_trace(self, path: str) -> Dict[str, str]:
+        """Write the JSONL log at *path* and a Chrome trace next to it.
+
+        ``run.jsonl`` → ``run.chrome.json``; any other name gets
+        ``.chrome.json`` appended.  Returns ``{"jsonl": ..., "chrome": ...}``.
+        """
+        target = pathlib.Path(path)
+        if target.suffix == ".jsonl":
+            chrome = target.with_suffix(".chrome.json")
+        else:
+            chrome = target.parent / (target.name + ".chrome.json")
+        return {
+            "jsonl": self.tracer.export_jsonl(str(target)),
+            "chrome": self.tracer.export_chrome(str(chrome)),
+        }
+
+    def write_metrics(self, path: str) -> str:
+        pathlib.Path(path).write_text(self.metrics.render())
+        return path
+
+    # -- fork support ---------------------------------------------------------
+
+    def begin_child(self, tid: int) -> None:
+        """Re-base onto fresh buffers inside a forked worker."""
+        self.tracer = Tracer(tid=tid, origin_ns=self.tracer.origin_ns)
+        self.metrics = MetricsRegistry()
+        self.drift = DriftTracker()
+
+    def export_child_state(self) -> Dict[str, Any]:
+        """Picklable telemetry payload to ship back to the parent."""
+        return {
+            "records": self.tracer.records,
+            "metrics": self.metrics.export_state(),
+            "drift": self.drift.export_state(),
+        }
+
+    def merge_child(self, state: Optional[Dict[str, Any]]) -> None:
+        """Fold one child payload in (call in worker-index order)."""
+        if not state:
+            return
+        self.tracer.merge(state["records"])
+        self.metrics.merge(state["metrics"])
+        self.drift.merge(state["drift"])
+
+
+class _NullObservability(ObservabilityContext):
+    """The always-off context: shared no-op tracer/metrics/drift."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.tracer = NullTracer()
+        self.metrics = NullMetrics()
+        self.drift = NullDriftTracker()
+
+    def record_drift(self, **kwargs: Any) -> None:
+        return None
+
+    def report(self) -> ObservabilityReport:
+        return ObservabilityReport()
+
+    def begin_child(self, tid: int) -> None:
+        return None
+
+    def export_child_state(self) -> Optional[Dict[str, Any]]:
+        return None
+
+    def merge_child(self, state: Optional[Dict[str, Any]]) -> None:
+        return None
+
+
+NULL_OBSERVABILITY = _NullObservability()
+
+
+def ensure_observability(
+    observability: Optional[ObservabilityContext],
+) -> ObservabilityContext:
+    """Normalize ``None`` to the shared disabled context."""
+    return observability if observability is not None else NULL_OBSERVABILITY

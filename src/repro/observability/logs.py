@@ -1,0 +1,73 @@
+"""Logging configuration for the CLI and library diagnostics.
+
+One ``repro`` logger hierarchy, one stderr handler, plain-message format:
+diagnostics keep their exact historical text (``repro: error: ...`` is
+still a single line on stderr) while becoming level-filtered through the
+CLI's ``-v/--log-level`` flag.  Machine-readable results (tables, chosen
+plans, summaries) stay on stdout via ``print`` and are unaffected.
+
+The handler resolves ``sys.stderr`` at emit time rather than capturing it
+at configuration time, so pytest's stream capture (and any other stderr
+redirection) keeps working across repeated ``main()`` invocations.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, Union
+
+ROOT_LOGGER = "repro"
+
+LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+
+class _LiveStderrHandler(logging.StreamHandler):
+    """A StreamHandler bound to *current* ``sys.stderr``, not a snapshot."""
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value) -> None:  # StreamHandler's ctor assigns; ignore
+        pass
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The ``repro`` logger, or a child (``get_logger("cli")``)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
+
+
+def resolve_level(level: Union[str, int]) -> int:
+    if isinstance(level, int):
+        return level
+    try:
+        return LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; pick one of {sorted(LEVELS)}"
+        ) from None
+
+
+def configure_logging(level: Union[str, int] = "info") -> logging.Logger:
+    """(Re)configure the ``repro`` logger; idempotent across calls."""
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(resolve_level(level))
+    logger.propagate = False
+    if not any(
+        isinstance(handler, _LiveStderrHandler) for handler in logger.handlers
+    ):
+        handler = _LiveStderrHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+    return logger

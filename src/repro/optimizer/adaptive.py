@@ -44,6 +44,8 @@ from ..joins.idjn import IndependentJoin
 from ..joins.base import JoinInputs
 from ..joins.stats_collector import RelationObservations
 from ..models.parameters import SideStatistics
+from ..observability.context import ensure_observability
+from ..observability.tracer import SpanKind
 from ..retrieval.scan import ScanRetriever
 from ..robustness.context import AccessPathUnavailable
 from ..robustness.degradation import split_path, surviving_plans
@@ -168,6 +170,9 @@ class AdaptiveJoinExecutor:
         if pilot_documents <= 0:
             raise ValueError("pilot_documents must be positive")
         self.environment = environment
+        #: shared tracing/metrics/drift context, taken from the environment
+        #: so executors, optimizers, and the driver report into one place
+        self.observability = ensure_observability(environment.observability)
         self.characterizations = {1: characterization1, 2: characterization2}
         self.plans = list(plans)
         self.pilot_theta = pilot_theta
@@ -207,16 +212,28 @@ class AdaptiveJoinExecutor:
         )
         pilot = IndependentJoin(
             inputs,
-            retriever1=ScanRetriever(env.database1, resilience=env.resilience),
-            retriever2=ScanRetriever(env.database2, resilience=env.resilience),
+            retriever1=ScanRetriever(
+                env.database1,
+                resilience=env.resilience,
+                observability=env.observability,
+            ),
+            retriever2=ScanRetriever(
+                env.database2,
+                resilience=env.resilience,
+                observability=env.observability,
+            ),
             costs=env.costs,
             resilience=env.resilience,
+            observability=env.observability,
         )
-        return pilot.run(
-            budgets=Budgets(
-                max_documents1=documents, max_documents2=documents
+        with self.observability.span(
+            SpanKind.PILOT, "pilot", documents=documents
+        ):
+            return pilot.run(
+                budgets=Budgets(
+                    max_documents1=documents, max_documents2=documents
+                )
             )
-        )
 
     # -- estimation -------------------------------------------------------------
 
@@ -237,14 +254,21 @@ class AdaptiveJoinExecutor:
                 fp=char.fp_at(self.pilot_theta),
                 theta=self.pilot_theta,
             )
-            estimates.append(
-                estimate_side(
-                    observations,
-                    context,
-                    reference=char.confidences,
-                    top_k=database.max_results,
+            with self.observability.span(
+                SpanKind.MLE_REFIT,
+                f"mle.side{side}",
+                side=side,
+                documents=observations.documents_processed,
+                distinct_values=observations.distinct_values,
+            ):
+                estimates.append(
+                    estimate_side(
+                        observations,
+                        context,
+                        reference=char.confidences,
+                        top_k=database.max_results,
+                    )
                 )
-            )
         return estimates[0], estimates[1]
 
     def _catalog(
@@ -320,6 +344,7 @@ class AdaptiveJoinExecutor:
         )
         half.documents_processed = observations.documents_processed
         half.productive_documents = observations.productive_documents
+        half.unproductive_documents = observations.unproductive_documents
         half.tuples_per_document.update(observations.tuples_per_document)
         for value, count in observations.sample_frequency.items():
             if zlib.crc32(value.encode()) % 2 == parity:
@@ -337,6 +362,21 @@ class AdaptiveJoinExecutor:
         chosen_plan: JoinPlanSpec,
     ) -> bool:
         """Do value-split halves agree with the full fit's plan choice?"""
+        with self.observability.span(
+            SpanKind.CROSS_VALIDATE,
+            "crossvalidate",
+            plan=chosen_plan.describe(),
+        ) as span:
+            stable = self._stable_choice_inner(requirement, chosen_plan, pilot)
+            span.set(stable=stable)
+        return stable
+
+    def _stable_choice_inner(
+        self,
+        requirement: QualityRequirement,
+        chosen_plan: JoinPlanSpec,
+        pilot: JoinExecution,
+    ) -> bool:
         for parity in (0, 1):
             halves = []
             for side in (1, 2):
@@ -385,6 +425,54 @@ class AdaptiveJoinExecutor:
                 return False
         return True
 
+    # -- drift telemetry --------------------------------------------------------
+
+    def _record_drift(
+        self,
+        label: str,
+        optimizer: JoinOptimizer,
+        chosen: Optional[PlanEvaluation],
+        execution: JoinExecution,
+    ) -> None:
+        """Snapshot predicted vs. observed join quality at one MLE refit.
+
+        Observed counts come from the oracle composition of the live state
+        (telemetry only — the estimators never read labels); predictions
+        from the chosen evaluation's operating point, plus the engine's
+        effort curve when one was built.
+        """
+        observability = self.observability
+        if not observability.enabled:
+            return
+        composition = execution.state.composition
+        documents = tuple(
+            execution.observations.side(side).documents_processed
+            for side in (1, 2)
+        )
+        if chosen is not None and chosen.prediction is not None:
+            observability.record_drift(
+                label=label,
+                plan=chosen.plan.describe(),
+                documents_processed=documents,
+                observed_good=composition.n_good,
+                observed_bad=composition.n_bad,
+                predicted_good=chosen.prediction.n_good,
+                predicted_bad=chosen.prediction.n_bad,
+                predicted_time=chosen.predicted_time,
+                effort_fraction=chosen.effort_fraction,
+                curve=optimizer.curve_points(chosen.plan),
+            )
+        else:
+            observability.record_drift(
+                label=label,
+                plan="",
+                documents_processed=documents,
+                observed_good=composition.n_good,
+                observed_bad=composition.n_bad,
+                predicted_good=0.0,
+                predicted_bad=0.0,
+            )
+
     # -- the driver -----------------------------------------------------------------
 
     def run(self, requirement: QualityRequirement) -> AdaptiveResult:
@@ -405,8 +493,12 @@ class AdaptiveJoinExecutor:
                 catalog,
                 costs=self.environment.costs,
                 feasibility_margin=self.feasibility_margin,
+                observability=self.environment.observability,
             )
             optimization = optimizer.optimize(self.plans, requirement)
+            self._record_drift(
+                f"pilot-round-{rounds}", optimizer, optimization.chosen, pilot
+            )
             if optimization.chosen is None:
                 break
             if not self.cross_validate or rounds >= self.max_rounds:
@@ -480,6 +572,9 @@ class AdaptiveJoinExecutor:
                 observations = source.observations.side(side)
                 combined.documents_processed += observations.documents_processed
                 combined.productive_documents += observations.productive_documents
+                combined.unproductive_documents += (
+                    observations.unproductive_documents
+                )
                 combined.tuples_per_document.update(
                     observations.tuples_per_document
                 )
@@ -504,14 +599,21 @@ class AdaptiveJoinExecutor:
                 fp=char.fp_at(self.pilot_theta),
                 theta=self.pilot_theta,
             )
-            estimates.append(
-                estimate_side(
-                    observations,
-                    context,
-                    reference=char.confidences,
-                    top_k=database.max_results,
+            with self.observability.span(
+                SpanKind.MLE_REFIT,
+                f"mle.side{side}",
+                side=side,
+                documents=observations.documents_processed,
+                distinct_values=observations.distinct_values,
+            ):
+                estimates.append(
+                    estimate_side(
+                        observations,
+                        context,
+                        reference=char.confidences,
+                        top_k=database.max_results,
+                    )
                 )
-            )
         return (estimates[0], estimates[1]), merged
 
     def _side_of_path(self, path: str) -> int:
@@ -524,7 +626,11 @@ class AdaptiveJoinExecutor:
         raise ValueError(f"access path {path!r} matches neither database")
 
     def _reoptimize(self, plans, requirement, estimates, pilot):
-        """Optimize *plans* under the current estimates; None if infeasible."""
+        """Optimize *plans* under the current estimates.
+
+        Returns ``(result, optimizer)`` — the optimizer is kept so drift
+        telemetry can attach the chosen plan's predicted effort curve.
+        """
         catalog = self._catalog(
             estimates[0],
             estimates[1],
@@ -535,8 +641,13 @@ class AdaptiveJoinExecutor:
             catalog,
             costs=self.environment.costs,
             feasibility_margin=self.feasibility_margin,
+            observability=self.environment.observability,
         )
-        return optimizer.optimize(plans, requirement)
+        with self.observability.span(
+            SpanKind.REOPTIMIZE, "reoptimize", plans=len(plans)
+        ):
+            result = optimizer.optimize(plans, requirement)
+        return result, optimizer
 
     def _carry_over(self, old_executor, chosen, estimates):
         """Bind *chosen* and move the old executor's tuples and time into it.
@@ -587,23 +698,29 @@ class AdaptiveJoinExecutor:
                 tau_good=milestone, tau_bad=requirement.tau_bad
             )
             try:
-                execution = executor.run(
-                    requirement=partial,
-                    budgets=budgets_from_evaluation(
-                        chosen.plan, chosen, slack=3.0
-                    ),
-                )
+                with self.observability.span(
+                    SpanKind.EXECUTE,
+                    f"execute.{chosen.plan.join.value.lower()}",
+                    plan=chosen.plan.describe(),
+                    milestone=milestone,
+                ):
+                    execution = executor.run(
+                        requirement=partial,
+                        budgets=budgets_from_evaluation(
+                            chosen.plan, chosen, slack=3.0
+                        ),
+                    )
             except AccessPathUnavailable as failure:
                 if len(degraded) >= self.max_degradations:
                     raise
                 side = self._side_of_path(failure.path)
                 _, operation = split_path(failure.path)
                 plans = surviving_plans(plans, side, operation)
-                result = (
-                    self._reoptimize(plans, requirement, estimates, pilot)
-                    if plans
-                    else None
-                )
+                result = None
+                if plans:
+                    result, _ = self._reoptimize(
+                        plans, requirement, estimates, pilot
+                    )
                 if result is None or result.chosen is None:
                     raise
                 degraded.append(failure.path)
@@ -616,7 +733,12 @@ class AdaptiveJoinExecutor:
                 break
             # Re-estimate from everything observed, re-optimize the rest.
             new_estimates, _ = self._reestimate_with_execution(pilot, execution)
-            result = self._reoptimize(plans, requirement, new_estimates, pilot)
+            result, optimizer = self._reoptimize(
+                plans, requirement, new_estimates, pilot
+            )
+            self._record_drift(
+                f"milestone-{milestone}", optimizer, result.chosen, execution
+            )
             if result.chosen is None or result.chosen.plan == chosen.plan:
                 continue
             # Switch: bind the new plan and carry the produced tuples over.

@@ -22,6 +22,7 @@ from ..joins.costs import CostModel
 from ..joins.idjn import IndependentJoin
 from ..joins.oijn import OuterInnerJoin
 from ..joins.zgjn import ZigZagJoin
+from ..observability.context import ObservabilityContext
 from ..retrieval.aqg import AQGRetriever, LearnedQuery
 from ..retrieval.base import DocumentRetriever
 from ..retrieval.classifier import RuleClassifier
@@ -51,6 +52,8 @@ class ExecutionEnvironment:
     #: shared fault-handling context (installed by
     #: :func:`repro.robustness.environment.harden`); None = raw access
     resilience: Optional[ResilienceContext] = None
+    #: shared tracing/metrics context; None = the no-op path
+    observability: Optional[ObservabilityContext] = None
 
     def database(self, side: int) -> TextDatabase:
         return self.database1 if side == 1 else self.database2
@@ -62,13 +65,20 @@ class ExecutionEnvironment:
     def retriever(self, side: int, kind: RetrievalKind) -> DocumentRetriever:
         database = self.database(side)
         if kind is RetrievalKind.SCAN:
-            return ScanRetriever(database, resilience=self.resilience)
+            return ScanRetriever(
+                database,
+                resilience=self.resilience,
+                observability=self.observability,
+            )
         if kind is RetrievalKind.FILTERED_SCAN:
             classifier = self.classifier1 if side == 1 else self.classifier2
             if classifier is None:
                 raise ValueError(f"no classifier bound for side {side}")
             return FilteredScanRetriever(
-                database, classifier, resilience=self.resilience
+                database,
+                classifier,
+                resilience=self.resilience,
+                observability=self.observability,
             )
         if kind is RetrievalKind.AQG:
             queries = (
@@ -76,7 +86,12 @@ class ExecutionEnvironment:
             )
             if not queries:
                 raise ValueError(f"no learned queries bound for side {side}")
-            return AQGRetriever(database, queries, resilience=self.resilience)
+            return AQGRetriever(
+                database,
+                queries,
+                resilience=self.resilience,
+                observability=self.observability,
+            )
         raise ValueError(f"{kind} is not an explicit retrieval strategy")
 
 
@@ -101,6 +116,7 @@ def bind_plan(
             costs=environment.costs,
             estimator=estimator,
             resilience=environment.resilience,
+            observability=environment.observability,
         )
     if plan.join is JoinKind.OIJN:
         return OuterInnerJoin(
@@ -112,6 +128,7 @@ def bind_plan(
             estimator=estimator,
             outer=plan.outer,
             resilience=environment.resilience,
+            observability=environment.observability,
         )
     if not environment.seed_queries:
         raise ValueError("ZGJN needs seed queries in the environment")
@@ -121,6 +138,7 @@ def bind_plan(
         costs=environment.costs,
         estimator=estimator,
         resilience=environment.resilience,
+        observability=environment.observability,
     )
 
 

@@ -48,12 +48,19 @@ class StatisticsCatalog:
         # the model layer attach per-side sub-model caches (retrieval
         # models, composition kernels) that all plans then reuse.
         self._side_cache: Dict[Tuple[int, float], SideStatistics] = {}
+        # Passive hit/miss tallies of the side cache, scraped into the
+        # metrics registry by the optimizer when observability is on.
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def _side(self, index: int, theta: float) -> SideStatistics:
         key = (index, theta)
         if key not in self._side_cache:
+            self.cache_misses += 1
             builder = self.side_builder1 if index == 1 else self.side_builder2
             self._side_cache[key] = builder(theta)
+        else:
+            self.cache_hits += 1
         return self._side_cache[key]
 
     def at(self, theta1: float, theta2: float) -> JoinStatistics:

@@ -40,6 +40,7 @@ from typing import Callable, Dict, List, Optional, Tuple, TypeVar
 import numpy as np
 
 from ..core.plan import JoinPlanSpec
+from ..observability.tracer import SpanKind
 
 T = TypeVar("T")
 
@@ -95,17 +96,27 @@ class PlanEvaluationEngine:
         resolution_m = max(1, self._optimizer.effort_resolution.bit_length() - 1)
         return min(steps, resolution_m, max(1, self._curve_m))
 
+    def cached_curve(self, plan: JoinPlanSpec) -> Optional[PlanCurve]:
+        """The plan's curve if one was already built, else None (no probes)."""
+        return self._curves.get(plan)
+
     def curve(self, plan: JoinPlanSpec) -> PlanCurve:
         """The plan's curve, built on first use (may raise ValueError)."""
         if plan not in self._curves:
             predictor, max_effort = self._optimizer._cached_predictor(plan)
             grid_m = self._grid_m(max_effort)
             size = 1 << grid_m
-            fractions = np.arange(size + 1) / size
-            predictions = [
-                predictor(float(fraction) * max_effort)
-                for fraction in fractions
-            ]
+            with self._optimizer.observability.span(
+                SpanKind.PLAN_CURVE,
+                f"curve.{plan.join.value.lower()}",
+                plan=plan.describe(),
+                grid_points=size + 1,
+            ):
+                fractions = np.arange(size + 1) / size
+                predictions = [
+                    predictor(float(fraction) * max_effort)
+                    for fraction in fractions
+                ]
             n_good = np.array([p.n_good for p in predictions])
             self._curves[plan] = PlanCurve(
                 plan=plan,

@@ -32,6 +32,8 @@ from ..models.idjn_model import IDJNModel
 from ..models.oijn_model import OIJNModel
 from ..models.predictions import QualityPrediction
 from ..models.zgjn_model import ZGJNModel
+from ..observability.context import ObservabilityContext, ensure_observability
+from ..observability.tracer import SpanKind
 from .catalog import StatisticsCatalog
 from .engine import PlanEvaluationEngine, fork_map
 
@@ -87,9 +89,12 @@ class JoinOptimizer:
         feasibility_margin: float = 0.0,
         vectorized: bool = True,
         use_engine: bool = True,
+        observability: Optional[ObservabilityContext] = None,
     ) -> None:
         self.catalog = catalog
         self.costs = costs or CostModel()
+        #: tracing/metrics context; defaults to the no-op context
+        self.observability = ensure_observability(observability)
         #: run the analytical models through the array kernels
         #: (``False`` keeps the scalar reference paths — same results
         #: within 1e-9, used for golden tests and benchmarks)
@@ -119,6 +124,9 @@ class JoinOptimizer:
         self._prediction_memo: Dict[
             JoinPlanSpec, Dict[float, QualityPrediction]
         ] = {}
+        # Constructed analytical models per plan, kept so telemetry can
+        # scrape their passive cache tallies (OIJN issue-probability LRU).
+        self._models: Dict[JoinPlanSpec, object] = {}
         self._engine = PlanEvaluationEngine(self)
 
     # -- per-plan evaluation ------------------------------------------------------
@@ -132,6 +140,29 @@ class JoinOptimizer:
         side without query statistics, an FS side without a classifier
         profile) are reported infeasible rather than crashing the sweep.
         """
+        observability = self.observability
+        if not observability.enabled:
+            return self._evaluate(plan, requirement)
+        with observability.span(
+            SpanKind.PLAN_EVALUATION,
+            f"evaluate.{plan.join.value.lower()}",
+            plan=plan.describe(),
+        ) as span:
+            evaluation = self._evaluate(plan, requirement)
+            span.set(
+                feasible=evaluation.feasible,
+                effort_fraction=evaluation.effort_fraction,
+            )
+            if evaluation.prediction is not None:
+                span.set(predicted_time=evaluation.predicted_time)
+        observability.metrics.counter(
+            "repro_plan_evaluations_total", feasible=evaluation.feasible
+        ).inc()
+        return evaluation
+
+    def _evaluate(
+        self, plan: JoinPlanSpec, requirement: QualityRequirement
+    ) -> PlanEvaluation:
         try:
             predictor, max_effort = self._cached_predictor(plan)
         except ValueError:
@@ -198,6 +229,7 @@ class JoinOptimizer:
                 overlap=overlap,
                 vectorized=self.vectorized,
             )
+            self._models[plan] = model
             max1, max2 = model.max_effort(1), model.max_effort(2)
 
             def predict(effort: float) -> QualityPrediction:
@@ -215,6 +247,7 @@ class JoinOptimizer:
                 overlap=overlap,
                 vectorized=self.vectorized,
             )
+            self._models[plan] = model
             return model.predict, float(model.max_effort)
         model = ZGJNModel(
             statistics,
@@ -223,6 +256,7 @@ class JoinOptimizer:
             overlap=overlap,
             vectorized=self.vectorized,
         )
+        self._models[plan] = model
         return model.predict, float(model.max_queries_from_r1())
 
     def _minimal_fraction(
@@ -268,25 +302,102 @@ class JoinOptimizer:
         ``workers > 1`` fans the per-plan evaluations out over fork-based
         processes; results are reassembled in plan order and are identical
         to the serial run (falls back to serial where fork is unavailable).
+        Telemetry from forked children (spans, counters) is shipped back
+        and merged in worker-index order, so traces stay deterministic in
+        structure.
         """
-        evaluations = None
-        if workers is not None and workers > 1:
-            global _FORK_STATE
-            _FORK_STATE = (self, list(plans), requirement)
-            try:
-                evaluations = fork_map(
-                    _evaluate_plan_index, len(plans), workers
-                )
-            finally:
-                _FORK_STATE = None
-        if evaluations is None:
-            evaluations = [self.evaluate(plan, requirement) for plan in plans]
-        feasible = [e for e in evaluations if e.feasible]
-        chosen = min(feasible, key=lambda e: e.predicted_time) if feasible else None
+        observability = self.observability
+        with observability.span(
+            SpanKind.OPTIMIZE,
+            "optimize",
+            plans=len(plans),
+            tau_good=requirement.tau_good,
+            tau_bad=requirement.tau_bad,
+        ) as span:
+            evaluations = None
+            if workers is not None and workers > 1:
+                global _FORK_STATE
+                _FORK_STATE = (self, list(plans), requirement)
+                try:
+                    indexed = fork_map(
+                        _evaluate_plan_index, len(plans), workers
+                    )
+                finally:
+                    _FORK_STATE = None
+                if indexed is not None:
+                    evaluations = [evaluation for evaluation, _ in indexed]
+                    for _, payload in indexed:
+                        observability.merge_child(payload)
+            if evaluations is None:
+                evaluations = [
+                    self.evaluate(plan, requirement) for plan in plans
+                ]
+            feasible = [e for e in evaluations if e.feasible]
+            chosen = (
+                min(feasible, key=lambda e: e.predicted_time)
+                if feasible
+                else None
+            )
+            span.set(
+                feasible=len(feasible),
+                chosen=chosen.plan.describe() if chosen is not None else None,
+            )
+        self.scrape_cache_metrics()
         return OptimizationResult(
             requirement=requirement,
             chosen=chosen,
             evaluations=tuple(evaluations),
+        )
+
+    # -- telemetry helpers -------------------------------------------------------
+
+    def scrape_cache_metrics(self) -> None:
+        """Publish the passive cache tallies as gauges.
+
+        The caches themselves count hits/misses with plain ints (zero
+        behavioural coupling); this scrape turns the current totals into
+        ``repro_cache_requests{cache,result}`` gauges.  No-op when
+        observability is disabled.
+        """
+        observability = self.observability
+        if not observability.enabled:
+            return
+        metrics = observability.metrics
+        metrics.gauge(
+            "repro_cache_requests", cache="catalog_side", result="hit"
+        ).set(self.catalog.cache_hits)
+        metrics.gauge(
+            "repro_cache_requests", cache="catalog_side", result="miss"
+        ).set(self.catalog.cache_misses)
+        hits = misses = 0
+        for model in self._models.values():
+            hits += getattr(model, "_issue_cache_hits", 0)
+            misses += getattr(model, "_issue_cache_misses", 0)
+        metrics.gauge(
+            "repro_cache_requests", cache="oijn_issue", result="hit"
+        ).set(hits)
+        metrics.gauge(
+            "repro_cache_requests", cache="oijn_issue", result="miss"
+        ).set(misses)
+
+    def curve_points(
+        self, plan: JoinPlanSpec
+    ) -> Optional[
+        Tuple[Tuple[float, ...], Tuple[float, ...], Tuple[float, ...]]
+    ]:
+        """The plan's predicted effort curve (fractions, good, bad).
+
+        Returns the evaluation engine's cached curve when one was built,
+        otherwise None — drift snapshots attach it so a refit records the
+        shape the optimizer believed, not just the point estimate.
+        """
+        curve = self._engine.cached_curve(plan)
+        if curve is None:
+            return None
+        return (
+            tuple(float(x) for x in curve.fractions),
+            tuple(float(x) for x in curve.n_good),
+            tuple(float(x) for x in curve.n_bad),
         )
 
     # -- alternate preference model: time-budgeted quality ------------------------
@@ -393,6 +504,13 @@ _FORK_STATE: Optional[
 ] = None
 
 
-def _evaluate_plan_index(index: int) -> Tuple[int, PlanEvaluation]:
+def _evaluate_plan_index(
+    index: int,
+) -> Tuple[int, Tuple[PlanEvaluation, Optional[dict]]]:
     optimizer, plans, requirement = _FORK_STATE
-    return index, optimizer.evaluate(plans[index], requirement)
+    observability = optimizer.observability
+    # Re-base the forked copy-on-write context onto fresh buffers so only
+    # this child's telemetry ships back (tid = worker lane in the trace).
+    observability.begin_child(tid=index + 1)
+    evaluation = optimizer.evaluate(plans[index], requirement)
+    return index, (evaluation, observability.export_child_state())

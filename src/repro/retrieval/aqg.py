@@ -138,12 +138,15 @@ class AQGRetriever(DocumentRetriever):
         database: TextDatabase,
         queries: Sequence[LearnedQuery],
         resilience: Optional[ResilienceContext] = None,
+        observability=None,
     ) -> None:
-        super().__init__(database, resilience)
+        super().__init__(database, resilience, observability)
         if not queries:
             raise ValueError("AQG needs at least one learned query")
         self._queries: List[Query] = [lq.query for lq in queries]
-        self._probe = QueryProbe(database, resilience=resilience)
+        self._probe = QueryProbe(
+            database, resilience=resilience, observability=self.observability
+        )
         self._buffer: List[Document] = []
         self._next_query = 0
 

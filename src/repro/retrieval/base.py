@@ -20,6 +20,8 @@ import abc
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, TypeVar
 
+from ..observability.context import ObservabilityContext, ensure_observability
+from ..observability.tracer import SpanKind
 from ..robustness.context import ResilienceContext
 from ..robustness.degradation import access_path
 from ..textdb.database import TextDatabase
@@ -56,12 +58,15 @@ class DocumentRetriever(abc.ABC):
         self,
         database: TextDatabase,
         resilience: Optional[ResilienceContext] = None,
+        observability: Optional[ObservabilityContext] = None,
     ) -> None:
         self.database = database
         self.counters = RetrievalCounters()
         #: optional fault-handling context; when None, database calls go
         #: through raw (the original zero-overhead path)
         self.resilience = resilience
+        #: tracing/metrics context; defaults to the no-op context
+        self.observability = ensure_observability(observability)
 
     def _access(self, operation: str, fn: Callable[[], T]) -> T:
         """One database access, via the resilience context when present.
@@ -72,6 +77,18 @@ class DocumentRetriever(abc.ABC):
         :class:`~repro.robustness.context.AccessPathUnavailable` (circuit
         open — propagates so the optimizer can degrade gracefully).
         """
+        observability = self.observability
+        if observability.enabled:
+            with observability.span(
+                SpanKind.DB_ACCESS,
+                f"{self.database.name}.{operation}",
+                database=self.database.name,
+                operation=operation,
+            ):
+                return self._raw_access(operation, fn)
+        return self._raw_access(operation, fn)
+
+    def _raw_access(self, operation: str, fn: Callable[[], T]) -> T:
         if self.resilience is None:
             return fn()
         return self.resilience.call(

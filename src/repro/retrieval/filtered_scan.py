@@ -33,8 +33,9 @@ class FilteredScanRetriever(DocumentRetriever):
         database: TextDatabase,
         classifier: RuleClassifier,
         resilience: Optional[ResilienceContext] = None,
+        observability=None,
     ) -> None:
-        super().__init__(database, resilience)
+        super().__init__(database, resilience, observability)
         self.classifier = classifier
         self._order: List[int] = database.scan_order()
         self._position = 0

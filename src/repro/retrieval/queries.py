@@ -14,6 +14,8 @@ from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..core.types import DocumentClass
+from ..observability.context import ObservabilityContext, ensure_observability
+from ..observability.tracer import SpanKind
 from ..robustness.context import AccessFailedError, ResilienceContext
 from ..robustness.degradation import access_path
 from ..textdb.database import TextDatabase
@@ -114,12 +116,14 @@ class QueryProbe:
         self,
         database: TextDatabase,
         resilience: Optional[ResilienceContext] = None,
+        observability: Optional[ObservabilityContext] = None,
     ) -> None:
         self.database = database
         self.seen: Set[int] = set()
         self.queries_issued = 0
         self.documents_retrieved = 0
         self.resilience = resilience
+        self.observability = ensure_observability(observability)
         self._issued: Set[Tuple[str, ...]] = set()
 
     def already_issued(self, query: Query) -> bool:
@@ -149,23 +153,48 @@ class QueryProbe:
         search access fails — deliberately distinct from returning ``[]``
         (a successful query that matched nothing new).
         """
-        match_ids = self._access(
-            "search", lambda: self.database.search(query.tokens)
-        )
-        # Only a search that actually answered counts as issued.
-        self.queries_issued += 1
-        self._issued.add(query.tokens)
-        fresh: List[Document] = []
-        for doc_id in match_ids:
-            if doc_id in self.seen:
-                continue
-            try:
-                doc = self._access("fetch", lambda: self.database.get(doc_id))
-            except AccessFailedError:
-                if self.resilience is not None:
-                    self.resilience.documents_lost += 1
-                continue
-            self.seen.add(doc_id)
-            self.documents_retrieved += 1
-            fresh.append(doc)
+        observability = self.observability
+        with observability.span(
+            SpanKind.QUERY_ISSUE,
+            f"query.{self.database.name}",
+            database=self.database.name,
+            query=query.describe(),
+        ) as span:
+            match_ids = self._access(
+                "search", lambda: self.database.search(query.tokens)
+            )
+            # Only a search that actually answered counts as issued.
+            self.queries_issued += 1
+            self._issued.add(query.tokens)
+            fresh: List[Document] = []
+            for doc_id in match_ids:
+                if doc_id in self.seen:
+                    continue
+                try:
+                    doc = self._access(
+                        "fetch", lambda: self.database.get(doc_id)
+                    )
+                except AccessFailedError:
+                    if self.resilience is not None:
+                        self.resilience.documents_lost += 1
+                    continue
+                self.seen.add(doc_id)
+                self.documents_retrieved += 1
+                fresh.append(doc)
+            span.set(matches=len(match_ids), fresh=len(fresh))
+        if observability.enabled:
+            metrics = observability.metrics
+            metrics.counter(
+                "repro_queries_issued_total", database=self.database.name
+            ).inc()
+            metrics.counter(
+                "repro_probe_documents_total",
+                database=self.database.name,
+                result="fresh",
+            ).inc(len(fresh))
+            metrics.counter(
+                "repro_probe_documents_total",
+                database=self.database.name,
+                result="duplicate",
+            ).inc(len(match_ids) - len(fresh))
         return fresh

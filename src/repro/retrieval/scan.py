@@ -29,8 +29,9 @@ class ScanRetriever(DocumentRetriever):
         self,
         database: TextDatabase,
         resilience: Optional[ResilienceContext] = None,
+        observability=None,
     ) -> None:
-        super().__init__(database, resilience)
+        super().__init__(database, resilience, observability)
         self._order: List[int] = database.scan_order()
         self._position = 0
 

@@ -75,6 +75,7 @@ def _observations_to_dict(obs: RelationObservations) -> Dict[str, Any]:
         "attribute_index": obs.attribute_index,
         "documents_processed": obs.documents_processed,
         "productive_documents": obs.productive_documents,
+        "unproductive_documents": obs.unproductive_documents,
         "sample_frequency": dict(obs.sample_frequency),
         "tuples_per_document": {
             str(k): v for k, v in obs.tuples_per_document.items()
@@ -96,6 +97,11 @@ def _restore_observations(
     obs.attribute_index = data["attribute_index"]
     obs.documents_processed = data["documents_processed"]
     obs.productive_documents = data["productive_documents"]
+    # Older snapshots predate the explicit unproductive count; derive it.
+    obs.unproductive_documents = data.get(
+        "unproductive_documents",
+        data["documents_processed"] - data["productive_documents"],
+    )
     obs.sample_frequency.clear()
     obs.sample_frequency.update(data["sample_frequency"])
     obs.tuples_per_document.clear()

@@ -26,6 +26,8 @@ from collections import Counter
 from typing import Callable, Dict, List, Optional, TypeVar
 
 from ..core.quality import ResilienceReport
+from ..observability.context import NULL_OBSERVABILITY
+from ..observability.tracer import SpanKind
 from .breaker import CircuitBreaker
 from .faults import RETRYABLE_ERRORS, FaultInjectingDatabase
 from .retry import RetryPolicy
@@ -83,6 +85,10 @@ class ResilienceContext:
         self.backoff_time = 0.0
         self.failed_operations = 0
         self.documents_lost = 0
+        #: shared tracing/metrics context, installed by
+        #: :func:`repro.robustness.environment.harden` when the environment
+        #: carries one; the default no-op context costs nothing
+        self.observability = NULL_OBSERVABILITY
 
     def breaker(self, path: str) -> CircuitBreaker:
         """The circuit breaker guarding *path* (created on first use)."""
@@ -101,6 +107,7 @@ class ResilienceContext:
         call, :class:`AccessFailedError` when retries are exhausted, and
         returns ``fn()``'s result otherwise.
         """
+        observability = self.observability
         breaker = self.breaker(path)
         if not breaker.allow():
             raise AccessPathUnavailable(path)
@@ -114,7 +121,22 @@ class ResilienceContext:
                 result = fn()
             except RETRYABLE_ERRORS as exc:
                 self.faults[type(exc).__name__] += 1
+                was_open = breaker.is_open
                 breaker.record_failure()
+                if observability.enabled:
+                    observability.metrics.counter(
+                        "repro_faults_total", kind=type(exc).__name__
+                    ).inc()
+                    if breaker.is_open and not was_open:
+                        observability.metrics.counter(
+                            "repro_breaker_transitions_total", state="open"
+                        ).inc()
+                        observability.event(
+                            SpanKind.BREAKER_TRANSITION,
+                            name=path,
+                            path=path,
+                            state="open",
+                        )
                 if breaker.is_open:
                     self.failed_operations += 1
                     raise AccessPathUnavailable(path) from exc
@@ -133,8 +155,29 @@ class ResilienceContext:
                 self.retries += 1
                 if self.retries_remaining is not None:
                     self.retries_remaining -= 1
+                if observability.enabled:
+                    observability.metrics.counter("repro_retries_total").inc()
+                    observability.metrics.counter(
+                        "repro_backoff_seconds_total"
+                    ).inc(delay)
             else:
+                before = breaker.state
                 breaker.record_success()
+                if (
+                    observability.enabled
+                    and before is not breaker.state
+                    and breaker.state.name == "CLOSED"
+                ):
+                    # HALF_OPEN → CLOSED: the path recovered.
+                    observability.metrics.counter(
+                        "repro_breaker_transitions_total", state="closed"
+                    ).inc()
+                    observability.event(
+                        SpanKind.BREAKER_TRANSITION,
+                        name=path,
+                        path=path,
+                        state="closed",
+                    )
                 return result
 
     def _may_retry(self, attempts: int, spent: float) -> bool:

@@ -44,6 +44,9 @@ def harden(
         cooldown=cooldown,
         recovery_successes=recovery_successes,
     )
+    observability = getattr(environment, "observability", None)
+    if observability is not None:
+        context.observability = observability
     replacements = {"resilience": context}
     if profile is not None and not profile.disabled:
         database1, database2 = _wrap_databases(

@@ -1,0 +1,116 @@
+"""Edge-case tests for the online observation collector (Section VI input).
+
+The MLE's only inputs are the sample frequencies ``s(a)`` and the
+document counts the collector maintains; these tests pin the corner
+cases: zero-tuple documents, repeated values within one document (max
+confidence wins, ``s(a)`` counts documents not occurrences), and the
+properties of an empty relation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import ExtractedTuple
+from repro.joins.stats_collector import (
+    ObservationCollector,
+    RelationObservations,
+)
+
+
+def _tuple(value: str, confidence: float = 0.5, second: str = "x") -> ExtractedTuple:
+    return ExtractedTuple(
+        relation="HQ",
+        values=(value, second),
+        document_id=0,
+        confidence=confidence,
+        is_good=True,
+    )
+
+
+class TestZeroTupleDocuments:
+    def test_counted_as_processed_and_unproductive(self):
+        obs = RelationObservations("HQ")
+        obs.record_document([])
+        obs.record_document(())
+        assert obs.documents_processed == 2
+        assert obs.productive_documents == 0
+        assert obs.unproductive_documents == 2
+        assert obs.productive_fraction == 0.0
+        assert obs.sample_frequency == {}
+        assert obs.tuples_per_document == {}
+
+    def test_mixed_stream_splits_explicitly(self):
+        obs = RelationObservations("HQ")
+        obs.record_document([])
+        obs.record_document([_tuple("a")])
+        obs.record_document([])
+        obs.record_document([_tuple("b"), _tuple("c")])
+        assert obs.documents_processed == 4
+        assert obs.productive_documents == 2
+        assert obs.unproductive_documents == 2
+        # the explicit split is the fraction's denominator
+        assert obs.productive_documents + obs.unproductive_documents == (
+            obs.documents_processed
+        )
+        assert obs.productive_fraction == pytest.approx(0.5)
+        assert obs.tuples_per_document == {1: 1, 2: 1}
+
+    def test_generator_input_is_consumed_once(self):
+        obs = RelationObservations("HQ")
+        obs.record_document(_tuple(v) for v in ("a", "b"))
+        assert obs.productive_documents == 1
+        assert obs.sample_frequency == {"a": 1, "b": 1}
+
+
+class TestRepeatedValues:
+    def test_sample_frequency_counts_documents_not_occurrences(self):
+        obs = RelationObservations("HQ")
+        obs.record_document([_tuple("a", 0.3), _tuple("a", 0.8)])
+        obs.record_document([_tuple("a", 0.5)])
+        # s(a) = 2 documents generated "a", not 3 occurrences
+        assert obs.sample_frequency["a"] == 2
+        assert obs.total_value_occurrences == 2
+        # but the yield histogram sees the raw per-document tuple count
+        assert obs.tuples_per_document == {2: 1, 1: 1}
+
+    def test_repeated_value_keeps_max_confidence(self):
+        obs = RelationObservations("HQ")
+        obs.record_document(
+            [_tuple("a", 0.3), _tuple("a", 0.9), _tuple("a", 0.6)]
+        )
+        assert obs.value_confidences["a"] == [0.9]
+
+    def test_confidences_append_across_documents(self):
+        obs = RelationObservations("HQ")
+        obs.record_document([_tuple("a", 0.4)])
+        obs.record_document([_tuple("a", 0.7), _tuple("a", 0.2)])
+        assert obs.value_confidences["a"] == [0.4, 0.7]
+
+    def test_attribute_index_selects_the_join_attribute(self):
+        obs = RelationObservations("HQ", attribute_index=1)
+        obs.record_document(
+            [_tuple("a", second="left"), _tuple("b", second="left")]
+        )
+        # both tuples share the second attribute value -> one distinct value
+        assert obs.sample_frequency == {"left": 1}
+        assert obs.distinct_values == 1
+
+
+class TestEmptyRelationProperties:
+    def test_fresh_observations_are_all_zero(self):
+        obs = RelationObservations("HQ")
+        assert obs.documents_processed == 0
+        assert obs.productive_fraction == 0.0
+        assert obs.distinct_values == 0
+        assert obs.total_value_occurrences == 0
+
+    def test_collector_sides_are_independent(self):
+        collector = ObservationCollector("HQ", "EX")
+        collector.record(1, [_tuple("a")])
+        collector.record(2, [])
+        assert collector.side(1).productive_documents == 1
+        assert collector.side(2).unproductive_documents == 1
+        assert collector.side(2).distinct_values == 0
+        assert collector.side(1).relation == "HQ"
+        assert collector.side(2).relation == "EX"

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Validate a JSONL trace against ``tests/trace_schema.json``.
+
+A dependency-free validator for the subset of JSON Schema the trace
+schema uses (type / enum / required / additionalProperties / minimum /
+minLength, including union types like ``["integer", "null"]``) — the
+container has no ``jsonschema`` package, and the trace format is small
+enough that a hand-rolled checker stays readable.
+
+Usable both ways:
+
+* CLI (CI smoke job): ``python tests/validate_trace.py run.jsonl``
+  exits non-zero listing every violation;
+* library (tests): ``from validate_trace import validate_file, validate_record``.
+
+Beyond per-record schema conformance, :func:`validate_file` checks two
+cross-record invariants the schema language cannot express: record ids
+are unique, and every non-null ``parent`` references a record id present
+in the same trace.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import Any, Dict, List
+
+SCHEMA_PATH = pathlib.Path(__file__).parent / "trace_schema.json"
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def load_schema() -> Dict[str, Any]:
+    return json.loads(SCHEMA_PATH.read_text())
+
+
+def _type_ok(value: Any, spec: Any) -> bool:
+    types = spec if isinstance(spec, list) else [spec]
+    return any(_TYPE_CHECKS[t](value) for t in types)
+
+
+def _check(value: Any, schema: Dict[str, Any], path: str, errors: List[str]) -> None:
+    if "type" in schema and not _type_ok(value, schema["type"]):
+        errors.append(f"{path}: expected {schema['type']}, got {type(value).__name__}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in enum")
+    if "minimum" in schema and isinstance(value, (int, float)) and (
+        not isinstance(value, bool) and value < schema["minimum"]
+    ):
+        errors.append(f"{path}: {value!r} < minimum {schema['minimum']}")
+    if "minLength" in schema and isinstance(value, str) and (
+        len(value) < schema["minLength"]
+    ):
+        errors.append(f"{path}: shorter than minLength {schema['minLength']}")
+    if isinstance(value, dict):
+        properties = schema.get("properties", {})
+        for name in schema.get("required", []):
+            if name not in value:
+                errors.append(f"{path}: missing required property {name!r}")
+        extra = schema.get("additionalProperties", True)
+        for name, item in value.items():
+            if name in properties:
+                _check(item, properties[name], f"{path}.{name}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected property {name!r}")
+            elif isinstance(extra, dict):
+                _check(item, extra, f"{path}.{name}", errors)
+
+
+def validate_record(record: Dict[str, Any], schema: Dict[str, Any] = None) -> List[str]:
+    """Violations of one trace record against the schema (empty = valid)."""
+    errors: List[str] = []
+    _check(record, schema or load_schema(), "$", errors)
+    return errors
+
+
+def validate_file(path: str) -> List[str]:
+    """Violations across a whole JSONL trace, including id/parent links."""
+    schema = load_schema()
+    errors: List[str] = []
+    ids = set()
+    parents = []
+    for lineno, line in enumerate(
+        pathlib.Path(path).read_text().splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: not valid JSON ({exc})")
+            continue
+        for error in validate_record(record, schema):
+            errors.append(f"line {lineno}: {error}")
+        record_id = record.get("id")
+        if isinstance(record_id, int):
+            if record_id in ids:
+                errors.append(f"line {lineno}: duplicate id {record_id}")
+            ids.add(record_id)
+        if record.get("parent") is not None:
+            parents.append((lineno, record["parent"]))
+    for lineno, parent in parents:
+        if parent not in ids:
+            errors.append(f"line {lineno}: parent {parent} references no record")
+    if not ids:
+        errors.append(f"{path}: trace contains no records")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print("usage: validate_trace.py TRACE.jsonl", file=sys.stderr)
+        return 2
+    errors = validate_file(argv[0])
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{argv[0]}: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"{argv[0]}: valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
