@@ -8,15 +8,18 @@ Exposes the experiment harness and the optimizer without writing Python::
     repro optimize --tau-good 50 --tau-bad 1000
     repro adaptive --tau-good 80 --tau-bad 2000
     repro budget --time 2000 --precision-weight 0.8
+    repro serve --port 8023 --store /tmp/join-stats
+    repro submit --tau-good 40 --tau-bad 1000
 
 All commands operate on the canonical testbed (``--scale`` / ``--seed``
 control its size and randomness).  Installed as the ``repro`` console
-script; also runnable via ``python -m repro.cli``.
+script; also runnable via ``python -m repro``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -214,6 +217,7 @@ def _testbed_task(args: argparse.Namespace):
 
 def _cmd_figures(args: argparse.Namespace) -> int:
     _, task = _testbed_task(args)
+    observability = _observability_from(args)
     percents = tuple(range(10, 101, args.step))
     runners = {
         9: (run_figure9, format_accuracy_rows, "Figure 9 — IDJN (Scan/Scan)"),
@@ -224,8 +228,10 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     figures = [args.figure] if args.figure else [9, 10, 11, 12]
     for figure in figures:
         runner, formatter, title = runners[figure]
-        print(formatter(runner(task, percents=percents), title))
+        rows = runner(task, percents=percents, observability=observability)
+        print(formatter(rows, title))
         print()
+    _write_observability(observability, args)
     return 0
 
 
@@ -292,14 +298,28 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def _cmd_budget(args: argparse.Namespace) -> int:
+    from .observability import SpanKind
+    from .observability.context import ensure_observability
+
     _, task = _testbed_task(args)
+    observability = _observability_from(args)
     plans = enumerate_plans(task.extractor1.name, task.extractor2.name)
-    optimizer = JoinOptimizer(task.catalog(), costs=task.costs)
-    result = optimizer.optimize_within_time(
-        plans, args.time, precision_weight=args.precision_weight
+    optimizer = JoinOptimizer(
+        task.catalog(), costs=task.costs, observability=observability
     )
+    with ensure_observability(observability).span(
+        SpanKind.EXPERIMENT,
+        "budget",
+        time_budget=args.time,
+        precision_weight=args.precision_weight,
+    ):
+        result = optimizer.optimize_within_time(
+            plans, args.time, precision_weight=args.precision_weight
+        )
+    optimizer.scrape_cache_metrics()
     if result.chosen is None:
         print("No plan produces output within the budget.")
+        _write_observability(observability, args)
         return 1
     chosen = result.chosen
     prediction = chosen.prediction
@@ -311,6 +331,7 @@ def _cmd_budget(args: argparse.Namespace) -> int:
         f"{prediction.n_bad:.0f} bad (precision {precision:.2f}) in "
         f"{prediction.total_time:.0f}s"
     )
+    _write_observability(observability, args)
     return 0
 
 
@@ -325,15 +346,21 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_frontier(args: argparse.Namespace) -> int:
     _, task = _testbed_task(args)
+    observability = _observability_from(args)
     plans = enumerate_plans(task.extractor1.name, task.extractor2.name)
     frontier = quality_frontier(
-        task.catalog(), plans, costs=task.costs, workers=args.workers
+        task.catalog(),
+        plans,
+        costs=task.costs,
+        workers=args.workers,
+        observability=observability,
     )
     print(
         format_frontier(
             frontier, "Quality/time frontier (Pareto-optimal operating points)"
         )
     )
+    _write_observability(observability, args)
     return 0
 
 
@@ -379,6 +406,72 @@ def _cmd_adaptive(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .robustness.checkpoint import CheckpointManager
+    from .service import JoinService
+    from .service.http import serve, shutdown
+
+    _, task = _testbed_task(args)
+    checkpoints = None
+    if args.checkpoint_dir is not None:
+        checkpoints = CheckpointManager(
+            args.checkpoint_dir,
+            max_count=args.checkpoint_keep,
+            max_age=args.checkpoint_max_age,
+        )
+    service = JoinService(
+        task,
+        args.store,
+        workers=args.service_workers,
+        queue_limit=args.queue_limit,
+        pilot_documents=args.pilot,
+        margin=args.margin,
+        trace_dir=args.trace_dir,
+        checkpoints=checkpoints,
+    )
+    if service.pruned_checkpoints:
+        _LOG.info(
+            "Pruned %d stale checkpoint(s) at startup",
+            len(service.pruned_checkpoints),
+        )
+    server = serve(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"Serving {task.name} on http://{host}:{port} "
+        f"(store: {service.store.path})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        _LOG.info("Interrupted; draining the request queue")
+    finally:
+        shutdown(server)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service.http import request_json
+
+    if args.endpoint == "join":
+        if args.tau_good is None or args.tau_bad is None:
+            _LOG.error("submit: --tau-good and --tau-bad are required")
+            return 2
+        payload = {
+            "tau_good": args.tau_good,
+            "tau_bad": args.tau_bad,
+            "mode": args.mode,
+        }
+        status, body = request_json(args.url, "join", payload)
+    else:
+        status, body = request_json(args.url, args.endpoint)
+    if isinstance(body, str):
+        print(body, end="" if body.endswith("\n") else "\n")
+    else:
+        print(json.dumps(body, indent=2, sort_keys=True))
+    return 0 if 200 <= status < 300 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -396,6 +489,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--figure", type=int, choices=(9, 10, 11, 12), default=None
     )
     figures.add_argument("--step", type=int, default=10, help="sweep step (%%)")
+    _add_observability_arguments(figures)
     _add_testbed_arguments(figures)
     _add_logging_arguments(figures)
     figures.set_defaults(handler=_cmd_figures)
@@ -438,6 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     budget.add_argument("--time", type=float, required=True)
     budget.add_argument("--precision-weight", type=float, default=0.5)
+    _add_observability_arguments(budget)
     _add_testbed_arguments(budget)
     _add_logging_arguments(budget)
     budget.set_defaults(handler=_cmd_budget)
@@ -446,6 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
         "frontier", help="Pareto frontier of achievable (time, quality) points"
     )
     _add_workers_argument(frontier)
+    _add_observability_arguments(frontier)
     _add_testbed_arguments(frontier)
     _add_logging_arguments(frontier)
     frontier.set_defaults(handler=_cmd_frontier)
@@ -475,6 +571,88 @@ def build_parser() -> argparse.ArgumentParser:
     _add_testbed_arguments(adaptive)
     _add_logging_arguments(adaptive)
     adaptive.set_defaults(handler=_cmd_adaptive)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the join service: HTTP front end + statistics store",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8023, help="port to bind (0 = any free)"
+    )
+    serve.add_argument(
+        "--store",
+        default=".repro-service",
+        help="statistics store directory (default .repro-service)",
+    )
+    serve.add_argument(
+        "--service-workers",
+        type=int,
+        default=2,
+        help="join worker threads (default 2)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        help="bounded request queue size; overflow is rejected with 503",
+    )
+    serve.add_argument(
+        "--pilot", type=int, default=60, help="pilot documents per side"
+    )
+    serve.add_argument("--margin", type=float, default=0.3)
+    serve.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="write one trace per request into DIR",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="checkpoint directory to prune stale snapshots from at startup",
+    )
+    serve.add_argument(
+        "--checkpoint-keep",
+        type=int,
+        default=None,
+        help="keep at most N checkpoints in --checkpoint-dir",
+    )
+    serve.add_argument(
+        "--checkpoint-max-age",
+        type=float,
+        default=None,
+        help="drop checkpoints older than this many seconds",
+    )
+    _add_testbed_arguments(serve)
+    _add_logging_arguments(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a request to a running join service"
+    )
+    submit.add_argument(
+        "--url",
+        default="http://127.0.0.1:8023",
+        help="service base URL (default http://127.0.0.1:8023)",
+    )
+    submit.add_argument(
+        "--endpoint",
+        default="join",
+        choices=("join", "stats", "healthz", "metrics"),
+        help="API endpoint to call (default join)",
+    )
+    submit.add_argument("--tau-good", type=int, default=None)
+    submit.add_argument("--tau-bad", type=int, default=None)
+    submit.add_argument(
+        "--mode",
+        default="execute",
+        choices=("execute", "plan"),
+        help="execute the join or answer from cached statistics only",
+    )
+    _add_logging_arguments(submit)
+    submit.set_defaults(handler=_cmd_submit)
 
     return parser
 

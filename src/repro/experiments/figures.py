@@ -10,7 +10,7 @@ assertion.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..core.plan import RetrievalKind
 from ..joins.base import Budgets
@@ -21,6 +21,8 @@ from ..models.idjn_model import IDJNModel
 from ..models.oijn_model import OIJNModel
 from ..models.parameters import JoinStatistics, SideStatistics
 from ..models.zgjn_model import ZGJNModel
+from ..observability.context import ObservabilityContext, ensure_observability
+from ..observability.tracer import SpanKind
 from ..retrieval.scan import ScanRetriever
 from .testbed import JoinTask
 
@@ -77,8 +79,10 @@ def run_figure9(
     task: JoinTask,
     theta: float = 0.4,
     percents: Sequence[int] = DEFAULT_PERCENTS,
+    observability: Optional[ObservabilityContext] = None,
 ) -> List[AccuracyRow]:
     """Figure 9: IDJN with Scan on both sides, minSim = 0.4."""
+    obs = ensure_observability(observability)
     statistics = task_statistics(task, theta, theta)
     model = IDJNModel(
         statistics, RetrievalKind.SCAN, RetrievalKind.SCAN, costs=task.costs
@@ -89,12 +93,16 @@ def run_figure9(
         n1 = len(task.database1) * percent // 100
         n2 = len(task.database2) * percent // 100
         prediction = model.predict(n1, n2)
-        execution = IndependentJoin(
-            inputs,
-            ScanRetriever(task.database1),
-            ScanRetriever(task.database2),
-            costs=task.costs,
-        ).run(budgets=Budgets(max_documents1=n1, max_documents2=n2))
+        with obs.span(
+            SpanKind.EXPERIMENT, "figure9", percent=percent, documents=n1 + n2
+        ):
+            execution = IndependentJoin(
+                inputs,
+                ScanRetriever(task.database1, observability=observability),
+                ScanRetriever(task.database2, observability=observability),
+                costs=task.costs,
+                observability=observability,
+            ).run(budgets=Budgets(max_documents1=n1, max_documents2=n2))
         composition = execution.report.composition
         rows.append(
             AccuracyRow(
@@ -114,8 +122,10 @@ def run_figure10(
     task: JoinTask,
     theta: float = 0.4,
     percents: Sequence[int] = DEFAULT_PERCENTS,
+    observability: Optional[ObservabilityContext] = None,
 ) -> List[AccuracyRow]:
     """Figure 10: OIJN with Scan for the outer relation, minSim = 0.4."""
+    obs = ensure_observability(observability)
     statistics = task_statistics(task, theta, theta)
     model = OIJNModel(
         statistics, RetrievalKind.SCAN, outer=1, costs=task.costs
@@ -125,12 +135,16 @@ def run_figure10(
     for percent in percents:
         n1 = len(task.database1) * percent // 100
         prediction = model.predict(n1)
-        execution = OuterInnerJoin(
-            inputs,
-            ScanRetriever(task.database1),
-            costs=task.costs,
-            outer=1,
-        ).run(budgets=Budgets(max_documents1=n1))
+        with obs.span(
+            SpanKind.EXPERIMENT, "figure10", percent=percent, documents=n1
+        ):
+            execution = OuterInnerJoin(
+                inputs,
+                ScanRetriever(task.database1, observability=observability),
+                costs=task.costs,
+                outer=1,
+                observability=observability,
+            ).run(budgets=Budgets(max_documents1=n1))
         composition = execution.report.composition
         rows.append(
             AccuracyRow(
@@ -154,8 +168,10 @@ def run_figure11(
     task: JoinTask,
     theta: float = 0.4,
     percents: Sequence[int] = DEFAULT_PERCENTS,
+    observability: Optional[ObservabilityContext] = None,
 ) -> List[AccuracyRow]:
     """Figure 11: ZGJN, minSim = 0.4; the effort axis is the query budget."""
+    obs = ensure_observability(observability)
     model = _zgjn_model(task, theta)
     inputs = task.inputs(theta, theta)
     max_queries = model.max_queries_from_r1()
@@ -163,9 +179,15 @@ def run_figure11(
     for percent in percents:
         q = max(1, max_queries * percent // 100)
         prediction = model.predict(q)
-        execution = ZigZagJoin(
-            inputs, task.seed_queries, costs=task.costs
-        ).run(budgets=Budgets(max_queries1=q, max_queries2=q))
+        with obs.span(
+            SpanKind.EXPERIMENT, "figure11", percent=percent, queries=q
+        ):
+            execution = ZigZagJoin(
+                inputs,
+                task.seed_queries,
+                costs=task.costs,
+                observability=observability,
+            ).run(budgets=Budgets(max_queries1=q, max_queries2=q))
         composition = execution.report.composition
         rows.append(
             AccuracyRow(
@@ -185,8 +207,10 @@ def run_figure12(
     task: JoinTask,
     theta: float = 0.4,
     percents: Sequence[int] = DEFAULT_PERCENTS,
+    observability: Optional[ObservabilityContext] = None,
 ) -> List[DocumentsRow]:
     """Figure 12: estimated vs actual documents retrieved under ZGJN."""
+    obs = ensure_observability(observability)
     model = _zgjn_model(task, theta)
     inputs = task.inputs(theta, theta)
     max_queries = model.max_queries_from_r1()
@@ -194,9 +218,15 @@ def run_figure12(
     for percent in percents:
         q = max(1, max_queries * percent // 100)
         reach = model.reach(q)
-        execution = ZigZagJoin(
-            inputs, task.seed_queries, costs=task.costs
-        ).run(budgets=Budgets(max_queries1=q, max_queries2=q))
+        with obs.span(
+            SpanKind.EXPERIMENT, "figure12", percent=percent, queries=q
+        ):
+            execution = ZigZagJoin(
+                inputs,
+                task.seed_queries,
+                costs=task.costs,
+                observability=observability,
+            ).run(budgets=Budgets(max_queries1=q, max_queries2=q))
         report = execution.report
         rows.append(
             DocumentsRow(

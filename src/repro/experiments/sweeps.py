@@ -21,6 +21,8 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..core.plan import JoinPlanSpec
 from ..joins.costs import CostModel
+from ..observability.context import ObservabilityContext, ensure_observability
+from ..observability.tracer import SpanKind
 from ..optimizer.catalog import StatisticsCatalog
 from ..optimizer.engine import fork_map
 from ..optimizer.optimizer import JoinOptimizer
@@ -77,6 +79,7 @@ def quality_frontier(
         0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8, 1.0,
     ),
     workers: Optional[int] = None,
+    observability: Optional[ObservabilityContext] = None,
 ) -> List[FrontierPoint]:
     """Pareto frontier over (time ↓, good ↑) across plans × efforts.
 
@@ -85,7 +88,8 @@ def quality_frontier(
     the per-plan sweeps run in forked processes; the result is identical
     to the serial sweep.
     """
-    optimizer = JoinOptimizer(catalog, costs=costs)
+    obs = ensure_observability(observability)
+    optimizer = JoinOptimizer(catalog, costs=costs, observability=observability)
     plans = list(plans)
     per_plan: Optional[List[List[FrontierPoint]]] = None
     global _FORK_STATE
@@ -95,10 +99,14 @@ def quality_frontier(
     finally:
         _FORK_STATE = None
     if per_plan is None:
-        per_plan = [
-            _frontier_candidates(optimizer, plan, effort_fractions)
-            for plan in plans
-        ]
+        per_plan = []
+        for plan in plans:
+            with obs.span(
+                SpanKind.EXPERIMENT, "frontier", plan=plan.describe()
+            ):
+                per_plan.append(
+                    _frontier_candidates(optimizer, plan, effort_fractions)
+                )
     candidates = [point for sweep in per_plan for point in sweep]
     candidates.sort(key=lambda point: (point.time, -point.n_good))
     frontier: List[FrontierPoint] = []

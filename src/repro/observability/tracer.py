@@ -63,6 +63,10 @@ class SpanKind:
     DRIFT_SNAPSHOT = "drift.snapshot"
     #: instant event: a circuit breaker changed state
     BREAKER_TRANSITION = "breaker.transition"
+    #: one point of an experiment sweep (figures, frontier, budget)
+    EXPERIMENT = "experiment.sweep"
+    #: one request handled by the serving front end
+    SERVICE_REQUEST = "service.request"
 
 
 def _clean_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:

@@ -8,6 +8,7 @@ optimizer with on-the-fly parameter estimation.
 from .adaptive import (
     AdaptiveJoinExecutor,
     AdaptiveResult,
+    PilotWarmStart,
     PosteriorQuality,
     TuplePosterior,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "ExecutionEnvironment",
     "JoinOptimizer",
     "OptimizationResult",
+    "PilotWarmStart",
     "PlanCurve",
     "PlanEvaluation",
     "PlanEvaluationEngine",

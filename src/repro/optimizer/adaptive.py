@@ -31,7 +31,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.plan import JoinPlanSpec
 from ..core.preferences import QualityRequirement
@@ -47,6 +47,7 @@ from ..models.parameters import SideStatistics
 from ..observability.context import ensure_observability
 from ..observability.tracer import SpanKind
 from ..retrieval.scan import ScanRetriever
+from ..robustness.checkpoint import checkpoint_execution, restore_execution
 from ..robustness.context import AccessPathUnavailable
 from ..robustness.degradation import split_path, surviving_plans
 from .binder import ExecutionEnvironment, bind_plan, budgets_from_evaluation
@@ -118,6 +119,27 @@ class PosteriorQuality:
         return self._good, total - self._good
 
 
+@dataclass(frozen=True)
+class PilotWarmStart:
+    """Prior pilot state from an earlier run over the *same* corpus.
+
+    ``snapshot`` is a :func:`~repro.robustness.checkpoint.checkpoint_execution`
+    dict of the earlier run's final pilot executor (an IDJN Scan/Scan at the
+    pilot θ); ``documents`` its per-side pilot size after any
+    cross-validation doubling; ``rounds`` how many estimate→optimize rounds
+    it took to converge.  Restoring the snapshot replays those documents'
+    observations without touching the databases — the scan order is
+    deterministic, so for an unchanged corpus the restored pilot is exactly
+    what re-running it would observe.  Persistence and freshness checking
+    (corpus fingerprints, sample-count confidence) live in
+    :mod:`repro.service.store`; the driver trusts what it is handed.
+    """
+
+    snapshot: Dict[str, Any]
+    documents: int
+    rounds: int = 1
+
+
 @dataclass
 class AdaptiveResult:
     """Everything an adaptive run produced."""
@@ -138,6 +160,17 @@ class AdaptiveResult:
     #: access path; carried into the final report's time (accounted, not
     #: dropped), surfaced here so degraded runs can be audited
     wasted_time: float = 0.0
+    #: whether the pilot was warm-started from stored prior state
+    warm_started: bool = False
+    #: documents the pilot actually pulled from the databases *this run*
+    #: (restored documents are excluded) — the number a warm start saves
+    pilot_fresh_documents: int = 0
+    #: final per-side pilot size (after any cross-validation doubling)
+    pilot_size: int = 0
+    #: checkpoint of the final pilot executor, captured when the driver
+    #: was built with ``snapshot_pilot=True`` so callers (the service's
+    #: statistics store) can warm-start later runs
+    pilot_snapshot: Optional[Dict[str, Any]] = None
 
     @property
     def total_time(self) -> float:
@@ -166,6 +199,8 @@ class AdaptiveJoinExecutor:
         query_stats2=(),
         feasibility_margin: float = 0.15,
         reoptimization_points: Sequence[float] = (),
+        warm_start: Optional[PilotWarmStart] = None,
+        snapshot_pilot: bool = False,
     ) -> None:
         if pilot_documents <= 0:
             raise ValueError("pilot_documents must be positive")
@@ -198,10 +233,16 @@ class AdaptiveJoinExecutor:
         #: how many opened access paths the executor will degrade around
         #: before giving up and propagating :class:`AccessPathUnavailable`
         self.max_degradations = 4
+        #: prior pilot state to resume from instead of scanning afresh
+        self.warm_start = warm_start
+        #: capture the final pilot executor's checkpoint on the result
+        self.snapshot_pilot = snapshot_pilot
+        #: live documents pulled during pilots this run (restored excluded)
+        self._pilot_fresh_documents = 0
 
     # -- pilot ----------------------------------------------------------------
 
-    def _run_pilot(self, documents: int) -> JoinExecution:
+    def _pilot_executor(self) -> IndependentJoin:
         env = self.environment
         inputs = JoinInputs(
             database1=env.database1,
@@ -210,7 +251,7 @@ class AdaptiveJoinExecutor:
             extractor2=env.extractor_at(2, self.pilot_theta),
             join_attribute=env.join_attribute,
         )
-        pilot = IndependentJoin(
+        return IndependentJoin(
             inputs,
             retriever1=ScanRetriever(
                 env.database1,
@@ -226,14 +267,54 @@ class AdaptiveJoinExecutor:
             resilience=env.resilience,
             observability=env.observability,
         )
+
+    def _run_pilot(
+        self, documents: int, executor: Optional[IndependentJoin] = None
+    ) -> Tuple[JoinExecution, IndependentJoin]:
+        """Run (or resume) a pilot to *documents* processed per side.
+
+        Budgets are absolute session totals, so resuming a restored
+        executor whose session already covers *documents* touches no
+        database at all — that boundary case is exactly a fully-warm
+        start.  Fresh documents pulled live are tallied separately from
+        whatever a warm start restored.
+        """
+        pilot = executor if executor is not None else self._pilot_executor()
+        before = sum(
+            pilot.session.collector.side(side).documents_processed
+            for side in (1, 2)
+        )
         with self.observability.span(
-            SpanKind.PILOT, "pilot", documents=documents
+            SpanKind.PILOT, "pilot", documents=documents, resumed=before > 0
         ):
-            return pilot.run(
+            execution = pilot.run(
                 budgets=Budgets(
                     max_documents1=documents, max_documents2=documents
                 )
             )
+        after = sum(
+            pilot.session.collector.side(side).documents_processed
+            for side in (1, 2)
+        )
+        self._pilot_fresh_documents += after - before
+        return execution, pilot
+
+    def _warm_pilot(
+        self, warm: PilotWarmStart
+    ) -> Tuple[JoinExecution, IndependentJoin, int]:
+        """Restore the stored pilot and top it up to the configured size.
+
+        The snapshot carries retriever positions, so when this run's
+        ``pilot_documents`` exceeds the stored size the scan resumes
+        *after* the stored prefix — the fresh accesses and the restored
+        observations never overlap, and the merged result equals a cold
+        pilot of the larger size document-for-document.
+        """
+        executor = self._pilot_executor()
+        restore_execution(executor, warm.snapshot)
+        documents = max(self.pilot_documents, warm.documents)
+        execution, executor = self._run_pilot(documents, executor=executor)
+        return execution, executor, documents
 
     # -- estimation -------------------------------------------------------------
 
@@ -476,10 +557,19 @@ class AdaptiveJoinExecutor:
     # -- the driver -----------------------------------------------------------------
 
     def run(self, requirement: QualityRequirement) -> AdaptiveResult:
-        documents = self.pilot_documents
-        pilot = self._run_pilot(documents)
+        self._pilot_fresh_documents = 0
+        warm = self.warm_start
+        if warm is not None:
+            pilot, pilot_executor, documents = self._warm_pilot(warm)
+            # Resume the round count where the stored run converged, so a
+            # run that stopped on max_rounds does not restart its
+            # cross-validation doubling from scratch.
+            rounds = max(warm.rounds - 1, 0)
+        else:
+            documents = self.pilot_documents
+            pilot, pilot_executor = self._run_pilot(documents)
+            rounds = 0
         optimization: Optional[OptimizationResult] = None
-        rounds = 0
         while True:
             rounds += 1
             estimate1, estimate2 = self._estimate_sides(pilot)
@@ -508,7 +598,10 @@ class AdaptiveJoinExecutor:
             ):
                 break
             documents *= 2
-            pilot = self._run_pilot(documents)
+            pilot, pilot_executor = self._run_pilot(documents)
+        pilot_snapshot = (
+            checkpoint_execution(pilot_executor) if self.snapshot_pilot else None
+        )
         if optimization is None or optimization.chosen is None:
             return AdaptiveResult(
                 requirement=requirement,
@@ -518,6 +611,10 @@ class AdaptiveJoinExecutor:
                 pilot=pilot,
                 estimates=(estimate1, estimate2),
                 rounds=rounds,
+                warm_started=warm is not None,
+                pilot_fresh_documents=self._pilot_fresh_documents,
+                pilot_size=documents,
+                pilot_snapshot=pilot_snapshot,
             )
         chosen = optimization.chosen
         # Drive the estimated-quality stopping condition to the same
@@ -540,6 +637,10 @@ class AdaptiveJoinExecutor:
             plan_switches=switches,
             degraded_paths=tuple(degraded),
             wasted_time=wasted,
+            warm_started=warm is not None,
+            pilot_fresh_documents=self._pilot_fresh_documents,
+            pilot_size=documents,
+            pilot_snapshot=pilot_snapshot,
         )
 
     # -- execution (with optional mid-flight re-optimization) -------------------

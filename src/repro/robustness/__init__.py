@@ -52,6 +52,8 @@ from .retry import RetryPolicy
 #: eager import here would be circular.
 _CHECKPOINT_EXPORTS = (
     "CheckpointError",
+    "CheckpointInfo",
+    "CheckpointManager",
     "checkpoint_execution",
     "load_checkpoint",
     "restore_execution",
@@ -74,6 +76,8 @@ __all__ = [
     "AccessTimeout",
     "BreakerState",
     "CheckpointError",
+    "CheckpointInfo",
+    "CheckpointManager",
     "CircuitBreaker",
     "FETCH",
     "FaultInjectingDatabase",

@@ -23,7 +23,11 @@ call, so they need no state of their own in the snapshot.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+import os
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
 
 from ..core.quality import TimeBreakdown
 from ..core.types import ExtractedTuple
@@ -312,3 +316,110 @@ def load_checkpoint(executor: JoinAlgorithm, path: str) -> None:
     """Restore *executor* from a JSON checkpoint file at *path*."""
     with open(path, "r", encoding="utf-8") as handle:
         restore_execution(executor, json.load(handle))
+
+
+# -- managed checkpoint directories ------------------------------------------
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """One managed checkpoint file: path plus retention-relevant facts."""
+
+    name: str
+    path: str
+    modified: float
+    size: int
+
+
+class CheckpointManager:
+    """A checkpoint directory with a retention policy.
+
+    Long-lived deployments (the join service, cron-driven batch runs)
+    accumulate checkpoint files forever unless something prunes them;
+    the manager bounds the directory by *count* (newest ``max_count``
+    survive) and by *age* (files older than ``max_age`` seconds go),
+    whichever is stricter.  ``None`` disables a bound.  Pruning is safe
+    to run at any time — files are removed oldest-first and a vanished
+    file (pruned by a concurrent process) is not an error.
+    """
+
+    SUFFIX = ".ckpt.json"
+
+    def __init__(
+        self,
+        directory: str,
+        max_count: Optional[int] = None,
+        max_age: Optional[float] = None,
+    ) -> None:
+        if max_count is not None and max_count < 0:
+            raise ValueError("max_count must be non-negative")
+        if max_age is not None and max_age < 0:
+            raise ValueError("max_age must be non-negative")
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_count = max_count
+        self.max_age = max_age
+
+    def path_of(self, name: str) -> str:
+        return str(self.directory / f"{name}{self.SUFFIX}")
+
+    def save(self, executor: JoinAlgorithm, name: str) -> str:
+        """Checkpoint *executor* under *name*; prune, then return the path.
+
+        The write is atomic (temp file + ``os.replace``) so a crash mid-save
+        never leaves a truncated checkpoint behind.
+        """
+        path = pathlib.Path(self.path_of(name))
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(checkpoint_execution(executor), handle)
+        os.replace(tmp, path)
+        self.prune()
+        return str(path)
+
+    def load(self, executor: JoinAlgorithm, name: str) -> None:
+        """Restore *executor* from the checkpoint saved under *name*."""
+        load_checkpoint(executor, self.path_of(name))
+
+    def list(self) -> List[CheckpointInfo]:
+        """Managed checkpoints, oldest first."""
+        infos: List[CheckpointInfo] = []
+        for path in self.directory.glob(f"*{self.SUFFIX}"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            infos.append(
+                CheckpointInfo(
+                    name=path.name[: -len(self.SUFFIX)],
+                    path=str(path),
+                    modified=stat.st_mtime,
+                    size=stat.st_size,
+                )
+            )
+        infos.sort(key=lambda info: (info.modified, info.name))
+        return infos
+
+    def prune(self, now: Optional[float] = None) -> List[str]:
+        """Apply the retention policy; return the paths removed."""
+        infos = self.list()
+        now = time.time() if now is None else now
+        doomed: Dict[str, CheckpointInfo] = {}
+        if self.max_age is not None:
+            cutoff = now - self.max_age
+            for info in infos:
+                if info.modified < cutoff:
+                    doomed[info.path] = info
+        if self.max_count is not None:
+            survivors = [info for info in infos if info.path not in doomed]
+            excess = len(survivors) - self.max_count
+            for info in survivors[:max(excess, 0)]:
+                doomed[info.path] = info
+        removed: List[str] = []
+        for path in doomed:
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            removed.append(path)
+        return removed

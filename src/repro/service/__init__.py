@@ -1,0 +1,51 @@
+"""Join serving subsystem: statistics persistence, plan caching, serving.
+
+The experiments run the adaptive optimizer as a one-shot batch job; this
+package turns it into a long-lived *service*:
+
+* :mod:`~repro.service.store` — the persistent
+  :class:`StatisticsStore`: versioned, atomically-written JSON capturing
+  what every finished run learned (per-side MLE estimates, overlap-class
+  sizes, the final pilot checkpoint, drift snapshots), keyed by corpus
+  fingerprint so statistics of a changed corpus are never reused;
+* :mod:`~repro.service.plancache` — the :class:`PlanCache` that reuses
+  optimizers (memoized model predictors and
+  :class:`~repro.optimizer.engine.PlanEvaluationEngine` effort curves)
+  and optimization results across requests, invalidated when statistics
+  change or an access path degrades;
+* :mod:`~repro.service.service` — the :class:`JoinService` front end: a
+  bounded-queue worker pool with admission control, per-request
+  resilience and observability contexts, warm-started adaptive runs,
+  and graceful drain;
+* :mod:`~repro.service.http` — a stdlib ``ThreadingHTTPServer`` JSON API
+  (``/v1/join``, ``/v1/stats``, ``/v1/healthz``, ``/v1/metrics``)
+  exposed as ``repro serve`` / ``repro submit``.
+"""
+
+from .plancache import PlanCache
+from .service import (
+    JoinRequest,
+    JoinService,
+    ServiceBusyError,
+    ServiceClosedError,
+)
+from .store import (
+    StatisticsStore,
+    StoreError,
+    WarmStartPolicy,
+    corpus_fingerprint,
+    task_signature,
+)
+
+__all__ = [
+    "JoinRequest",
+    "JoinService",
+    "PlanCache",
+    "ServiceBusyError",
+    "ServiceClosedError",
+    "StatisticsStore",
+    "StoreError",
+    "WarmStartPolicy",
+    "corpus_fingerprint",
+    "task_signature",
+]

@@ -1,0 +1,232 @@
+"""Stdlib HTTP front end for the join service.
+
+A ``ThreadingHTTPServer`` exposing the :class:`~repro.service.service.JoinService`
+as a small JSON API:
+
+* ``POST /v1/join`` — body ``{"tau_good": .., "tau_bad": .., "mode": ..}``;
+  replies with the service's JSON response.  A full queue maps to ``503``
+  with a ``Retry-After`` header (admission control surfaces as
+  backpressure, not latency); a malformed body to ``400``; a draining
+  service to ``503``.
+* ``GET /v1/healthz`` — liveness/drain status.
+* ``GET /v1/stats`` — statistics-store and plan-cache introspection.
+* ``GET /v1/metrics`` — Prometheus exposition text.
+
+Connection handling is thread-per-request (stdlib), but join work itself
+runs on the service's bounded worker pool — the HTTP thread just blocks
+on the request's future, so concurrency and admission are governed by
+the pool, not by socket accidents.
+
+The module also hosts the matching client (:func:`request_json`), used by
+``repro submit`` so driving a server needs no extra tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from .service import (
+    JoinRequest,
+    JoinService,
+    ServiceBusyError,
+    ServiceClosedError,
+    response_json,
+)
+
+#: maximum accepted request-body size; joins need a few dozen bytes
+MAX_BODY_BYTES = 64 * 1024
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes the /v1 API onto the owning server's JoinService."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-join-service/1.0"
+
+    # -- plumbing -------------------------------------------------------------
+
+    @property
+    def service(self) -> JoinService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        return  # request logging belongs to tracing, not stderr
+
+    def _send(
+        self,
+        status: int,
+        body: str,
+        content_type: str = "application/json",
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in extra_headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        self._send(status, response_json(payload), extra_headers=extra_headers)
+
+    def _send_error(self, status: int, message: str, **extra: Any) -> None:
+        self._send_json(status, {"error": message, **extra})
+
+    # -- GET ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        if path == "/v1/healthz":
+            health = self.service.health()
+            status = 200 if health["status"] == "ok" else 503
+            self._send_json(status, health)
+        elif path == "/v1/stats":
+            self._send_json(200, self.service.stats())
+        elif path == "/v1/metrics":
+            self._send(
+                200,
+                self.service.render_metrics(),
+                content_type="text/plain; version=0.0.4",
+            )
+        else:
+            self._send_error(404, f"unknown path {path}")
+
+    # -- POST -----------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        if path != "/v1/join":
+            self._send_error(404, f"unknown path {path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_error(400, "bad Content-Length")
+            return
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._send_error(413, "request body too large")
+            return
+        try:
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            request = JoinRequest.from_payload(payload)
+        except ValueError as error:
+            self._send_error(400, str(error))
+            return
+        try:
+            future = self.service.submit(request)
+        except ServiceBusyError as busy:
+            self._send_json(
+                503,
+                {"error": "queue full", "retry_after": busy.retry_after},
+                extra_headers=(
+                    ("Retry-After", str(int(busy.retry_after) + 1)),
+                ),
+            )
+            return
+        except ServiceClosedError:
+            self._send_error(503, "service is draining")
+            return
+        try:
+            self._send_json(200, future.result())
+        except ValueError as error:
+            self._send_error(409, str(error))
+        except Exception as error:  # noqa: BLE001 — surface, don't kill thread
+            self._send_error(500, f"{type(error).__name__}: {error}")
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer that owns a JoinService."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: JoinService) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+
+
+def serve(
+    service: JoinService, host: str = "127.0.0.1", port: int = 8023
+) -> ServiceHTTPServer:
+    """Bind a server for *service* (``port=0`` picks a free port)."""
+    return ServiceHTTPServer((host, port), service)
+
+
+def serve_in_background(
+    service: JoinService, host: str = "127.0.0.1", port: int = 0
+) -> Tuple[ServiceHTTPServer, threading.Thread]:
+    """Start a server thread; returns (server, thread) for tests/tools."""
+    server = serve(service, host=host, port=port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="join-service-http", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+def shutdown(server: ServiceHTTPServer) -> None:
+    """Graceful drain: stop accepting, finish queued joins, close."""
+    server.shutdown()
+    server.server_close()
+    server.service.close(wait=True)
+
+
+# -- client -------------------------------------------------------------------
+
+
+def request_json(
+    base_url: str,
+    endpoint: str = "join",
+    payload: Optional[Dict[str, Any]] = None,
+    timeout: float = 300.0,
+) -> Tuple[int, Any]:
+    """Call one API endpoint; returns ``(status, decoded body)``.
+
+    ``join`` POSTs *payload*; the read-only endpoints GET.  The metrics
+    endpoint returns its text body undecoded.  HTTP error statuses are
+    returned, not raised — callers inspect the status.
+    """
+    base = base_url.rstrip("/")
+    url = f"{base}/v1/{endpoint}"
+    if endpoint == "join":
+        data = json.dumps(payload or {}).encode("utf-8")
+        request = urllib.request.Request(
+            url, data=data, headers={"Content-Type": "application/json"}
+        )
+    else:
+        request = urllib.request.Request(url)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            status = reply.status
+            body = reply.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        status = error.code
+        body = error.read().decode("utf-8")
+    if endpoint == "metrics":
+        return status, body
+    try:
+        return status, json.loads(body)
+    except ValueError:
+        return status, body
+
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "ServiceHTTPServer",
+    "ServiceRequestHandler",
+    "request_json",
+    "serve",
+    "serve_in_background",
+    "shutdown",
+]

@@ -1,0 +1,183 @@
+"""Plan caching across serving requests.
+
+A :class:`~repro.optimizer.optimizer.JoinOptimizer` is requirement-
+independent: its analytical models, memoized predictors, and the
+:class:`~repro.optimizer.engine.PlanEvaluationEngine`'s effort curves are
+all built once per *statistics snapshot* and answer any (τg, τb) by a
+cheap searchsorted over the cached curves.  A serving front end should
+therefore never rebuild an optimizer for a task whose statistics have not
+changed — and must never reuse one whose statistics have.
+
+:class:`PlanCache` keys optimizer reuse on
+``(task signature, statistics generation, available access paths)``:
+
+* the **signature** names the task shape (databases, extractors, pilot θ);
+* the **generation** is the statistics store's monotone mutation counter —
+  any recorded run or fingerprint invalidation bumps it, so cached plans
+  chosen under superseded statistics are unreachable by construction;
+* the **paths** tuple lists access paths currently unavailable (circuit
+  breakers open, degradation in effect) — a plan chosen when all paths
+  were healthy must not be served while one of them is dead, and vice
+  versa.
+
+Within one live key the cache further memoizes full
+:class:`~repro.optimizer.optimizer.OptimizationResult` objects per
+requirement, so a repeated (task, τg, τb) costs a dict lookup.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..core.plan import JoinPlanSpec
+from ..core.preferences import QualityRequirement
+from ..optimizer.optimizer import JoinOptimizer, OptimizationResult
+
+
+@dataclass(frozen=True)
+class PlanCacheKey:
+    """Identity of one reusable optimizer."""
+
+    signature: str
+    generation: int
+    #: sorted access paths currently unavailable (empty = all healthy)
+    unavailable_paths: Tuple[str, ...] = ()
+
+    @staticmethod
+    def of(
+        signature: str,
+        generation: int,
+        unavailable_paths: Sequence[str] = (),
+    ) -> "PlanCacheKey":
+        return PlanCacheKey(
+            signature=signature,
+            generation=generation,
+            unavailable_paths=tuple(sorted(set(unavailable_paths))),
+        )
+
+
+class _Entry:
+    """One cached optimizer plus its per-requirement results."""
+
+    def __init__(self, optimizer: JoinOptimizer) -> None:
+        self.optimizer = optimizer
+        self.results: Dict[
+            Tuple[float, float], OptimizationResult
+        ] = {}
+
+
+class PlanCache:
+    """LRU cache of optimizers and optimization results.
+
+    Thread-safe: the serving worker pool optimizes concurrently, and two
+    requests for the same key must share one optimizer rather than racing
+    to build two.  The lock is held across a cache-miss optimization —
+    deliberate, since concurrent misses on one engine would race its
+    curve construction; hits for *other* keys queue only briefly.
+    """
+
+    def __init__(self, max_entries: int = 16) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[PlanCacheKey, _Entry]" = OrderedDict()
+        self._lock = threading.Lock()
+        #: result-level tallies (requirement seen before under a live key)
+        self.hits = 0
+        self.misses = 0
+        #: optimizer-level tallies (key seen before at all)
+        self.optimizer_hits = 0
+        self.optimizer_misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def optimize(
+        self,
+        key: PlanCacheKey,
+        plans: Sequence[JoinPlanSpec],
+        requirement: QualityRequirement,
+        optimizer_factory: Callable[[], JoinOptimizer],
+    ) -> Tuple[OptimizationResult, bool]:
+        """Optimize through the cache; returns (result, was_result_hit).
+
+        A key with a *newer* generation than a cached entry of the same
+        signature silently invalidates the stale entry — statistics
+        updated, old plans gone.  The factory is only called when no live
+        optimizer exists for the key.
+        """
+        with self._lock:
+            self._drop_superseded(key)
+            entry = self._entries.get(key)
+            if entry is None:
+                self.optimizer_misses += 1
+                entry = _Entry(optimizer_factory())
+                self._entries[key] = entry
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+            else:
+                self.optimizer_hits += 1
+            self._entries.move_to_end(key)
+            requirement_key = (
+                float(requirement.tau_good),
+                float(requirement.tau_bad),
+            )
+            result = entry.results.get(requirement_key)
+            if result is not None:
+                self.hits += 1
+                return result, True
+            self.misses += 1
+            result = entry.optimizer.optimize(list(plans), requirement)
+            entry.results[requirement_key] = result
+            return result, False
+
+    def _drop_superseded(self, key: PlanCacheKey) -> None:
+        stale = [
+            cached
+            for cached in self._entries
+            if cached.signature == key.signature
+            and cached.generation < key.generation
+        ]
+        for cached in stale:
+            del self._entries[cached]
+            self.invalidations += 1
+
+    def invalidate(self, signature: Optional[str] = None) -> int:
+        """Drop entries for *signature* (or everything); returns count."""
+        with self._lock:
+            if signature is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+            else:
+                stale = [
+                    key
+                    for key in self._entries
+                    if key.signature == signature
+                ]
+                for key in stale:
+                    del self._entries[key]
+                dropped = len(stale)
+            self.invalidations += dropped
+            return dropped
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "optimizer_hits": self.optimizer_hits,
+                "optimizer_misses": self.optimizer_misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
+
+
+__all__ = ["PlanCache", "PlanCacheKey"]

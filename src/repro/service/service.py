@@ -1,0 +1,618 @@
+"""The concurrent join service.
+
+One :class:`JoinService` wraps one bound
+:class:`~repro.experiments.testbed.JoinTask` and serves (τg, τb) join
+requests through a fixed worker pool:
+
+* **admission control** — a bounded request queue; when it is full the
+  submission fails immediately with :class:`ServiceBusyError` carrying a
+  ``retry_after`` hint instead of letting latency grow without bound;
+* **per-request isolation** — every request runs under its own
+  :class:`~repro.robustness.context.ResilienceContext` (fresh breaker
+  state, fresh fault accounting) and, when tracing is enabled, its own
+  :class:`~repro.observability.context.ObservabilityContext` whose trace
+  is written per request and whose metrics merge into the service-level
+  registry;
+* **warm starts** — before running the adaptive optimizer the service
+  consults its :class:`~repro.service.store.StatisticsStore`; a fresh
+  record for this task yields a
+  :class:`~repro.optimizer.adaptive.PilotWarmStart`, so the pilot phase
+  replays stored observations instead of re-scanning the databases.
+  After any run that pulled fresh pilot documents, the store is updated
+  (atomically) for the next request;
+* **plan caching** — ``plan``-mode requests are answered from the
+  :class:`~repro.service.plancache.PlanCache` over an optimizer built
+  purely from *stored* statistics: repeated τ levels cost a dict lookup,
+  new τ levels reuse the cached effort curves, and any statistics update
+  or breaker-driven degradation invalidates the affected entries;
+* **graceful drain** — :meth:`close` stops admissions, lets queued
+  requests finish, and joins the workers.
+
+Determinism: request handling never reads wall-clock time or shared
+mutable execution state — given the same store contents, a request's
+response is a pure function of the request, so concurrent and serial
+executions of the same request set produce byte-identical responses.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import pathlib
+import queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.preferences import QualityRequirement
+from ..estimation.mle import EstimatedParameters
+from ..models.parameters import SideStatistics, ValueOverlapModel
+from ..observability.context import ObservabilityContext, ensure_observability
+from ..observability.metrics import MetricsRegistry
+from ..observability.tracer import SpanKind
+from ..optimizer.adaptive import AdaptiveJoinExecutor, AdaptiveResult
+from ..optimizer.catalog import StatisticsCatalog
+from ..optimizer.enumerator import enumerate_plans
+from ..optimizer.optimizer import JoinOptimizer, OptimizationResult
+from ..robustness.checkpoint import CheckpointManager
+from ..robustness.environment import harden
+from .plancache import PlanCache, PlanCacheKey
+from .store import StatisticsStore, WarmStartPolicy, task_signature
+
+
+class ServiceBusyError(RuntimeError):
+    """The request queue is full; retry after ``retry_after`` seconds."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(
+            f"request queue full; retry after {retry_after:.0f}s"
+        )
+        self.retry_after = retry_after
+
+
+class ServiceClosedError(RuntimeError):
+    """The service is draining or closed; no new requests are admitted."""
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """One serving request: a quality contract plus the answer mode.
+
+    ``mode="execute"`` runs the full adaptive pipeline and returns actual
+    join results; ``mode="plan"`` answers from stored statistics through
+    the plan cache without touching the databases (fails when the store
+    holds nothing fresh for the task).
+    """
+
+    tau_good: int
+    tau_bad: int
+    mode: str = "execute"
+
+    def __post_init__(self) -> None:
+        if self.tau_good < 0 or self.tau_bad < 0:
+            raise ValueError("tau_good and tau_bad must be non-negative")
+        if self.mode not in ("execute", "plan"):
+            raise ValueError(f"unknown request mode {self.mode!r}")
+
+    @property
+    def requirement(self) -> QualityRequirement:
+        return QualityRequirement(
+            tau_good=self.tau_good, tau_bad=self.tau_bad
+        )
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "JoinRequest":
+        if not isinstance(payload, dict):
+            raise ValueError("request payload must be a JSON object")
+        try:
+            tau_good = int(payload["tau_good"])
+            tau_bad = int(payload["tau_bad"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(
+                "payload needs integer tau_good and tau_bad"
+            ) from error
+        mode = payload.get("mode", "execute")
+        if not isinstance(mode, str):
+            raise ValueError("mode must be a string")
+        return JoinRequest(tau_good=tau_good, tau_bad=tau_bad, mode=mode)
+
+
+class JoinService:
+    """Worker pool + statistics store + plan cache around one join task."""
+
+    def __init__(
+        self,
+        task,
+        store_root: str,
+        workers: int = 2,
+        queue_limit: int = 8,
+        pilot_documents: int = 60,
+        pilot_theta: float = 0.4,
+        max_rounds: int = 2,
+        margin: float = 0.3,
+        warm_policy: Optional[WarmStartPolicy] = None,
+        trace_dir: Optional[str] = None,
+        checkpoints: Optional[CheckpointManager] = None,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        if queue_limit <= 0:
+            raise ValueError("queue_limit must be positive")
+        self.task = task
+        self.store = StatisticsStore(store_root)
+        self.plan_cache = PlanCache()
+        self.pilot_documents = pilot_documents
+        self.pilot_theta = pilot_theta
+        self.max_rounds = max_rounds
+        self.margin = margin
+        # Default freshness gate: a stored pilot at least as large as this
+        # service's own pilot size is trustworthy (the cold run that wrote
+        # it used exactly that size).
+        self.warm_policy = (
+            warm_policy
+            if warm_policy is not None
+            else WarmStartPolicy(min_documents=pilot_documents)
+        )
+        self.signature = task_signature(
+            task.database1,
+            task.extractor1.name,
+            task.database2,
+            task.extractor2.name,
+            pilot_theta,
+        )
+        self.plans = enumerate_plans(
+            task.extractor1.name, task.extractor2.name
+        )
+        self.trace_dir = (
+            pathlib.Path(trace_dir) if trace_dir is not None else None
+        )
+        if self.trace_dir is not None:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+        #: stale checkpoints are pruned at startup, not left to accrete
+        self.pruned_checkpoints: Tuple[str, ...] = ()
+        if checkpoints is not None:
+            self.pruned_checkpoints = tuple(checkpoints.prune())
+        #: service-level metrics; per-request registries merge in here
+        self.metrics = MetricsRegistry()
+        #: access paths the optimizer degraded around in past requests
+        self._unavailable_paths: List[str] = []
+        self._store_lock = threading.Lock()
+        self._metrics_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._queue: "queue.Queue[Optional[Tuple[int, JoinRequest, Future]]]" = (
+            queue.Queue(maxsize=queue_limit)
+        )
+        self._closed = threading.Event()
+        self._workers = [
+            threading.Thread(
+                target=self._worker, name=f"join-service-{n}", daemon=True
+            )
+            for n in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "JoinService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self, wait: bool = True) -> None:
+        """Stop admitting requests, drain the queue, join the workers."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        for _ in self._workers:
+            self._queue.put(None)
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, request: JoinRequest) -> "Future[Dict[str, Any]]":
+        """Enqueue a request; resolves to its JSON-ready response dict.
+
+        Raises :class:`ServiceClosedError` when draining and
+        :class:`ServiceBusyError` (with a ``retry_after`` hint scaled to
+        the backlog) when the bounded queue is full.
+        """
+        if self._closed.is_set():
+            raise ServiceClosedError("service is closed")
+        future: "Future[Dict[str, Any]]" = Future()
+        item = (next(self._ids), request, future)
+        try:
+            self._queue.put_nowait(item)
+        except queue.Full:
+            with self._metrics_lock:
+                self.metrics.counter(
+                    "repro_service_rejected_total", reason="queue_full"
+                ).inc()
+            raise ServiceBusyError(
+                retry_after=1.0 + self._queue.qsize()
+            ) from None
+        return future
+
+    def execute(self, request: JoinRequest) -> Dict[str, Any]:
+        """Process a request synchronously on the calling thread.
+
+        The exact code path the workers run — the serial baseline that
+        concurrent submissions must match byte-for-byte.
+        """
+        return self._handle(next(self._ids), request)
+
+    # -- worker loop ----------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            request_id, request, future = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(self._handle(request_id, request))
+            except BaseException as error:  # noqa: BLE001 — future carries it
+                future.set_exception(error)
+
+    # -- request handling -----------------------------------------------------
+
+    def _handle(self, request_id: int, request: JoinRequest) -> Dict[str, Any]:
+        status = "error"
+        try:
+            if request.mode == "plan":
+                response = self._handle_plan(request)
+            else:
+                response = self._handle_execute(request_id, request)
+            status = "ok"
+            return response
+        finally:
+            with self._metrics_lock:
+                self.metrics.counter(
+                    "repro_service_requests_total",
+                    mode=request.mode,
+                    status=status,
+                ).inc()
+
+    def _handle_execute(
+        self, request_id: int, request: JoinRequest
+    ) -> Dict[str, Any]:
+        observability = (
+            ObservabilityContext() if self.trace_dir is not None else None
+        )
+        with self._store_lock:
+            warm = self.store.warm_start_for(
+                self.signature,
+                (self.task.database1, self.task.database2),
+                policy=self.warm_policy,
+            )
+        environment = self.task.environment()
+        environment.observability = observability
+        # A fresh per-request resilience context: breaker state and fault
+        # accounting never leak between requests.
+        environment = harden(environment)
+        driver = AdaptiveJoinExecutor(
+            environment=environment,
+            characterization1=self.task.characterization1,
+            characterization2=self.task.characterization2,
+            plans=self.plans,
+            pilot_theta=self.pilot_theta,
+            pilot_documents=self.pilot_documents,
+            max_rounds=self.max_rounds,
+            classifier_profile1=self.task.offline_classifier_profile1,
+            classifier_profile2=self.task.offline_classifier_profile2,
+            query_stats1=self.task.offline_query_stats1,
+            query_stats2=self.task.offline_query_stats2,
+            feasibility_margin=self.margin,
+            warm_start=warm,
+            snapshot_pilot=True,
+        )
+        with ensure_observability(observability).span(
+            SpanKind.SERVICE_REQUEST,
+            "join",
+            request_id=request_id,
+            tau_good=request.tau_good,
+            tau_bad=request.tau_bad,
+            warm=warm is not None,
+        ):
+            result = driver.run(request.requirement)
+        self._absorb(result, observability)
+        if observability is not None:
+            observability.write_trace(
+                str(self.trace_dir / f"request-{request_id}.jsonl")
+            )
+            with self._metrics_lock:
+                self.metrics.merge(observability.metrics.export_state())
+        return self._response(request, result)
+
+    def _absorb(
+        self,
+        result: AdaptiveResult,
+        observability: Optional[ObservabilityContext],
+    ) -> None:
+        """Fold a finished run's statistics back into the service state.
+
+        Only runs that pulled *fresh* pilot documents update the store: a
+        fully-warm run learned nothing new, and skipping the write keeps
+        warm requests read-only — their responses cannot depend on how
+        many ran before them, which is what makes concurrent and serial
+        execution byte-identical on a warmed store.
+        """
+        with self._metrics_lock:
+            if result.warm_started:
+                self.metrics.counter("repro_service_warm_starts_total").inc()
+            self.metrics.counter(
+                "repro_service_pilot_documents_total"
+            ).inc(result.pilot_fresh_documents)
+        if result.degraded_paths:
+            with self._store_lock:
+                for path in result.degraded_paths:
+                    if path not in self._unavailable_paths:
+                        self._unavailable_paths.append(path)
+            self.plan_cache.invalidate(self.signature)
+        if result.pilot_fresh_documents <= 0:
+            return
+        drift = (
+            tuple(s.to_dict() for s in observability.drift.snapshots)
+            if observability is not None
+            else ()
+        )
+        with self._store_lock:
+            self.store.record_run(
+                self.signature,
+                (self.task.database1, self.task.database2),
+                (self.task.extractor1.name, self.task.extractor2.name),
+                self.pilot_theta,
+                result,
+                drift_snapshots=drift,
+            )
+
+    def _response(
+        self, request: JoinRequest, result: AdaptiveResult
+    ) -> Dict[str, Any]:
+        response: Dict[str, Any] = {
+            "task": self.task.name,
+            "mode": "execute",
+            "tau_good": request.tau_good,
+            "tau_bad": request.tau_bad,
+            "rounds": result.rounds,
+            "warm_started": result.warm_started,
+            "pilot_documents": result.pilot_size,
+            "pilot_fresh_documents": result.pilot_fresh_documents,
+            "plan": (
+                result.chosen.plan.describe()
+                if result.chosen is not None
+                else None
+            ),
+            "feasible": result.chosen is not None,
+        }
+        if result.execution is not None:
+            report = result.execution.report
+            composition = report.composition
+            response.update(
+                {
+                    "good": composition.n_good,
+                    "bad": composition.n_bad,
+                    "satisfied": report.check(request.requirement),
+                    "documents_processed": {
+                        str(side): count
+                        for side, count in sorted(
+                            report.documents_processed.items()
+                        )
+                    },
+                    "queries_issued": {
+                        str(side): count
+                        for side, count in sorted(
+                            report.queries_issued.items()
+                        )
+                    },
+                    "execution_time": round(report.time.total, 6),
+                    "total_time": round(result.total_time, 6),
+                }
+            )
+        if result.degraded_paths:
+            response["degraded_paths"] = list(result.degraded_paths)
+        return response
+
+    # -- plan-only mode (stored statistics + plan cache) -----------------------
+
+    def _handle_plan(self, request: JoinRequest) -> Dict[str, Any]:
+        with self._store_lock:
+            catalog = self._stored_catalog()
+            generation = self.store.generation
+            paths = tuple(self._unavailable_paths)
+        if catalog is None:
+            raise ValueError(
+                "no fresh statistics stored for this task; run an "
+                "execute-mode request first"
+            )
+        key = PlanCacheKey.of(self.signature, generation, paths)
+        result, _ = self.plan_cache.optimize(
+            key,
+            self.plans,
+            request.requirement,
+            lambda: JoinOptimizer(
+                catalog,
+                costs=self.task.costs,
+                feasibility_margin=self.margin,
+            ),
+        )
+        return self._plan_response(request, result)
+
+    def _plan_response(
+        self, request: JoinRequest, result: OptimizationResult
+    ) -> Dict[str, Any]:
+        response: Dict[str, Any] = {
+            "task": self.task.name,
+            "mode": "plan",
+            "tau_good": request.tau_good,
+            "tau_bad": request.tau_bad,
+            "candidates": len(result.evaluations),
+            "feasible": len(result.feasible),
+            "plan": None,
+        }
+        chosen = result.chosen
+        if chosen is not None:
+            response.update(
+                {
+                    "plan": chosen.plan.describe(),
+                    "predicted_good": round(chosen.prediction.n_good, 3),
+                    "predicted_bad": round(chosen.prediction.n_bad, 3),
+                    "predicted_time": round(chosen.predicted_time, 3),
+                    "effort_fraction": round(chosen.effort_fraction, 6),
+                }
+            )
+        return response
+
+    def _stored_catalog(self) -> Optional[StatisticsCatalog]:
+        """A statistics catalog built purely from the store, or None.
+
+        Mirrors the adaptive driver's catalog construction, substituting
+        the stored MLE parameters and overlap-class sizes for a live
+        pilot's — for an unchanged corpus these are the exact values the
+        warm-started driver would refit, so cached plan answers agree
+        with what an execute-mode request would choose.
+        """
+        record = self.store.task_record(
+            self.signature, (self.task.database1, self.task.database2)
+        )
+        if record is None or "overlap" not in record:
+            return None
+        if not self.warm_policy.fresh(record):
+            return None
+        sides = []
+        for database, extractor, characterization in (
+            (
+                self.task.database1,
+                self.task.extractor1.name,
+                self.task.characterization1,
+            ),
+            (
+                self.task.database2,
+                self.task.extractor2.name,
+                self.task.characterization2,
+            ),
+        ):
+            parameters = self.store.side_parameters(
+                database, extractor, self.pilot_theta
+            )
+            if parameters is None:
+                return None
+            sides.append((database, characterization, parameters))
+        overlap = ValueOverlapModel(**record["overlap"])
+
+        def builder(entry):
+            database, characterization, parameters = entry
+
+            def build(theta: float) -> SideStatistics:
+                return _side_statistics(
+                    database, characterization, parameters, theta
+                )
+
+            return build
+
+        return StatisticsCatalog(
+            side_builder1=builder(sides[0]),
+            side_builder2=builder(sides[1]),
+            classifier1=self.task.offline_classifier_profile1,
+            classifier2=self.task.offline_classifier_profile2,
+            queries1=tuple(self.task.offline_query_stats1),
+            queries2=tuple(self.task.offline_query_stats2),
+            overlap=overlap,
+            per_value=False,
+        )
+
+    # -- reporting ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/v1/stats`` payload."""
+        with self._store_lock:
+            store = self.store.summary()
+            paths = list(self._unavailable_paths)
+        return {
+            "task": self.task.name,
+            "signature": self.signature,
+            "workers": len(self._workers),
+            "queue_depth": self._queue.qsize(),
+            "closed": self.closed,
+            "unavailable_paths": paths,
+            "plan_cache": self.plan_cache.stats(),
+            "store": store,
+            "pruned_checkpoints": list(self.pruned_checkpoints),
+        }
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/v1/healthz`` payload."""
+        return {
+            "status": "draining" if self.closed else "ok",
+            "task": self.task.name,
+            "queue_depth": self._queue.qsize(),
+        }
+
+    def render_metrics(self) -> str:
+        """Prometheus exposition text for ``/v1/metrics``."""
+        with self._metrics_lock:
+            self.metrics.gauge("repro_service_queue_depth").set(
+                self._queue.qsize()
+            )
+            self.metrics.gauge("repro_service_workers").set(
+                len(self._workers)
+            )
+            cache = self.plan_cache.stats()
+            for name, value in cache.items():
+                self.metrics.gauge(
+                    "repro_service_plan_cache", key=name
+                ).set(value)
+            with self._store_lock:
+                self.metrics.gauge("repro_service_store_generation").set(
+                    self.store.generation
+                )
+            return self.metrics.render()
+
+
+def _side_statistics(
+    database,
+    characterization,
+    parameters: EstimatedParameters,
+    theta: float,
+) -> SideStatistics:
+    """Synthetic SideStatistics from stored parameters at one θ."""
+    n_good_docs = int(min(round(parameters.n_good_docs), len(database)))
+    n_bad_docs = int(
+        min(round(parameters.n_bad_docs), len(database) - n_good_docs)
+    )
+    return SideStatistics.from_histograms(
+        relation=parameters.relation,
+        n_documents=len(database),
+        n_good_docs=n_good_docs,
+        n_bad_docs=n_bad_docs,
+        good_histogram=parameters.good_histogram(),
+        bad_histogram=parameters.bad_histogram(),
+        tp=characterization.tp_at(theta),
+        fp=characterization.fp_at(theta),
+        top_k=database.max_results,
+        value_prefix=f"{parameters.relation}:",
+    )
+
+
+def response_json(response: Dict[str, Any]) -> str:
+    """Canonical JSON encoding of a response (sorted keys, no spaces)."""
+    return json.dumps(response, sort_keys=True, separators=(",", ":"))
+
+
+__all__ = [
+    "JoinRequest",
+    "JoinService",
+    "ServiceBusyError",
+    "ServiceClosedError",
+    "response_json",
+]

@@ -2,6 +2,8 @@
 fresh executor must finish with exactly the report of the uninterrupted
 run."""
 
+import time
+
 import pytest
 
 from repro.joins import (
@@ -14,6 +16,7 @@ from repro.joins import (
 from repro.retrieval import Query, ScanRetriever
 from repro.robustness import (
     CheckpointError,
+    CheckpointManager,
     checkpoint_execution,
     load_checkpoint,
     restore_execution,
@@ -148,3 +151,57 @@ class TestCheckpointValidation:
         snapshot["version"] = 99
         with pytest.raises(CheckpointError):
             restore_execution(_idjn(inputs), snapshot)
+
+
+class TestCheckpointManager:
+    def _partial(self, inputs):
+        executor = _idjn(inputs)
+        executor.run(budgets=Budgets(max_documents1=40, max_documents2=40))
+        return executor
+
+    def test_save_load_round_trip(self, inputs, tmp_path):
+        baseline = _idjn(inputs).run()
+        manager = CheckpointManager(str(tmp_path))
+        path = manager.save(self._partial(inputs), "idjn")
+        assert path.endswith(CheckpointManager.SUFFIX)
+
+        fresh = _idjn(inputs)
+        manager.load(fresh, "idjn")
+        resumed = fresh.run()
+        _assert_same_outcome(resumed, baseline)
+
+    def test_list_reports_managed_checkpoints(self, inputs, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        executor = self._partial(inputs)
+        manager.save(executor, "first")
+        manager.save(executor, "second")
+        infos = manager.list()
+        assert [info.name for info in infos] == ["first", "second"]
+        assert all(info.size > 0 for info in infos)
+
+    def test_prune_by_count_keeps_newest(self, inputs, tmp_path):
+        manager = CheckpointManager(str(tmp_path), max_count=2)
+        executor = self._partial(inputs)
+        for name in ("a", "b", "c"):
+            manager.save(executor, name)  # save() prunes as it goes
+        assert [info.name for info in manager.list()] == ["b", "c"]
+
+    def test_prune_by_age(self, inputs, tmp_path):
+        manager = CheckpointManager(str(tmp_path), max_age=60.0)
+        executor = self._partial(inputs)
+        path = manager.save(executor, "old")
+        removed = manager.prune(now=time.time() + 3600.0)
+        assert removed == [path]
+        assert manager.list() == []
+
+    def test_unbounded_manager_prunes_nothing(self, inputs, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        manager.save(self._partial(inputs), "kept")
+        assert manager.prune(now=time.time() + 10**9) == []
+        assert len(manager.list()) == 1
+
+    def test_validates_bounds(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(str(tmp_path), max_count=-1)
+        with pytest.raises(ValueError):
+            CheckpointManager(str(tmp_path), max_age=-1.0)

@@ -1,0 +1,585 @@
+"""Join service tests: statistics persistence, warm starts, plan caching,
+the concurrent front end, and the HTTP API.
+
+The acceptance contracts from the serving subsystem's design:
+
+* a statistics store round-trips through disk losslessly and rejects
+  records whose corpus fingerprint no longer matches;
+* a warm-started adaptive run on an unchanged corpus issues measurably
+  fewer pilot-phase database accesses than the cold run that seeded the
+  store, while choosing the identical plan and producing the identical
+  join result;
+* concurrent requests through the service return byte-identical
+  responses to serial execution of the same request sequence.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core import QualityRequirement
+from repro.optimizer import AdaptiveJoinExecutor, enumerate_plans
+from repro.service import (
+    JoinRequest,
+    JoinService,
+    PlanCache,
+    ServiceBusyError,
+    ServiceClosedError,
+    StatisticsStore,
+    StoreError,
+    WarmStartPolicy,
+    corpus_fingerprint,
+    task_signature,
+)
+from repro.service.http import request_json, serve_in_background, shutdown
+from repro.service.plancache import PlanCacheKey
+from repro.service.service import response_json
+from repro.textdb import TextDatabase
+
+TAU_GOOD = 40
+TAU_BAD = 10**6
+PILOT = 60
+PILOT_THETA = 0.4
+
+
+def _driver(task, **kwargs):
+    plans = enumerate_plans(task.extractor1.name, task.extractor2.name)
+    defaults = dict(
+        environment=task.environment(),
+        characterization1=task.characterization1,
+        characterization2=task.characterization2,
+        plans=plans,
+        pilot_theta=PILOT_THETA,
+        pilot_documents=PILOT,
+        max_rounds=2,
+        classifier_profile1=task.offline_classifier_profile1,
+        classifier_profile2=task.offline_classifier_profile2,
+        query_stats1=task.offline_query_stats1,
+        query_stats2=task.offline_query_stats2,
+        feasibility_margin=0.3,
+        snapshot_pilot=True,
+    )
+    defaults.update(kwargs)
+    return AdaptiveJoinExecutor(**defaults)
+
+
+def _signature(task):
+    return task_signature(
+        task.database1,
+        task.extractor1.name,
+        task.database2,
+        task.extractor2.name,
+        PILOT_THETA,
+    )
+
+
+def _reseeded(database):
+    """The same documents under a different scan permutation — the cheapest
+    corpus change that must invalidate every stored statistic."""
+    return TextDatabase(
+        name=database.name,
+        documents=list(database.documents),
+        max_results=database.max_results,
+        rank_seed=database.rank_seed + 1,
+    )
+
+
+@pytest.fixture(scope="module")
+def cold_result(hq_ex_task):
+    """One cold adaptive run with pilot snapshotting, shared module-wide."""
+    return _driver(hq_ex_task).run(
+        QualityRequirement(tau_good=TAU_GOOD, tau_bad=TAU_BAD)
+    )
+
+
+@pytest.fixture()
+def populated_store(tmp_path, hq_ex_task, cold_result):
+    store = StatisticsStore(str(tmp_path / "store"))
+    signature = _signature(hq_ex_task)
+    store.record_run(
+        signature,
+        (hq_ex_task.database1, hq_ex_task.database2),
+        (hq_ex_task.extractor1.name, hq_ex_task.extractor2.name),
+        PILOT_THETA,
+        cold_result,
+    )
+    return store, signature
+
+
+@pytest.fixture(scope="module")
+def warmed_service(hq_ex_task, tmp_path_factory):
+    """A service whose store has been seeded by one cold execute request."""
+    root = tmp_path_factory.mktemp("warmed-store")
+    service = JoinService(
+        hq_ex_task, str(root), workers=3, pilot_documents=PILOT
+    )
+    cold = service.execute(JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD))
+    yield service, cold
+    service.close()
+
+
+class TestStatisticsStore:
+    def test_round_trip_equals_in_memory(
+        self, populated_store, hq_ex_task, cold_result
+    ):
+        store, signature = populated_store
+        reloaded = StatisticsStore(str(store.root))
+        assert reloaded.sides == store.sides
+        assert reloaded.tasks == store.tasks
+        parameters = reloaded.side_parameters(
+            hq_ex_task.database1, hq_ex_task.extractor1.name, PILOT_THETA
+        )
+        assert parameters == cold_result.estimates[0].parameters
+        warm = reloaded.warm_start_for(
+            signature, (hq_ex_task.database1, hq_ex_task.database2)
+        )
+        assert warm is not None
+        assert warm.documents == cold_result.pilot_size
+        assert warm.rounds == cold_result.rounds
+        assert warm.snapshot == cold_result.pilot_snapshot
+
+    def test_summary_is_json_ready(self, populated_store, hq_ex_task):
+        import json
+
+        store, signature = populated_store
+        summary = json.loads(json.dumps(store.summary()))
+        assert signature in summary["tasks"]
+        assert summary["tasks"][signature]["pilot_documents"] > 0
+        key = store.side_key(
+            hq_ex_task.database1.name, hq_ex_task.extractor1.name, PILOT_THETA
+        )
+        assert summary["sides"][key]["documents_processed"] > 0
+
+    def test_corrupt_file_degrades_to_empty(self, populated_store):
+        store, _ = populated_store
+        store.path.write_text("{not json")
+        assert StatisticsStore(str(store.root)).sides == {}
+
+    def test_future_version_degrades_to_empty(self, populated_store):
+        import json
+
+        store, _ = populated_store
+        payload = json.loads(store.path.read_text())
+        payload["version"] = 99
+        store.path.write_text(json.dumps(payload))
+        reloaded = StatisticsStore(str(store.root))
+        assert reloaded.sides == {} and reloaded.tasks == {}
+
+    def test_stale_fingerprint_drops_side_record(
+        self, populated_store, hq_ex_task
+    ):
+        store, _ = populated_store
+        generation = store.generation
+        stale = _reseeded(hq_ex_task.database1)
+        assert corpus_fingerprint(stale) != corpus_fingerprint(
+            hq_ex_task.database1
+        )
+        assert (
+            store.side_record(stale, hq_ex_task.extractor1.name, PILOT_THETA)
+            is None
+        )
+        key = store.side_key(
+            stale.name, hq_ex_task.extractor1.name, PILOT_THETA
+        )
+        assert key not in store.sides
+        assert store.generation > generation
+
+    def test_stale_fingerprint_rejects_warm_start(
+        self, populated_store, hq_ex_task
+    ):
+        store, signature = populated_store
+        stale = _reseeded(hq_ex_task.database1)
+        assert (
+            store.warm_start_for(signature, (stale, hq_ex_task.database2))
+            is None
+        )
+        assert signature not in store.tasks
+
+    def test_warm_policy_gates_small_or_old_pilots(
+        self, populated_store, hq_ex_task, cold_result
+    ):
+        store, signature = populated_store
+        databases = (hq_ex_task.database1, hq_ex_task.database2)
+        strict = WarmStartPolicy(min_documents=cold_result.pilot_size + 1)
+        assert store.warm_start_for(signature, databases, policy=strict) is None
+        created = store.tasks[signature]["created_at"]
+        aged = WarmStartPolicy(min_documents=1, max_age=10.0)
+        assert (
+            store.warm_start_for(
+                signature, databases, policy=aged, now=created + 11.0
+            )
+            is None
+        )
+        assert (
+            store.warm_start_for(
+                signature, databases, policy=aged, now=created + 9.0
+            )
+            is not None
+        )
+
+    def test_record_task_requires_pilot_snapshot(
+        self, tmp_path, hq_ex_task, cold_result
+    ):
+        import dataclasses
+
+        store = StatisticsStore(str(tmp_path / "bare"))
+        bare = dataclasses.replace(cold_result, pilot_snapshot=None)
+        with pytest.raises(StoreError):
+            store.record_task(
+                _signature(hq_ex_task),
+                (hq_ex_task.database1, hq_ex_task.database2),
+                bare,
+            )
+
+
+class TestWarmStart:
+    def test_warm_run_skips_pilot_accesses_and_matches_cold_plan(
+        self, populated_store, hq_ex_task, cold_result
+    ):
+        store, signature = populated_store
+        warm_start = store.warm_start_for(
+            signature,
+            (hq_ex_task.database1, hq_ex_task.database2),
+            policy=WarmStartPolicy(min_documents=PILOT),
+        )
+        assert warm_start is not None
+        warm = _driver(hq_ex_task, warm_start=warm_start).run(
+            QualityRequirement(tau_good=TAU_GOOD, tau_bad=TAU_BAD)
+        )
+        # The cold run paid at least one full pilot per side; the warm run
+        # restored all of it and touched the databases not at all.
+        assert cold_result.pilot_fresh_documents >= 2 * PILOT
+        assert warm.warm_started
+        assert warm.pilot_fresh_documents == 0
+        assert warm.pilot_fresh_documents < cold_result.pilot_fresh_documents
+        # Identical statistics in, identical decisions and results out.
+        assert warm.chosen is not None and cold_result.chosen is not None
+        assert (
+            warm.chosen.plan.describe() == cold_result.chosen.plan.describe()
+        )
+        assert (
+            warm.execution.report.composition
+            == cold_result.execution.report.composition
+        )
+        assert warm.estimates[0].parameters == cold_result.estimates[0].parameters
+
+
+class TestJoinRequest:
+    def test_rejects_negative_taus(self):
+        with pytest.raises(ValueError):
+            JoinRequest(tau_good=-1, tau_bad=0)
+        with pytest.raises(ValueError):
+            JoinRequest(tau_good=0, tau_bad=-1)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            JoinRequest(tau_good=1, tau_bad=1, mode="bogus")
+
+    def test_from_payload(self):
+        request = JoinRequest.from_payload(
+            {"tau_good": 3, "tau_bad": 7, "mode": "plan"}
+        )
+        assert request == JoinRequest(tau_good=3, tau_bad=7, mode="plan")
+        assert request.requirement.tau_good == 3
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            None,
+            [],
+            {},
+            {"tau_good": 1},
+            {"tau_good": "x", "tau_bad": 1},
+            {"tau_good": 1, "tau_bad": 1, "mode": 5},
+        ],
+    )
+    def test_from_payload_rejects_malformed(self, payload):
+        with pytest.raises(ValueError):
+            JoinRequest.from_payload(payload)
+
+
+class TestJoinService:
+    def test_cold_then_warm_execute(self, warmed_service):
+        service, cold = warmed_service
+        assert cold["warm_started"] is False
+        assert cold["pilot_fresh_documents"] >= 2 * PILOT
+        assert cold["feasible"] and cold["plan"] is not None
+        warm = service.execute(JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD))
+        assert warm["warm_started"] is True
+        assert warm["pilot_fresh_documents"] == 0
+        assert (
+            warm["pilot_fresh_documents"] < cold["pilot_fresh_documents"]
+        )
+        assert warm["plan"] == cold["plan"]
+        assert warm["good"] == cold["good"]
+        assert warm["bad"] == cold["bad"]
+
+    def test_concurrent_matches_serial(self, warmed_service):
+        service, _ = warmed_service
+        requests = [
+            JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD),
+            JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD, mode="plan"),
+            JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD),
+            JoinRequest(tau_good=TAU_GOOD + 20, tau_bad=TAU_BAD, mode="plan"),
+            JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD),
+        ]
+        serial = [response_json(service.execute(r)) for r in requests]
+        futures = [service.submit(r) for r in requests]
+        concurrent = [response_json(f.result(timeout=600)) for f in futures]
+        assert concurrent == serial
+        # Precondition of the determinism claim: every execute was fully
+        # warm (read-only), so ordering cannot have influenced anything.
+        for encoded in serial:
+            assert '"pilot_fresh_documents":0' in encoded or '"mode":"plan"' in encoded
+
+    def test_plan_mode_matches_execute_choice(self, warmed_service):
+        service, cold = warmed_service
+        plan = service.execute(
+            JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD, mode="plan")
+        )
+        assert plan["mode"] == "plan"
+        assert plan["plan"] == cold["plan"]
+        assert plan["candidates"] > 0 and plan["feasible"] > 0
+        before = service.plan_cache.stats()
+        repeat = service.execute(
+            JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD, mode="plan")
+        )
+        assert repeat == plan
+        after = service.plan_cache.stats()
+        assert after["hits"] == before["hits"] + 1
+
+    def test_plan_mode_without_statistics_fails(self, hq_ex_task, tmp_path):
+        with JoinService(
+            hq_ex_task, str(tmp_path / "empty"), workers=1
+        ) as service:
+            with pytest.raises(ValueError, match="no fresh statistics"):
+                service.execute(
+                    JoinRequest(tau_good=1, tau_bad=TAU_BAD, mode="plan")
+                )
+
+    def test_stats_and_health_and_metrics(self, warmed_service, hq_ex_task):
+        service, _ = warmed_service
+        health = service.health()
+        assert health["status"] == "ok"
+        stats = service.stats()
+        assert stats["signature"] == _signature(hq_ex_task)
+        assert stats["store"]["generation"] > 0
+        assert stats["workers"] == 3
+        text = service.render_metrics()
+        assert "repro_service_requests_total" in text
+        assert "repro_service_queue_depth" in text
+        assert "repro_service_store_generation" in text
+
+    def test_admission_control_rejects_when_queue_full(
+        self, hq_ex_task, tmp_path
+    ):
+        service = JoinService(
+            hq_ex_task, str(tmp_path / "busy"), workers=1, queue_limit=1
+        )
+        release = threading.Event()
+        started = threading.Event()
+
+        def stalled(request_id, request):
+            started.set()
+            release.wait(timeout=30)
+            return {"request_id": request_id}
+
+        service._handle = stalled
+        try:
+            running = service.submit(JoinRequest(tau_good=1, tau_bad=1))
+            assert started.wait(timeout=10)
+            queued = service.submit(JoinRequest(tau_good=1, tau_bad=1))
+            with pytest.raises(ServiceBusyError) as rejected:
+                service.submit(JoinRequest(tau_good=1, tau_bad=1))
+            assert rejected.value.retry_after >= 1.0
+            release.set()
+            assert running.result(timeout=30)["request_id"] == 1
+            assert queued.result(timeout=30)["request_id"] == 2
+            assert "repro_service_rejected_total" in service.render_metrics()
+        finally:
+            release.set()
+            service.close()
+
+    def test_closed_service_rejects_submissions(self, hq_ex_task, tmp_path):
+        service = JoinService(hq_ex_task, str(tmp_path / "drained"), workers=1)
+        service.close()
+        assert service.closed
+        assert service.health()["status"] == "draining"
+        with pytest.raises(ServiceClosedError):
+            service.submit(JoinRequest(tau_good=1, tau_bad=1))
+
+    def test_validates_pool_shape(self, hq_ex_task, tmp_path):
+        with pytest.raises(ValueError):
+            JoinService(hq_ex_task, str(tmp_path / "w"), workers=0)
+        with pytest.raises(ValueError):
+            JoinService(hq_ex_task, str(tmp_path / "q"), queue_limit=0)
+
+
+class _StubOptimizer:
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def optimize(self, plans, requirement):
+        self.calls += 1
+        return (requirement.tau_good, requirement.tau_bad, self.calls)
+
+
+class TestPlanCache:
+    def _cache_and_factory(self, **kwargs):
+        cache = PlanCache(**kwargs)
+        built = []
+
+        def factory():
+            optimizer = _StubOptimizer()
+            built.append(optimizer)
+            return optimizer
+
+        return cache, built, factory
+
+    def test_result_and_optimizer_reuse(self):
+        cache, built, factory = self._cache_and_factory()
+        key = PlanCacheKey.of("sig", 1)
+        first, hit = cache.optimize(
+            key, ["p"], QualityRequirement(1, 2), factory
+        )
+        assert not hit and len(built) == 1
+        again, hit = cache.optimize(
+            key, ["p"], QualityRequirement(1, 2), factory
+        )
+        assert hit and again is first and len(built) == 1
+        other_tau, hit = cache.optimize(
+            key, ["p"], QualityRequirement(3, 2), factory
+        )
+        assert not hit and other_tau != first
+        assert len(built) == 1  # optimizer reused across requirements
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 2
+        assert stats["optimizer_hits"] == 2 and stats["optimizer_misses"] == 1
+
+    def test_newer_generation_invalidates_stale_entry(self):
+        cache, built, factory = self._cache_and_factory()
+        requirement = QualityRequirement(1, 2)
+        cache.optimize(PlanCacheKey.of("sig", 1), ["p"], requirement, factory)
+        cache.optimize(PlanCacheKey.of("sig", 2), ["p"], requirement, factory)
+        assert len(built) == 2
+        assert len(cache) == 1  # the generation-1 entry is unreachable, gone
+        assert cache.stats()["invalidations"] == 1
+
+    def test_unavailable_paths_partition_entries(self):
+        cache, built, factory = self._cache_and_factory()
+        requirement = QualityRequirement(1, 2)
+        healthy = PlanCacheKey.of("sig", 1)
+        degraded = PlanCacheKey.of("sig", 1, ("aqg:2",))
+        cache.optimize(healthy, ["p"], requirement, factory)
+        cache.optimize(degraded, ["p"], requirement, factory)
+        assert len(built) == 2 and len(cache) == 2
+        # Paths are normalized: order and duplicates don't split entries.
+        assert PlanCacheKey.of("sig", 1, ("b", "a", "a")) == PlanCacheKey.of(
+            "sig", 1, ("a", "b")
+        )
+
+    def test_lru_eviction(self):
+        cache, built, factory = self._cache_and_factory(max_entries=1)
+        requirement = QualityRequirement(1, 2)
+        cache.optimize(PlanCacheKey.of("one", 1), ["p"], requirement, factory)
+        cache.optimize(PlanCacheKey.of("two", 1), ["p"], requirement, factory)
+        assert len(cache) == 1
+        assert cache.stats()["evictions"] == 1
+
+    def test_invalidate_by_signature_and_wholesale(self):
+        cache, built, factory = self._cache_and_factory()
+        requirement = QualityRequirement(1, 2)
+        cache.optimize(PlanCacheKey.of("one", 1), ["p"], requirement, factory)
+        cache.optimize(PlanCacheKey.of("two", 1), ["p"], requirement, factory)
+        assert cache.invalidate("one") == 1
+        assert len(cache) == 1
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+
+    def test_validates_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
+
+class TestHTTPService:
+    def test_end_to_end_round_trip(
+        self, hq_ex_task, warmed_service, tmp_path
+    ):
+        warmed, cold = warmed_service
+        trace_dir = tmp_path / "traces"
+        # A second service over the *same* store file: it inherits the
+        # warm statistics, so its execute requests replay the pilot.
+        service = JoinService(
+            hq_ex_task,
+            str(warmed.store.root),
+            workers=2,
+            pilot_documents=PILOT,
+            trace_dir=str(trace_dir),
+        )
+        server, thread = serve_in_background(service)
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            status, health = request_json(base, "healthz")
+            assert status == 200 and health["status"] == "ok"
+
+            status, reply = request_json(
+                base, "join", {"tau_good": TAU_GOOD, "tau_bad": TAU_BAD}
+            )
+            assert status == 200
+            assert reply["warm_started"] is True
+            assert reply["pilot_fresh_documents"] == 0
+            assert reply["plan"] == cold["plan"]
+
+            status, planned = request_json(
+                base,
+                "join",
+                {"tau_good": TAU_GOOD, "tau_bad": TAU_BAD, "mode": "plan"},
+            )
+            assert status == 200 and planned["plan"] == cold["plan"]
+
+            status, body = request_json(base, "join", {"tau_good": "nope"})
+            assert status == 400 and "error" in body
+
+            status, body = request_json(base, "nonsense")
+            assert status == 404 and "error" in body
+
+            status, stats = request_json(base, "stats")
+            assert status == 200
+            assert stats["signature"] == service.signature
+
+            status, text = request_json(base, "metrics")
+            assert status == 200
+            assert "repro_service_requests_total" in text
+
+            traces = sorted(trace_dir.glob("request-*.jsonl"))
+            assert traces, "per-request traces should have been written"
+        finally:
+            shutdown(server)
+            thread.join(timeout=10)
+        assert service.closed
+        with pytest.raises(ServiceClosedError):
+            service.submit(JoinRequest(tau_good=1, tau_bad=1))
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        src = pathlib.Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(src), env.get("PYTHONPATH", "")) if p
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "serve" in result.stdout
+        assert "submit" in result.stdout
