@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import traceback
 from typing import Optional, Sequence
 
 from .core import QualityRequirement
@@ -54,6 +55,7 @@ from .optimizer import (
     enumerate_plans,
 )
 from .robustness import FaultProfile, RetryPolicy, harden
+from .validation.invariants import ENV_FLAG, enable_selfcheck
 
 #: diagnostics logger — everything here goes to stderr, level-filtered by
 #: ``-v/--log-level``; machine-readable results stay on stdout via print
@@ -119,6 +121,15 @@ def _add_logging_arguments(parser: argparse.ArgumentParser) -> None:
         default="info",
         choices=sorted(LEVELS),
         help="diagnostics verbosity on stderr (default info)",
+    )
+    parser.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help=(
+            "enforce runtime invariants (models, curves, executors, "
+            "estimator, store); violations abort with a diagnostic. "
+            f"Equivalent to {ENV_FLAG}=1"
+        ),
     )
 
 
@@ -472,6 +483,39 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if 200 <= status < 300 else 1
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .validation.differential import run_validation
+
+    report = run_validation(
+        scale=args.scale,
+        seed=args.seed,
+        theta=args.theta,
+        n_samples=args.samples,
+        sim_seed=args.sim_seed,
+        z=args.z,
+        out_path=args.out,
+        fuzz=not args.no_fuzz,
+    )
+    violations = report.invariants.get("violations", [])
+    print(
+        f"Validation: {len(report.checks)} checks, "
+        f"{len(report.failures)} failed; "
+        f"{report.invariants.get('checks_run', 0)} invariant checks, "
+        f"{len(violations)} violations"
+    )
+    for check in report.failures:
+        print(
+            f"  FAIL {check.name}: observed {check.observed:.6g}, "
+            f"expected {check.expected:.6g} ± {check.band:.6g} "
+            f"({check.detail})"
+        )
+    for violation in violations:
+        print(f"  INVARIANT {violation['where']}: {violation['message']}")
+    if args.out:
+        print(f"Report written to {args.out}")
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -654,21 +698,75 @@ def build_parser() -> argparse.ArgumentParser:
     _add_logging_arguments(submit)
     submit.set_defaults(handler=_cmd_submit)
 
+    validate = subparsers.add_parser(
+        "validate",
+        help=(
+            "differential validation: models vs Monte-Carlo vs executors, "
+            "runtime invariants, JSON-surface fuzzing"
+        ),
+    )
+    validate.add_argument(
+        "--theta", type=float, default=0.4, help="knob setting for the sweeps"
+    )
+    validate.add_argument(
+        "--samples",
+        type=int,
+        default=4000,
+        help="Monte-Carlo replicates per comparison (default 4000)",
+    )
+    validate.add_argument(
+        "--sim-seed", type=int, default=0, help="Monte-Carlo seed"
+    )
+    validate.add_argument(
+        "--z",
+        type=float,
+        default=5.0,
+        help="CLT band width in standard errors (default 5)",
+    )
+    validate.add_argument(
+        "--out",
+        default="validation_report.json",
+        metavar="PATH",
+        help="machine-readable report path (default validation_report.json)",
+    )
+    validate.add_argument(
+        "--no-fuzz",
+        action="store_true",
+        help="skip the JSON-surface fuzz pass",
+    )
+    _add_testbed_arguments(validate)
+    _add_logging_arguments(validate)
+    validate.set_defaults(handler=_cmd_validate)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     _configure_logging(args)
+    if getattr(args, "selfcheck", False):
+        enable_selfcheck()
     try:
-        return args.handler(args)
+        result = args.handler(args)
     except KeyboardInterrupt:
         _LOG.warning("repro: interrupted")
         return 130
     except Exception as error:  # noqa: BLE001 — the CLI's last line of defense
         kind = type(error).__name__
         _LOG.error("repro: error: %s: %s", kind, error)
+        if getattr(args, "verbose", False):
+            traceback.print_exc(file=sys.stderr)
         return 2
+    # Handlers return an exit code or None for success; anything truthy
+    # that is not an int still exits non-zero rather than leaking through
+    # sys.exit() as an arbitrary object.
+    if result is None:
+        return 0
+    if isinstance(result, bool):
+        return 0 if result else 1
+    if isinstance(result, int):
+        return result
+    return 1
 
 
 if __name__ == "__main__":

@@ -38,6 +38,7 @@ yield, inverting the zero-truncated thinning of the yield distribution.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
@@ -48,7 +49,18 @@ from scipy import optimize, stats
 from ..extraction.characterization import ConfidenceReference
 from ..joins.stats_collector import RelationObservations
 from ..textdb.stats import FrequencyHistogram
+from ..validation.invariants import active_checker
 from .powerlaw import PowerLawModel
+
+#: Documented priors for degenerate pilots.  A sample carrying no usable
+#: signal (no documents, or only unproductive documents) cannot identify
+#: any parameter, so the estimator returns these instead of dividing by
+#: zero: uniform-ish power laws (β = 1), an uninformative half/half
+#: occurrence split, and *empty* populations — models over the priors
+#: predict zero output, which is exactly what a pilot that saw nothing
+#: supports.
+PRIOR_BETA = 1.0
+PRIOR_OCCURRENCE_SHARE = 0.5
 
 
 @dataclass(frozen=True)
@@ -223,6 +235,30 @@ def _fit_single_class(
 # ---------------------------------------------------------------------------
 
 
+def prior_parameters(
+    relation: str, context: ObservationContext
+) -> EstimatedParameters:
+    """The documented prior the estimator degrades to on empty samples.
+
+    See :data:`PRIOR_BETA` / :data:`PRIOR_OCCURRENCE_SHARE` — an empty
+    pilot supports no populations, so every population size is zero and
+    both power laws sit at the uninformative β = 1 on minimal support.
+    """
+    return EstimatedParameters(
+        relation=relation,
+        n_good_values=0.0,
+        n_bad_values=0.0,
+        beta_good=PRIOR_BETA,
+        beta_bad=PRIOR_BETA,
+        n_good_docs=0.0,
+        n_bad_docs=0.0,
+        k_max_good=1,
+        k_max_bad=1,
+        log_likelihood=0.0,
+        good_occurrence_share=PRIOR_OCCURRENCE_SHARE,
+    )
+
+
 def estimate_parameters(
     observations: RelationObservations,
     context: ObservationContext,
@@ -230,9 +266,15 @@ def estimate_parameters(
     beta_grid: Optional[np.ndarray] = None,
     k_max_factor: float = 3.0,
 ) -> EstimatedParameters:
-    """Fit the observation model to what the execution has seen so far."""
+    """Fit the observation model to what the execution has seen so far.
+
+    An empty sample (no processed documents, or only unproductive ones)
+    degrades to :func:`prior_parameters` instead of raising — downstream
+    models then predict zero output rather than the pipeline crashing on
+    a pilot that happened to see nothing.
+    """
     if observations.documents_processed == 0 or not observations.sample_frequency:
-        raise ValueError("no observations to estimate from")
+        return prior_parameters(observations.relation, context)
     if beta_grid is None:
         beta_grid = np.linspace(0.2, 2.6, 25)
 
@@ -289,7 +331,7 @@ def estimate_parameters(
         mean_good=PowerLawModel(beta_g, k_max_good).mean(),
         mean_bad=PowerLawModel(beta_b, k_max_bad).mean(),
     )
-    return EstimatedParameters(
+    estimate = EstimatedParameters(
         relation=observations.relation,
         n_good_values=n_good_values,
         n_bad_values=n_bad_values,
@@ -302,6 +344,46 @@ def estimate_parameters(
         log_likelihood=loglik,
         good_occurrence_share=share,
     )
+    checker = active_checker()
+    if checker.enabled:
+        where = f"mle.estimate_parameters[{observations.relation}]"
+        checker.check_estimate(where, estimate, context.database_size)
+        checker.check_refit(
+            where,
+            _fit_fingerprint(
+                observations, context, reference, beta_grid, k_max_factor
+            ),
+            estimate.log_likelihood,
+        )
+    return estimate
+
+
+def _fit_fingerprint(
+    observations: RelationObservations,
+    context: ObservationContext,
+    reference: Optional[ConfidenceReference],
+    beta_grid: np.ndarray,
+    k_max_factor: float,
+) -> str:
+    """A digest of everything that determines a fit's log-likelihood.
+
+    Two calls with equal fingerprints see identical inputs, so their
+    deterministic grid searches must reach the same likelihood — the
+    comparability condition behind the refit-monotonicity invariant.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(
+        f"{observations.relation}|{observations.documents_processed}|"
+        f"{observations.productive_documents}|{context.database_size}|"
+        f"{context.coverage!r}|{context.tp!r}|{context.fp!r}|"
+        f"{context.theta!r}|{reference is not None}|{k_max_factor!r}".encode()
+    )
+    for value, s in sorted(observations.sample_frequency.items()):
+        digest.update(f"|{value}:{s}".encode())
+        confidences = observations.value_confidences.get(value, ())
+        digest.update(("|" + ",".join(repr(c) for c in confidences)).encode())
+    digest.update(np.asarray(beta_grid, dtype=float).tobytes())
+    return digest.hexdigest()
 
 
 # ---------------------------------------------------------------------------

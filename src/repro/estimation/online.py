@@ -73,18 +73,26 @@ def estimate_side(
 ) -> SideEstimate:
     """Estimate one side and package it as synthetic SideStatistics."""
     parameters = estimate_parameters(observations, context, reference=reference)
+    # Clamp the document classes consistently: the bad-class cap must use
+    # the *clamped* good count, or an overshooting estimate (e.g. from a
+    # persisted record) yields a negative |Db| and SideStatistics rejects it.
+    n_good_docs = max(
+        0, int(min(round(parameters.n_good_docs), context.database_size))
+    )
+    n_bad_docs = max(
+        0,
+        int(
+            min(
+                round(parameters.n_bad_docs),
+                context.database_size - n_good_docs,
+            )
+        ),
+    )
     statistics = SideStatistics.from_histograms(
         relation=observations.relation,
         n_documents=context.database_size,
-        n_good_docs=int(
-            min(round(parameters.n_good_docs), context.database_size)
-        ),
-        n_bad_docs=int(
-            min(
-                round(parameters.n_bad_docs),
-                context.database_size - round(parameters.n_good_docs),
-            )
-        ),
+        n_good_docs=n_good_docs,
+        n_bad_docs=n_bad_docs,
         good_histogram=parameters.good_histogram(),
         bad_histogram=parameters.bad_histogram(),
         tp=context.tp,

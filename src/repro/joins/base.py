@@ -31,6 +31,7 @@ from ..extraction.base import Extractor
 from ..observability.context import ObservabilityContext, ensure_observability
 from ..robustness.context import ResilienceContext
 from ..textdb.database import TextDatabase
+from ..validation.invariants import active_checker
 from .costs import CostModel
 from .stats_collector import ObservationCollector
 
@@ -235,6 +236,22 @@ class JoinAlgorithm(abc.ABC):
         queries_issued: Dict[int, int],
         exhausted: bool,
     ) -> JoinExecution:
+        checker = active_checker()
+        if checker.enabled:
+            for side in (1, 2):
+                obs = collector.side(side)
+                checker.check_conservation(
+                    f"join.{type(self).__name__}.side{side}",
+                    obs.documents_processed,
+                    obs.productive_documents,
+                    obs.unproductive_documents,
+                    sum(obs.tuples_per_document.values()),
+                )
+                checker.check_non_negative(
+                    f"join.{type(self).__name__}.side{side}",
+                    "documents_retrieved",
+                    float(documents_retrieved.get(side, 0)),
+                )
         observability = self.observability
         if observability.enabled:
             # The oracle composition is always maintained by JoinState, so

@@ -31,6 +31,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from ..validation.invariants import active_checker
 from .parameters import SideStatistics, ValueOverlapModel
 from .scheme import (
     DEFAULT_FREQUENCY_CORRELATION,
@@ -202,6 +203,13 @@ class CompositionKernel:
             + rho_bad1 * rho_good2 * self.s_bbbg
             + rho_bad1 * rho_bad2 * self.s_bbbb
         )
+        checker = active_checker()
+        if checker.enabled:
+            where = "kernels.compose_coverage"
+            checker.check_coverages(
+                where, rho_good1, rho_bad1, rho_good2, rho_bad2
+            )
+            checker.check_composition(where, good, good_bad, bad_good, bad_bad)
         return CompositionEstimate(
             good=good, good_bad=good_bad, bad_good=bad_good, bad_bad=bad_bad
         )
@@ -216,12 +224,22 @@ class CompositionKernel:
         bad2: np.ndarray,
     ) -> CompositionEstimate:
         """Equation 1 over arbitrary factor arrays (kernel value order)."""
-        return CompositionEstimate(
+        estimate = CompositionEstimate(
             good=float(good1[self.gg1] @ good2[self.gg2]),
             good_bad=float(good1[self.gb1] @ bad2[self.gb2]),
             bad_good=float(bad1[self.bg1] @ good2[self.bg2]),
             bad_bad=float(bad1[self.bb1] @ bad2[self.bb2]),
         )
+        checker = active_checker()
+        if checker.enabled:
+            checker.check_composition(
+                "kernels.compose_arrays",
+                estimate.good,
+                estimate.good_bad,
+                estimate.bad_good,
+                estimate.bad_bad,
+            )
+        return estimate
 
 
 def composition_kernel(
@@ -255,9 +273,19 @@ def compose_aggregate_arrays(
     def term(count: float, m1: float, s1: float, m2: float, s2: float) -> float:
         return max(0.0, count * (m1 * m2 + correlation * s1 * s2))
 
-    return CompositionEstimate(
+    estimate = CompositionEstimate(
         good=term(overlap.n_gg, mg1, sg1, mg2, sg2),
         good_bad=term(overlap.n_gb, mg1, sg1, mb2, sb2),
         bad_good=term(overlap.n_bg, mb1, sb1, mg2, sg2),
         bad_bad=term(overlap.n_bb, mb1, sb1, mb2, sb2),
     )
+    checker = active_checker()
+    if checker.enabled:
+        checker.check_composition(
+            "kernels.compose_aggregate_arrays",
+            estimate.good,
+            estimate.good_bad,
+            estimate.bad_good,
+            estimate.bad_bad,
+        )
+    return estimate

@@ -41,6 +41,7 @@ import numpy as np
 
 from ..core.plan import JoinPlanSpec
 from ..observability.tracer import SpanKind
+from ..validation.invariants import active_checker
 
 T = TypeVar("T")
 
@@ -118,7 +119,7 @@ class PlanEvaluationEngine:
                     for fraction in fractions
                 ]
             n_good = np.array([p.n_good for p in predictions])
-            self._curves[plan] = PlanCurve(
+            curve = PlanCurve(
                 plan=plan,
                 max_effort=max_effort,
                 grid_m=grid_m,
@@ -128,6 +129,15 @@ class PlanEvaluationEngine:
                 time=np.array([p.total_time for p in predictions]),
                 monotone=bool(np.all(np.diff(n_good) >= 0)),
             )
+            checker = active_checker()
+            if checker.enabled:
+                checker.check_curve(
+                    f"engine.curve[{plan.describe()}]",
+                    curve.n_good,
+                    curve.n_bad,
+                    curve.time,
+                )
+            self._curves[plan] = curve
         return self._curves[plan]
 
     def minimal_fraction(
@@ -167,6 +177,15 @@ class PlanEvaluationEngine:
             # hi = width (lo = 0 is never probed).
             transition = max(min(transition, size), 1)
             hi_index = -(-transition // width) * width
+            checker = active_checker()
+            if checker.enabled:
+                checker.check_bracket(
+                    f"engine.minimal_fraction[{plan.describe()}]",
+                    curve.n_good,
+                    tau_good,
+                    hi_index,
+                    width,
+                )
         else:
             lo_index, hi_index = 0, size
             for _ in range(grid_steps):

@@ -53,6 +53,10 @@ class CircuitBreaker:
         self._probe_successes = 0
         #: lifetime CLOSED/HALF_OPEN -> OPEN transitions
         self.times_opened = 0
+        #: successes observed while OPEN — admitted before the trip, so
+        #: they must not close the breaker, but they are not silently
+        #: dropped either: the count is surfaced in resilience reports
+        self.ignored_successes = 0
 
     def allow(self) -> bool:
         """Whether the next call may proceed; rejections age the cooldown."""
@@ -75,8 +79,9 @@ class CircuitBreaker:
                 self.state = BreakerState.CLOSED
         elif self.state is BreakerState.OPEN:
             # A success can only come from a call admitted before the trip;
-            # it does not close an open breaker.
-            pass
+            # it does not close an open breaker, but it is counted so the
+            # anomaly is visible in metrics instead of vanishing.
+            self.ignored_successes += 1
 
     def record_failure(self) -> None:
         self._consecutive_failures += 1

@@ -27,7 +27,7 @@ import os
 import pathlib
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..core.quality import TimeBreakdown
 from ..core.types import ExtractedTuple
@@ -248,11 +248,35 @@ def checkpoint_execution(executor: JoinAlgorithm) -> Dict[str, Any]:
 def restore_execution(
     executor: JoinAlgorithm, snapshot: Dict[str, Any]
 ) -> None:
-    """Load *snapshot* into a freshly constructed, unstarted *executor*."""
+    """Load *snapshot* into a freshly constructed, unstarted *executor*.
+
+    Any malformed snapshot — missing keys, wrong value shapes, junk
+    nesting — raises :class:`CheckpointError`; callers never see raw
+    ``KeyError``/``TypeError`` from snapshot structure.  On error the
+    executor may hold a partial restore and must be discarded.
+    """
+    if not isinstance(snapshot, dict):
+        raise CheckpointError(
+            f"checkpoint snapshot must be an object, got "
+            f"{type(snapshot).__name__}"
+        )
     if snapshot.get("version") != CHECKPOINT_VERSION:
         raise CheckpointError(
             f"unsupported checkpoint version {snapshot.get('version')!r}"
         )
+    try:
+        _restore_checked(executor, snapshot)
+    except CheckpointError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        raise CheckpointError(
+            f"malformed checkpoint snapshot: {error!r}"
+        ) from error
+
+
+def _restore_checked(
+    executor: JoinAlgorithm, snapshot: Dict[str, Any]
+) -> None:
     if snapshot["algorithm"] != type(executor).__name__:
         raise CheckpointError(
             f"snapshot of {snapshot['algorithm']} cannot restore into "
@@ -350,6 +374,7 @@ class CheckpointManager:
         directory: str,
         max_count: Optional[int] = None,
         max_age: Optional[float] = None,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         if max_count is not None and max_count < 0:
             raise ValueError("max_count must be non-negative")
@@ -359,6 +384,9 @@ class CheckpointManager:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_count = max_count
         self.max_age = max_age
+        #: time source for the age-based retention cutoff; injected so
+        #: pruning decisions are deterministic under test
+        self.clock = clock
 
     def path_of(self, name: str) -> str:
         return str(self.directory / f"{name}{self.SUFFIX}")
@@ -403,7 +431,7 @@ class CheckpointManager:
     def prune(self, now: Optional[float] = None) -> List[str]:
         """Apply the retention policy; return the paths removed."""
         infos = self.list()
-        now = time.time() if now is None else now
+        now = self.clock() if now is None else now
         doomed: Dict[str, CheckpointInfo] = {}
         if self.max_age is not None:
             cutoff = now - self.max_age

@@ -163,6 +163,14 @@ class ResilienceContext:
             else:
                 before = breaker.state
                 breaker.record_success()
+                if observability.enabled and before.name == "OPEN":
+                    # The breaker ignores a success observed while OPEN
+                    # (see CircuitBreaker.record_success); count the
+                    # swallowed event so it shows up in /v1/metrics.
+                    observability.metrics.counter(
+                        "repro_swallowed_events_total",
+                        kind="breaker_open_success",
+                    ).inc()
                 if (
                     observability.enabled
                     and before is not breaker.state

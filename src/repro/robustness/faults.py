@@ -60,6 +60,11 @@ class RateLimitError(AccessError):
 #: Exception types a retry policy is allowed to retry.
 RETRYABLE_ERRORS = (TransientAccessError, AccessTimeout, RateLimitError)
 
+#: Exceptions intentionally caught-and-continued, by reason.  Swallowing
+#: an exception silently hides misconfiguration; every such site counts
+#: the event here and the service surfaces the totals in ``/v1/metrics``.
+SWALLOWED_EXCEPTIONS: Counter = Counter()
+
 
 @dataclass(frozen=True)
 class FaultProfile:
@@ -117,7 +122,9 @@ class FaultProfile:
         try:
             rate = float(text)
         except ValueError:
-            pass
+            # Not a bare rate — fall through to name=value parsing, but
+            # leave a countable trace instead of swallowing silently.
+            SWALLOWED_EXCEPTIONS["fault_profile_not_bare_rate"] += 1
         else:
             return cls(transient=rate, seed=seed)
         fields = {}

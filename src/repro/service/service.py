@@ -41,9 +41,10 @@ import json
 import pathlib
 import queue
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.preferences import QualityRequirement
 from ..estimation.mle import EstimatedParameters
@@ -57,6 +58,7 @@ from ..optimizer.enumerator import enumerate_plans
 from ..optimizer.optimizer import JoinOptimizer, OptimizationResult
 from ..robustness.checkpoint import CheckpointManager
 from ..robustness.environment import harden
+from ..robustness.faults import SWALLOWED_EXCEPTIONS
 from .plancache import PlanCache, PlanCacheKey
 from .store import StatisticsStore, WarmStartPolicy, task_signature
 
@@ -106,9 +108,11 @@ class JoinRequest:
         if not isinstance(payload, dict):
             raise ValueError("request payload must be a JSON object")
         try:
+            # OverflowError: json.loads accepts ``Infinity`` and int() of
+            # an infinite float overflows rather than raising ValueError.
             tau_good = int(payload["tau_good"])
             tau_bad = int(payload["tau_bad"])
-        except (KeyError, TypeError, ValueError) as error:
+        except (KeyError, TypeError, ValueError, OverflowError) as error:
             raise ValueError(
                 "payload needs integer tau_good and tau_bad"
             ) from error
@@ -134,13 +138,14 @@ class JoinService:
         warm_policy: Optional[WarmStartPolicy] = None,
         trace_dir: Optional[str] = None,
         checkpoints: Optional[CheckpointManager] = None,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
         if queue_limit <= 0:
             raise ValueError("queue_limit must be positive")
         self.task = task
-        self.store = StatisticsStore(store_root)
+        self.store = StatisticsStore(store_root, clock=clock)
         self.plan_cache = PlanCache()
         self.pilot_documents = pilot_documents
         self.pilot_theta = pilot_theta
@@ -487,7 +492,7 @@ class JoinService:
         )
         if record is None or "overlap" not in record:
             return None
-        if not self.warm_policy.fresh(record):
+        if not self.warm_policy.fresh(record, now=self.store.clock()):
             return None
         sides = []
         for database, extractor, characterization in (
@@ -576,6 +581,10 @@ class JoinService:
                 self.metrics.gauge("repro_service_store_generation").set(
                     self.store.generation
                 )
+            for reason, count in sorted(SWALLOWED_EXCEPTIONS.items()):
+                self.metrics.gauge(
+                    "repro_swallowed_exceptions", reason=reason
+                ).set(count)
             return self.metrics.render()
 
 
@@ -586,9 +595,11 @@ def _side_statistics(
     theta: float,
 ) -> SideStatistics:
     """Synthetic SideStatistics from stored parameters at one θ."""
-    n_good_docs = int(min(round(parameters.n_good_docs), len(database)))
-    n_bad_docs = int(
-        min(round(parameters.n_bad_docs), len(database) - n_good_docs)
+    n_good_docs = max(
+        0, int(min(round(parameters.n_good_docs), len(database)))
+    )
+    n_bad_docs = max(
+        0, int(min(round(parameters.n_bad_docs), len(database) - n_good_docs))
     )
     return SideStatistics.from_histograms(
         relation=parameters.relation,

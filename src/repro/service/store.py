@@ -31,17 +31,19 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 import os
 import pathlib
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..estimation.mle import EstimatedParameters
 from ..estimation.online import SideEstimate
 from ..models.parameters import ValueOverlapModel
 from ..optimizer.adaptive import AdaptiveResult, PilotWarmStart
 from ..textdb.database import TextDatabase
+from ..validation.invariants import active_checker
 
 STORE_VERSION = 1
 
@@ -135,7 +137,60 @@ def _parameters_from_dict(data: Dict[str, Any]) -> EstimatedParameters:
     unknown = set(data) - fields
     if unknown:
         raise StoreError(f"unknown parameter fields {sorted(unknown)}")
+    required = fields - {"good_occurrence_share"}
+    missing = required - set(data)
+    if missing:
+        raise StoreError(f"missing parameter fields {sorted(missing)}")
+    if not isinstance(data["relation"], str):
+        raise StoreError("parameter field 'relation' must be a string")
+    for name in set(data) - {"relation"}:
+        value = data[name]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise StoreError(f"parameter field {name!r} must be numeric")
+        # json.loads happily parses Infinity/NaN; round() on either raises
+        # deep inside SideStatistics construction instead of here.
+        if not math.isfinite(value):
+            raise StoreError(f"parameter field {name!r} must be finite")
+    for name in ("k_max_good", "k_max_bad"):
+        if data[name] != int(data[name]):
+            raise StoreError(f"parameter field {name!r} must be an integer")
+        data = {**data, name: int(data[name])}
     return EstimatedParameters(**data)
+
+
+def _valid_parameters(data: Dict[str, Any]) -> bool:
+    """Whether a stored parameters dict converts cleanly (load-time gate)."""
+    try:
+        _parameters_from_dict(data)
+    except StoreError:
+        return False
+    return True
+
+
+def _well_formed_fingerprint(value: Any) -> bool:
+    """A corpus fingerprint is a 32-hex-char blake2b digest."""
+    return (
+        isinstance(value, str)
+        and len(value) == 32
+        and all(c in "0123456789abcdef" for c in value)
+    )
+
+
+def _coherent_side(key: str, record: Dict[str, Any]) -> bool:
+    """The record's own fields must reproduce the key it is stored under.
+
+    A hand-edited or corrupted file can hold a schema-valid record under
+    the wrong key; serving it would answer a (database, extractor, θ)
+    lookup with another operating point's statistics.
+    """
+    expected = StatisticsStore.side_key(
+        record["database"], record["extractor"], record["theta"]
+    )
+    return key == expected and _well_formed_fingerprint(record["fingerprint"])
+
+
+def _coherent_task(record: Dict[str, Any]) -> bool:
+    return all(_well_formed_fingerprint(f) for f in record["fingerprints"])
 
 
 def _check_schema(record: Dict[str, Any], schema: Dict[str, type]) -> bool:
@@ -143,8 +198,14 @@ def _check_schema(record: Dict[str, Any], schema: Dict[str, type]) -> bool:
         if key not in record:
             return False
         value = record[key]
+        # JSON has no separate bool/int distinction problem, but Python's
+        # bool subclasses int — reject it for both numeric kinds so a
+        # fuzzed `"rounds": true` cannot masquerade as a count.
         if kind is float:
             if not isinstance(value, (int, float)) or isinstance(value, bool):
+                return False
+        elif kind is int:
+            if not isinstance(value, int) or isinstance(value, bool):
                 return False
         elif not isinstance(value, kind):
             return False
@@ -164,13 +225,19 @@ class StatisticsStore:
 
     FILENAME = "statistics.json"
 
-    def __init__(self, root: str) -> None:
+    def __init__(
+        self, root: str, clock: Callable[[], float] = time.time
+    ) -> None:
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.path = self.root / self.FILENAME
+        #: time source for record timestamps and freshness gates; injected
+        #: so retention/warm-start behaviour is deterministic under test
+        self.clock = clock
         #: monotone generation counter, bumped on every mutation; the plan
         #: cache keys optimizer reuse on it so statistics updates invalidate
         self.generation = 0
+        self._saved_generation = 0
         self.sides: Dict[str, Dict[str, Any]] = {}
         self.tasks: Dict[str, Dict[str, Any]] = {}
         self.load()
@@ -193,17 +260,24 @@ class StatisticsStore:
             self.sides = {
                 key: record
                 for key, record in sides.items()
-                if isinstance(record, dict) and _check_schema(record, _SIDE_SCHEMA)
+                if isinstance(record, dict)
+                and _check_schema(record, _SIDE_SCHEMA)
+                and _valid_parameters(record["parameters"])
+                and _coherent_side(key, record)
             }
         if isinstance(tasks, dict):
             self.tasks = {
                 key: record
                 for key, record in tasks.items()
-                if isinstance(record, dict) and _check_schema(record, _TASK_SCHEMA)
+                if isinstance(record, dict)
+                and _check_schema(record, _TASK_SCHEMA)
+                and _coherent_task(record)
             }
+        self._check_coherence("store.load")
 
     def save(self) -> str:
         """Atomically rewrite the store file; return its path."""
+        self._check_coherence("store.save")
         payload = {
             "version": STORE_VERSION,
             "sides": self.sides,
@@ -212,7 +286,57 @@ class StatisticsStore:
         tmp = self.path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(payload, sort_keys=True))
         os.replace(tmp, self.path)
+        self._saved_generation = self.generation
         return str(self.path)
+
+    def _check_coherence(self, where: str) -> None:
+        """Selfcheck hook: stored records stay schema- and key-coherent."""
+        checker = active_checker()
+        if not checker.enabled:
+            return
+        checker.check(
+            self.generation >= self._saved_generation,
+            where,
+            f"generation counter moved backwards ({self.generation} < "
+            f"{self._saved_generation})",
+        )
+        for key, record in self.sides.items():
+            checker.check(
+                _check_schema(record, _SIDE_SCHEMA),
+                where,
+                f"side record {key!r} violates the side schema",
+            )
+            expected = self.side_key(
+                record.get("database", ""),
+                record.get("extractor", ""),
+                record.get("theta", 0.0),
+            )
+            checker.check(
+                key == expected,
+                where,
+                f"side record stored under {key!r} but its fields say "
+                f"{expected!r}",
+            )
+            fingerprint = record.get("fingerprint", "")
+            checker.check(
+                isinstance(fingerprint, str) and len(fingerprint) == 32,
+                where,
+                f"side record {key!r} carries a malformed fingerprint",
+            )
+        for key, record in self.tasks.items():
+            checker.check(
+                _check_schema(record, _TASK_SCHEMA),
+                where,
+                f"task record {key!r} violates the task schema",
+            )
+            checker.check(
+                all(
+                    isinstance(f, str) and len(f) == 32
+                    for f in record.get("fingerprints", [])
+                ),
+                where,
+                f"task record {key!r} carries a malformed fingerprint",
+            )
 
     # -- side records ---------------------------------------------------------
 
@@ -239,7 +363,7 @@ class StatisticsStore:
             "theta": float(theta),
             "documents_processed": int(documents_processed),
             "distinct_values": int(distinct_values),
-            "created_at": time.time() if now is None else now,
+            "created_at": self.clock() if now is None else now,
             "parameters": _parameters_to_dict(estimate.parameters),
         }
         self.generation += 1
@@ -297,7 +421,7 @@ class StatisticsStore:
             "pilot_snapshot": result.pilot_snapshot,
             "pilot_documents": int(result.pilot_size),
             "rounds": int(result.rounds),
-            "created_at": time.time() if now is None else now,
+            "created_at": self.clock() if now is None else now,
             "chosen_plan": (
                 result.chosen.plan.describe() if result.chosen is not None else None
             ),
@@ -342,7 +466,7 @@ class StatisticsStore:
         if record is None:
             return None
         policy = policy if policy is not None else WarmStartPolicy()
-        if not policy.fresh(record, now=now):
+        if not policy.fresh(record, now=self.clock() if now is None else now):
             return None
         return PilotWarmStart(
             snapshot=record["pilot_snapshot"],

@@ -1,0 +1,301 @@
+"""Deterministic structure fuzzing of the JSON surfaces.
+
+Three surfaces accept JSON produced outside the process — the statistics
+store file, checkpoint snapshots, and HTTP request bodies.  Their contract
+is *degrade, don't crash*: malformed input must either be dropped (store
+load), or raise the surface's own typed error (:class:`CheckpointError`,
+``ValueError``) that the caller already handles — never a raw
+``KeyError``/``TypeError``/``OverflowError`` escaping from the guts.
+
+The driver is deterministic: a seeded PRNG walks every path of a known
+valid payload and applies a fixed mutation vocabulary (delete, ``None``,
+type flip, ``Infinity``/``NaN``/1e400, bool-for-int, junk nesting,
+truncated raw text).  The same seed replays the same corpus, so any crash
+it finds is immediately a pinned regression test.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import random
+import tempfile
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+MUTATIONS_PER_TARGET = 120
+
+
+def _paths(node: Any, prefix: Tuple = ()) -> List[Tuple]:
+    """Every key path into a nested JSON-like object (dicts and lists)."""
+    found: List[Tuple] = []
+    if isinstance(node, dict):
+        for key, value in node.items():
+            found.append(prefix + (key,))
+            found.extend(_paths(value, prefix + (key,)))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            found.append(prefix + (index,))
+            found.extend(_paths(value, prefix + (index,)))
+    return found
+
+
+def _get_parent(root: Any, path: Tuple) -> Any:
+    node = root
+    for step in path[:-1]:
+        node = node[step]
+    return node
+
+
+#: the mutation vocabulary; each entry maps an existing value to its
+#: replacement (or the DELETE sentinel)
+_DELETE = object()
+_REPLACEMENTS: List[Callable[[Any], Any]] = [
+    lambda value: _DELETE,
+    lambda value: None,
+    lambda value: "junk",
+    lambda value: -1,
+    lambda value: float("inf"),
+    lambda value: float("nan"),
+    lambda value: 1e400,
+    lambda value: True,
+    lambda value: [],
+    lambda value: {},
+    lambda value: {"nested": ["junk", None]},
+    lambda value: str(value),
+]
+
+
+def mutate(payload: Any, rng: random.Random) -> Any:
+    """One deterministic structural mutation of a deep copy of *payload*."""
+    clone = copy.deepcopy(payload)
+    paths = _paths(clone)
+    if not paths:
+        return "junk"
+    path = rng.choice(paths)
+    parent = _get_parent(clone, path)
+    replacement = rng.choice(_REPLACEMENTS)(parent[path[-1]])
+    if replacement is _DELETE:
+        del parent[path[-1]]
+    else:
+        parent[path[-1]] = replacement
+    return clone
+
+
+def _run_target(
+    name: str,
+    payload_factory: Callable[[], Any],
+    probe: Callable[[Any], None],
+    allowed: Tuple[type, ...],
+    seed: int,
+    trials: int,
+) -> Dict[str, Any]:
+    """Fuzz one surface; only *allowed* exception types may escape."""
+    rng = random.Random(f"{name}|{seed}")
+    failures: List[Dict[str, str]] = []
+    for trial in range(trials):
+        mutated = mutate(payload_factory(), rng)
+        try:
+            probe(mutated)
+        except allowed:
+            continue
+        except Exception as error:  # noqa: BLE001 — the point of the fuzz
+            failures.append(
+                {
+                    "trial": str(trial),
+                    "error": f"{type(error).__name__}: {error}",
+                    "payload": json.dumps(mutated, default=repr)[:400],
+                }
+            )
+    return {"target": name, "trials": trials, "failures": failures}
+
+
+# ---------------------------------------------------------------------------
+# surface probes
+# ---------------------------------------------------------------------------
+
+
+def _store_payload() -> Dict[str, Any]:
+    parameters = {
+        "relation": "HQ",
+        "n_good_values": 120.0,
+        "n_bad_values": 30.0,
+        "beta_good": 1.1,
+        "beta_bad": 0.9,
+        "n_good_docs": 200.0,
+        "n_bad_docs": 50.0,
+        "k_max_good": 12,
+        "k_max_bad": 6,
+        "log_likelihood": -512.5,
+        "good_occurrence_share": 0.7,
+    }
+    return {
+        "version": 1,
+        "sides": {
+            "nyt96/HQ@0.4": {
+                "fingerprint": "ab" * 16,
+                "database": "nyt96",
+                "extractor": "HQ",
+                "theta": 0.4,
+                "documents_processed": 90,
+                "distinct_values": 40,
+                "created_at": 100.0,
+                "parameters": parameters,
+            }
+        },
+        "tasks": {
+            "nyt96/HQ|nyt95/EX|pilot@0.4": {
+                "fingerprints": ["ab" * 16, "cd" * 16],
+                "pilot_snapshot": {"version": 1, "algorithm": "X"},
+                "pilot_documents": 90,
+                "rounds": 2,
+                "created_at": 100.0,
+            }
+        },
+    }
+
+
+def _probe_store(mutated: Any) -> None:
+    from ..service.store import (
+        StatisticsStore,
+        StoreError,
+        _parameters_from_dict,
+    )
+
+    with tempfile.TemporaryDirectory() as root:
+        store = StatisticsStore(root)
+        store.path.write_text(json.dumps(mutated, default=repr))
+        # The contract: loading never raises, it degrades record-by-record.
+        store.load()
+        # Surviving records must convert cleanly (or fail as StoreError,
+        # which side_parameters callers handle) — load already filtered.
+        for record in store.sides.values():
+            try:
+                _parameters_from_dict(record["parameters"])
+            except StoreError:
+                pass
+        store.save()
+
+
+def _probe_store_text(seed: int, trials: int) -> Dict[str, Any]:
+    """Raw-text corruption: truncation and garbage must degrade to empty."""
+    from ..service.store import StatisticsStore
+
+    rng = random.Random(f"store-text|{seed}")
+    text = json.dumps(_store_payload())
+    failures: List[Dict[str, str]] = []
+    for trial in range(trials):
+        cut = rng.randrange(0, len(text))
+        corrupted = (
+            text[:cut]
+            if rng.random() < 0.5
+            else text[:cut] + chr(rng.randrange(1, 128)) + text[cut + 1 :]
+        )
+        try:
+            with tempfile.TemporaryDirectory() as root:
+                store = StatisticsStore(root)
+                store.path.write_text(corrupted)
+                store.load()
+        except Exception as error:  # noqa: BLE001
+            failures.append(
+                {
+                    "trial": str(trial),
+                    "error": f"{type(error).__name__}: {error}",
+                    "payload": corrupted[:200],
+                }
+            )
+    return {"target": "store-raw-text", "trials": trials, "failures": failures}
+
+
+def _request_payload() -> Dict[str, Any]:
+    return {"tau_good": 40, "tau_bad": 1000, "mode": "execute"}
+
+
+def _probe_request(mutated: Any) -> None:
+    from ..service.service import JoinRequest
+
+    JoinRequest.from_payload(mutated)
+
+
+_SNAPSHOT_CACHE: Optional[Dict[str, Any]] = None
+
+
+def _checkpoint_payload() -> Dict[str, Any]:
+    """A real (small) IDJN snapshot, built once per process."""
+    global _SNAPSHOT_CACHE
+    if _SNAPSHOT_CACHE is None:
+        from ..joins.base import Budgets
+        from ..robustness.checkpoint import checkpoint_execution
+
+        executor = _fresh_executor()
+        executor.run(budgets=Budgets(max_documents1=8, max_documents2=8))
+        _SNAPSHOT_CACHE = checkpoint_execution(executor)
+    return _SNAPSHOT_CACHE
+
+
+def _fresh_executor():
+    from ..experiments.testbed import TestbedConfig, build_testbed
+    from ..joins.idjn import IndependentJoin
+    from ..retrieval.scan import ScanRetriever
+
+    task = build_testbed(TestbedConfig()).task()
+    inputs = task.inputs(0.4, 0.4)
+    return IndependentJoin(
+        inputs,
+        ScanRetriever(task.database1),
+        ScanRetriever(task.database2),
+        costs=task.costs,
+    )
+
+
+def _probe_checkpoint(mutated: Any) -> None:
+    from ..robustness.checkpoint import restore_execution
+
+    restore_execution(_fresh_executor(), mutated)
+
+
+# ---------------------------------------------------------------------------
+# the driver
+# ---------------------------------------------------------------------------
+
+
+def run_fuzz(
+    seed: int = 11, trials: int = MUTATIONS_PER_TARGET
+) -> Dict[str, Any]:
+    """Fuzz every JSON surface; returns a JSON-ready result summary."""
+    from ..robustness.checkpoint import CheckpointError
+
+    results = [
+        _run_target(
+            "store-payload",
+            _store_payload,
+            _probe_store,
+            allowed=(),
+            seed=seed,
+            trials=trials,
+        ),
+        _probe_store_text(seed=seed, trials=trials),
+        _run_target(
+            "join-request",
+            _request_payload,
+            _probe_request,
+            allowed=(ValueError,),
+            seed=seed,
+            trials=trials,
+        ),
+        _run_target(
+            "checkpoint-snapshot",
+            _checkpoint_payload,
+            _probe_checkpoint,
+            allowed=(CheckpointError,),
+            seed=seed,
+            trials=trials,
+        ),
+    ]
+    return {
+        "trials_total": sum(r["trials"] for r in results),
+        "failures_total": sum(len(r["failures"]) for r in results),
+        "targets": results,
+    }
+
+
+__all__ = ["MUTATIONS_PER_TARGET", "mutate", "run_fuzz"]

@@ -1,0 +1,130 @@
+"""CLI failure-path tests: the last line of defense and selfcheck wiring.
+
+A crashing subcommand must exit non-zero with a one-line diagnostic (and
+a traceback only under ``-v``) — never propagate a raw exception to the
+shell.  Handler return values are normalized so nothing truthy-but-weird
+leaks through ``sys.exit``.
+"""
+
+import pytest
+
+import repro.cli as cli
+from repro.validation.invariants import (
+    active_checker,
+    install_checker,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_active_checker():
+    previous = active_checker()
+    yield
+    install_checker(previous)
+
+
+def _poison(monkeypatch, error):
+    def boom(args):
+        raise error
+
+    monkeypatch.setattr(cli, "_testbed_task", boom)
+
+
+class TestLastLineOfDefense:
+    ARGS = ["characterize", "--scale", "0.4", "--seed", "11"]
+
+    def test_poisoned_subcommand_exits_nonzero(self, monkeypatch, capfd):
+        _poison(monkeypatch, RuntimeError("kaboom"))
+        code = cli.main(self.ARGS)
+        assert code == 2
+        err = capfd.readouterr().err
+        assert "RuntimeError" in err and "kaboom" in err
+
+    def test_no_traceback_without_verbose(self, monkeypatch, capfd):
+        _poison(monkeypatch, RuntimeError("kaboom"))
+        cli.main(self.ARGS)
+        assert "Traceback" not in capfd.readouterr().err
+
+    def test_traceback_under_verbose(self, monkeypatch, capfd):
+        _poison(monkeypatch, RuntimeError("kaboom"))
+        code = cli.main([*self.ARGS, "-v"])
+        assert code == 2
+        err = capfd.readouterr().err
+        assert "Traceback" in err and "kaboom" in err
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capfd):
+        _poison(monkeypatch, KeyboardInterrupt())
+        assert cli.main(self.ARGS) == 130
+
+
+class TestResultNormalization:
+    """Whatever a handler returns, the shell sees a real exit code."""
+
+    def _run_with_handler(self, monkeypatch, result):
+        def handler(args):
+            return result
+
+        def fake_parser():
+            import argparse
+
+            parser = argparse.ArgumentParser()
+            sub = parser.add_subparsers(dest="command", required=True)
+            stub = sub.add_parser("stub")
+            stub.set_defaults(handler=handler)
+            return parser
+
+        monkeypatch.setattr(cli, "build_parser", fake_parser)
+        return cli.main(["stub"])
+
+    def test_none_is_success(self, monkeypatch):
+        assert self._run_with_handler(monkeypatch, None) == 0
+
+    def test_bools_map_to_exit_codes(self, monkeypatch):
+        assert self._run_with_handler(monkeypatch, True) == 0
+        assert self._run_with_handler(monkeypatch, False) == 1
+
+    def test_ints_pass_through(self, monkeypatch):
+        assert self._run_with_handler(monkeypatch, 0) == 0
+        assert self._run_with_handler(monkeypatch, 7) == 7
+
+    def test_arbitrary_objects_fail_closed(self, monkeypatch):
+        assert self._run_with_handler(monkeypatch, "surprise") == 1
+        assert self._run_with_handler(monkeypatch, object()) == 1
+
+
+class TestSelfcheckWiring:
+    def test_selfcheck_flag_installs_enabled_checker(self, monkeypatch):
+        seen = {}
+
+        def handler(args):
+            seen["enabled"] = active_checker().enabled
+            return 0
+
+        def fake_parser():
+            import argparse
+
+            parser = argparse.ArgumentParser()
+            sub = parser.add_subparsers(dest="command", required=True)
+            stub = sub.add_parser("stub")
+            stub.add_argument("--selfcheck", action="store_true")
+            stub.set_defaults(handler=handler)
+            return parser
+
+        monkeypatch.setattr(cli, "build_parser", fake_parser)
+        assert cli.main(["stub"]) == 0
+        assert seen["enabled"] is False
+        assert cli.main(["stub", "--selfcheck"]) == 0
+        assert seen["enabled"] is True
+
+    def test_every_subcommand_accepts_selfcheck(self):
+        import argparse
+
+        parser = cli.build_parser()
+        sub_action = next(
+            a
+            for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        assert len(sub_action.choices) >= 10
+        for name, sub in sub_action.choices.items():
+            flags = {s for a in sub._actions for s in a.option_strings}
+            assert "--selfcheck" in flags, name

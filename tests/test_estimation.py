@@ -162,11 +162,115 @@ class TestEstimateParameters:
         hist = estimate.good_histogram()
         assert hist.n_values == round(estimate.n_good_values)
 
-    def test_empty_observations_rejected(self, context1):
+    def test_empty_observations_degrade_to_priors(self, context1):
+        from repro.estimation.mle import (
+            PRIOR_BETA,
+            PRIOR_OCCURRENCE_SHARE,
+        )
         from repro.joins.stats_collector import RelationObservations
 
-        with pytest.raises(ValueError):
-            estimate_parameters(RelationObservations("HQ"), context1)
+        estimate = estimate_parameters(RelationObservations("HQ"), context1)
+        assert estimate.n_good_values == 0.0
+        assert estimate.n_bad_values == 0.0
+        assert estimate.n_good_docs == 0.0
+        assert estimate.n_bad_docs == 0.0
+        assert estimate.beta_good == PRIOR_BETA
+        assert estimate.beta_bad == PRIOR_BETA
+        assert estimate.good_occurrence_share == PRIOR_OCCURRENCE_SHARE
+        assert estimate.k_max_good == 1 and estimate.k_max_bad == 1
+        assert estimate.log_likelihood == 0.0
+        # The prior estimate materializes empty histograms, not NaNs.
+        assert estimate.good_histogram().n_values == 0
+        assert estimate.bad_histogram().n_values == 0
+
+
+class TestEstimatorEdgeCases:
+    """Degenerate pilot samples must degrade, never NaN or crash."""
+
+    @staticmethod
+    def _context():
+        return ObservationContext(
+            database_size=500, coverage=0.3, tp=0.8, fp=0.4, theta=0.4
+        )
+
+    @staticmethod
+    def _observations(documents):
+        from repro.core.types import ExtractedTuple
+        from repro.joins.stats_collector import RelationObservations
+
+        observations = RelationObservations("HQ")
+        for i, values in enumerate(documents):
+            observations.record_document(
+                ExtractedTuple(
+                    relation="HQ",
+                    values=(value,),
+                    document_id=i,
+                    confidence=confidence,
+                    is_good=confidence >= 0.5,
+                )
+                for value, confidence in values
+            )
+        return observations
+
+    def _assert_sane(self, estimate):
+        import math
+
+        for name in (
+            "n_good_values",
+            "n_bad_values",
+            "n_good_docs",
+            "n_bad_docs",
+            "beta_good",
+            "beta_bad",
+            "log_likelihood",
+            "good_occurrence_share",
+        ):
+            value = float(getattr(estimate, name))
+            assert math.isfinite(value), name
+        assert estimate.n_good_values >= 0 and estimate.n_bad_values >= 0
+        assert 0.0 <= estimate.good_occurrence_share <= 1.0
+        assert estimate.k_max_good >= 1 and estimate.k_max_bad >= 1
+
+    def test_all_duplicate_sample(self):
+        # Every document yields the same single value: |S| = 1, the
+        # frequency histogram has one bucket at the sample-size cap.
+        documents = [[("Acme", 0.9)] for _ in range(30)]
+        estimate = estimate_parameters(
+            self._observations(documents), self._context()
+        )
+        self._assert_sane(estimate)
+        # One distinct value observed; the blind confidence split may put
+        # it in either class, but the total population must reflect it.
+        assert estimate.n_good_values + estimate.n_bad_values > 0
+
+    def test_single_class_sample(self):
+        # All confidences above θ: the bad class is empty, its fit must
+        # degrade to zero values instead of dividing by an empty sample.
+        documents = [
+            [(f"V{i % 7}", 0.95)] for i in range(40)
+        ]
+        estimate = estimate_parameters(
+            self._observations(documents), self._context()
+        )
+        self._assert_sane(estimate)
+        assert estimate.n_good_values > 0
+
+    def test_single_document_sample(self):
+        estimate = estimate_parameters(
+            self._observations([[("Solo", 0.7), ("Other", 0.3)]]),
+            self._context(),
+        )
+        self._assert_sane(estimate)
+
+    def test_all_unproductive_sample(self):
+        # Documents processed but zero tuples extracted: distinct from an
+        # empty pilot — the denominator exists, the numerators are zero.
+        estimate = estimate_parameters(
+            self._observations([[] for _ in range(25)]), self._context()
+        )
+        self._assert_sane(estimate)
+        assert estimate.n_good_values == 0.0
+        assert estimate.n_bad_values == 0.0
 
 
 class TestEstimateSide:

@@ -1,0 +1,135 @@
+"""Tests for the differential validation harness.
+
+The harness's own machinery (band math, report structure, pass/fail
+aggregation) is pinned here, plus an end-to-end run on the small seeded
+testbed asserting the repo's models, simulator, and executors agree
+within the derived tolerances — the PR's central acceptance criterion.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.testbed import TestbedConfig, build_testbed
+from repro.validation.differential import (
+    ABS_SLACK,
+    CheckResult,
+    ValidationReport,
+    _band_check,
+    check_aqg_reach_differential,
+    check_kernel_differential,
+    check_mle_fit_differential,
+    check_model_vs_simulation,
+    run_validation,
+)
+from repro.validation.invariants import active_checker
+
+SCALE = 0.4
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def small_task():
+    # Same config as the CLI tests — build_testbed memoizes per config.
+    return build_testbed(TestbedConfig(seed=SEED, scale=SCALE)).task()
+
+
+class TestBandCheck:
+    def test_inside_band_passes(self):
+        report = ValidationReport()
+        result = _band_check(report, "x", observed=10.0, expected=10.5, band=1.0)
+        assert result.ok and report.checks == [result]
+
+    def test_outside_band_fails(self):
+        report = ValidationReport()
+        result = _band_check(report, "x", observed=10.0, expected=12.0, band=1.0)
+        assert not result.ok
+        assert report.failures == [result]
+
+    def test_abs_slack_absorbs_rounding_only(self):
+        report = ValidationReport()
+        assert _band_check(
+            report, "x", observed=1.0 + ABS_SLACK / 2, expected=1.0, band=0.0
+        ).ok
+        assert not _band_check(
+            report, "x", observed=1.0 + 10 * ABS_SLACK, expected=1.0, band=0.0
+        ).ok
+
+    def test_non_finite_observed_fails(self):
+        report = ValidationReport()
+        assert not _band_check(
+            report, "x", observed=float("nan"), expected=0.0, band=1e9
+        ).ok
+        assert not _band_check(
+            report, "x", observed=float("inf"), expected=0.0, band=1e9
+        ).ok
+
+
+class TestValidationReport:
+    def test_passed_requires_no_failures_and_no_violations(self):
+        report = ValidationReport()
+        report.add(CheckResult("a", True, 1.0, 1.0, 0.0))
+        assert report.passed
+        report.invariants["violations"] = [{"where": "w", "message": "m"}]
+        assert not report.passed
+
+    def test_to_dict_and_write_round_trip(self, tmp_path):
+        report = ValidationReport(config={"scale": 0.4})
+        report.add(CheckResult("a", True, 1.0, 1.0, 0.0, detail="d"))
+        path = report.write(str(tmp_path / "sub" / "report.json"))
+        payload = json.loads((tmp_path / "sub" / "report.json").read_text())
+        assert payload["passed"] is True
+        assert payload["checks_total"] == 1
+        assert payload["checks"][0]["name"] == "a"
+        assert payload["config"] == {"scale": 0.4}
+        assert path.endswith("report.json")
+
+
+class TestDifferentialFamilies:
+    """Each family individually, on the small testbed, must pass."""
+
+    def test_model_vs_simulation_within_clt_bands(self, small_task):
+        report = ValidationReport()
+        check_model_vs_simulation(
+            report, small_task, n_samples=600, seed=0
+        )
+        assert report.checks and not report.failures
+
+    def test_kernel_differential_exact(self, small_task):
+        report = ValidationReport()
+        check_kernel_differential(report, small_task)
+        assert report.checks and not report.failures
+
+    def test_aqg_reach_differential_exact(self, small_task):
+        report = ValidationReport()
+        check_aqg_reach_differential(report, small_task)
+        assert report.checks and not report.failures
+
+    def test_mle_fit_differential_exact(self):
+        report = ValidationReport()
+        check_mle_fit_differential(report, seed=3)
+        assert len(report.checks) == 12 and not report.failures
+
+
+class TestRunValidation:
+    def test_end_to_end_passes_on_seeded_grid(self, tmp_path):
+        out = tmp_path / "validation_report.json"
+        report = run_validation(
+            scale=SCALE,
+            seed=SEED,
+            n_samples=400,
+            out_path=str(out),
+            fuzz=False,
+        )
+        assert report.passed, [c.name for c in report.failures] + report.invariants.get("violations", [])
+        assert report.invariants["checks_run"] > 0
+        assert report.invariants["violations"] == []
+        payload = json.loads(out.read_text())
+        assert payload["passed"] is True
+        assert payload["checks_failed"] == 0
+
+    def test_restores_previous_checker(self):
+        before = active_checker()
+        run_validation(scale=SCALE, seed=SEED, n_samples=50, fuzz=False,
+                       tasks=())
+        assert active_checker() is before
