@@ -9,7 +9,8 @@ Exposes the experiment harness and the optimizer without writing Python::
     repro adaptive --tau-good 80 --tau-bad 2000
     repro budget --time 2000 --precision-weight 0.8
     repro serve --port 8023 --store /tmp/join-stats
-    repro submit --tau-good 40 --tau-bad 1000
+    repro submit --tau-good 40 --tau-bad 1000 --deadline 5000 --retries 3
+    repro loadtest --requests 200 --concurrency 16 --chaos
 
 All commands operate on the canonical testbed (``--scale`` / ``--seed``
 control its size and randomness).  Installed as the ``repro`` console
@@ -429,7 +430,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.checkpoint_dir,
             max_count=args.checkpoint_keep,
             max_age=args.checkpoint_max_age,
+            grace=args.checkpoint_grace,
         )
+    profile = FaultProfile.parse(args.fault_profile, seed=args.fault_seed)
     service = JoinService(
         task,
         args.store,
@@ -439,17 +442,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         margin=args.margin,
         trace_dir=args.trace_dir,
         checkpoints=checkpoints,
+        fault_profile=None if profile.disabled else profile,
     )
     if service.pruned_checkpoints:
         _LOG.info(
             "Pruned %d stale checkpoint(s) at startup",
             len(service.pruned_checkpoints),
         )
-    server = serve(service, host=args.host, port=args.port)
+    server = serve(
+        service,
+        host=args.host,
+        port=args.port,
+        request_timeout=args.request_timeout,
+    )
     host, port = server.server_address[:2]
     print(
         f"Serving {task.name} on http://{host}:{port} "
-        f"(store: {service.store.path})",
+        f"(store: {service.store.root})",
         flush=True,
     )
     try:
@@ -462,7 +471,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    from .service.http import request_json
+    from .service.http import request_json, submit_with_retries
 
     if args.endpoint == "join":
         if args.tau_good is None or args.tau_bad is None:
@@ -472,8 +481,18 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             "tau_good": args.tau_good,
             "tau_bad": args.tau_bad,
             "mode": args.mode,
+            "priority": args.priority,
         }
-        status, body = request_json(args.url, "join", payload)
+        if args.deadline is not None:
+            payload["deadline_ms"] = args.deadline
+        status, body, attempts = submit_with_retries(
+            args.url, payload, max_retries=args.retries
+        )
+        if attempts > 1:
+            _LOG.info(
+                "submit: answered after %d attempts (server sheds honoured)",
+                attempts,
+            )
     else:
         status, body = request_json(args.url, args.endpoint)
     if isinstance(body, str):
@@ -481,6 +500,87 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     else:
         print(json.dumps(body, indent=2, sort_keys=True))
     return 0 if 200 <= status < 300 else 1
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .service.loadtest import (
+        LoadTestConfig,
+        run_http_loadtest,
+        run_local_loadtest,
+    )
+
+    config = LoadTestConfig(
+        requests=args.requests,
+        concurrency=args.concurrency,
+        tau_good=args.tau_good,
+        tau_bad=args.tau_bad,
+        plan_fraction=args.plan_fraction,
+        deadline_ms=args.deadline_ms,
+        seed=args.seed,
+        chaos=args.chaos,
+        chaos_seed=args.chaos_seed,
+        fault_profile=args.fault_profile,
+        workers=args.service_workers,
+        queue_limit=args.queue_limit,
+        pilot_documents=args.pilot,
+        prewarm=not args.no_prewarm,
+        timeout=args.timeout,
+    )
+    if args.url is not None:
+        _LOG.info("Load-testing %s: %d requests", args.url, config.requests)
+        payload = run_http_loadtest(args.url, config)
+    else:
+        _, task = _testbed_task(args)
+        store = args.store
+        if store is None:
+            store = tempfile.mkdtemp(prefix="repro-loadtest-")
+        _LOG.info(
+            "Load-testing in-process service (store %s): %d requests%s",
+            store,
+            config.requests,
+            " with chaos" if config.chaos else "",
+        )
+        payload = run_local_loadtest(task, store, config)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    outcomes = payload["outcomes"]
+    latency = payload["latency_seconds"]
+    print(
+        f"Load test ({payload['mode']}): {payload['requests']} requests in "
+        f"{payload['wall_seconds']:.2f}s "
+        f"({payload['throughput_rps']:.1f} req/s)"
+    )
+    print(
+        "Outcomes: "
+        + ", ".join(f"{name}={outcomes[name]}" for name in sorted(outcomes))
+    )
+    print(
+        f"Latency: p50={latency['p50'] * 1000:.1f}ms "
+        f"p90={latency['p90'] * 1000:.1f}ms "
+        f"p99={latency['p99'] * 1000:.1f}ms"
+    )
+    recovery = payload.get("recovery")
+    if recovery is not None:
+        violations = recovery.get("violations", [])
+        print(
+            f"Recovery: {json.dumps({k: v for k, v in recovery.items() if k != 'violations'}, sort_keys=True)}"
+        )
+        print(f"Invariant violations during recovery: {len(violations)}")
+        if violations:
+            for violation in violations:
+                print(
+                    f"  INVARIANT {violation['where']}: "
+                    f"{violation['message']}"
+                )
+            return 1
+    print(f"Benchmark written to {args.out}")
+    # Hard errors fail the run; sheds/degrades/deadlines are the service
+    # behaving as designed, and 'unavailable' is expected when the chaos
+    # harness kills the server under test mid-run.
+    return 0 if outcomes["error"] == 0 else 1
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -669,6 +769,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="drop checkpoints older than this many seconds",
     )
+    serve.add_argument(
+        "--checkpoint-grace",
+        type=float,
+        default=60.0,
+        help=(
+            "never prune checkpoints younger than this many seconds "
+            "(protects snapshots a concurrent writer just saved; default 60)"
+        ),
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help=(
+            "per-connection socket timeout in seconds; a client that "
+            "stalls mid-request gets a 408 (default 30)"
+        ),
+    )
+    serve.add_argument(
+        "--fault-profile",
+        default="none",
+        help=(
+            "inject database faults into every request (chaos testing): "
+            "'none', a bare rate, or 'transient=0.1,timeout=0.05,...'"
+        ),
+    )
+    serve.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the injected fault stream",
+    )
     _add_testbed_arguments(serve)
     _add_logging_arguments(serve)
     serve.set_defaults(handler=_cmd_serve)
@@ -695,8 +827,124 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("execute", "plan"),
         help="execute the join or answer from cached statistics only",
     )
+    submit.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "end-to-end deadline in milliseconds; expiry returns a 504 "
+            "with whatever partial progress the run made"
+        ),
+    )
+    submit.add_argument(
+        "--priority",
+        default="normal",
+        choices=("high", "normal", "low"),
+        help="admission priority under load (default normal)",
+    )
+    submit.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help=(
+            "retry a shed (503) up to N times, honouring the server's "
+            "Retry-After hint with decorrelated jitter (default 0)"
+        ),
+    )
     _add_logging_arguments(submit)
     submit.set_defaults(handler=_cmd_submit)
+
+    loadtest = subparsers.add_parser(
+        "loadtest",
+        help=(
+            "drive concurrent load (optionally with chaos: faults, clock "
+            "jumps, journal tears) and write BENCH_service.json"
+        ),
+    )
+    loadtest.add_argument(
+        "--url",
+        default=None,
+        help=(
+            "target a running server; omitted runs an in-process service "
+            "on the canonical testbed"
+        ),
+    )
+    loadtest.add_argument(
+        "--store",
+        default=None,
+        help=(
+            "statistics store directory for in-process mode "
+            "(default: a fresh temporary directory)"
+        ),
+    )
+    loadtest.add_argument("--requests", type=int, default=50)
+    loadtest.add_argument("--concurrency", type=int, default=8)
+    loadtest.add_argument("--tau-good", type=int, default=40)
+    loadtest.add_argument("--tau-bad", type=int, default=1_000_000)
+    loadtest.add_argument(
+        "--plan-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of requests in cheap plan mode (default 0.5)",
+    )
+    loadtest.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="attach this end-to-end deadline to every request",
+    )
+    loadtest.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "inject seeded faults and clock jumps, then tear the store "
+            "journal and verify recovery"
+        ),
+    )
+    loadtest.add_argument(
+        "--chaos-seed", type=int, default=0, help="chaos randomness seed"
+    )
+    loadtest.add_argument(
+        "--fault-profile",
+        default="",
+        help="override the chaos fault mix (FaultProfile spec)",
+    )
+    loadtest.add_argument(
+        "--service-workers",
+        type=int,
+        default=2,
+        help="in-process mode: join worker threads",
+    )
+    loadtest.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        help="in-process mode: bounded request queue size",
+    )
+    loadtest.add_argument(
+        "--pilot", type=int, default=60, help="pilot documents per side"
+    )
+    loadtest.add_argument(
+        "--no-prewarm",
+        action="store_true",
+        help="skip the warm-up execute request before the measured load",
+    )
+    loadtest.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="per-request client timeout in seconds",
+    )
+    loadtest.add_argument(
+        "--out",
+        default="BENCH_service.json",
+        metavar="PATH",
+        help="benchmark report path (default BENCH_service.json)",
+    )
+    _add_testbed_arguments(loadtest)
+    _add_logging_arguments(loadtest)
+    loadtest.set_defaults(handler=_cmd_loadtest)
 
     validate = subparsers.add_parser(
         "validate",

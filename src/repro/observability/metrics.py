@@ -14,6 +14,7 @@ and merges them deterministically (:meth:`MetricsRegistry.merge`).
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -255,3 +256,18 @@ def _render_value(value: float) -> str:
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
+
+
+def percentile(values: Iterable[float], fraction: float) -> float:
+    """Nearest-rank percentile of *values* (``fraction`` in ``[0, 1]``).
+
+    Nearest-rank (no interpolation) so a reported p99 is a latency some
+    request actually experienced; ``0.0`` for an empty input.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must lie in [0, 1], got {fraction!r}")
+    rank = max(math.ceil(fraction * len(ordered)), 1)
+    return ordered[rank - 1]

@@ -39,7 +39,7 @@ from ..core.relation import JoinState
 from ..extraction.characterization import KnobCharacterization
 from ..estimation.mle import ObservationContext
 from ..estimation.online import SideEstimate, estimate_overlap, estimate_side
-from ..joins.base import Budgets, JoinExecution
+from ..joins.base import Budgets, JoinAlgorithm, JoinExecution
 from ..joins.idjn import IndependentJoin
 from ..joins.base import JoinInputs
 from ..joins.stats_collector import RelationObservations
@@ -49,6 +49,7 @@ from ..observability.tracer import SpanKind
 from ..retrieval.scan import ScanRetriever
 from ..robustness.checkpoint import checkpoint_execution, restore_execution
 from ..robustness.context import AccessPathUnavailable
+from ..robustness.deadline import Deadline, DeadlineExceeded
 from ..robustness.degradation import split_path, surviving_plans
 from .binder import ExecutionEnvironment, bind_plan, budgets_from_evaluation
 from .catalog import StatisticsCatalog
@@ -240,6 +241,57 @@ class AdaptiveJoinExecutor:
         #: live documents pulled during pilots this run (restored excluded)
         self._pilot_fresh_documents = 0
 
+    # -- deadlines -------------------------------------------------------------
+
+    def _deadline(self) -> Optional[Deadline]:
+        """The request deadline riding on the environment's resilience
+        context (installed by the serving layer), or None."""
+        resilience = self.environment.resilience
+        if resilience is None:
+            return None
+        return getattr(resilience, "deadline", None)
+
+    def _check_deadline(self, where: str) -> None:
+        """Phase-boundary deadline check (CPU-bound phases issue no
+        database accesses, so the per-access check never fires there)."""
+        deadline = self._deadline()
+        if deadline is not None:
+            deadline.check(where)
+
+    def _attach_partial(
+        self,
+        error: DeadlineExceeded,
+        phase: str,
+        executor: JoinAlgorithm,
+        plan: Optional[str] = None,
+    ) -> None:
+        """Describe the interrupted executor on the unwinding exception.
+
+        Captures a resumable checkpoint when the executor's shape
+        supports one; checkpoint failure must never mask the deadline
+        error itself.
+        """
+        snapshot: Optional[Dict[str, Any]] = None
+        try:
+            snapshot = checkpoint_execution(executor)
+        except Exception:  # noqa: BLE001 — best-effort capture only
+            snapshot = None
+        session = executor.session
+        composition = session.state.composition
+        error.attach(
+            phase,
+            plan=plan,
+            good=composition.n_good,
+            bad=composition.n_bad,
+            results=len(session.state),
+            documents_processed={
+                str(side): session.collector.side(side).documents_processed
+                for side in (1, 2)
+            },
+            simulated_time=round(session.time.total, 6),
+            checkpoint=snapshot,
+        )
+
     # -- pilot ----------------------------------------------------------------
 
     def _pilot_executor(self) -> IndependentJoin:
@@ -284,14 +336,23 @@ class AdaptiveJoinExecutor:
             pilot.session.collector.side(side).documents_processed
             for side in (1, 2)
         )
-        with self.observability.span(
-            SpanKind.PILOT, "pilot", documents=documents, resumed=before > 0
-        ):
-            execution = pilot.run(
-                budgets=Budgets(
-                    max_documents1=documents, max_documents2=documents
+        try:
+            with self.observability.span(
+                SpanKind.PILOT, "pilot", documents=documents, resumed=before > 0
+            ):
+                execution = pilot.run(
+                    budgets=Budgets(
+                        max_documents1=documents, max_documents2=documents
+                    )
                 )
+        except DeadlineExceeded as expired:
+            after = sum(
+                pilot.session.collector.side(side).documents_processed
+                for side in (1, 2)
             )
+            self._pilot_fresh_documents += after - before
+            self._attach_partial(expired, "pilot", pilot)
+            raise
         after = sum(
             pilot.session.collector.side(side).documents_processed
             for side in (1, 2)
@@ -572,6 +633,14 @@ class AdaptiveJoinExecutor:
         optimization: Optional[OptimizationResult] = None
         while True:
             rounds += 1
+            try:
+                # Estimation/optimization are CPU-bound (no database
+                # accesses), so expiry during them surfaces here at the
+                # round boundary with the pilot's state attached.
+                self._check_deadline("adaptive.optimize")
+            except DeadlineExceeded as expired:
+                self._attach_partial(expired, "optimize", pilot_executor)
+                raise
             estimate1, estimate2 = self._estimate_sides(pilot)
             catalog = self._catalog(
                 estimate1,
@@ -811,6 +880,11 @@ class AdaptiveJoinExecutor:
                             chosen.plan, chosen, slack=3.0
                         ),
                     )
+            except DeadlineExceeded as expired:
+                self._attach_partial(
+                    expired, "execute", executor, plan=chosen.plan.describe()
+                )
+                raise
             except AccessPathUnavailable as failure:
                 if len(degraded) >= self.max_degradations:
                     raise

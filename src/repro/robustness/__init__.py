@@ -12,6 +12,9 @@ package makes the reproduction survive the real world where it does not:
 * :mod:`~repro.robustness.context` — the :class:`ResilienceContext` that
   retrieval strategies and query probes call through instead of hitting
   the database raw;
+* :mod:`~repro.robustness.deadline` — :class:`Deadline` /
+  :class:`DeadlineExceeded`, end-to-end request deadlines checked on
+  every database access, with partial-state capture on expiry;
 * :mod:`~repro.robustness.checkpoint` — checkpoint/resume of join
   execution state, so interrupted executions do not re-pay extraction;
 * :mod:`~repro.robustness.degradation` — access-path → plan-space mapping
@@ -26,6 +29,7 @@ from .context import (
     AccessPathUnavailable,
     ResilienceContext,
 )
+from .deadline import Deadline, DeadlineExceeded
 from .degradation import (
     FETCH,
     SEARCH,
@@ -79,6 +83,8 @@ __all__ = [
     "CheckpointInfo",
     "CheckpointManager",
     "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
     "FETCH",
     "FaultInjectingDatabase",
     "FaultProfile",

@@ -365,6 +365,12 @@ class CheckpointManager:
     whichever is stricter.  ``None`` disables a bound.  Pruning is safe
     to run at any time — files are removed oldest-first and a vanished
     file (pruned by a concurrent process) is not an error.
+
+    ``grace`` protects files modified within the last *grace* seconds
+    from pruning entirely, even when they exceed ``max_count``: a
+    concurrent writer's freshly-replaced checkpoint (or one mid-rename
+    from its ``.tmp``) must never be collected by another process's
+    startup prune racing against it.
     """
 
     SUFFIX = ".ckpt.json"
@@ -375,15 +381,19 @@ class CheckpointManager:
         max_count: Optional[int] = None,
         max_age: Optional[float] = None,
         clock: Callable[[], float] = time.time,
+        grace: float = 0.0,
     ) -> None:
         if max_count is not None and max_count < 0:
             raise ValueError("max_count must be non-negative")
         if max_age is not None and max_age < 0:
             raise ValueError("max_age must be non-negative")
+        if grace < 0:
+            raise ValueError("grace must be non-negative")
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_count = max_count
         self.max_age = max_age
+        self.grace = grace
         #: time source for the age-based retention cutoff; injected so
         #: pruning decisions are deterministic under test
         self.clock = clock
@@ -397,10 +407,19 @@ class CheckpointManager:
         The write is atomic (temp file + ``os.replace``) so a crash mid-save
         never leaves a truncated checkpoint behind.
         """
+        return self.save_snapshot(checkpoint_execution(executor), name)
+
+    def save_snapshot(self, snapshot: Dict[str, Any], name: str) -> str:
+        """Persist an already-captured checkpoint dict under *name*.
+
+        Used by the serving layer, which receives the snapshot attached
+        to a :class:`~repro.robustness.deadline.DeadlineExceeded` rather
+        than holding the executor itself.
+        """
         path = pathlib.Path(self.path_of(name))
         tmp = path.with_suffix(path.suffix + ".tmp")
         with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(checkpoint_execution(executor), handle)
+            json.dump(snapshot, handle)
         os.replace(tmp, path)
         self.prune()
         return str(path)
@@ -429,19 +448,32 @@ class CheckpointManager:
         return infos
 
     def prune(self, now: Optional[float] = None) -> List[str]:
-        """Apply the retention policy; return the paths removed."""
+        """Apply the retention policy; return the paths removed.
+
+        Entries modified within the grace window are never removed — not
+        by age, and not to satisfy ``max_count`` (the bound is enforced
+        eventually, once the young entries age past the window).
+        """
         infos = self.list()
         now = self.clock() if now is None else now
+        protected = {
+            info.path
+            for info in infos
+            if self.grace > 0.0 and now - info.modified < self.grace
+        }
         doomed: Dict[str, CheckpointInfo] = {}
         if self.max_age is not None:
             cutoff = now - self.max_age
             for info in infos:
-                if info.modified < cutoff:
+                if info.modified < cutoff and info.path not in protected:
                     doomed[info.path] = info
         if self.max_count is not None:
             survivors = [info for info in infos if info.path not in doomed]
             excess = len(survivors) - self.max_count
-            for info in survivors[:max(excess, 0)]:
+            removable = [
+                info for info in survivors if info.path not in protected
+            ]
+            for info in removable[:max(excess, 0)]:
                 doomed[info.path] = info
         removed: List[str] = []
         for path in doomed:

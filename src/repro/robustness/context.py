@@ -29,6 +29,7 @@ from ..core.quality import ResilienceReport
 from ..observability.context import NULL_OBSERVABILITY
 from ..observability.tracer import SpanKind
 from .breaker import CircuitBreaker
+from .deadline import Deadline
 from .faults import RETRYABLE_ERRORS, FaultInjectingDatabase
 from .retry import RetryPolicy
 
@@ -85,6 +86,10 @@ class ResilienceContext:
         self.backoff_time = 0.0
         self.failed_operations = 0
         self.documents_lost = 0
+        #: optional end-to-end request deadline, installed by the serving
+        #: layer; checked on every :meth:`call` so an expired request can
+        #: run past its budget by at most one database access
+        self.deadline: Optional[Deadline] = None
         #: shared tracing/metrics context, installed by
         #: :func:`repro.robustness.environment.harden` when the environment
         #: carries one; the default no-op context costs nothing
@@ -103,10 +108,14 @@ class ResilienceContext:
     def call(self, path: str, fn: Callable[[], T]) -> T:
         """Run one database access with breaker + retry protection.
 
-        Raises :class:`AccessPathUnavailable` when the breaker rejects the
-        call, :class:`AccessFailedError` when retries are exhausted, and
+        Raises :class:`~repro.robustness.deadline.DeadlineExceeded` when
+        the request's deadline (if any) has passed,
+        :class:`AccessPathUnavailable` when the breaker rejects the call,
+        :class:`AccessFailedError` when retries are exhausted, and
         returns ``fn()``'s result otherwise.
         """
+        if self.deadline is not None:
+            self.deadline.check(path)
         observability = self.observability
         breaker = self.breaker(path)
         if not breaker.allow():

@@ -1,0 +1,115 @@
+"""End-to-end request deadlines.
+
+A serving request that cannot finish in time must fail *fast* and fail
+*usefully*: a worker thread grinding on an expired request starves every
+queued request behind it, and a bare timeout error throws away all the
+work already paid for.  This module provides the two halves of the
+contract:
+
+* :class:`Deadline` — an absolute expiry instant against an injectable
+  clock, created once at admission time (queue wait counts against the
+  budget) and carried through the whole execution stack on the request's
+  :class:`~repro.robustness.context.ResilienceContext`.  Every database
+  access already funnels through :meth:`ResilienceContext.call
+  <repro.robustness.context.ResilienceContext.call>`, so checking there
+  bounds how much work can happen past expiry by a single document fetch
+  or query probe;
+* :class:`DeadlineExceeded` — the cancellation signal.  The frame that
+  owns the in-flight executor (the adaptive driver's pilot/execute
+  phases) *attaches* a description of the partial state — phase, plan,
+  partial composition, simulated time, and a resumable checkpoint — so
+  the service can persist the checkpoint and answer with a partial-result
+  payload instead of nothing.
+
+This module deliberately imports nothing from the rest of the package so
+any layer can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request ran past its deadline.
+
+    ``where`` names the call site that noticed the expiry; ``phase`` and
+    ``partial`` are filled in by :meth:`attach` as the exception unwinds
+    through the frame that owns the in-flight execution state.
+    """
+
+    def __init__(
+        self, where: str = "", budget_ms: Optional[float] = None
+    ) -> None:
+        detail = f" (budget {budget_ms:.0f}ms)" if budget_ms is not None else ""
+        super().__init__(f"deadline exceeded at {where or 'unknown'}{detail}")
+        self.where = where
+        self.budget_ms = budget_ms
+        #: execution phase that was interrupted ("pilot", "execute",
+        #: "optimize", "queued"); None until a frame attaches it
+        self.phase: Optional[str] = None
+        #: JSON-ready description of the partial state (counts, plan,
+        #: simulated time, optionally a resumable checkpoint)
+        self.partial: Dict[str, Any] = {}
+
+    def attach(self, phase: str, **partial: Any) -> "DeadlineExceeded":
+        """Describe the interrupted state as the exception unwinds.
+
+        The first (innermost) frame to attach names the phase — it is
+        closest to the interrupted work.  Outer frames may still add
+        facts the inner frame could not know, but never overwrite ones
+        already recorded.  ``None`` values are dropped so the partial
+        payload stays clean JSON.
+        """
+        if self.phase is None:
+            self.phase = phase
+        for key, value in partial.items():
+            if value is not None:
+                self.partial.setdefault(key, value)
+        return self
+
+
+@dataclass
+class Deadline:
+    """An absolute expiry instant against an injectable clock.
+
+    ``expires_at`` is in the clock's own units; :meth:`after` is the
+    normal constructor.  The clock is injected so serving deadlines are
+    testable (and chaos-testable) without sleeping.
+    """
+
+    expires_at: float
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+    #: the original budget in seconds, kept for error messages/payloads
+    budget: Optional[float] = None
+
+    @classmethod
+    def after(
+        cls,
+        seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        if not seconds > 0.0:
+            raise ValueError("deadline budget must be positive")
+        return cls(expires_at=clock() + seconds, clock=clock, budget=seconds)
+
+    def remaining(self) -> float:
+        """Seconds until expiry (negative once expired)."""
+        return self.expires_at - self.clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the deadline has passed."""
+        if self.expired:
+            raise DeadlineExceeded(
+                where=where,
+                budget_ms=None if self.budget is None else self.budget * 1000.0,
+            )
+
+
+__all__ = ["Deadline", "DeadlineExceeded"]

@@ -8,20 +8,33 @@ package turns it into a long-lived *service*:
   what every finished run learned (per-side MLE estimates, overlap-class
   sizes, the final pilot checkpoint, drift snapshots), keyed by corpus
   fingerprint so statistics of a changed corpus are never reused;
+* :mod:`~repro.service.shards` — the crash-safe
+  :class:`ShardedStatisticsStore`: the same in-memory model persisted
+  per-fingerprint-shard through an append-then-replace journal with
+  checksummed records, so independent corpora never contend on one file
+  and a ``kill -9`` mid-write never loses the last committed generation;
 * :mod:`~repro.service.plancache` — the :class:`PlanCache` that reuses
   optimizers (memoized model predictors and
   :class:`~repro.optimizer.engine.PlanEvaluationEngine` effort curves)
   and optimization results across requests, invalidated when statistics
   change or an access path degrades;
+* :mod:`~repro.service.admission` — the :class:`AdmissionController`
+  degrade ladder: admit, answer degraded from warm statistics, or shed
+  with a jittered ``Retry-After``;
 * :mod:`~repro.service.service` — the :class:`JoinService` front end: a
-  bounded-queue worker pool with admission control, per-request
-  resilience and observability contexts, warm-started adaptive runs,
-  and graceful drain;
+  bounded-queue worker pool with admission control, end-to-end request
+  deadlines, per-request resilience and observability contexts,
+  warm-started adaptive runs, and graceful drain;
 * :mod:`~repro.service.http` — a stdlib ``ThreadingHTTPServer`` JSON API
   (``/v1/join``, ``/v1/stats``, ``/v1/healthz``, ``/v1/metrics``)
-  exposed as ``repro serve`` / ``repro submit``.
+  exposed as ``repro serve`` / ``repro submit``;
+* :mod:`~repro.service.loadtest` — the ``repro loadtest`` chaos/load
+  harness: seeded concurrent load, fault injection, clock jumps, journal
+  tears, and a ``BENCH_service.json`` report.
 """
 
+from .admission import AdmissionController, AdmissionDecision
+from .loadtest import LoadTestConfig, run_http_loadtest, run_local_loadtest
 from .plancache import PlanCache
 from .service import (
     JoinRequest,
@@ -29,6 +42,7 @@ from .service import (
     ServiceBusyError,
     ServiceClosedError,
 )
+from .shards import ShardedStatisticsStore, tear_journal
 from .store import (
     StatisticsStore,
     StoreError,
@@ -38,14 +52,21 @@ from .store import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
     "JoinRequest",
     "JoinService",
+    "LoadTestConfig",
     "PlanCache",
     "ServiceBusyError",
     "ServiceClosedError",
+    "ShardedStatisticsStore",
     "StatisticsStore",
     "StoreError",
     "WarmStartPolicy",
     "corpus_fingerprint",
+    "run_http_loadtest",
+    "run_local_loadtest",
     "task_signature",
+    "tear_journal",
 ]

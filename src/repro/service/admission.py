@@ -1,0 +1,147 @@
+"""Priority-aware admission control and the service degrade ladder.
+
+The original service had one overload behaviour: queue full → 503.  The
+:class:`AdmissionController` replaces that binary with a ladder whose
+rungs trade answer quality for latency under load:
+
+1. **admit** — run the request normally on the worker pool;
+2. **degrade** — answer an ``execute`` request from *stored* warm
+   statistics through the plan cache (a plan-only answer, milliseconds,
+   no database access), flagged ``"degraded": true`` so clients know the
+   contract was met with a prediction rather than a run;
+3. **shed** — 503 with a *jittered* ``Retry-After`` so a thundering herd
+   of rejected clients does not reconverge on the same instant.
+
+The decision is a function of queue depth, the request's priority, its
+estimated cost (``plan``-mode requests cost a dict lookup when the
+:class:`~repro.service.plancache.PlanCache` is warm, one optimizer build
+otherwise — never a database scan), and whether degraded answers are even
+possible (fresh warm statistics in the store).  Priorities move the
+degrade threshold: ``high`` requests are only degraded when the queue is
+completely full, ``low`` ones already at half depth.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+from dataclasses import dataclass
+from typing import Dict
+
+#: decision labels (the ``action`` of one AdmissionDecision)
+ADMIT = "admit"
+DEGRADE = "degrade"
+SHED = "shed"
+
+#: queue depth (as a fraction of the limit) at which each priority class
+#: is pushed down the degrade ladder; ``high`` only degrades when the
+#: queue is outright full
+DEGRADE_FRACTIONS: Dict[str, float] = {"high": 1.0, "normal": 0.75, "low": 0.5}
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One admission outcome: what to do and (for sheds) when to retry."""
+
+    action: str
+    retry_after: float = 0.0
+    reason: str = ""
+
+
+class AdmissionController:
+    """Decides admit/degrade/shed from load, priority, and plan cost.
+
+    Thread-safe; the jitter stream is seeded so a test (or a seeded chaos
+    run) sees a reproducible Retry-After sequence.
+    """
+
+    def __init__(
+        self,
+        queue_limit: int,
+        retry_scale: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if queue_limit <= 0:
+            raise ValueError("queue_limit must be positive")
+        self.queue_limit = queue_limit
+        #: how much each queued request adds to the Retry-After base
+        self.retry_scale = retry_scale
+        self._rng = random.Random(f"admission|{seed}")
+        self._lock = threading.Lock()
+        self.decisions: Dict[str, int] = {ADMIT: 0, DEGRADE: 0, SHED: 0}
+
+    def decide(
+        self,
+        mode: str,
+        priority: str,
+        depth: int,
+        warm_available: bool,
+        plan_cached: bool,
+    ) -> AdmissionDecision:
+        """The admission outcome for one request under the current load."""
+        with self._lock:
+            decision = self._decide(
+                mode, priority, depth, warm_available, plan_cached
+            )
+            self.decisions[decision.action] += 1
+            return decision
+
+    def _decide(
+        self,
+        mode: str,
+        priority: str,
+        depth: int,
+        warm_available: bool,
+        plan_cached: bool,
+    ) -> AdmissionDecision:
+        if depth >= self.queue_limit:
+            # The queue cannot take the request.  The only cheap answer
+            # left is a warm-statistics plan — the last rung before 503.
+            if mode == "execute" and warm_available:
+                return AdmissionDecision(DEGRADE, reason="queue_full")
+            return AdmissionDecision(
+                SHED,
+                retry_after=self._retry_after(depth),
+                reason="queue_full",
+            )
+        if mode == "plan":
+            # Plan answers never touch a database: a cached requirement is
+            # a dict lookup, a cache miss one optimizer build.  Either way
+            # the cost is bounded, so plan traffic rides out backlogs that
+            # degrade execute traffic.
+            return AdmissionDecision(
+                ADMIT, reason="cached" if plan_cached else "bounded"
+            )
+        if depth >= self.degrade_depth(priority) and warm_available:
+            return AdmissionDecision(DEGRADE, reason="backlog")
+        return AdmissionDecision(ADMIT)
+
+    def degrade_depth(self, priority: str) -> int:
+        """Queue depth at which *priority* traffic starts degrading."""
+        fraction = DEGRADE_FRACTIONS.get(priority, DEGRADE_FRACTIONS["normal"])
+        return max(1, int(math.ceil(fraction * self.queue_limit)))
+
+    def retry_after(self, depth: int) -> float:
+        """A jittered Retry-After hint scaled to the backlog (≥ 1s)."""
+        with self._lock:
+            return self._retry_after(depth)
+
+    def _retry_after(self, depth: int) -> float:
+        base = 1.0 + self.retry_scale * max(depth, 0)
+        return base * self._rng.uniform(1.0, 1.5)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Decision tallies for metrics export."""
+        with self._lock:
+            return dict(self.decisions)
+
+
+__all__ = [
+    "ADMIT",
+    "DEGRADE",
+    "SHED",
+    "AdmissionController",
+    "AdmissionDecision",
+    "DEGRADE_FRACTIONS",
+]

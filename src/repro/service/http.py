@@ -3,10 +3,12 @@
 A ``ThreadingHTTPServer`` exposing the :class:`~repro.service.service.JoinService`
 as a small JSON API:
 
-* ``POST /v1/join`` — body ``{"tau_good": .., "tau_bad": .., "mode": ..}``;
-  replies with the service's JSON response.  A full queue maps to ``503``
-  with a ``Retry-After`` header (admission control surfaces as
-  backpressure, not latency); a malformed body to ``400``; a draining
+* ``POST /v1/join`` — body ``{"tau_good": .., "tau_bad": .., "mode": ..,
+  "deadline_ms": .., "priority": ..}``; replies with the service's JSON
+  response.  A shed request maps to ``503`` with a jittered
+  ``Retry-After`` header (admission control surfaces as backpressure,
+  not latency); an expired deadline to ``504`` carrying the partial
+  progress the run made; a malformed body to ``400``; a draining
   service to ``503``.
 * ``GET /v1/healthz`` — liveness/drain status.
 * ``GET /v1/stats`` — statistics-store and plan-cache introspection.
@@ -15,21 +17,31 @@ as a small JSON API:
 Connection handling is thread-per-request (stdlib), but join work itself
 runs on the service's bounded worker pool — the HTTP thread just blocks
 on the request's future, so concurrency and admission are governed by
-the pool, not by socket accidents.
+the pool, not by socket accidents.  Each connection's socket carries a
+timeout (``request_timeout``), so a client that opens a connection and
+never finishes its request cannot pin an HTTP thread forever: a stalled
+read maps to a clean ``408`` and the connection is closed.
 
-The module also hosts the matching client (:func:`request_json`), used by
-``repro submit`` so driving a server needs no extra tooling.
+The module also hosts the matching clients: :func:`request_json` (one
+call) and :func:`submit_with_retries` (a submit loop that honours 503
+``Retry-After`` hints with decorrelated jitter), used by ``repro submit``
+so driving a server needs no extra tooling.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import socket
 import threading
+import time
 import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
+from ..robustness.deadline import DeadlineExceeded
+from ..robustness.retry import RetryPolicy
 from .service import (
     JoinRequest,
     JoinService,
@@ -40,6 +52,9 @@ from .service import (
 
 #: maximum accepted request-body size; joins need a few dozen bytes
 MAX_BODY_BYTES = 64 * 1024
+
+#: default per-connection socket timeout, seconds
+DEFAULT_REQUEST_TIMEOUT = 30.0
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -53,6 +68,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     @property
     def service(self) -> JoinService:
         return self.server.service  # type: ignore[attr-defined]
+
+    def setup(self) -> None:
+        # StreamRequestHandler applies ``self.timeout`` via settimeout in
+        # its setup; installing the server's request_timeout here bounds
+        # every socket read/write, so a silent client cannot hold an HTTP
+        # thread open forever.
+        self.timeout = getattr(self.server, "request_timeout", None)
+        super().setup()
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         return  # request logging belongs to tracing, not stderr
@@ -119,7 +142,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_error(413, "request body too large")
             return
         try:
-            payload = json.loads(self.rfile.read(length) or b"{}")
+            raw = self.rfile.read(length) or b"{}"
+        except (TimeoutError, socket.timeout):
+            # The client went quiet mid-body; free the thread cleanly.
+            self._send_error(408, "request body read timed out")
+            self.close_connection = True
+            return
+        try:
+            payload = json.loads(raw)
             request = JoinRequest.from_payload(payload)
         except ValueError as error:
             self._send_error(400, str(error))
@@ -129,9 +159,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         except ServiceBusyError as busy:
             self._send_json(
                 503,
-                {"error": "queue full", "retry_after": busy.retry_after},
+                {"error": "overloaded", "retry_after": busy.retry_after},
                 extra_headers=(
-                    ("Retry-After", str(int(busy.retry_after) + 1)),
+                    ("Retry-After", _retry_after_header(busy.retry_after)),
                 ),
             )
             return
@@ -140,10 +170,28 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return
         try:
             self._send_json(200, future.result())
+        except DeadlineExceeded as expired:
+            # The contract: a deadlined request never hangs — it returns
+            # whatever progress it made as a 504.
+            self._send_json(
+                504,
+                {
+                    "error": "deadline exceeded",
+                    "where": expired.where,
+                    "phase": expired.phase,
+                    "deadline_ms": expired.budget_ms,
+                    "partial": expired.partial,
+                },
+            )
         except ValueError as error:
             self._send_error(409, str(error))
         except Exception as error:  # noqa: BLE001 — surface, don't kill thread
             self._send_error(500, f"{type(error).__name__}: {error}")
+
+
+def _retry_after_header(retry_after: float) -> str:
+    """HTTP Retry-After is integer seconds; round up, never below 1."""
+    return str(max(1, int(math.ceil(retry_after))))
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -151,23 +199,38 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address: Tuple[str, int], service: JoinService) -> None:
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: JoinService,
+        request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
         super().__init__(address, ServiceRequestHandler)
         self.service = service
+        #: per-connection socket timeout applied in handler setup()
+        self.request_timeout = request_timeout
 
 
 def serve(
-    service: JoinService, host: str = "127.0.0.1", port: int = 8023
+    service: JoinService,
+    host: str = "127.0.0.1",
+    port: int = 8023,
+    request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
 ) -> ServiceHTTPServer:
     """Bind a server for *service* (``port=0`` picks a free port)."""
-    return ServiceHTTPServer((host, port), service)
+    return ServiceHTTPServer(
+        (host, port), service, request_timeout=request_timeout
+    )
 
 
 def serve_in_background(
-    service: JoinService, host: str = "127.0.0.1", port: int = 0
+    service: JoinService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
 ) -> Tuple[ServiceHTTPServer, threading.Thread]:
     """Start a server thread; returns (server, thread) for tests/tools."""
-    server = serve(service, host=host, port=port)
+    server = serve(service, host=host, port=port, request_timeout=request_timeout)
     thread = threading.Thread(
         target=server.serve_forever, name="join-service-http", daemon=True
     )
@@ -221,7 +284,55 @@ def request_json(
         return status, body
 
 
+def submit_with_retries(
+    base_url: str,
+    payload: Dict[str, Any],
+    max_retries: int = 0,
+    policy: Optional[RetryPolicy] = None,
+    timeout: float = 300.0,
+    sleep: Callable[[float], None] = time.sleep,
+    seed: int = 0,
+) -> Tuple[int, Any, int]:
+    """Submit a join, honouring 503 ``Retry-After`` hints.
+
+    Retries *only* sheds (503) — a 504 deadline or a 4xx is final.  Each
+    backoff is the larger of the server's ``retry_after`` hint and the
+    policy's decorrelated-jitter delay, capped at the policy's
+    ``max_delay``, so a fleet of shed clients spreads out instead of
+    stampeding back together.  Returns ``(status, body, attempts)``.
+    """
+    if policy is None:
+        policy = RetryPolicy(
+            max_attempts=max(max_retries + 1, 1),
+            base_delay=0.5,
+            max_delay=15.0,
+            seed=seed,
+        )
+    delays = policy.delays(f"submit|{base_url}")
+    attempts = 0
+    while True:
+        attempts += 1
+        status, body = request_json(
+            base_url, "join", payload, timeout=timeout
+        )
+        if status != 503 or attempts > max_retries:
+            return status, body, attempts
+        hint = 0.0
+        if isinstance(body, dict):
+            raw_hint = body.get("retry_after", 0.0)
+            if isinstance(raw_hint, (int, float)) and not isinstance(
+                raw_hint, bool
+            ):
+                hint = float(raw_hint)
+        try:
+            jittered = next(delays)
+        except StopIteration:
+            return status, body, attempts
+        sleep(min(policy.max_delay, max(jittered, hint)))
+
+
 __all__ = [
+    "DEFAULT_REQUEST_TIMEOUT",
     "MAX_BODY_BYTES",
     "ServiceHTTPServer",
     "ServiceRequestHandler",
@@ -229,4 +340,5 @@ __all__ = [
     "serve",
     "serve_in_background",
     "shutdown",
+    "submit_with_retries",
 ]

@@ -1,0 +1,416 @@
+"""Chaos/load harness for the join service (``repro loadtest``).
+
+Drives many concurrent submissions against either an in-process
+:class:`~repro.service.service.JoinService` (local mode — the default,
+used by tests and the CI chaos smoke) or a running HTTP server
+(``--url``), and reduces the outcomes into a ``BENCH_service.json``
+payload: p50/p90/p99 latency, throughput, and the shed/degrade/deadline
+rates that tell you how the degrade ladder actually behaved under the
+offered load.
+
+Chaos mode (``--chaos``) layers in every controlled failure the repo can
+inject deterministically:
+
+* **database faults** — a seeded
+  :class:`~repro.robustness.faults.FaultProfile` on every request's
+  environment (dropped connections, timeouts, rate limits);
+* **clock jumps** — the service's injected clock is wrapped in
+  :class:`ChaosClock`, which jumps forward at seeded random points, the
+  way NTP steps and VM migrations do; deadlines and store timestamps
+  must survive it;
+* **fsync tears** — after the run the store's journal is truncated
+  mid-record (:func:`~repro.service.shards.tear_journal`, simulating
+  ``kill -9`` during an append) and the store is re-opened under a
+  collecting invariant checker; the emitted payload reports recovery
+  facts and any invariant violations (the acceptance bar is zero).
+
+Everything is seeded — the request mix, the priorities, the faults, the
+clock jumps, and the tear point all derive from ``--seed``/
+``--chaos-seed``, so a failing run replays exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import http.client
+import threading
+import time
+import urllib.error
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..observability.metrics import percentile
+from ..robustness.deadline import DeadlineExceeded
+from ..robustness.faults import FaultProfile
+from ..validation.invariants import (
+    InvariantChecker,
+    active_checker,
+    install_checker,
+)
+from .http import request_json
+from .service import (
+    JoinRequest,
+    JoinService,
+    ServiceBusyError,
+    ServiceClosedError,
+)
+from .shards import ShardedStatisticsStore, tear_journal
+
+#: every request ends in exactly one of these buckets
+OUTCOMES = (
+    "ok",
+    "degraded",
+    "shed",
+    "deadline",
+    "timeout",
+    "unavailable",
+    "error",
+)
+
+#: fault profile used by --chaos when none is given explicitly
+DEFAULT_CHAOS_FAULTS = "transient=0.05,timeout=0.02,rate_limit=0.02"
+
+
+@dataclass
+class LoadTestConfig:
+    """One load-test run, fully seeded and JSON-serialisable."""
+
+    requests: int = 50
+    concurrency: int = 8
+    tau_good: int = 40
+    tau_bad: int = 1_000_000
+    #: fraction of requests sent in cheap plan mode (the rest execute)
+    plan_fraction: float = 0.5
+    deadline_ms: Optional[float] = None
+    seed: int = 0
+    chaos: bool = False
+    chaos_seed: int = 0
+    #: FaultProfile.parse spec; empty means DEFAULT_CHAOS_FAULTS when
+    #: chaos is on, no faults otherwise
+    fault_profile: str = ""
+    workers: int = 2
+    queue_limit: int = 8
+    pilot_documents: int = 60
+    #: run one execute request first so warm starts and the degrade rung
+    #: are available (matches a service that has been up for a while)
+    prewarm: bool = True
+    timeout: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.requests <= 0:
+            raise ValueError("requests must be positive")
+        if self.concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+        if not 0.0 <= self.plan_fraction <= 1.0:
+            raise ValueError("plan_fraction must lie in [0, 1]")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+class ChaosClock:
+    """An injectable clock that jumps forward at seeded random points.
+
+    Wraps a monotone base clock; each reading may add a forward step
+    (probability ``jump_rate``, size uniform in ``[0, max_jump]``), all
+    drawn from a seeded counter-mode hash so a given seed replays the
+    same jump sequence.  Never goes backwards — the store's freshness
+    logic and deadline arithmetic are entitled to monotone time.
+    """
+
+    def __init__(
+        self,
+        base: Callable[[], float] = time.time,
+        jump_rate: float = 0.05,
+        max_jump: float = 30.0,
+        seed: int = 0,
+    ) -> None:
+        self.base = base
+        self.jump_rate = jump_rate
+        self.max_jump = max_jump
+        self.seed = seed
+        self.jumps = 0
+        self._offset = 0.0
+        self._calls = 0
+        self._lock = threading.Lock()
+
+    def _draw(self, counter: int) -> float:
+        raw = zlib.crc32(f"chaos-clock|{self.seed}|{counter}".encode())
+        return (raw % 1_000_000) / 1_000_000.0
+
+    def __call__(self) -> float:
+        with self._lock:
+            self._calls += 1
+            if self._draw(self._calls) < self.jump_rate:
+                self.jumps += 1
+                self._offset += self._draw(-self._calls) * self.max_jump
+            return self.base() + self._offset
+
+
+def _draw(seed: int, index: int, what: str) -> float:
+    """Deterministic uniform [0, 1) draw for request *index*."""
+    raw = zlib.crc32(f"{what}|{seed}|{index}".encode())
+    return (raw % 1_000_000) / 1_000_000.0
+
+
+def _request_payload(config: LoadTestConfig, index: int) -> Dict[str, Any]:
+    """The i-th request of a seeded run — a pure function of (config, i)."""
+    mode = (
+        "plan"
+        if _draw(config.seed, index, "mode") < config.plan_fraction
+        else "execute"
+    )
+    priority_draw = _draw(config.seed, index, "priority")
+    if priority_draw < 0.2:
+        priority = "high"
+    elif priority_draw < 0.8:
+        priority = "normal"
+    else:
+        priority = "low"
+    payload: Dict[str, Any] = {
+        "tau_good": config.tau_good,
+        "tau_bad": config.tau_bad,
+        "mode": mode,
+        "priority": priority,
+    }
+    if config.deadline_ms is not None:
+        payload["deadline_ms"] = config.deadline_ms
+    return payload
+
+
+@dataclass
+class _Sample:
+    outcome: str
+    latency: float
+
+
+def _bench_payload(
+    mode: str,
+    config: LoadTestConfig,
+    samples: List[_Sample],
+    wall_seconds: float,
+    recovery: Optional[Dict[str, Any]],
+    store: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    outcomes = {name: 0 for name in OUTCOMES}
+    for sample in samples:
+        outcomes[sample.outcome] += 1
+    latencies = [s.latency for s in samples]
+    total = max(len(samples), 1)
+    payload: Dict[str, Any] = {
+        "schema": "bench-service/1",
+        "mode": mode,
+        "config": config.to_dict(),
+        "requests": len(samples),
+        "outcomes": outcomes,
+        "latency_seconds": {
+            "p50": round(percentile(latencies, 0.50), 6),
+            "p90": round(percentile(latencies, 0.90), 6),
+            "p99": round(percentile(latencies, 0.99), 6),
+            "mean": round(sum(latencies) / max(len(latencies), 1), 6),
+            "max": round(max(latencies, default=0.0), 6),
+        },
+        "wall_seconds": round(wall_seconds, 6),
+        "throughput_rps": round(len(samples) / max(wall_seconds, 1e-9), 3),
+        "shed_rate": round(outcomes["shed"] / total, 6),
+        "degrade_rate": round(outcomes["degraded"] / total, 6),
+        "deadline_rate": round(outcomes["deadline"] / total, 6),
+        "error_rate": round(outcomes["error"] / total, 6),
+        "recovery": recovery,
+    }
+    if store is not None:
+        payload["store"] = store
+    return payload
+
+
+# -- local mode ----------------------------------------------------------------
+
+
+def run_local_loadtest(
+    task, store_root: str, config: LoadTestConfig
+) -> Dict[str, Any]:
+    """Drive an in-process JoinService; chaos tears the store afterwards."""
+    clock: Callable[[], float] = time.time
+    profile: Optional[FaultProfile] = None
+    spec = config.fault_profile
+    if config.chaos:
+        clock = ChaosClock(seed=config.chaos_seed)
+        spec = spec or DEFAULT_CHAOS_FAULTS
+    if spec:
+        profile = FaultProfile.parse(spec, seed=config.chaos_seed)
+        if profile.disabled:
+            profile = None
+    service = JoinService(
+        task,
+        store_root,
+        workers=config.workers,
+        queue_limit=config.queue_limit,
+        pilot_documents=config.pilot_documents,
+        clock=clock,
+        fault_profile=profile,
+    )
+    samples: List[_Sample] = []
+    samples_lock = threading.Lock()
+
+    def one(index: int) -> None:
+        payload = _request_payload(config, index)
+        request = JoinRequest.from_payload(payload)
+        started = time.perf_counter()
+        try:
+            response = service.submit(request).result(timeout=config.timeout)
+            outcome = "degraded" if response.get("degraded") else "ok"
+        except ServiceBusyError:
+            outcome = "shed"
+        except DeadlineExceeded:
+            outcome = "deadline"
+        except ServiceClosedError:
+            outcome = "unavailable"
+        except (TimeoutError, FutureTimeoutError):
+            outcome = "timeout"
+        except Exception:  # noqa: BLE001 — the bench reports, not raises
+            outcome = "error"
+        with samples_lock:
+            samples.append(
+                _Sample(outcome, time.perf_counter() - started)
+            )
+
+    try:
+        if config.prewarm:
+            service.execute(
+                JoinRequest(tau_good=config.tau_good, tau_bad=config.tau_bad)
+            )
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=config.concurrency) as pool:
+            list(pool.map(one, range(config.requests)))
+        wall = time.perf_counter() - started
+    finally:
+        service.close()
+    recovery = None
+    if config.chaos:
+        recovery = _tear_and_recover(store_root, config.chaos_seed)
+    store_summary = {
+        "generation": service.store.generation,
+        "sides": len(service.store.sides),
+        "tasks": len(service.store.tasks),
+        "layout": "sharded",
+    }
+    return _bench_payload(
+        "local", config, samples, wall, recovery, store=store_summary
+    )
+
+
+def _tear_and_recover(store_root: str, seed: int) -> Dict[str, Any]:
+    """Crash the store (torn journal append), reopen, report the damage.
+
+    The reopen runs under a collecting invariant checker so every
+    recovery-time check lands in the payload instead of raising; a clean
+    run reports ``"violations": []``.
+    """
+    tear = tear_journal(store_root, seed=seed)
+    checker = InvariantChecker(enabled=True, raise_on_violation=False)
+    previous = active_checker()
+    install_checker(checker)
+    started = time.perf_counter()
+    try:
+        reopened = ShardedStatisticsStore(store_root)
+    finally:
+        install_checker(previous)
+    return {
+        "journal_tear": tear,
+        "recovery_seconds": round(time.perf_counter() - started, 6),
+        "recovered_generation": reopened.generation,
+        "recovered_sides": len(reopened.sides),
+        "recovered_tasks": len(reopened.tasks),
+        "recovery_facts": dict(reopened.recovery),
+        "violations": [v.to_dict() for v in checker.violations],
+    }
+
+
+# -- HTTP mode -----------------------------------------------------------------
+
+
+def run_http_loadtest(url: str, config: LoadTestConfig) -> Dict[str, Any]:
+    """Drive a running server; classifies by status, survives its death.
+
+    A connection-level failure (the CI chaos job ``kill -9``-ing the
+    server mid-run) is counted as ``unavailable`` rather than aborting;
+    after the run the harness polls ``/v1/healthz`` and reports how long
+    the service took to come back, if it did.
+    """
+    samples: List[_Sample] = []
+    samples_lock = threading.Lock()
+    saw_down = threading.Event()
+
+    def one(index: int) -> None:
+        payload = _request_payload(config, index)
+        started = time.perf_counter()
+        try:
+            status, body = request_json(
+                url, "join", payload, timeout=config.timeout
+            )
+            if status == 200:
+                degraded = isinstance(body, dict) and body.get("degraded")
+                outcome = "degraded" if degraded else "ok"
+            elif status == 503:
+                outcome = "shed"
+            elif status == 504:
+                outcome = "deadline"
+            elif status == 408:
+                outcome = "timeout"
+            else:
+                outcome = "error"
+        except (
+            urllib.error.URLError,
+            http.client.HTTPException,
+            TimeoutError,
+            OSError,
+        ):
+            outcome = "unavailable"
+            saw_down.set()
+        with samples_lock:
+            samples.append(
+                _Sample(outcome, time.perf_counter() - started)
+            )
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=config.concurrency) as pool:
+        list(pool.map(one, range(config.requests)))
+    wall = time.perf_counter() - started
+    recovery = None
+    if saw_down.is_set():
+        recovery = _await_recovery(url)
+    return _bench_payload("http", config, samples, wall, recovery)
+
+
+def _await_recovery(
+    url: str, poll_interval: float = 0.5, max_wait: float = 120.0
+) -> Dict[str, Any]:
+    """Poll healthz until the service answers again (or give up)."""
+    started = time.perf_counter()
+    while time.perf_counter() - started < max_wait:
+        try:
+            status, _ = request_json(url, "healthz", timeout=5.0)
+        except Exception:  # noqa: BLE001 — still down
+            status = None
+        if status == 200:
+            return {
+                "recovered": True,
+                "recovery_seconds": round(
+                    time.perf_counter() - started, 6
+                ),
+            }
+        time.sleep(poll_interval)
+    return {"recovered": False, "recovery_seconds": None}
+
+
+__all__ = [
+    "ChaosClock",
+    "DEFAULT_CHAOS_FAULTS",
+    "LoadTestConfig",
+    "OUTCOMES",
+    "run_http_loadtest",
+    "run_local_loadtest",
+]

@@ -4,9 +4,18 @@ One :class:`JoinService` wraps one bound
 :class:`~repro.experiments.testbed.JoinTask` and serves (τg, τb) join
 requests through a fixed worker pool:
 
-* **admission control** — a bounded request queue; when it is full the
-  submission fails immediately with :class:`ServiceBusyError` carrying a
-  ``retry_after`` hint instead of letting latency grow without bound;
+* **admission control** — a bounded request queue behind a
+  priority-aware :class:`~repro.service.admission.AdmissionController`:
+  under load a request is admitted, answered *degraded* from stored warm
+  statistics (a plan-only answer flagged ``"degraded": true``), or shed
+  with :class:`ServiceBusyError` carrying a jittered ``retry_after``
+  hint instead of letting latency grow without bound;
+* **end-to-end deadlines** — a request carrying ``deadline_ms`` gets a
+  :class:`~repro.robustness.deadline.Deadline` installed on its
+  resilience context; expiry raises
+  :class:`~repro.robustness.deadline.DeadlineExceeded` at the next
+  database access, carrying partial progress and a checkpoint of the
+  interrupted execution, so no worker is ever pinned past the budget;
 * **per-request isolation** — every request runs under its own
   :class:`~repro.robustness.context.ResilienceContext` (fresh breaker
   state, fresh fault accounting) and, when tracing is enabled, its own
@@ -14,7 +23,8 @@ requests through a fixed worker pool:
   is written per request and whose metrics merge into the service-level
   registry;
 * **warm starts** — before running the adaptive optimizer the service
-  consults its :class:`~repro.service.store.StatisticsStore`; a fresh
+  consults its :class:`~repro.service.shards.ShardedStatisticsStore`
+  (crash-safe, journaled, sharded by corpus fingerprint); a fresh
   record for this task yields a
   :class:`~repro.optimizer.adaptive.PilotWarmStart`, so the pilot phase
   replays stored observations instead of re-scanning the databases.
@@ -38,6 +48,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import math
 import pathlib
 import queue
 import threading
@@ -57,18 +68,21 @@ from ..optimizer.catalog import StatisticsCatalog
 from ..optimizer.enumerator import enumerate_plans
 from ..optimizer.optimizer import JoinOptimizer, OptimizationResult
 from ..robustness.checkpoint import CheckpointManager
+from ..robustness.deadline import Deadline, DeadlineExceeded
 from ..robustness.environment import harden
-from ..robustness.faults import SWALLOWED_EXCEPTIONS
+from ..robustness.faults import SWALLOWED_EXCEPTIONS, FaultProfile
+from .admission import DEGRADE, SHED, AdmissionController
 from .plancache import PlanCache, PlanCacheKey
-from .store import StatisticsStore, WarmStartPolicy, task_signature
+from .shards import ShardedStatisticsStore
+from .store import WarmStartPolicy, task_signature
 
 
 class ServiceBusyError(RuntimeError):
-    """The request queue is full; retry after ``retry_after`` seconds."""
+    """The request was shed; retry after ``retry_after`` seconds."""
 
     def __init__(self, retry_after: float) -> None:
         super().__init__(
-            f"request queue full; retry after {retry_after:.0f}s"
+            f"service overloaded; retry after {retry_after:.1f}s"
         )
         self.retry_after = retry_after
 
@@ -85,17 +99,38 @@ class JoinRequest:
     join results; ``mode="plan"`` answers from stored statistics through
     the plan cache without touching the databases (fails when the store
     holds nothing fresh for the task).
+
+    ``deadline_ms`` is an end-to-end budget: the clock starts at
+    admission and expiry interrupts the run at its next database access.
+    ``priority`` ("high"/"normal"/"low") moves the request's degrade
+    threshold under load — it never changes the answer, only how much
+    backlog the request is willing to ride out before accepting a
+    degraded (plan-only) response.
     """
 
     tau_good: int
     tau_bad: int
     mode: str = "execute"
+    deadline_ms: Optional[float] = None
+    priority: str = "normal"
 
     def __post_init__(self) -> None:
         if self.tau_good < 0 or self.tau_bad < 0:
             raise ValueError("tau_good and tau_bad must be non-negative")
         if self.mode not in ("execute", "plan"):
             raise ValueError(f"unknown request mode {self.mode!r}")
+        if self.deadline_ms is not None:
+            if (
+                isinstance(self.deadline_ms, bool)
+                or not isinstance(self.deadline_ms, (int, float))
+                or not math.isfinite(self.deadline_ms)
+                or self.deadline_ms <= 0
+            ):
+                raise ValueError(
+                    "deadline_ms must be a positive finite number"
+                )
+        if self.priority not in ("high", "normal", "low"):
+            raise ValueError(f"unknown priority {self.priority!r}")
 
     @property
     def requirement(self) -> QualityRequirement:
@@ -119,7 +154,22 @@ class JoinRequest:
         mode = payload.get("mode", "execute")
         if not isinstance(mode, str):
             raise ValueError("mode must be a string")
-        return JoinRequest(tau_good=tau_good, tau_bad=tau_bad, mode=mode)
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None and (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, (int, float))
+        ):
+            raise ValueError("deadline_ms must be a number")
+        priority = payload.get("priority", "normal")
+        if not isinstance(priority, str):
+            raise ValueError("priority must be a string")
+        return JoinRequest(
+            tau_good=tau_good,
+            tau_bad=tau_bad,
+            mode=mode,
+            deadline_ms=deadline_ms,
+            priority=priority,
+        )
 
 
 class JoinService:
@@ -139,14 +189,20 @@ class JoinService:
         trace_dir: Optional[str] = None,
         checkpoints: Optional[CheckpointManager] = None,
         clock: Callable[[], float] = time.time,
+        admission: Optional[AdmissionController] = None,
+        fault_profile: Optional[FaultProfile] = None,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
         if queue_limit <= 0:
             raise ValueError("queue_limit must be positive")
         self.task = task
-        self.store = StatisticsStore(store_root, clock=clock)
+        self.clock = clock
+        self.store = ShardedStatisticsStore(store_root, clock=clock)
         self.plan_cache = PlanCache()
+        #: fault profile injected into every request's environment — the
+        #: chaos harness's hook; None serves against the raw databases
+        self.fault_profile = fault_profile
         self.pilot_documents = pilot_documents
         self.pilot_theta = pilot_theta
         self.max_rounds = max_rounds
@@ -175,13 +231,23 @@ class JoinService:
         if self.trace_dir is not None:
             self.trace_dir.mkdir(parents=True, exist_ok=True)
         #: stale checkpoints are pruned at startup, not left to accrete
+        self.checkpoints = checkpoints
         self.pruned_checkpoints: Tuple[str, ...] = ()
         if checkpoints is not None:
             self.pruned_checkpoints = tuple(checkpoints.prune())
         #: service-level metrics; per-request registries merge in here
         self.metrics = MetricsRegistry()
+        self.admission = (
+            admission
+            if admission is not None
+            else AdmissionController(queue_limit)
+        )
         #: access paths the optimizer degraded around in past requests
         self._unavailable_paths: List[str] = []
+        #: request id -> Deadline, registered at admission, claimed by
+        #: the worker that picks the request up
+        self._deadlines: Dict[int, Deadline] = {}
+        self._deadline_lock = threading.Lock()
         self._store_lock = threading.Lock()
         self._metrics_lock = threading.Lock()
         self._ids = itertools.count(1)
@@ -189,6 +255,8 @@ class JoinService:
             queue.Queue(maxsize=queue_limit)
         )
         self._closed = threading.Event()
+        #: can a degraded (plan-only) answer be served right now?
+        self._warm_available = self._stored_catalog() is not None
         self._workers = [
             threading.Thread(
                 target=self._worker, name=f"join-service-{n}", daemon=True
@@ -226,23 +294,52 @@ class JoinService:
     def submit(self, request: JoinRequest) -> "Future[Dict[str, Any]]":
         """Enqueue a request; resolves to its JSON-ready response dict.
 
-        Raises :class:`ServiceClosedError` when draining and
-        :class:`ServiceBusyError` (with a ``retry_after`` hint scaled to
-        the backlog) when the bounded queue is full.
+        Admission runs the degrade ladder: under backlog an ``execute``
+        request may be answered synchronously from stored warm statistics
+        (``"degraded": true`` in the response) instead of queueing, and a
+        shed raises :class:`ServiceBusyError` with a jittered
+        ``retry_after`` hint scaled to the backlog.  Raises
+        :class:`ServiceClosedError` when draining.
         """
         if self._closed.is_set():
             raise ServiceClosedError("service is closed")
         future: "Future[Dict[str, Any]]" = Future()
-        item = (next(self._ids), request, future)
+        request_id = next(self._ids)
+        decision = self.admission.decide(
+            mode=request.mode,
+            priority=request.priority,
+            depth=self._queue.qsize(),
+            warm_available=self._warm_available,
+            plan_cached=len(self.plan_cache) > 0,
+        )
+        with self._metrics_lock:
+            self.metrics.counter(
+                "repro_service_admission_total", decision=decision.action
+            ).inc()
+        if decision.action == SHED:
+            with self._metrics_lock:
+                self.metrics.counter(
+                    "repro_service_rejected_total", reason=decision.reason
+                ).inc()
+            raise ServiceBusyError(retry_after=decision.retry_after)
+        if decision.action == DEGRADE:
+            future.set_result(
+                self._degraded_response(request, decision.reason)
+            )
+            return future
+        self._register_deadline(request_id, request)
         try:
-            self._queue.put_nowait(item)
+            self._queue.put_nowait((request_id, request, future))
         except queue.Full:
+            # Lost the race against other submitters since the depth
+            # check; fall back to a shed.
+            self._claim_deadline(request_id)
             with self._metrics_lock:
                 self.metrics.counter(
                     "repro_service_rejected_total", reason="queue_full"
                 ).inc()
             raise ServiceBusyError(
-                retry_after=1.0 + self._queue.qsize()
+                retry_after=self.admission.retry_after(self._queue.qsize())
             ) from None
         return future
 
@@ -250,9 +347,29 @@ class JoinService:
         """Process a request synchronously on the calling thread.
 
         The exact code path the workers run — the serial baseline that
-        concurrent submissions must match byte-for-byte.
+        concurrent submissions must match byte-for-byte.  Bypasses
+        admission control (no queue is involved) but honours the
+        request's deadline.
         """
-        return self._handle(next(self._ids), request)
+        request_id = next(self._ids)
+        self._register_deadline(request_id, request)
+        return self._handle(request_id, request)
+
+    def _register_deadline(
+        self, request_id: int, request: JoinRequest
+    ) -> None:
+        """Start the request's end-to-end clock at admission time."""
+        if request.deadline_ms is None:
+            return
+        deadline = Deadline.after(
+            request.deadline_ms / 1000.0, clock=self.clock
+        )
+        with self._deadline_lock:
+            self._deadlines[request_id] = deadline
+
+    def _claim_deadline(self, request_id: int) -> Optional[Deadline]:
+        with self._deadline_lock:
+            return self._deadlines.pop(request_id, None)
 
     # -- worker loop ----------------------------------------------------------
 
@@ -272,14 +389,25 @@ class JoinService:
     # -- request handling -----------------------------------------------------
 
     def _handle(self, request_id: int, request: JoinRequest) -> Dict[str, Any]:
+        deadline = self._claim_deadline(request_id)
         status = "error"
+        started = self.clock()
         try:
+            if deadline is not None:
+                # A request that expired while queued never starts work.
+                deadline.check("service.queue")
             if request.mode == "plan":
                 response = self._handle_plan(request)
             else:
-                response = self._handle_execute(request_id, request)
+                response = self._handle_execute(request_id, request, deadline)
             status = "ok"
             return response
+        except DeadlineExceeded as expired:
+            status = "deadline"
+            if expired.phase is None:
+                expired.attach("queued")
+            self._on_deadline_exceeded(request_id, expired)
+            raise
         finally:
             with self._metrics_lock:
                 self.metrics.counter(
@@ -287,9 +415,40 @@ class JoinService:
                     mode=request.mode,
                     status=status,
                 ).inc()
+                self.metrics.histogram(
+                    "repro_service_request_seconds", mode=request.mode
+                ).observe(max(self.clock() - started, 0.0))
+
+    def _on_deadline_exceeded(
+        self, request_id: int, expired: DeadlineExceeded
+    ) -> None:
+        """Account an expiry and persist its checkpoint for a resume.
+
+        The raw execution snapshot captured at expiry is moved out of the
+        partial payload (it is large and not JSON-response material) and,
+        when a checkpoint manager is configured, written to disk; the
+        response then carries only its path.
+        """
+        with self._metrics_lock:
+            self.metrics.counter(
+                "repro_service_deadline_total",
+                phase=expired.phase or "unknown",
+            ).inc()
+        snapshot = expired.partial.pop("checkpoint", None)
+        if snapshot is None or self.checkpoints is None:
+            return
+        try:
+            expired.partial["checkpoint_path"] = self.checkpoints.save_snapshot(
+                snapshot, f"request-{request_id}"
+            )
+        except OSError:
+            pass  # losing the checkpoint must not mask the 504
 
     def _handle_execute(
-        self, request_id: int, request: JoinRequest
+        self,
+        request_id: int,
+        request: JoinRequest,
+        deadline: Optional[Deadline] = None,
     ) -> Dict[str, Any]:
         observability = (
             ObservabilityContext() if self.trace_dir is not None else None
@@ -304,7 +463,12 @@ class JoinService:
         environment.observability = observability
         # A fresh per-request resilience context: breaker state and fault
         # accounting never leak between requests.
-        environment = harden(environment)
+        environment = harden(environment, profile=self.fault_profile)
+        if deadline is not None and environment.resilience is not None:
+            # Every database access flows through the resilience context,
+            # so installing the deadline there bounds overrun to at most
+            # one access beyond the budget.
+            environment.resilience.deadline = deadline
         driver = AdaptiveJoinExecutor(
             environment=environment,
             characterization1=self.task.characterization1,
@@ -380,6 +544,8 @@ class JoinService:
                 result,
                 drift_snapshots=drift,
             )
+            # Fresh statistics may have just unlocked the degrade rung.
+            self._warm_available = self._stored_catalog() is not None
 
     def _response(
         self, request: JoinRequest, result: AdaptiveResult
@@ -478,6 +644,35 @@ class JoinService:
             )
         return response
 
+    def _degraded_response(
+        self, request: JoinRequest, reason: str
+    ) -> Dict[str, Any]:
+        """A degraded answer: the plan path, flagged so the client knows.
+
+        Runs synchronously on the submitter's thread — the entire point
+        is to answer without consuming a worker or a queue slot.  If the
+        warm statistics vanished between the admission decision and now,
+        the request is shed instead.
+        """
+        try:
+            response = self._handle_plan(request)
+        except ValueError as error:
+            with self._metrics_lock:
+                self.metrics.counter(
+                    "repro_service_rejected_total", reason="warm_lost"
+                ).inc()
+            raise ServiceBusyError(
+                retry_after=self.admission.retry_after(self._queue.qsize())
+            ) from error
+        response["mode"] = request.mode
+        response["degraded"] = True
+        response["degrade_reason"] = reason
+        with self._metrics_lock:
+            self.metrics.counter(
+                "repro_service_degraded_total", reason=reason
+            ).inc()
+        return response
+
     def _stored_catalog(self) -> Optional[StatisticsCatalog]:
         """A statistics catalog built purely from the store, or None.
 
@@ -553,6 +748,8 @@ class JoinService:
             "plan_cache": self.plan_cache.stats(),
             "store": store,
             "pruned_checkpoints": list(self.pruned_checkpoints),
+            "admission": self.admission.snapshot(),
+            "warm_available": self._warm_available,
         }
 
     def health(self) -> Dict[str, Any]:
@@ -581,6 +778,10 @@ class JoinService:
                 self.metrics.gauge("repro_service_store_generation").set(
                     self.store.generation
                 )
+            for action, count in sorted(self.admission.snapshot().items()):
+                self.metrics.gauge(
+                    "repro_service_admission_decisions", action=action
+                ).set(count)
             for reason, count in sorted(SWALLOWED_EXCEPTIONS.items()):
                 self.metrics.gauge(
                     "repro_swallowed_exceptions", reason=reason

@@ -118,6 +118,21 @@ class InvariantChecker:
             f"{name} must be non-negative, got {value!r}",
         )
 
+    def check_monotone(
+        self,
+        where: str,
+        name: str,
+        previous: float,
+        current: float,
+        slack: float = 0.0,
+    ) -> None:
+        """*current* must not regress below *previous* (e.g. generations)."""
+        self.check(
+            current >= previous - slack,
+            where,
+            f"{name} regressed: {previous!r} -> {current!r}",
+        )
+
     # -- model kernels --------------------------------------------------------
 
     def check_composition(

@@ -205,3 +205,60 @@ class TestCheckpointManager:
             CheckpointManager(str(tmp_path), max_count=-1)
         with pytest.raises(ValueError):
             CheckpointManager(str(tmp_path), max_age=-1.0)
+        with pytest.raises(ValueError):
+            CheckpointManager(str(tmp_path), grace=-1.0)
+
+    def test_save_snapshot_round_trips_without_an_executor(
+        self, inputs, tmp_path
+    ):
+        baseline = _idjn(inputs).run()
+        manager = CheckpointManager(str(tmp_path))
+        snapshot = checkpoint_execution(self._partial(inputs))
+        path = manager.save_snapshot(snapshot, "detached")
+        assert path == manager.path_of("detached")
+
+        fresh = _idjn(inputs)
+        manager.load(fresh, "detached")
+        _assert_same_outcome(fresh.run(), baseline)
+
+    def test_grace_window_protects_fresh_checkpoints_from_count_prune(
+        self, inputs, tmp_path
+    ):
+        """Regression: a startup prune racing a concurrent writer must not
+        collect the checkpoint the writer just replaced.  Entries younger
+        than the grace window survive even past max_count; the bound is
+        enforced once they age out."""
+        manager = CheckpointManager(
+            str(tmp_path), max_count=1, grace=3600.0
+        )
+        executor = self._partial(inputs)
+        for name in ("a", "b", "c"):
+            manager.save(executor, name)
+        # All three are seconds old — well inside the grace window.
+        assert manager.prune(now=time.time()) == []
+        assert len(manager.list()) == 3
+        # Once the window has passed, max_count applies again.
+        removed = manager.prune(now=time.time() + 7200.0)
+        assert len(removed) == 2
+        assert [info.name for info in manager.list()] == ["c"]
+
+    def test_grace_window_protects_fresh_checkpoints_from_age_prune(
+        self, inputs, tmp_path
+    ):
+        manager = CheckpointManager(
+            str(tmp_path), max_age=60.0, grace=3600.0
+        )
+        path = manager.save(self._partial(inputs), "young")
+        # Past max_age but still inside grace: protected.
+        assert manager.prune(now=time.time() + 120.0) == []
+        # Past both: collected.
+        assert manager.prune(now=time.time() + 7200.0) == [path]
+
+    def test_default_grace_is_zero_and_prunes_immediately(
+        self, inputs, tmp_path
+    ):
+        manager = CheckpointManager(str(tmp_path), max_count=1)
+        executor = self._partial(inputs)
+        manager.save(executor, "a")
+        manager.save(executor, "b")  # save() prunes as it goes
+        assert [info.name for info in manager.list()] == ["b"]

@@ -1,0 +1,125 @@
+"""End-to-end deadline unit tests.
+
+The contract under test: a :class:`~repro.robustness.deadline.Deadline`
+installed on a :class:`~repro.robustness.context.ResilienceContext` is
+checked on *every* database access, so an expired request overruns its
+budget by at most one access; the raised
+:class:`~repro.robustness.deadline.DeadlineExceeded` accumulates partial
+progress on its way out, with the innermost frame naming the phase.
+"""
+
+import pytest
+
+from repro.robustness import Deadline, DeadlineExceeded, ResilienceContext
+from repro.service import JoinRequest
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestDeadline:
+    def test_remaining_and_expiry(self):
+        clock = FakeClock()
+        deadline = Deadline.after(5.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(5.0)
+        assert not deadline.expired
+        deadline.check("db1/search")  # no raise while time remains
+        clock.now = 4.999
+        assert not deadline.expired
+        clock.now = 5.0
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+
+    def test_check_raises_with_location_and_budget(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        clock.now = 3.0
+        with pytest.raises(DeadlineExceeded) as caught:
+            deadline.check("db2/fetch")
+        assert caught.value.where == "db2/fetch"
+        assert caught.value.budget_ms == pytest.approx(2000.0)
+        assert caught.value.phase is None
+        assert caught.value.partial == {}
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline.after(0.0)
+        with pytest.raises(ValueError):
+            Deadline.after(-1.0)
+
+    def test_attach_innermost_frame_wins(self):
+        error = DeadlineExceeded(where="x", budget_ms=100.0)
+        error.attach("pilot", good=3, results=7)
+        # An outer frame re-attaching must not overwrite the phase the
+        # innermost (most specific) frame recorded, but may add facts.
+        error.attach("optimize", plan="SCAN-SCAN")
+        assert error.phase == "pilot"
+        assert error.partial["good"] == 3
+        assert error.partial["plan"] == "SCAN-SCAN"
+
+    def test_attach_drops_none_values(self):
+        error = DeadlineExceeded(where="x", budget_ms=1.0)
+        error.attach("execute", plan=None, good=1)
+        assert "plan" not in error.partial
+        assert error.partial == {"good": 1}
+
+
+class TestResilienceContextDeadline:
+    def test_expired_deadline_stops_the_next_access(self):
+        clock = FakeClock()
+        context = ResilienceContext()
+        context.deadline = Deadline.after(10.0, clock=clock)
+        calls = []
+        assert context.call("db1/search", lambda: calls.append(1) or 42) == 42
+        clock.now = 11.0
+        with pytest.raises(DeadlineExceeded) as caught:
+            context.call("db1/search", lambda: calls.append(2) or 42)
+        # The access itself never ran — the deadline gates *before* work.
+        assert calls == [1]
+        assert caught.value.where == "db1/search"
+
+    def test_no_deadline_means_no_gating(self):
+        context = ResilienceContext()
+        assert context.deadline is None
+        assert context.call("db1/fetch", lambda: "ok") == "ok"
+
+
+class TestJoinRequestDeadlineFields:
+    def test_payload_round_trip(self):
+        request = JoinRequest.from_payload(
+            {
+                "tau_good": 3,
+                "tau_bad": 7,
+                "deadline_ms": 1500,
+                "priority": "high",
+            }
+        )
+        assert request.deadline_ms == 1500
+        assert request.priority == "high"
+
+    def test_defaults(self):
+        request = JoinRequest.from_payload({"tau_good": 1, "tau_bad": 1})
+        assert request.deadline_ms is None
+        assert request.priority == "normal"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"tau_good": 1, "tau_bad": 1, "deadline_ms": "soon"},
+            {"tau_good": 1, "tau_bad": 1, "deadline_ms": True},
+            {"tau_good": 1, "tau_bad": 1, "deadline_ms": 0},
+            {"tau_good": 1, "tau_bad": 1, "deadline_ms": -5},
+            {"tau_good": 1, "tau_bad": 1, "deadline_ms": float("inf")},
+            {"tau_good": 1, "tau_bad": 1, "deadline_ms": float("nan")},
+            {"tau_good": 1, "tau_bad": 1, "priority": "urgent"},
+            {"tau_good": 1, "tau_bad": 1, "priority": 3},
+        ],
+    )
+    def test_rejects_malformed(self, payload):
+        with pytest.raises(ValueError):
+            JoinRequest.from_payload(payload)

@@ -583,3 +583,264 @@ class TestModuleEntryPoint:
         assert result.returncode == 0
         assert "serve" in result.stdout
         assert "submit" in result.stdout
+
+
+class _TickingClock:
+    """A deterministic clock that advances a fixed step on every read."""
+
+    def __init__(self, start: float = 1_000.0, step: float = 0.01) -> None:
+        self.now = start
+        self.step = step
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            self.now += self.step
+            return self.now
+
+
+class TestAdmissionLadder:
+    """The degrade ladder: admit -> degraded plan answer -> shed."""
+
+    @pytest.fixture()
+    def congested(self, warmed_service, hq_ex_task):
+        """A 1-worker service over warm statistics whose handler stalls
+        until released, so queue depth is fully under test control."""
+        warmed, _ = warmed_service
+        release = threading.Event()
+        service = JoinService(
+            hq_ex_task,
+            str(warmed.store.root),
+            workers=1,
+            queue_limit=4,
+            pilot_documents=PILOT,
+        )
+
+        def stalled(request_id, request):
+            release.wait(timeout=30.0)
+            return {"stalled": True}
+
+        service._handle = stalled
+        yield service, release
+        release.set()
+        service.close()
+
+    def _fill(self, service, depth):
+        """Occupy the worker and queue until qsize() == depth."""
+        futures = [
+            service.submit(
+                JoinRequest(
+                    tau_good=TAU_GOOD, tau_bad=TAU_BAD, priority="high"
+                )
+            )
+            for _ in range(depth + 1)
+        ]
+        deadline = time.time() + 10.0
+        while service._queue.qsize() != depth:
+            assert time.time() < deadline, "queue never reached target depth"
+            time.sleep(0.01)
+        return futures
+
+    def test_backlog_degrades_normal_priority_to_a_plan_answer(
+        self, congested, warmed_service
+    ):
+        _, cold = warmed_service
+        service, release = congested
+        self._fill(service, 3)  # normal degrade threshold: ceil(0.75*4)
+        future = service.submit(
+            JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD)
+        )
+        assert future.done(), "degraded answers resolve synchronously"
+        response = future.result()
+        assert response["degraded"] is True
+        assert response["degrade_reason"] == "backlog"
+        assert response["mode"] == "execute"
+        assert response["plan"] == cold["plan"]
+        release.set()
+
+    def test_high_priority_rides_out_backlog_until_the_queue_fills(
+        self, congested
+    ):
+        service, release = congested
+        self._fill(service, 3)
+        # depth 3 < high threshold 4: a high-priority execute still queues.
+        future = service.submit(
+            JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD, priority="high")
+        )
+        assert not future.done()
+        # Now the queue is full: even high priority degrades.
+        degraded = service.submit(
+            JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD, priority="high")
+        )
+        assert degraded.done()
+        assert degraded.result()["degrade_reason"] == "queue_full"
+        release.set()
+
+    def test_plan_requests_shed_only_at_a_full_queue(self, congested):
+        service, release = congested
+        self._fill(service, 3)
+        queued = service.submit(
+            JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD, mode="plan")
+        )
+        assert not queued.done(), "plan work is bounded; admit below full"
+        with pytest.raises(ServiceBusyError) as caught:
+            service.submit(
+                JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD, mode="plan")
+            )
+        assert caught.value.retry_after >= 1.0
+        release.set()
+
+    def test_stats_surface_the_ladder(self, congested):
+        service, release = congested
+        self._fill(service, 3)
+        service.submit(JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD))
+        stats = service.stats()
+        assert stats["warm_available"] is True
+        assert stats["admission"]["admit"] >= 4
+        assert stats["admission"]["degrade"] >= 1
+        assert "repro_service_admission_decisions" in service.render_metrics()
+        release.set()
+
+
+class TestServiceDeadlines:
+    def test_deadline_expiring_mid_pilot_checkpoints_and_raises(
+        self, hq_ex_task, tmp_path
+    ):
+        from repro.robustness import CheckpointManager, DeadlineExceeded
+
+        manager = CheckpointManager(str(tmp_path / "ckpt"))
+        service = JoinService(
+            hq_ex_task,
+            str(tmp_path / "store"),
+            workers=1,
+            pilot_documents=PILOT,
+            clock=_TickingClock(step=0.01),
+            checkpoints=manager,
+        )
+        try:
+            with pytest.raises(DeadlineExceeded) as caught:
+                service.execute(
+                    JoinRequest(
+                        tau_good=TAU_GOOD, tau_bad=TAU_BAD, deadline_ms=200.0
+                    )
+                )
+            expired = caught.value
+            assert expired.phase == "pilot"
+            assert expired.budget_ms == pytest.approx(200.0)
+            # The in-flight state was described and its checkpoint moved
+            # out of the payload onto disk.
+            assert "documents_processed" in expired.partial
+            assert "checkpoint" not in expired.partial
+            path = expired.partial["checkpoint_path"]
+            assert pathlib.Path(path).exists()
+            assert "repro_service_deadline_total" in service.render_metrics()
+        finally:
+            service.close()
+
+    def test_request_expired_while_queued_never_starts_work(
+        self, hq_ex_task, tmp_path
+    ):
+        from repro.robustness import DeadlineExceeded
+
+        service = JoinService(
+            hq_ex_task,
+            str(tmp_path / "store"),
+            workers=1,
+            pilot_documents=PILOT,
+            clock=_TickingClock(step=1.0),
+        )
+        try:
+            with pytest.raises(DeadlineExceeded) as caught:
+                service.execute(
+                    JoinRequest(
+                        tau_good=TAU_GOOD, tau_bad=TAU_BAD, deadline_ms=500.0
+                    )
+                )
+            assert caught.value.phase == "queued"
+            assert caught.value.where == "service.queue"
+        finally:
+            service.close()
+
+    def test_http_maps_deadline_to_504_with_partial_payload(
+        self, hq_ex_task, tmp_path
+    ):
+        service = JoinService(
+            hq_ex_task,
+            str(tmp_path / "store"),
+            workers=1,
+            pilot_documents=PILOT,
+            clock=_TickingClock(step=1.0),
+        )
+        server, thread = serve_in_background(service)
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            status, body = request_json(
+                base,
+                "join",
+                {
+                    "tau_good": TAU_GOOD,
+                    "tau_bad": TAU_BAD,
+                    "deadline_ms": 500.0,
+                },
+            )
+            assert status == 504
+            assert body["error"] == "deadline exceeded"
+            assert body["phase"] == "queued"
+            assert body["deadline_ms"] == pytest.approx(500.0)
+            assert isinstance(body["partial"], dict)
+        finally:
+            shutdown(server)
+            thread.join(timeout=10)
+
+
+class TestSubmitWithRetries:
+    def test_retries_honour_the_server_hint(self, monkeypatch):
+        from repro.service import http as http_module
+
+        replies = [
+            (503, {"error": "overloaded", "retry_after": 2.0}),
+            (503, {"error": "overloaded", "retry_after": 4.0}),
+            (200, {"ok": True}),
+        ]
+        calls = []
+
+        def fake_request_json(base_url, endpoint, payload=None, timeout=300.0):
+            calls.append(endpoint)
+            return replies[len(calls) - 1]
+
+        sleeps = []
+        monkeypatch.setattr(http_module, "request_json", fake_request_json)
+        status, body, attempts = http_module.submit_with_retries(
+            "http://test", {"tau_good": 1}, max_retries=3, sleep=sleeps.append
+        )
+        assert (status, body, attempts) == (200, {"ok": True}, 3)
+        assert len(sleeps) == 2
+        # Each backoff at least matches the server's Retry-After hint.
+        assert sleeps[0] >= 2.0 and sleeps[1] >= 4.0
+
+    def test_no_retries_returns_the_first_shed(self, monkeypatch):
+        from repro.service import http as http_module
+
+        monkeypatch.setattr(
+            http_module,
+            "request_json",
+            lambda *a, **k: (503, {"error": "overloaded", "retry_after": 1.0}),
+        )
+        sleeps = []
+        status, body, attempts = http_module.submit_with_retries(
+            "http://test", {"tau_good": 1}, sleep=sleeps.append
+        )
+        assert status == 503 and attempts == 1 and sleeps == []
+
+    def test_gives_up_after_the_retry_budget(self, monkeypatch):
+        from repro.service import http as http_module
+
+        monkeypatch.setattr(
+            http_module,
+            "request_json",
+            lambda *a, **k: (503, {"error": "overloaded"}),
+        )
+        status, _, attempts = http_module.submit_with_retries(
+            "http://test", {"tau_good": 1}, max_retries=2, sleep=lambda _: None
+        )
+        assert status == 503 and attempts == 3
