@@ -87,6 +87,18 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_prune_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-prune",
+        action="store_true",
+        help=(
+            "disable bound-based plan pruning and evaluate every "
+            "candidate in full (the chosen plan is identical either "
+            "way; this is the differential-validation escape hatch)"
+        ),
+    )
+
+
 def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fault-profile",
@@ -281,13 +293,19 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         feasibility_margin=args.margin,
         observability=observability,
     )
-    result = optimizer.optimize(plans, requirement, workers=args.workers)
+    result = optimizer.optimize(
+        plans, requirement, workers=args.workers, prune=not args.no_prune
+    )
     if result.chosen is None:
         print("No plan is predicted to meet the requirement.")
         _write_observability(observability, args)
         return 1
     chosen = result.chosen
-    print(f"Candidates: {len(plans)}; feasible: {len(result.feasible)}")
+    pruned = sum(1 for e in result.evaluations if e.pruned)
+    counts = f"Candidates: {len(plans)}; feasible: {len(result.feasible)}"
+    if pruned:
+        counts += f"; pruned without full evaluation: {pruned}"
+    print(counts)
     print(f"Chosen: {chosen.plan.describe()}")
     print(
         f"Predicted: {chosen.prediction.n_good:.0f} good / "
@@ -366,6 +384,7 @@ def _cmd_frontier(args: argparse.Namespace) -> int:
         costs=task.costs,
         workers=args.workers,
         observability=observability,
+        prune=not args.no_prune,
     )
     print(
         format_frontier(
@@ -665,6 +684,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--execute", action="store_true", help="also run the chosen plan"
     )
     _add_workers_argument(optimize)
+    _add_prune_argument(optimize)
     _add_resilience_arguments(optimize)
     _add_observability_arguments(optimize)
     _add_testbed_arguments(optimize)
@@ -685,6 +705,7 @@ def build_parser() -> argparse.ArgumentParser:
         "frontier", help="Pareto frontier of achievable (time, quality) points"
     )
     _add_workers_argument(frontier)
+    _add_prune_argument(frontier)
     _add_observability_arguments(frontier)
     _add_testbed_arguments(frontier)
     _add_logging_arguments(frontier)

@@ -80,6 +80,7 @@ def quality_frontier(
     ),
     workers: Optional[int] = None,
     observability: Optional[ObservabilityContext] = None,
+    prune: bool = True,
 ) -> List[FrontierPoint]:
     """Pareto frontier over (time ↓, good ↑) across plans × efforts.
 
@@ -87,10 +88,26 @@ def quality_frontier(
     counts are strictly increasing along the list.  With ``workers > 1``
     the per-plan sweeps run in forked processes; the result is identical
     to the serial sweep.
+
+    With ``prune`` on (default), plans whose guaranteed good-tuple
+    ceiling is zero are skipped before any model is built: the frontier
+    only keeps points with ``n_good > 0``, so such plans cannot
+    contribute and the result is identical to the unpruned sweep.
     """
     obs = ensure_observability(observability)
     optimizer = JoinOptimizer(catalog, costs=costs, observability=observability)
     plans = list(plans)
+    if prune:
+        before = optimizer.pruning.as_dict()
+        survivors = []
+        for plan in plans:
+            bounds = optimizer.plan_bounds(plan)
+            if bounds is not None and bounds.good_upper <= 0.0:
+                optimizer.pruning.infeasible_bound += 1
+                continue
+            survivors.append(plan)
+        optimizer._publish_pruning(before)
+        plans = survivors
     per_plan: Optional[List[List[FrontierPoint]]] = None
     global _FORK_STATE
     _FORK_STATE = (optimizer, plans, tuple(effort_fractions))

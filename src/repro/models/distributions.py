@@ -277,6 +277,47 @@ def probability_none_extracted_many(
     return NoneExtractedBatch(occurrences).evaluate(population, draws, rate)
 
 
+def none_extracted_lower_bound(
+    population: int, draws: int, occurrences: ArrayLike, rate: float
+) -> ArrayLike:
+    """Guaranteed lower bound on :func:`probability_none_extracted`.
+
+    ``E[(1-rate)^K] >= (1-rate)^{E[K]}`` by Jensen's inequality (the map
+    ``k -> (1-rate)^k`` is convex), with ``E[K] = occurrences·draws/population``
+    the hypergeometric mean.  Closed form — no pmf evaluation — so bound
+    oracles can call it per value without paying for the exact tail sum.
+    A property test asserts dominance against the exact kernel.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be within [0, 1]")
+    occ = np.asarray(occurrences, dtype=float)
+    if population <= 0:
+        return np.ones_like(occ)
+    draws = min(draws, population)
+    return (1.0 - rate) ** (occ * (draws / float(population)))
+
+
+def issue_probability_ceiling(
+    good_occurrences: ArrayLike,
+    bad_occurrences: ArrayLike,
+    tp: float,
+    fp: float,
+) -> ArrayLike:
+    """Upper bound, over *all* effort levels, on Pr{value extracted at all}.
+
+    ``Pr{extracted}(draws) = 1 - E[(1-rate)^K]`` is non-decreasing in the
+    number of documents retrieved (K is stochastically increasing in
+    ``draws``), so the ceiling is the full-retrieval point, where the
+    hypergeometric tail degenerates to a point mass at the occurrence
+    count: ``1 - (1-tp)^g · (1-fp)^b``.  This is the quantity the bound
+    oracle uses to cap ZGJN's reachable-document occupancy and the value
+    the zig-zag model itself calls ``p_queryable``.
+    """
+    g = np.asarray(good_occurrences, dtype=float)
+    b = np.asarray(bad_occurrences, dtype=float)
+    return 1.0 - (1.0 - tp) ** g * (1.0 - fp) ** b
+
+
 def expected_distinct_sampled(
     population: int, draws: int, frequencies: np.ndarray
 ) -> float:

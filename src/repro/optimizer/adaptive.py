@@ -561,6 +561,7 @@ class AdaptiveJoinExecutor:
                 catalog,
                 costs=self.environment.costs,
                 feasibility_margin=self.feasibility_margin,
+                prune=True,
             )
             result = optimizer.optimize(self.plans, requirement)
             if result.chosen is None or result.chosen.plan != chosen_plan:
@@ -653,6 +654,7 @@ class AdaptiveJoinExecutor:
                 costs=self.environment.costs,
                 feasibility_margin=self.feasibility_margin,
                 observability=self.environment.observability,
+                prune=True,
             )
             optimization = optimizer.optimize(self.plans, requirement)
             self._record_drift(
@@ -812,6 +814,7 @@ class AdaptiveJoinExecutor:
             costs=self.environment.costs,
             feasibility_margin=self.feasibility_margin,
             observability=self.environment.observability,
+            prune=True,
         )
         with self.observability.span(
             SpanKind.REOPTIMIZE, "reoptimize", plans=len(plans)

@@ -34,6 +34,7 @@ from ..models.predictions import QualityPrediction
 from ..models.zgjn_model import ZGJNModel
 from ..observability.context import ObservabilityContext, ensure_observability
 from ..observability.tracer import SpanKind
+from .bounds import PlanBounds, plan_bounds
 from .catalog import StatisticsCatalog
 from .engine import PlanEvaluationEngine, fork_map
 
@@ -47,12 +48,121 @@ class PlanEvaluation:
     prediction: Optional[QualityPrediction]
     #: the chosen operating point, as a fraction of the plan's effort axis
     effort_fraction: float = 0.0
+    #: True when the pruning layer discarded the plan mid-descent — either
+    #: provably unable to meet τb or provably slower than a feasible
+    #: competitor — without computing its full prediction.  Pruned
+    #: evaluations are never feasible and never chosen; on the unpruned
+    #: reference the same plan is either infeasible or strictly slower
+    #: than the chosen one (asserted by the equivalence tests).
+    pruned: bool = False
 
     @property
     def predicted_time(self) -> float:
         if self.prediction is None:
             return float("inf")
         return self.prediction.total_time
+
+
+class PruningTallies:
+    """Plain-int pruning/reuse tallies (zero observability coupling).
+
+    Scraped into ``repro_plans_pruned_total`` / ``repro_curve_cache_hits_total``
+    counters after each pruned optimization when observability is on.
+    """
+
+    __slots__ = (
+        "infeasible_bound",
+        "infeasible_tau_bad",
+        "dominated",
+        "descent_probes",
+        "curve_import_hits",
+        "monotonicity_fallbacks",
+    )
+
+    def __init__(self) -> None:
+        self.infeasible_bound = 0
+        self.infeasible_tau_bad = 0
+        self.dominated = 0
+        self.descent_probes = 0
+        self.curve_import_hits = 0
+        self.monotonicity_fallbacks = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @property
+    def plans_pruned(self) -> int:
+        return self.infeasible_bound + self.infeasible_tau_bad + self.dominated
+
+
+class _PlanRuntime:
+    """Requirement-independent descent context for one plan.
+
+    Built once per plan and shared by every requirement in a sweep, so
+    the per-requirement hot loop never re-hashes the plan dataclass:
+    bounds, predictor, bisection budget, and the float-keyed probe-triple
+    cache all live here behind an ``id()`` lookup.
+    """
+
+    __slots__ = (
+        "plan",
+        "bounds",
+        "predictor",
+        "max_effort",
+        "steps",
+        "memo",
+        "triples",
+        "imported",
+        "error",
+        "non_monotone",
+    )
+
+    def __init__(self, plan: JoinPlanSpec, bounds) -> None:
+        self.plan = plan
+        self.bounds = bounds
+        self.predictor: Optional[Callable[[float], QualityPrediction]] = None
+        self.max_effort = 0.0
+        self.steps = 0
+        self.memo: Dict[float, QualityPrediction] = {}
+        #: effort -> (n_good, n_bad, time); every probe this optimizer has
+        #: answered, whatever the source — the descent's fast path
+        self.triples: Dict[float, Tuple[float, float, float]] = {}
+        #: persisted triples not yet promoted into :attr:`triples`
+        self.imported: Dict[float, Tuple[float, float, float]] = {}
+        self.error = False
+        #: mirror of the optimizer's non-monotone registry so the hot
+        #: loop reads a slot instead of hashing the plan into a set
+        self.non_monotone = False
+
+
+class _DescentState:
+    """One plan's bisection bracket during a pruned optimization."""
+
+    __slots__ = (
+        "index",
+        "runtime",
+        "steps_left",
+        "lo",
+        "hi",
+        "lo_vals",
+        "hi_vals",
+        "guard_failed",
+    )
+
+    def __init__(
+        self, index: int, runtime: _PlanRuntime, guard_failed: bool
+    ) -> None:
+        self.index = index
+        self.runtime = runtime
+        self.steps_left = runtime.steps
+        self.lo = 0.0
+        self.hi = 1.0
+        #: (n_good, n_bad, time) at the probed bracket ends; ``lo_vals`` is
+        #: None until the descent first probes a failing midpoint (the
+        #: legacy bisection never probes effort 0)
+        self.lo_vals: Optional[Tuple[float, float, float]] = None
+        self.hi_vals: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+        self.guard_failed = guard_failed
 
 
 @dataclass(frozen=True)
@@ -90,6 +200,7 @@ class JoinOptimizer:
         vectorized: bool = True,
         use_engine: bool = True,
         observability: Optional[ObservabilityContext] = None,
+        prune: bool = False,
     ) -> None:
         self.catalog = catalog
         self.costs = costs or CostModel()
@@ -128,6 +239,34 @@ class JoinOptimizer:
         # scrape their passive cache tallies (OIJN issue-probability LRU).
         self._models: Dict[JoinPlanSpec, object] = {}
         self._engine = PlanEvaluationEngine(self)
+        #: bound-based pruning (DESIGN §6.7): discard plans whose quality
+        #: ceilings prove them infeasible before building their models,
+        #: and run requirement evaluation as a joint bisection descent
+        #: that drops provably-dominated or provably-τb-infeasible plans
+        #: between levels.  Results are equivalent to the unpruned path
+        #: (identical chosen plan, byte-identical surviving evaluations);
+        #: pruned plans are marked instead of fully predicted.  Off by
+        #: default so existing consumers (service plan responses, drift
+        #: telemetry) keep their full evaluation sets.
+        self.prune = prune
+        self.pruning = PruningTallies()
+        self._bounds_cache: Dict[JoinPlanSpec, Optional[PlanBounds]] = {}
+        #: probe triples effort -> (n_good, n_bad, time) imported from a
+        #: persisted curve store; consulted by the descent before paying
+        #: for a raw model prediction
+        self._probe_triples: Dict[
+            JoinPlanSpec, Dict[float, Tuple[float, float, float]]
+        ] = {}
+        #: raw imported payload (plan.describe() keyed), kept so exports
+        #: round-trip records for plans this session never evaluated
+        self._imported_payload: Dict[str, dict] = {}
+        #: plans whose observed probes violated the monotone-curve model
+        #: contract; they are never pruned again (deterministic fallback)
+        self._non_monotone: set = set()
+        #: per-plan descent runtimes, keyed by ``id(plan)`` so the sweep
+        #: hot loop never re-hashes plan dataclasses (identity is
+        #: re-checked against the held reference before reuse)
+        self._runtimes: Dict[int, _PlanRuntime] = {}
 
     # -- per-plan evaluation ------------------------------------------------------
 
@@ -289,6 +428,330 @@ class JoinOptimizer:
             steps += 1
         return min(steps, 16)
 
+    # -- bound-based pruning (tier A + descent tier B) ---------------------------
+
+    def plan_bounds(self, plan: JoinPlanSpec) -> Optional[PlanBounds]:
+        """Guaranteed quality ceilings for the plan (cached; None = unknown)."""
+        if plan not in self._bounds_cache:
+            self._bounds_cache[plan] = plan_bounds(self.catalog, plan)
+        return self._bounds_cache[plan]
+
+    def predict_full_effort(
+        self, plan: JoinPlanSpec
+    ) -> Optional[QualityPrediction]:
+        """The plan's prediction at maximum effort (None when unbuildable).
+
+        This is the point the tier-A bounds cap, so ``bound / actual`` here
+        is the q-error the bound-tightness report measures.
+        """
+        runtime = self._runtime(plan)
+        if not self._activate(runtime):
+            return None
+        return runtime.predictor(runtime.max_effort)
+
+    def _runtime(self, plan: JoinPlanSpec) -> _PlanRuntime:
+        """The plan's descent runtime, bounds computed, predictor lazy."""
+        runtime = self._runtimes.get(id(plan))
+        if runtime is None or runtime.plan is not plan:
+            runtime = _PlanRuntime(plan, self.plan_bounds(plan))
+            runtime.non_monotone = plan in self._non_monotone
+            self._runtimes[id(plan)] = runtime
+        return runtime
+
+    def _activate(self, runtime: _PlanRuntime) -> bool:
+        """Attach the model predictor on first use; False when unusable."""
+        if runtime.predictor is not None:
+            return True
+        if runtime.error:
+            return False
+        try:
+            predictor, max_effort = self._cached_predictor(runtime.plan)
+        except ValueError:
+            runtime.error = True
+            return False
+        if max_effort <= 0:
+            runtime.error = True
+            return False
+        runtime.predictor = predictor
+        runtime.max_effort = float(max_effort)
+        runtime.steps = self._bisection_steps(max_effort)
+        runtime.memo = self._prediction_memo[runtime.plan]
+        runtime.imported = self._probe_triples.setdefault(runtime.plan, {})
+        return True
+
+    def _probe(
+        self, runtime: _PlanRuntime, fraction: float
+    ) -> Tuple[float, float, float]:
+        """(n_good, n_bad, time) at a fraction of the plan's effort axis.
+
+        Resolution order: this optimizer's own probe triples (free), the
+        exact-effort prediction memo, imported persisted triples (skips
+        the raw model entirely; counted as a curve-cache hit on first
+        use), then one raw prediction.  Effort keys are the same
+        ``fraction * max_effort`` floats the legacy bisection produces, so
+        every answer is byte-identical to a fresh probe.
+        """
+        effort = fraction * runtime.max_effort
+        triple = runtime.triples.get(effort)
+        if triple is not None:
+            return triple
+        prediction = runtime.memo.get(effort)
+        if prediction is None:
+            triple = runtime.imported.get(effort)
+            if triple is not None:
+                self.pruning.curve_import_hits += 1
+                runtime.triples[effort] = triple
+                return triple
+            prediction = runtime.predictor(effort)
+            self.pruning.descent_probes += 1
+        triple = (prediction.n_good, prediction.n_bad, prediction.total_time)
+        runtime.triples[effort] = triple
+        return triple
+
+    def _evaluate_pruned(
+        self,
+        plans: Sequence[JoinPlanSpec],
+        requirement: QualityRequirement,
+    ) -> List[PlanEvaluation]:
+        """Joint bisection descent over all plans with pruning between levels.
+
+        Every plan runs the *identical* bisection the legacy path runs —
+        same midpoint sequence, same floats — so any plan that survives to
+        the end produces a byte-identical evaluation.  Between bisection
+        levels, plans that are provably worthless are dropped:
+
+        * **tier A** (before any probe): the plan's guaranteed good-tuple
+          ceiling cannot reach the target — reported exactly like the
+          unpruned infeasible case (no prediction, ``pruned`` unset);
+        * **τb**: the bracket's low end already produces more than τb bad
+          tuples; since the final operating point lies above it and n_bad
+          is non-decreasing in effort, the plan can never be feasible;
+        * **dominance**: the bracket's low-end time already exceeds the
+          best *certain* feasible competitor's high-end time, so the
+          plan's final time is strictly worse than some feasible plan's.
+
+        Monotonicity of (n_good, n_bad, time) in effort is the model
+        contract the τb/dominance rules lean on; a guard cross-checks
+        every probed bracket and permanently exempts any violating plan
+        from pruning (it then completes its full descent).
+        """
+        tally = self.pruning
+        target_good = requirement.tau_good * (1.0 + self.feasibility_margin)
+        tau_bad = requirement.tau_bad
+        evaluations: List[Optional[PlanEvaluation]] = [None] * len(plans)
+        alive: List[_DescentState] = []
+        for index, plan in enumerate(plans):
+            runtime = self._runtime(plan)
+            bounds = runtime.bounds
+            if bounds is not None and bounds.cannot_reach(target_good):
+                tally.infeasible_bound += 1
+                evaluations[index] = PlanEvaluation(
+                    plan=plan, feasible=False, prediction=None
+                )
+                continue
+            if not self._activate(runtime):
+                evaluations[index] = PlanEvaluation(
+                    plan=plan, feasible=False, prediction=None
+                )
+                continue
+            state = _DescentState(index, runtime, runtime.non_monotone)
+            root = self._probe(runtime, 1.0)
+            if root[0] < target_good:
+                evaluations[index] = PlanEvaluation(
+                    plan=plan, feasible=False, prediction=None
+                )
+                continue
+            state.hi_vals = root
+            alive.append(state)
+
+        best_time = float("inf")
+        while alive:
+            # Cheapest certain completion time: finished feasible plans'
+            # exact times plus the bracket ceilings of plans whose bracket
+            # already guarantees feasibility (n_bad at hi within τb).
+            threshold = best_time
+            for state in alive:
+                if not state.guard_failed and state.hi_vals[1] <= tau_bad:
+                    threshold = min(threshold, state.hi_vals[2])
+            survivors: List[_DescentState] = []
+            for state in alive:
+                runtime = state.runtime
+                lo_vals = state.lo_vals
+                if not state.guard_failed and lo_vals is not None:
+                    if lo_vals[1] > tau_bad:
+                        tally.infeasible_tau_bad += 1
+                        evaluations[state.index] = PlanEvaluation(
+                            plan=runtime.plan,
+                            feasible=False,
+                            prediction=None,
+                            pruned=True,
+                        )
+                        continue
+                    if lo_vals[2] > threshold:
+                        tally.dominated += 1
+                        evaluations[state.index] = PlanEvaluation(
+                            plan=runtime.plan,
+                            feasible=False,
+                            prediction=None,
+                            pruned=True,
+                        )
+                        continue
+                if state.steps_left <= 0:
+                    prediction = runtime.predictor(
+                        state.hi * runtime.max_effort
+                    )
+                    feasible = prediction.meets(
+                        requirement.tau_good, requirement.tau_bad
+                    )
+                    evaluations[state.index] = PlanEvaluation(
+                        plan=runtime.plan,
+                        feasible=feasible,
+                        prediction=prediction,
+                        effort_fraction=state.hi,
+                    )
+                    if feasible and prediction.total_time < best_time:
+                        best_time = prediction.total_time
+                    continue
+                mid = (state.lo + state.hi) / 2.0
+                probed = self._probe(runtime, mid)
+                if not state.guard_failed:
+                    above = state.hi_vals
+                    monotone = (
+                        probed[0] <= above[0]
+                        and probed[1] <= above[1]
+                        and probed[2] <= above[2]
+                        and (
+                            lo_vals is None
+                            or (
+                                lo_vals[0] <= probed[0]
+                                and lo_vals[1] <= probed[1]
+                                and lo_vals[2] <= probed[2]
+                            )
+                        )
+                    )
+                    if not monotone:
+                        state.guard_failed = True
+                        runtime.non_monotone = True
+                        tally.monotonicity_fallbacks += 1
+                        self._non_monotone.add(runtime.plan)
+                if probed[0] >= target_good:
+                    state.hi, state.hi_vals = mid, probed
+                else:
+                    state.lo, state.lo_vals = mid, probed
+                state.steps_left -= 1
+                survivors.append(state)
+            alive = survivors
+        return list(evaluations)
+
+    def _publish_pruning(self, before: Dict[str, int]) -> None:
+        """Increment the pruning counters by this optimization's deltas."""
+        observability = self.observability
+        if not observability.enabled:
+            return
+        after = self.pruning.as_dict()
+        metrics = observability.metrics
+        for reason in ("infeasible_bound", "infeasible_tau_bad", "dominated"):
+            delta = after[reason] - before.get(reason, 0)
+            if delta:
+                metrics.counter(
+                    "repro_plans_pruned_total", reason=reason
+                ).inc(delta)
+        delta = after["curve_import_hits"] - before.get("curve_import_hits", 0)
+        if delta:
+            metrics.counter(
+                "repro_curve_cache_hits_total", source="store"
+            ).inc(delta)
+
+    # -- persisted probe curves ---------------------------------------------------
+
+    def export_probes(self) -> Dict[str, dict]:
+        """Every known probe triple, keyed by plan signature.
+
+        Payload shape (JSON-serializable; floats round-trip exactly):
+        ``{plan.describe(): {"max_effort": float,
+        "probes": [[effort, n_good, n_bad, time], ...]}}``.  Merges this
+        session's predictions with any imported payload, so re-persisting
+        never loses probes for plans the session didn't touch.
+        """
+        merged: Dict[str, Tuple[float, Dict[float, Tuple[float, float, float]]]] = {}
+        for key, record in self._imported_payload.items():
+            probes = {
+                float(row[0]): (float(row[1]), float(row[2]), float(row[3]))
+                for row in record.get("probes", ())
+            }
+            merged[key] = (float(record.get("max_effort", 0.0)), probes)
+        for plan, (_, max_effort) in self._predictors.items():
+            key = plan.describe()
+            entry = merged.get(key)
+            if entry is None or entry[0] != float(max_effort):
+                entry = (float(max_effort), {})
+            probes = entry[1]
+            for effort, triple in self._probe_triples.get(plan, {}).items():
+                probes.setdefault(effort, triple)
+            for effort, prediction in self._prediction_memo.get(plan, {}).items():
+                probes[effort] = (
+                    prediction.n_good,
+                    prediction.n_bad,
+                    prediction.total_time,
+                )
+            merged[key] = (entry[0], probes)
+        return {
+            key: {
+                "max_effort": max_effort,
+                "probes": [
+                    [effort, *triple]
+                    for effort, triple in sorted(probes.items())
+                ],
+            }
+            for key, (max_effort, probes) in merged.items()
+        }
+
+    def probe_count(self) -> int:
+        """Total distinct probe triples an export would carry."""
+        return sum(
+            len(record["probes"]) for record in self.export_probes().values()
+        )
+
+    def import_probes(
+        self, payload: Dict[str, dict], plans: Sequence[JoinPlanSpec]
+    ) -> int:
+        """Seed the descent with persisted probe triples; returns count loaded.
+
+        Entries are matched to *plans* by ``describe()`` signature; probes
+        are keyed by absolute effort, so statistics drift cannot cause a
+        stale hit (staleness is additionally gated by the store's
+        generation check before the payload ever reaches here).  Unmatched
+        records are retained for re-export.
+        """
+        by_key = {plan.describe(): plan for plan in plans}
+        loaded = 0
+        for key, record in payload.items():
+            if not isinstance(record, dict):
+                continue
+            rows = record.get("probes", ())
+            self._imported_payload[key] = {
+                "max_effort": record.get("max_effort", 0.0),
+                "probes": [list(row) for row in rows],
+            }
+            plan = by_key.get(key)
+            if plan is None:
+                continue
+            triples = self._probe_triples.setdefault(plan, {})
+            for row in rows:
+                try:
+                    effort, n_good, n_bad, time = (
+                        float(row[0]),
+                        float(row[1]),
+                        float(row[2]),
+                        float(row[3]),
+                    )
+                except (TypeError, ValueError, IndexError):
+                    continue
+                if effort not in triples:
+                    triples[effort] = (n_good, n_bad, time)
+                    loaded += 1
+        return loaded
+
     # -- full optimization -------------------------------------------------------
 
     def optimize(
@@ -296,6 +759,7 @@ class JoinOptimizer:
         plans: Sequence[JoinPlanSpec],
         requirement: QualityRequirement,
         workers: Optional[int] = None,
+        prune: Optional[bool] = None,
     ) -> OptimizationResult:
         """Assess all candidates; choose the fastest feasible one.
 
@@ -305,7 +769,16 @@ class JoinOptimizer:
         Telemetry from forked children (spans, counters) is shipped back
         and merged in worker-index order, so traces stay deterministic in
         structure.
+
+        ``prune`` overrides the constructor's pruning default for this
+        call.  The pruned path picks the identical plan at the identical
+        operating point; provably-dominated or provably-τb-infeasible
+        candidates come back with ``pruned=True`` instead of a full
+        prediction.  Pruning runs serially — it typically does less work
+        than a single fork fan-out costs — so ``workers`` only applies to
+        the unpruned path (results are identical either way).
         """
+        effective_prune = self.prune if prune is None else prune
         observability = self.observability
         with observability.span(
             SpanKind.OPTIMIZE,
@@ -315,7 +788,17 @@ class JoinOptimizer:
             tau_bad=requirement.tau_bad,
         ) as span:
             evaluations = None
-            if workers is not None and workers > 1:
+            if effective_prune:
+                before = self.pruning.as_dict()
+                evaluations = self._evaluate_pruned(list(plans), requirement)
+                self._publish_pruning(before)
+                if observability.enabled:
+                    for evaluation in evaluations:
+                        observability.metrics.counter(
+                            "repro_plan_evaluations_total",
+                            feasible=evaluation.feasible,
+                        ).inc()
+            elif workers is not None and workers > 1:
                 global _FORK_STATE
                 _FORK_STATE = (self, list(plans), requirement)
                 try:
@@ -348,6 +831,34 @@ class JoinOptimizer:
             chosen=chosen,
             evaluations=tuple(evaluations),
         )
+
+    def optimize_many(
+        self,
+        plans: Sequence[JoinPlanSpec],
+        requirements: Sequence[QualityRequirement],
+        workers: Optional[int] = None,
+        prune: Optional[bool] = True,
+    ) -> List[OptimizationResult]:
+        """Answer many (τg, τb) requirements over one shared plan space.
+
+        This is the tau-sweep entry point: with pruning on (the default
+        here; pass ``None`` to inherit the constructor setting), all
+        requirements share one set of tier-A bounds, one model
+        per plan, and one pool of memoized effort probes — a requirement
+        whose descent revisits an effort another requirement already
+        probed pays a dict lookup instead of a model prediction, so the
+        whole sweep approaches one frontier pass over the shared curves.
+        Results are position-matched to *requirements* and each is
+        identical to ``optimize(plans, requirement)`` called alone.
+        """
+        effective_prune = self.prune if prune is None else prune
+        plans = list(plans)
+        return [
+            self.optimize(
+                plans, requirement, workers=workers, prune=effective_prune
+            )
+            for requirement in requirements
+        ]
 
     # -- telemetry helpers -------------------------------------------------------
 
@@ -387,12 +898,15 @@ class JoinOptimizer:
     ]:
         """The plan's predicted effort curve (fractions, good, bad).
 
-        Returns the evaluation engine's cached curve when one was built,
-        otherwise None — drift snapshots attach it so a refit records the
-        shape the optimizer believed, not just the point estimate.
+        Built on first use (the pruned path never warms the engine's
+        curve cache, and drift telemetry still wants the chosen plan's
+        shape); None when the plan's models cannot be built — drift
+        snapshots attach it so a refit records the shape the optimizer
+        believed, not just the point estimate.
         """
-        curve = self._engine.cached_curve(plan)
-        if curve is None:
+        try:
+            curve = self._engine.curve(plan)
+        except ValueError:
             return None
         return (
             tuple(float(x) for x in curve.fractions),

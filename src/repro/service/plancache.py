@@ -85,6 +85,9 @@ class PlanCache:
         self.max_entries = max_entries
         self._entries: "OrderedDict[PlanCacheKey, _Entry]" = OrderedDict()
         self._lock = threading.Lock()
+        #: pruning tallies of optimizers already dropped from the cache,
+        #: so aggregate counters stay monotone across evictions
+        self._retired_pruning: Dict[str, int] = {}
         #: result-level tallies (requirement seen before under a live key)
         self.hits = 0
         self.misses = 0
@@ -120,7 +123,8 @@ class PlanCache:
                 entry = _Entry(optimizer_factory())
                 self._entries[key] = entry
                 while len(self._entries) > self.max_entries:
-                    self._entries.popitem(last=False)
+                    _, evicted = self._entries.popitem(last=False)
+                    self._retire(evicted)
                     self.evictions += 1
             else:
                 self.optimizer_hits += 1
@@ -138,6 +142,43 @@ class PlanCache:
             entry.results[requirement_key] = result
             return result, False
 
+    def _retire(self, entry: _Entry) -> None:
+        """Fold a dropped entry's pruning tallies into the retired pool."""
+        pruning = getattr(entry.optimizer, "pruning", None)
+        if pruning is None:
+            return
+        for name, value in pruning.as_dict().items():
+            self._retired_pruning[name] = (
+                self._retired_pruning.get(name, 0) + value
+            )
+
+    def optimizer_for(self, key: PlanCacheKey) -> Optional[JoinOptimizer]:
+        """The live cached optimizer for *key*, or None.
+
+        A peek, not a use: the entry's LRU position is left alone.  The
+        service uses this to export freshly computed probe curves after an
+        optimization went through :meth:`optimize`.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.optimizer if entry is not None else None
+
+    def aggregate_counters(self) -> Dict[str, int]:
+        """Pruning/curve-reuse tallies summed over all optimizers ever cached.
+
+        Monotone: dropped entries' tallies are retained, so the numbers
+        behave like counters even across evictions and invalidations.
+        """
+        with self._lock:
+            totals = dict(self._retired_pruning)
+            for entry in self._entries.values():
+                pruning = getattr(entry.optimizer, "pruning", None)
+                if pruning is None:
+                    continue
+                for name, value in pruning.as_dict().items():
+                    totals[name] = totals.get(name, 0) + value
+            return totals
+
     def _drop_superseded(self, key: PlanCacheKey) -> None:
         stale = [
             cached
@@ -146,6 +187,7 @@ class PlanCache:
             and cached.generation < key.generation
         ]
         for cached in stale:
+            self._retire(self._entries[cached])
             del self._entries[cached]
             self.invalidations += 1
 
@@ -154,6 +196,8 @@ class PlanCache:
         with self._lock:
             if signature is None:
                 dropped = len(self._entries)
+                for entry in self._entries.values():
+                    self._retire(entry)
                 self._entries.clear()
             else:
                 stale = [
@@ -162,6 +206,7 @@ class PlanCache:
                     if key.signature == signature
                 ]
                 for key in stale:
+                    self._retire(self._entries[key])
                     del self._entries[key]
                 dropped = len(stale)
             self.invalidations += dropped

@@ -244,6 +244,18 @@ class JoinService:
         )
         #: access paths the optimizer degraded around in past requests
         self._unavailable_paths: List[str] = []
+        #: curve-store bookkeeping: whether a fresh plan-mode optimizer
+        #: found persisted probes (hits/misses are per optimizer build,
+        #: serialized by the plan cache's own lock), how many probes each
+        #: cached optimizer had when last persisted, and how many exports
+        #: were written
+        self._curve_store_hits = 0
+        self._curve_store_misses = 0
+        self._curve_exports = 0
+        self._curve_probe_counts: Dict[PlanCacheKey, int] = {}
+        #: per-key pruning tallies already folded into the service
+        #: counters (guarded by ``_metrics_lock``)
+        self._pruning_published: Dict[PlanCacheKey, Dict[str, int]] = {}
         #: request id -> Deadline, registered at admission, claimed by
         #: the worker that picks the request up
         self._deadlines: Dict[int, Deadline] = {}
@@ -597,27 +609,116 @@ class JoinService:
     # -- plan-only mode (stored statistics + plan cache) -----------------------
 
     def _handle_plan(self, request: JoinRequest) -> Dict[str, Any]:
+        databases = (self.task.database1, self.task.database2)
         with self._store_lock:
             catalog = self._stored_catalog()
             generation = self.store.generation
             paths = tuple(self._unavailable_paths)
+            stored_curves = (
+                self.store.curves_for(self.signature, databases, generation)
+                if catalog is not None
+                else None
+            )
         if catalog is None:
             raise ValueError(
                 "no fresh statistics stored for this task; run an "
                 "execute-mode request first"
             )
         key = PlanCacheKey.of(self.signature, generation, paths)
-        result, _ = self.plan_cache.optimize(
-            key,
-            self.plans,
-            request.requirement,
-            lambda: JoinOptimizer(
+
+        def factory() -> JoinOptimizer:
+            # Called under the plan cache's lock, so the plain-int curve
+            # tallies below are serialized without taking another lock.
+            optimizer = JoinOptimizer(
                 catalog,
                 costs=self.task.costs,
                 feasibility_margin=self.margin,
-            ),
+                prune=True,
+            )
+            loaded = 0
+            if stored_curves is not None:
+                loaded = optimizer.import_probes(
+                    stored_curves["plans"], self.plans
+                )
+            if loaded > 0:
+                self._curve_store_hits += 1
+            else:
+                self._curve_store_misses += 1
+            # Probes the store already holds need no re-export.
+            self._curve_probe_counts[key] = optimizer.probe_count()
+            return optimizer
+
+        result, _ = self.plan_cache.optimize(
+            key, self.plans, request.requirement, factory
         )
+        self._persist_curves(key, databases, generation)
+        self._publish_plan_counters(key)
         return self._plan_response(request, result)
+
+    def _persist_curves(
+        self,
+        key: PlanCacheKey,
+        databases: Tuple[Any, Any],
+        generation: int,
+    ) -> None:
+        """Write the cached optimizer's probe curves back to the store.
+
+        Only when the optimizer computed probes the store does not hold
+        yet — repeated requirements over a warm store are read-only, so
+        their responses stay independent of request order.
+        """
+        optimizer = self.plan_cache.optimizer_for(key)
+        if optimizer is None:
+            return  # evicted between optimize and now; nothing to export
+        count = optimizer.probe_count()
+        if count <= self._curve_probe_counts.get(key, 0):
+            return
+        payload = optimizer.export_probes()
+        with self._store_lock:
+            if self.store.generation != generation:
+                # Statistics moved on while we optimized; these probes
+                # describe curves of a superseded generation.
+                return
+            self.store.record_curves(
+                self.signature, databases, generation, payload
+            )
+            self.store.save()
+        self._curve_probe_counts[key] = count
+        self._curve_exports += 1
+
+    def _publish_plan_counters(self, key: PlanCacheKey) -> None:
+        """Fold the cached optimizer's pruning tallies into the metrics.
+
+        Deltas against the last published snapshot per key, so the
+        service-level ``repro_plans_pruned_total`` and
+        ``repro_curve_cache_hits_total`` counters stay monotone however
+        many requests share one optimizer.
+        """
+        optimizer = self.plan_cache.optimizer_for(key)
+        if optimizer is None:
+            return
+        tallies = optimizer.pruning.as_dict()
+        with self._metrics_lock:
+            published = self._pruning_published.setdefault(key, {})
+            for reason in (
+                "infeasible_bound",
+                "infeasible_tau_bad",
+                "dominated",
+            ):
+                delta = tallies[reason] - published.get(reason, 0)
+                if delta > 0:
+                    self.metrics.counter(
+                        "repro_plans_pruned_total", reason=reason
+                    ).inc(delta)
+                    published[reason] = tallies[reason]
+            delta = tallies["curve_import_hits"] - published.get(
+                "curve_import_hits", 0
+            )
+            if delta > 0:
+                self.metrics.counter(
+                    "repro_curve_cache_hits_total", source="store"
+                ).inc(delta)
+                published["curve_import_hits"] = tallies["curve_import_hits"]
 
     def _plan_response(
         self, request: JoinRequest, result: OptimizationResult
@@ -746,6 +847,12 @@ class JoinService:
             "closed": self.closed,
             "unavailable_paths": paths,
             "plan_cache": self.plan_cache.stats(),
+            "plan_pruning": self.plan_cache.aggregate_counters(),
+            "curve_store": {
+                "hits": self._curve_store_hits,
+                "misses": self._curve_store_misses,
+                "exports": self._curve_exports,
+            },
             "store": store,
             "pruned_checkpoints": list(self.pruned_checkpoints),
             "admission": self.admission.snapshot(),
@@ -774,6 +881,21 @@ class JoinService:
                 self.metrics.gauge(
                     "repro_service_plan_cache", key=name
                 ).set(value)
+            for name, value in sorted(
+                self.plan_cache.aggregate_counters().items()
+            ):
+                self.metrics.gauge(
+                    "repro_service_plan_pruning", key=name
+                ).set(value)
+            self.metrics.gauge(
+                "repro_service_curve_store", key="hits"
+            ).set(self._curve_store_hits)
+            self.metrics.gauge(
+                "repro_service_curve_store", key="misses"
+            ).set(self._curve_store_misses)
+            self.metrics.gauge(
+                "repro_service_curve_store", key="exports"
+            ).set(self._curve_exports)
             with self._store_lock:
                 self.metrics.gauge("repro_service_store_generation").set(
                     self.store.generation

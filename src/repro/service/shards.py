@@ -51,6 +51,7 @@ from ..validation.invariants import active_checker
 from .store import (
     STORE_VERSION,
     StatisticsStore,
+    _CURVE_SCHEMA,
     _SIDE_SCHEMA,
     _TASK_SCHEMA,
     _check_schema,
@@ -85,10 +86,19 @@ def _canonical(value: Any) -> str:
 
 
 def encode_journal_record(
-    generation: int, sides: Dict[str, Any], tasks: Dict[str, Any]
+    generation: int,
+    sides: Dict[str, Any],
+    tasks: Dict[str, Any],
+    curves: Optional[Dict[str, Any]] = None,
 ) -> bytes:
-    """One self-checking journal line: full shard payload + CRC32."""
+    """One self-checking journal line: full shard payload + CRC32.
+
+    ``curves`` is omitted from the encoding when None, reproducing the
+    pre-curve record layout byte for byte (and its CRC).
+    """
     body = {"generation": generation, "sides": sides, "tasks": tasks}
+    if curves is not None:
+        body["curves"] = curves
     crc = zlib.crc32(_canonical(body).encode("utf-8"))
     return _canonical({**body, "crc": crc}).encode("utf-8") + b"\n"
 
@@ -98,24 +108,30 @@ def decode_journal_record(line: bytes) -> Optional[Dict[str, Any]]:
 
     The CRC is recomputed over the canonical re-encoding of the parsed
     body — JSON round-trips ints and floats exactly, so a single flipped
-    or missing byte anywhere in the line fails the check.
+    or missing byte anywhere in the line fails the check.  Records
+    written before curve persistence existed lack the ``curves`` key;
+    they decode without one (their CRC covers the original three-key
+    body, so old journals replay unchanged — the replay path treats a
+    missing ``curves`` as empty).
     """
     try:
         record = json.loads(line.decode("utf-8"))
     except (ValueError, UnicodeDecodeError):
         return None
-    if not isinstance(record, dict) or set(record) != {
-        "generation",
-        "sides",
-        "tasks",
-        "crc",
-    }:
+    if not isinstance(record, dict) or set(record) not in (
+        {"generation", "sides", "tasks", "crc"},
+        {"generation", "sides", "tasks", "curves", "crc"},
+    ):
         return None
     body = {
         "generation": record["generation"],
         "sides": record["sides"],
         "tasks": record["tasks"],
     }
+    if "curves" in record:
+        body["curves"] = record["curves"]
+        if not isinstance(body["curves"], dict):
+            return None
     if not isinstance(body["generation"], int) or isinstance(
         body["generation"], bool
     ):
@@ -162,6 +178,7 @@ class ShardedStatisticsStore(StatisticsStore):
         """Recover from shards+journals; torn tails dropped, never served."""
         self.sides = {}
         self.tasks = {}
+        self.curves = {}
         self._persisted = {}
         self._journal_records = {}
         recovery: Dict[str, Any] = {
@@ -206,6 +223,11 @@ class ShardedStatisticsStore(StatisticsStore):
                     "tasks": {
                         name: record
                         for name, record in self.tasks.items()
+                        if task_shard(record) == key
+                    },
+                    "curves": {
+                        name: record
+                        for name, record in self.curves.items()
                         if task_shard(record) == key
                     },
                 }
@@ -286,6 +308,7 @@ class ShardedStatisticsStore(StatisticsStore):
                 "generation": record["generation"],
                 "sides": record["sides"],
                 "tasks": record["tasks"],
+                "curves": record.get("curves", {}),
             }
         return payload, facts
 
@@ -299,6 +322,7 @@ class ShardedStatisticsStore(StatisticsStore):
         dropped = 0
         sides = payload.get("sides", {})
         tasks = payload.get("tasks", {})
+        curves = payload.get("curves", {})
         if isinstance(sides, dict):
             for name, record in sides.items():
                 if (
@@ -322,6 +346,17 @@ class ShardedStatisticsStore(StatisticsStore):
                     self.tasks[name] = record
                 else:
                     dropped += 1
+        if isinstance(curves, dict):
+            for name, record in curves.items():
+                if (
+                    isinstance(record, dict)
+                    and _check_schema(record, _CURVE_SCHEMA)
+                    and _coherent_task(record)
+                    and task_shard(record) == key
+                ):
+                    self.curves[name] = record
+                else:
+                    dropped += 1
         return dropped
 
     # -- persistence ----------------------------------------------------------
@@ -332,20 +367,26 @@ class ShardedStatisticsStore(StatisticsStore):
         directory = self.shard_dir
         directory.mkdir(parents=True, exist_ok=True)
         desired: Dict[str, Dict[str, Dict[str, Any]]] = {}
+
+        def shard_of(key: str) -> Dict[str, Dict[str, Any]]:
+            return desired.setdefault(
+                key, {"sides": {}, "tasks": {}, "curves": {}}
+            )
+
         for name, record in self.sides.items():
-            shard = desired.setdefault(
-                side_shard(record), {"sides": {}, "tasks": {}}
-            )
-            shard["sides"][name] = record
+            shard_of(side_shard(record))["sides"][name] = record
         for name, record in self.tasks.items():
-            shard = desired.setdefault(
-                task_shard(record), {"sides": {}, "tasks": {}}
-            )
-            shard["tasks"][name] = record
+            shard_of(task_shard(record))["tasks"][name] = record
+        for name, record in self.curves.items():
+            shard_of(task_shard(record))["curves"][name] = record
         for key in sorted(desired):
             shard = desired[key]
             fingerprint = _canonical(
-                {"sides": shard["sides"], "tasks": shard["tasks"]}
+                {
+                    "sides": shard["sides"],
+                    "tasks": shard["tasks"],
+                    "curves": shard["curves"],
+                }
             )
             if self._persisted.get(key) == fingerprint:
                 continue  # clean shard — independent tenants don't contend
@@ -378,7 +419,10 @@ class ShardedStatisticsStore(StatisticsStore):
         self, key: str, shard: Dict[str, Dict[str, Any]]
     ) -> None:
         line = encode_journal_record(
-            self.generation, shard["sides"], shard["tasks"]
+            self.generation,
+            shard["sides"],
+            shard["tasks"],
+            curves=shard.get("curves", {}),
         )
         journal = self.shard_dir / f"{key}{JOURNAL_SUFFIX}"
         with open(journal, "ab") as handle:
@@ -394,6 +438,7 @@ class ShardedStatisticsStore(StatisticsStore):
             "generation": self.generation,
             "sides": shard["sides"],
             "tasks": shard["tasks"],
+            "curves": shard.get("curves", {}),
         }
         snapshot_path = directory / f"{key}{SNAPSHOT_SUFFIX}"
         tmp = directory / f"{key}{SNAPSHOT_SUFFIX}.tmp"

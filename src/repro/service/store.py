@@ -66,6 +66,15 @@ _TASK_SCHEMA: Dict[str, type] = {
     "rounds": int,
     "created_at": float,
 }
+#: persisted plan effort-curve probes: per task signature, the probe
+#: triples every plan's optimizer descent computed, valid only at the
+#: exact statistics generation they were computed under
+_CURVE_SCHEMA: Dict[str, type] = {
+    "fingerprints": list,
+    "generation": int,
+    "created_at": float,
+    "plans": dict,
+}
 
 
 class StoreError(RuntimeError):
@@ -240,6 +249,9 @@ class StatisticsStore:
         self._saved_generation = 0
         self.sides: Dict[str, Dict[str, Any]] = {}
         self.tasks: Dict[str, Dict[str, Any]] = {}
+        #: task signature -> persisted plan curve probes (advisory cache:
+        #: recording or dropping them never bumps the generation)
+        self.curves: Dict[str, Dict[str, Any]] = {}
         self.load()
 
     # -- persistence ----------------------------------------------------------
@@ -248,6 +260,7 @@ class StatisticsStore:
         """Read the store file; invalid content degrades to empty."""
         self.sides = {}
         self.tasks = {}
+        self.curves = {}
         try:
             payload = json.loads(self.path.read_text())
         except (OSError, ValueError):
@@ -256,6 +269,7 @@ class StatisticsStore:
             return
         sides = payload.get("sides", {})
         tasks = payload.get("tasks", {})
+        curves = payload.get("curves", {})
         if isinstance(sides, dict):
             self.sides = {
                 key: record
@@ -273,6 +287,14 @@ class StatisticsStore:
                 and _check_schema(record, _TASK_SCHEMA)
                 and _coherent_task(record)
             }
+        if isinstance(curves, dict):
+            self.curves = {
+                key: record
+                for key, record in curves.items()
+                if isinstance(record, dict)
+                and _check_schema(record, _CURVE_SCHEMA)
+                and _coherent_task(record)
+            }
         self._check_coherence("store.load")
 
     def save(self) -> str:
@@ -282,6 +304,7 @@ class StatisticsStore:
             "version": STORE_VERSION,
             "sides": self.sides,
             "tasks": self.tasks,
+            "curves": self.curves,
         }
         tmp = self.path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(payload, sort_keys=True))
@@ -336,6 +359,20 @@ class StatisticsStore:
                 ),
                 where,
                 f"task record {key!r} carries a malformed fingerprint",
+            )
+        for key, record in self.curves.items():
+            checker.check(
+                _check_schema(record, _CURVE_SCHEMA),
+                where,
+                f"curve record {key!r} violates the curve schema",
+            )
+            checker.check(
+                all(
+                    isinstance(f, str) and len(f) == 32
+                    for f in record.get("fingerprints", [])
+                ),
+                where,
+                f"curve record {key!r} carries a malformed fingerprint",
             )
 
     # -- side records ---------------------------------------------------------
@@ -474,6 +511,59 @@ class StatisticsStore:
             rounds=record["rounds"],
         )
 
+    # -- curve records (persisted plan effort probes) --------------------------
+
+    def record_curves(
+        self,
+        signature: str,
+        databases: Tuple[TextDatabase, TextDatabase],
+        generation: int,
+        plans: Dict[str, Any],
+        now: Optional[float] = None,
+    ) -> str:
+        """Persist the optimizer's computed probe triples for a task.
+
+        ``plans`` is :meth:`JoinOptimizer.export_probes` output.  The
+        record is keyed to the *exact* statistics generation it was
+        computed under — curve shapes are functions of the stored
+        statistics, so any later mutation makes them unusable.  Recording
+        curves deliberately does **not** bump the generation: it is a
+        derived cache, and bumping would invalidate the very plan-cache
+        entries it exists to warm.
+        """
+        self.curves[signature] = {
+            "fingerprints": [corpus_fingerprint(db) for db in databases],
+            "generation": int(generation),
+            "created_at": self.clock() if now is None else now,
+            "plans": plans,
+        }
+        return signature
+
+    def curves_for(
+        self,
+        signature: str,
+        databases: Tuple[TextDatabase, TextDatabase],
+        generation: int,
+    ) -> Optional[Dict[str, Any]]:
+        """Stored probe triples for (signature, generation), or None.
+
+        A record written under a different generation or a corpus whose
+        fingerprint has changed is deleted rather than served: a stale
+        probe answered as current would silently corrupt the byte-identity
+        guarantee of the pruned optimizer.
+        """
+        record = self.curves.get(signature)
+        if record is None:
+            return None
+        current = [corpus_fingerprint(db) for db in databases]
+        if (
+            record["fingerprints"] != current
+            or record["generation"] != int(generation)
+        ):
+            del self.curves[signature]
+            return None
+        return record
+
     def record_run(
         self,
         signature: str,
@@ -550,6 +640,19 @@ class StatisticsStore:
                     "drift_snapshots": len(record.get("drift_snapshots", [])),
                 }
                 for key, record in sorted(self.tasks.items())
+            },
+            "curves": {
+                key: {
+                    "generation": record["generation"],
+                    "created_at": record["created_at"],
+                    "plans": len(record["plans"]),
+                    "probes": sum(
+                        len(entry.get("probes", ()))
+                        for entry in record["plans"].values()
+                        if isinstance(entry, dict)
+                    ),
+                }
+                for key, record in sorted(self.curves.items())
             },
         }
 

@@ -433,6 +433,89 @@ def check_aqg_reach_differential(
                 )
 
 
+def check_pruning_differential(
+    report: ValidationReport,
+    task: JoinTask,
+    requirements: Optional[Sequence[Tuple[float, float]]] = None,
+) -> None:
+    """Pruned optimizer vs the unpruned reference — identity, not a band.
+
+    The pruning layer's contract is exactness: for every requirement the
+    pruned sweep must choose the identical plan at the identical operating
+    point, and every plan it discarded without a full evaluation must be
+    provably irrelevant in the reference (infeasible, or strictly slower
+    than the chosen plan).  Violations here mean an unsound bound or a
+    broken dominance argument, never acceptable noise — every band is 0.
+    """
+    from ..core.preferences import QualityRequirement
+    from ..optimizer import JoinOptimizer, enumerate_plans
+
+    plans = enumerate_plans(task.extractor1.name, task.extractor2.name)
+    if requirements is None:
+        requirements = [
+            (good, bad)
+            for good in (2.0, 18.0, 42.0, 90.0)
+            for bad in (100.0, 100000.0)
+        ]
+    pruned_opt = JoinOptimizer(task.catalog(), costs=task.costs, prune=True)
+    reference_opt = JoinOptimizer(task.catalog(), costs=task.costs)
+    irrelevance_violations = 0
+    pruned_total = 0
+    for tau_good, tau_bad in requirements:
+        requirement = QualityRequirement(tau_good=tau_good, tau_bad=tau_bad)
+        fast = pruned_opt.optimize(plans, requirement)
+        slow = reference_opt.optimize(plans, requirement, prune=False)
+        label = f"pruning-diff/{task.name}/tg{tau_good:g}-tb{tau_bad:g}"
+        fast_time = (
+            fast.chosen.predicted_time if fast.chosen is not None else -1.0
+        )
+        slow_time = (
+            slow.chosen.predicted_time if slow.chosen is not None else -1.0
+        )
+        _band_check(
+            report,
+            f"{label}/chosen-time",
+            observed=fast_time,
+            expected=slow_time,
+            band=0.0,
+            detail="pruned and unpruned sweeps must choose identically",
+        )
+        if fast.chosen is not None and slow.chosen is not None:
+            _band_check(
+                report,
+                f"{label}/chosen-fraction",
+                observed=fast.chosen.effort_fraction,
+                expected=slow.chosen.effort_fraction,
+                band=0.0,
+                detail="identical operating point, not merely the same plan",
+            )
+        chosen_time = (
+            slow.chosen.predicted_time if slow.chosen is not None else None
+        )
+        for a, b in zip(fast.evaluations, slow.evaluations):
+            if not a.pruned:
+                continue
+            pruned_total += 1
+            irrelevant = (not b.feasible) or (
+                chosen_time is not None and b.predicted_time > chosen_time
+            )
+            if not irrelevant:
+                irrelevance_violations += 1
+    report.add(
+        CheckResult(
+            name=f"pruning-diff/{task.name}/pruned-irrelevance",
+            ok=irrelevance_violations == 0,
+            observed=float(irrelevance_violations),
+            expected=0.0,
+            band=0.0,
+            detail=(
+                f"{pruned_total} pruned evaluations checked against the "
+                "unpruned reference"
+            ),
+        )
+    )
+
+
 def check_mle_fit_differential(
     report: ValidationReport,
     seed: int = 0,
@@ -538,6 +621,7 @@ def run_validation(
             check_approximate_models_vs_executor(report, task, theta=theta)
             check_kernel_differential(report, task, theta=theta)
             check_aqg_reach_differential(report, task, theta=theta)
+            check_pruning_differential(report, task)
         check_mle_fit_differential(report, seed=sim_seed)
         if fuzz:
             from .fuzz import run_fuzz
@@ -576,5 +660,6 @@ __all__ = [
     "check_kernel_differential",
     "check_mle_fit_differential",
     "check_model_vs_simulation",
+    "check_pruning_differential",
     "run_validation",
 ]

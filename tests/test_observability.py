@@ -394,6 +394,35 @@ class TestInstrumentation:
             name.startswith("repro_cache_requests") for name in totals
         )
 
+    def test_pruned_optimizer_publishes_pruning_counters(self, hq_ex_task):
+        observability = ObservabilityContext()
+        plans = enumerate_plans(
+            hq_ex_task.extractor1.name, hq_ex_task.extractor2.name
+        )
+        optimizer = JoinOptimizer(
+            hq_ex_task.catalog(),
+            costs=hq_ex_task.costs,
+            observability=observability,
+            prune=True,
+        )
+        optimizer.optimize(
+            plans, QualityRequirement(tau_good=40, tau_bad=10**6)
+        )
+        totals = observability.metrics.totals()
+        pruned = sum(
+            value
+            for name, value in totals.items()
+            if name.startswith("repro_plans_pruned_total")
+        )
+        assert pruned > 0
+        # every plan is still accounted for, pruned or fully evaluated
+        evaluated = sum(
+            value
+            for name, value in totals.items()
+            if name.startswith("repro_plan_evaluations_total")
+        )
+        assert evaluated == len(plans)
+
     def test_fork_merge_is_deterministic(self, hq_ex_task):
         requirement = QualityRequirement(tau_good=40, tau_bad=10**6)
         plans = enumerate_plans(
@@ -468,6 +497,12 @@ class TestInstrumentation:
         assert SpanKind.PILOT in kinds
         assert SpanKind.EXECUTE in kinds
         assert kinds.count(SpanKind.DRIFT_SNAPSHOT) == len(snapshots)
+        # The driver's optimizer prunes, and the pruning counters ride the
+        # ExecutionReport out to the caller.
+        counters = result.execution.report.observability.counters
+        assert any(
+            name.startswith("repro_plans_pruned_total") for name in counters
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,406 @@
+"""Exactness and persistence tests for the bound-based pruning layer.
+
+The pruning contract (DESIGN §6.7) is absolute: pruning may only change
+*how much work* the optimizer does, never *what it answers*.  These tests
+pin that contract on the seeded testbed grid — the pruned optimizer must
+choose the identical plan at the identical operating point as the
+unpruned reference, every fully-evaluated plan must match byte-for-byte,
+and every pruned-away plan must be provably irrelevant in the reference
+(infeasible, or strictly slower than the chosen plan).  The underlying
+bound kernels carry their own dominance property tests, and the persisted
+curve cache must round-trip through the statistics store without
+perturbing a single float.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.core import QualityRequirement
+from repro.experiments import quality_frontier
+from repro.models.distributions import (
+    issue_probability_ceiling,
+    none_extracted_lower_bound,
+    probability_none_extracted,
+)
+from repro.optimizer import JoinOptimizer, enumerate_plans
+from repro.optimizer.bounds import BOUND_SLACK, PlanBounds
+from repro.service.shards import (
+    ShardedStatisticsStore,
+    decode_journal_record,
+    encode_journal_record,
+)
+from repro.service.store import StatisticsStore
+
+#: the seeded validation grid: dense enough to exercise tier-A prunes,
+#: τb-infeasible prunes, and dominance prunes at the session scale
+GRID = [
+    QualityRequirement(tau_good=good, tau_bad=bad)
+    for good in (2, 10, 26, 50, 90, 140)
+    for bad in (100, 100000)
+]
+
+
+def _fork_available() -> bool:
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:
+        return False
+    return True
+
+
+@pytest.fixture(scope="module")
+def plan_space(hq_ex_task):
+    return enumerate_plans(
+        hq_ex_task.extractor1.name, hq_ex_task.extractor2.name
+    )
+
+
+def _optimizer(task, **kwargs) -> JoinOptimizer:
+    return JoinOptimizer(task.catalog(), costs=task.costs, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def reference(hq_ex_task, plan_space):
+    """Unpruned grid results from the default (engine) path."""
+    optimizer = _optimizer(hq_ex_task)
+    return [
+        optimizer.optimize(plan_space, requirement, prune=False)
+        for requirement in GRID
+    ]
+
+
+def assert_equivalent(pruned_results, reference_results) -> None:
+    """The full exactness contract, per requirement."""
+    assert len(pruned_results) == len(reference_results)
+    for fast, slow in zip(pruned_results, reference_results):
+        if slow.chosen is None:
+            assert fast.chosen is None, fast.requirement
+            chosen_time = None
+        else:
+            assert fast.chosen is not None, fast.requirement
+            assert fast.chosen.plan == slow.chosen.plan
+            assert fast.chosen.effort_fraction == slow.chosen.effort_fraction
+            assert (
+                fast.chosen.prediction.n_good == slow.chosen.prediction.n_good
+            )
+            chosen_time = slow.chosen.predicted_time
+        for a, b in zip(fast.evaluations, slow.evaluations):
+            assert a.plan == b.plan
+            if a.pruned:
+                # Exactness: a pruned plan must be irrelevant — the
+                # reference shows it infeasible or strictly slower.
+                assert (not b.feasible) or (
+                    chosen_time is not None
+                    and b.predicted_time > chosen_time
+                ), a.plan
+                continue
+            assert a.feasible == b.feasible, a.plan
+            if not a.feasible:
+                continue
+            assert a.effort_fraction == b.effort_fraction, a.plan
+            assert a.prediction.n_good == b.prediction.n_good, a.plan
+            assert a.prediction.n_bad == b.prediction.n_bad, a.plan
+            assert a.prediction.total_time == b.prediction.total_time, a.plan
+
+
+# ---------------------------------------------------------------------------
+# exactness on the seeded grid
+# ---------------------------------------------------------------------------
+
+
+class TestPrunedExactness:
+    def test_seeded_grid_identical(self, hq_ex_task, plan_space, reference):
+        optimizer = _optimizer(hq_ex_task, prune=True)
+        results = optimizer.optimize_many(plan_space, GRID)
+        assert_equivalent(results, reference)
+        # The sweep must actually have pruned something, or the test
+        # proves nothing about the pruning layer.
+        assert optimizer.pruning.plans_pruned > 0
+
+    def test_prune_flag_on_optimize_overrides_constructor(
+        self, hq_ex_task, plan_space, reference
+    ):
+        optimizer = _optimizer(hq_ex_task, prune=False)
+        results = [
+            optimizer.optimize(plan_space, requirement, prune=True)
+            for requirement in GRID
+        ]
+        assert_equivalent(results, reference)
+
+    @pytest.mark.skipif(not _fork_available(), reason="fork unavailable")
+    def test_matches_unpruned_parallel_workers(self, hq_ex_task, plan_space):
+        requirement = GRID[4]
+        pruned = _optimizer(hq_ex_task, prune=True).optimize(
+            plan_space, requirement
+        )
+        parallel = _optimizer(hq_ex_task).optimize(
+            plan_space, requirement, workers=2, prune=False
+        )
+        assert_equivalent([pruned], [parallel])
+
+    def test_workers_on_pruned_path_is_inert(self, hq_ex_task, plan_space):
+        requirement = GRID[2]
+        serial = _optimizer(hq_ex_task, prune=True).optimize(
+            plan_space, requirement
+        )
+        with_workers = _optimizer(hq_ex_task, prune=True).optimize(
+            plan_space, requirement, workers=2
+        )
+        assert_equivalent([with_workers], [serial])
+
+    def test_loosened_bounds_identical(
+        self, hq_ex_task, plan_space, reference
+    ):
+        """Looser (still sound) bounds prune less but answer the same."""
+        optimizer = _optimizer(hq_ex_task, prune=True)
+        for plan in plan_space:
+            bounds = optimizer.plan_bounds(plan)
+            if bounds is None:
+                continue
+            optimizer._bounds_cache[plan] = PlanBounds(
+                plan,
+                good_upper=bounds.good_upper * 10.0 + 1.0,
+                bad_upper=bounds.bad_upper * 10.0 + 1.0,
+            )
+        results = optimizer.optimize_many(plan_space, GRID)
+        assert_equivalent(results, reference)
+
+    def test_tightened_bounds_identical(
+        self, hq_ex_task, plan_space, reference
+    ):
+        """The tightest sound bound — the actual full-effort prediction —
+        prunes the most aggressively and still answers the same."""
+        optimizer = _optimizer(hq_ex_task, prune=True)
+        tightened = _optimizer(hq_ex_task, prune=True)
+        for plan in plan_space:
+            prediction = optimizer.predict_full_effort(plan)
+            if prediction is None:
+                continue
+            tightened._bounds_cache[plan] = PlanBounds(
+                plan,
+                good_upper=prediction.n_good,
+                bad_upper=prediction.n_bad,
+            )
+        results = tightened.optimize_many(plan_space, GRID)
+        assert_equivalent(results, reference)
+
+
+# ---------------------------------------------------------------------------
+# bound soundness (property tests)
+# ---------------------------------------------------------------------------
+
+
+class TestBoundSoundness:
+    def test_jensen_lower_bound_dominated(self):
+        """``(1-rate)^{E[K]}`` never exceeds the exact ``E[(1-rate)^K]``."""
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            population = int(rng.integers(1, 400))
+            draws = int(rng.integers(0, population + 1))
+            occurrences = int(rng.integers(0, min(population, 40) + 1))
+            rate = float(rng.uniform(0.0, 1.0))
+            exact = probability_none_extracted(
+                population, draws, occurrences, rate
+            )
+            bound = float(
+                none_extracted_lower_bound(
+                    population, draws, occurrences, rate
+                )
+            )
+            assert bound <= exact + 1e-12, (
+                population, draws, occurrences, rate,
+            )
+
+    def test_issue_ceiling_dominates_every_effort(self):
+        """The full-retrieval point caps Pr{extracted} at any draw count."""
+        rng = np.random.default_rng(13)
+        for _ in range(200):
+            population = int(rng.integers(1, 300))
+            draws = int(rng.integers(0, population + 1))
+            good = int(rng.integers(0, min(population, 30) + 1))
+            bad = int(rng.integers(0, min(population, 30) + 1))
+            tp = float(rng.uniform(0.0, 1.0))
+            fp = float(rng.uniform(0.0, 1.0))
+            none_good = probability_none_extracted(
+                population, draws, good, tp
+            )
+            none_bad = probability_none_extracted(population, draws, bad, fp)
+            extracted = 1.0 - none_good * none_bad
+            ceiling = float(issue_probability_ceiling(good, bad, tp, fp))
+            assert extracted <= ceiling + 1e-12, (
+                population, draws, good, bad, tp, fp,
+            )
+
+    def test_tier_a_bound_caps_full_effort_prediction(
+        self, hq_ex_task, plan_space
+    ):
+        optimizer = _optimizer(hq_ex_task, prune=True)
+        bounded = 0
+        for plan in plan_space:
+            bounds = optimizer.plan_bounds(plan)
+            prediction = optimizer.predict_full_effort(plan)
+            if bounds is None or prediction is None:
+                continue
+            bounded += 1
+            assert bounds.good_upper * BOUND_SLACK >= prediction.n_good, plan
+            assert bounds.bad_upper * BOUND_SLACK >= prediction.n_bad, plan
+        assert bounded > 0
+
+
+# ---------------------------------------------------------------------------
+# persisted curves: store round-trip and invalidation
+# ---------------------------------------------------------------------------
+
+
+SIGNATURE = "hq-ex/test-signature"
+
+
+class TestCurvePersistence:
+    def _databases(self, task):
+        return (task.database1, task.database2)
+
+    def test_round_trip_identical_results(
+        self, tmp_path, hq_ex_task, plan_space, reference
+    ):
+        warm = _optimizer(hq_ex_task, prune=True)
+        warm_results = warm.optimize_many(plan_space, GRID)
+        payload = warm.export_probes()
+        assert warm.probe_count() > 0
+
+        store = StatisticsStore(str(tmp_path))
+        databases = self._databases(hq_ex_task)
+        store.record_curves(
+            SIGNATURE, databases, store.generation, payload
+        )
+        generation = store.generation
+        store.save()
+
+        reloaded = StatisticsStore(str(tmp_path))
+        assert reloaded.generation == 0
+        record = reloaded.curves_for(SIGNATURE, databases, generation)
+        assert record is not None
+        assert record["plans"] == payload
+
+        cold = _optimizer(hq_ex_task, prune=True)
+        loaded = cold.import_probes(record["plans"], plan_space)
+        assert loaded > 0
+        results = cold.optimize_many(plan_space, GRID)
+        assert_equivalent(results, reference)
+        assert_equivalent(results, warm_results)
+        # The imported probes must actually have been consumed: the cold
+        # optimizer answers from the store, not from fresh model calls.
+        assert cold.pruning.curve_import_hits > 0
+        assert cold.pruning.descent_probes < warm.pruning.descent_probes
+
+    def test_record_curves_does_not_bump_generation(
+        self, tmp_path, hq_ex_task
+    ):
+        store = StatisticsStore(str(tmp_path))
+        before = store.generation
+        store.record_curves(
+            SIGNATURE, self._databases(hq_ex_task), before, {"plans": {}}
+        )
+        assert store.generation == before
+
+    def test_generation_invalidation(self, tmp_path, hq_ex_task, plan_space):
+        optimizer = _optimizer(hq_ex_task, prune=True)
+        optimizer.optimize(plan_space, GRID[0])
+        store = StatisticsStore(str(tmp_path))
+        databases = self._databases(hq_ex_task)
+        store.record_curves(
+            SIGNATURE, databases, store.generation, optimizer.export_probes()
+        )
+        stale = store.generation + 1
+        assert store.curves_for(SIGNATURE, databases, stale) is None
+        # The stale record is dropped, not retried on the next lookup.
+        assert store.curves_for(
+            SIGNATURE, databases, store.generation
+        ) is None
+
+    def test_fingerprint_invalidation(self, tmp_path, hq_ex_task):
+        store = StatisticsStore(str(tmp_path))
+        databases = self._databases(hq_ex_task)
+        store.record_curves(
+            SIGNATURE, databases, store.generation, {"some-plan": {}}
+        )
+        swapped = (databases[1], databases[0])
+        assert store.curves_for(
+            SIGNATURE, swapped, store.generation
+        ) is None
+
+    def test_sharded_store_round_trips_curves(self, tmp_path, hq_ex_task):
+        payload = {"plan-sig": {"max_effort": 10.0, "probes": [[1.0, 2.0, 3.0, 4.0]]}}
+        databases = self._databases(hq_ex_task)
+        store = ShardedStatisticsStore(str(tmp_path))
+        store.record_curves(SIGNATURE, databases, store.generation, payload)
+        generation = store.generation
+        store.save()
+
+        reloaded = ShardedStatisticsStore(str(tmp_path))
+        record = reloaded.curves_for(SIGNATURE, databases, generation)
+        assert record is not None
+        assert record["plans"] == payload
+
+
+# ---------------------------------------------------------------------------
+# journal back-compat
+# ---------------------------------------------------------------------------
+
+
+class TestJournalCurveRecords:
+    def test_legacy_record_decodes_without_curves_key(self):
+        line = encode_journal_record(3, {"s": {"x": 1}}, {"t": {"y": 2}})
+        body = decode_journal_record(line.rstrip(b"\n"))
+        assert body == {
+            "generation": 3,
+            "sides": {"s": {"x": 1}},
+            "tasks": {"t": {"y": 2}},
+        }
+
+    def test_curve_record_round_trips(self):
+        curves = {SIGNATURE: {"generation": 0, "plans": {}}}
+        line = encode_journal_record(4, {}, {}, curves=curves)
+        body = decode_journal_record(line.rstrip(b"\n"))
+        assert body == {
+            "generation": 4,
+            "sides": {},
+            "tasks": {},
+            "curves": curves,
+        }
+
+    def test_curve_record_with_non_dict_curves_rejected(self):
+        import json
+        import zlib
+
+        body = {"generation": 1, "sides": {}, "tasks": {}, "curves": []}
+        canonical = json.dumps(body, sort_keys=True).encode("utf-8")
+        record = dict(body, crc=zlib.crc32(canonical) & 0xFFFFFFFF)
+        line = json.dumps(record, sort_keys=True).encode("utf-8")
+        assert decode_journal_record(line) is None
+
+
+# ---------------------------------------------------------------------------
+# frontier identity
+# ---------------------------------------------------------------------------
+
+
+class TestFrontierIdentity:
+    def test_frontier_prune_matches_unpruned(self, hq_ex_task, plan_space):
+        catalog = hq_ex_task.catalog()
+        pruned = quality_frontier(
+            catalog, plan_space, costs=hq_ex_task.costs, prune=True
+        )
+        unpruned = quality_frontier(
+            catalog, plan_space, costs=hq_ex_task.costs, prune=False
+        )
+        assert len(pruned) == len(unpruned)
+        for a, b in zip(pruned, unpruned):
+            assert a.plan == b.plan
+            assert a.effort_fraction == b.effort_fraction
+            assert a.n_good == b.n_good
+            assert a.n_bad == b.n_bad
+            assert a.time == b.time

@@ -362,6 +362,40 @@ class TestJoinService:
                     JoinRequest(tau_good=1, tau_bad=TAU_BAD, mode="plan")
                 )
 
+    def test_plan_mode_publishes_pruning_and_persists_curves(
+        self, warmed_service, hq_ex_task
+    ):
+        service, _ = warmed_service
+        plan = service.execute(
+            JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD, mode="plan")
+        )
+        assert plan["feasible"] > 0
+        stats = service.stats()
+        pruning = stats["plan_pruning"]
+        assert (
+            pruning.get("infeasible_bound", 0)
+            + pruning.get("infeasible_tau_bad", 0)
+            + pruning.get("dominated", 0)
+        ) > 0
+        assert {"hits", "misses", "exports"} <= set(stats["curve_store"])
+        assert stats["curve_store"]["exports"] >= 1
+        text = service.render_metrics()
+        assert "repro_plans_pruned_total" in text
+        assert "repro_service_curve_store" in text
+
+        # A fresh service over the same store imports the persisted
+        # curves: its descent answers from the store, and says so.
+        with JoinService(
+            hq_ex_task, str(service.store.root), workers=1
+        ) as revived:
+            again = revived.execute(
+                JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD, mode="plan")
+            )
+            assert again["plan"] == plan["plan"]
+            curve_stats = revived.stats()["curve_store"]
+            assert curve_stats["hits"] >= 1
+            assert "repro_curve_cache_hits_total" in revived.render_metrics()
+
     def test_stats_and_health_and_metrics(self, warmed_service, hq_ex_task):
         service, _ = warmed_service
         health = service.health()

@@ -20,6 +20,7 @@ from repro.validation.differential import (
     check_kernel_differential,
     check_mle_fit_differential,
     check_model_vs_simulation,
+    check_pruning_differential,
     run_validation,
 )
 from repro.validation.invariants import active_checker
@@ -109,6 +110,15 @@ class TestDifferentialFamilies:
         report = ValidationReport()
         check_mle_fit_differential(report, seed=3)
         assert len(report.checks) == 12 and not report.failures
+
+    def test_pruning_differential_exact(self, small_task):
+        report = ValidationReport()
+        check_pruning_differential(report, small_task)
+        assert report.checks and not report.failures
+        irrelevance = [
+            c for c in report.checks if c.name.endswith("pruned-irrelevance")
+        ]
+        assert len(irrelevance) == 1 and irrelevance[0].ok
 
 
 class TestRunValidation:
