@@ -462,6 +462,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_dir=args.trace_dir,
         checkpoints=checkpoints,
         fault_profile=None if profile.disabled else profile,
+        slo=args.slo,
+        flight_capacity=args.flight_capacity,
+        flight_spill=args.flight_spill,
+        trace_sample=args.trace_sample,
+        trace_keep=args.trace_keep,
+        trace_grace=args.trace_grace,
     )
     if service.pruned_checkpoints:
         _LOG.info(
@@ -521,6 +527,145 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if 200 <= status < 300 else 1
 
 
+def _format_event(event: dict) -> str:
+    """One wide event as a single ``repro tail`` line."""
+    latency = event.get("total_seconds")
+    parts = [
+        f"#{event.get('id')}",
+        str(event.get("outcome", "?")),
+        str(event.get("mode", "?")),
+        f"priority={event.get('priority')}",
+        f"{latency * 1000:.1f}ms" if latency is not None else "-",
+    ]
+    if event.get("phase"):
+        parts.append(f"interrupted={event['phase']}")
+    phases = event.get("phases") or {}
+    if phases:
+        parts.append(
+            " ".join(
+                f"{name}={seconds * 1000:.0f}ms"
+                for name, seconds in sorted(phases.items())
+            )
+        )
+    admission = event.get("admission") or {}
+    if admission.get("action") and admission["action"] != "admit":
+        parts.append(
+            f"admission={admission['action']}({admission.get('reason', '')})"
+        )
+    if event.get("error"):
+        parts.append(f"error={event['error']}")
+    return "  ".join(parts)
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    import time
+
+    from .service.http import request_json
+
+    since = args.since_id
+    while True:
+        endpoint = f"debug/requests?limit={args.limit}"
+        if since is not None:
+            endpoint += f"&since_id={since}"
+        if args.outcome is not None:
+            endpoint += f"&outcome={args.outcome}"
+        try:
+            status, body = request_json(args.url, endpoint)
+        except OSError as error:
+            _LOG.error("tail: %s unreachable: %s", args.url, error)
+            return 1
+        if status != 200 or not isinstance(body, dict):
+            _LOG.error("tail: %s returned HTTP %s", args.url, status)
+            return 1
+        events = sorted(body.get("requests", []), key=lambda e: e["id"])
+        for event in events:
+            print(_format_event(event), flush=True)
+            since = event["id"] if since is None else max(since, event["id"])
+        if since is None:
+            # An empty first page still starts the cursor so --follow only
+            # shows events newer than the initial fetch.
+            since = 0
+        if not args.follow:
+            return 0
+        time.sleep(args.interval)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from .service.http import request_json
+
+    iteration = 0
+    while True:
+        iteration += 1
+        try:
+            _, stats = request_json(args.url, "stats")
+            _, slo = request_json(args.url, "debug/slo")
+            _, recent = request_json(
+                args.url, f"debug/requests?limit={args.events}"
+            )
+        except OSError as error:
+            _LOG.error("top: %s unreachable: %s", args.url, error)
+            return 1
+        if not isinstance(stats, dict) or not isinstance(slo, dict):
+            _LOG.error("top: %s returned an unexpected payload", args.url)
+            return 1
+        if sys.stdout.isatty():
+            print("\x1b[2J\x1b[H", end="")
+        print(_render_top(args.url, stats, slo, recent))
+        if args.iterations and iteration >= args.iterations:
+            return 0
+        time.sleep(args.interval)
+
+
+def _render_top(url: str, stats: dict, slo: dict, recent: dict) -> str:
+    """The ``repro top`` dashboard as one printable block."""
+    admission = stats.get("admission", {})
+    recorder = stats.get("flight_recorder", {})
+    lines = [
+        (
+            f"repro top — {stats.get('task', '?')} @ {url}  "
+            f"queue={stats.get('queue_depth', '?')}  "
+            f"workers={stats.get('workers', '?')}  "
+            f"{'DRAINING' if stats.get('closed') else 'serving'}"
+        ),
+        (
+            "admission: "
+            + "  ".join(
+                f"{name}={admission.get(name, 0)}"
+                for name in ("admit", "degrade", "shed")
+            )
+            + f"  warm={'yes' if stats.get('warm_available') else 'no'}"
+        ),
+        (
+            f"flight recorder: {recorder.get('events_total', 0)} events, "
+            f"{recorder.get('kept_total', 0)} kept "
+            f"({recorder.get('ring_size', 0)}/{recorder.get('capacity', 0)} "
+            "in ring)  outcomes: "
+            + " ".join(
+                f"{name}={count}"
+                for name, count in (recorder.get("by_outcome") or {}).items()
+            )
+        ),
+    ]
+    snapshot = slo.get("slo", {})
+    healthy = snapshot.get("healthy")
+    verdict = "healthy" if healthy else "BURNING"
+    lines.append(f"slo ({snapshot.get('spec', '?')}): {verdict}")
+    for objective in snapshot.get("objectives", []):
+        burns = "  ".join(
+            f"{int(window['window_seconds'])}s={window['burn_rate']:.2f}"
+            for window in objective.get("windows", [])
+        )
+        lines.append(f"  {objective['objective']}: burn {burns}")
+    events = (recent or {}).get("requests", []) if isinstance(recent, dict) else []
+    if events:
+        lines.append("recent:")
+        for event in events:
+            lines.append("  " + _format_event(event))
+    return "\n".join(lines)
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     import tempfile
 
@@ -547,6 +692,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         prewarm=not args.no_prewarm,
         timeout=args.timeout,
     )
+    if args.slo is not None:
+        config.slo = args.slo
     if args.url is not None:
         _LOG.info("Load-testing %s: %d requests", args.url, config.requests)
         payload = run_http_loadtest(args.url, config)
@@ -581,6 +728,22 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         f"p90={latency['p90'] * 1000:.1f}ms "
         f"p99={latency['p99'] * 1000:.1f}ms"
     )
+    slo = payload.get("slo")
+    if slo is not None:
+        verdict = "met" if slo["healthy"] else "VIOLATED"
+        print(f"SLO ({slo['spec']}): {verdict}")
+        for entry in slo["overall"]:
+            print(
+                f"  {entry['objective']}: burn={entry['burn_rate']:.2f} "
+                f"bad={entry['bad']}/{entry['requests']}"
+            )
+        for priority in sorted(slo["priorities"]):
+            windows = slo["priorities"][priority]["windows"]
+            burns = ", ".join(
+                f"{name}={max((e['burn_rate'] for e in entries), default=0.0):.2f}"
+                for name, entries in sorted(windows.items())
+            )
+            print(f"  priority={priority}: worst burn {burns}")
     recovery = payload.get("recovery")
     if recovery is not None:
         violations = recovery.get("violations", [])
@@ -770,7 +933,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir",
         default=None,
         metavar="DIR",
-        help="write one trace per request into DIR",
+        help=(
+            "write tail-sampled traces into DIR (errors, 504s and slow "
+            "requests always; the boring rest 1-in---trace-sample)"
+        ),
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=int,
+        default=10,
+        metavar="N",
+        help="keep 1-in-N boring (ok/fast) requests in traces and the "
+        "flight recorder (default 10; 1 keeps everything)",
+    )
+    serve.add_argument(
+        "--trace-keep",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep at most N trace files per format in --trace-dir",
+    )
+    serve.add_argument(
+        "--trace-grace",
+        type=float,
+        default=30.0,
+        help=(
+            "never prune trace files younger than this many seconds "
+            "(default 30)"
+        ),
+    )
+    serve.add_argument(
+        "--slo",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "service level objectives as 'p99=2s,availability=99.5'; "
+            "burn rates are tracked over 1m/5m/30m windows and surfaced "
+            "in /v1/stats and /v1/debug/slo"
+        ),
+    )
+    serve.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=512,
+        metavar="N",
+        help="wide-event ring buffer size for /v1/debug/requests "
+        "(default 512)",
+    )
+    serve.add_argument(
+        "--flight-spill",
+        default=None,
+        metavar="PATH",
+        help="append kept wide events as JSONL to PATH",
     )
     serve.add_argument(
         "--checkpoint-dir",
@@ -837,7 +1051,14 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--endpoint",
         default="join",
-        choices=("join", "stats", "healthz", "metrics"),
+        choices=(
+            "join",
+            "stats",
+            "healthz",
+            "metrics",
+            "debug/requests",
+            "debug/slo",
+        ),
         help="API endpoint to call (default join)",
     )
     submit.add_argument("--tau-good", type=int, default=None)
@@ -875,6 +1096,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_logging_arguments(submit)
     submit.set_defaults(handler=_cmd_submit)
+
+    top = subparsers.add_parser(
+        "top",
+        help="live service dashboard: queue, admission, SLO burn, recents",
+    )
+    top.add_argument(
+        "--url",
+        default="http://127.0.0.1:8023",
+        help="service base URL (default http://127.0.0.1:8023)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default 2)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N refreshes (default 0 = run until interrupted)",
+    )
+    top.add_argument(
+        "--events",
+        type=int,
+        default=10,
+        metavar="N",
+        help="recent wide events to show (default 10)",
+    )
+    _add_logging_arguments(top)
+    top.set_defaults(handler=_cmd_top)
+
+    tail = subparsers.add_parser(
+        "tail",
+        help="print wide events from the service flight recorder",
+    )
+    tail.add_argument(
+        "--url",
+        default="http://127.0.0.1:8023",
+        help="service base URL (default http://127.0.0.1:8023)",
+    )
+    tail.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling for new events instead of exiting",
+    )
+    tail.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="poll interval with --follow (default 1)",
+    )
+    tail.add_argument(
+        "--limit",
+        type=int,
+        default=50,
+        metavar="N",
+        help="events per fetch (default 50)",
+    )
+    tail.add_argument(
+        "--since-id",
+        type=int,
+        default=None,
+        metavar="ID",
+        help="only show events with a request id greater than ID",
+    )
+    tail.add_argument(
+        "--outcome",
+        default=None,
+        help="filter by outcome (ok, degraded, shed, deadline, error)",
+    )
+    _add_logging_arguments(tail)
+    tail.set_defaults(handler=_cmd_tail)
 
     loadtest = subparsers.add_parser(
         "loadtest",
@@ -956,6 +1251,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=300.0,
         help="per-request client timeout in seconds",
+    )
+    loadtest.add_argument(
+        "--slo",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "score the run against these objectives (default "
+            "'p99=2s,availability=99.5'; '' disables the SLO section)"
+        ),
     )
     loadtest.add_argument(
         "--out",

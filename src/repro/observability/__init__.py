@@ -12,7 +12,13 @@ documents, and quality go (DESIGN §6.3):
 * :mod:`~repro.observability.context` — the shared
   :class:`ObservabilityContext` threaded through executors, retrievers,
   probes, the optimizer, the adaptive driver, and the resilience layer;
-* :mod:`~repro.observability.logs` — CLI/library logging configuration.
+* :mod:`~repro.observability.logs` — CLI/library logging configuration;
+* :mod:`~repro.observability.events` — per-request wide events in a
+  tail-sampled flight recorder (DESIGN §6.8);
+* :mod:`~repro.observability.slo` — declarative SLOs with multi-window
+  burn-rate evaluation;
+* :mod:`~repro.observability.profiler` — an on-demand sampling profiler
+  rendered as collapsed stacks.
 
 Everything defaults to the shared no-op context, so an uninstrumented run
 is byte-identical to one built without this package.
@@ -24,8 +30,11 @@ from .context import (
     ensure_observability,
 )
 from .drift import DriftSnapshot, DriftTracker
+from .events import FlightRecorder, TailSampler, WideEvent, span_tree
 from .logs import configure_logging, get_logger
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiler import ProfileResult, SamplingProfiler
+from .slo import SLOConfig, SLOObjective, SLOTracker
 from .tracer import NullTracer, SpanKind, Tracer
 
 __all__ = [
@@ -34,12 +43,21 @@ __all__ = [
     "ensure_observability",
     "DriftSnapshot",
     "DriftTracker",
+    "FlightRecorder",
+    "TailSampler",
+    "WideEvent",
+    "span_tree",
     "configure_logging",
     "get_logger",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ProfileResult",
+    "SamplingProfiler",
+    "SLOConfig",
+    "SLOObjective",
+    "SLOTracker",
     "NullTracer",
     "SpanKind",
     "Tracer",

@@ -22,6 +22,7 @@ merged telemetry deterministic.
 from __future__ import annotations
 
 import pathlib
+import time
 from typing import Any, Dict, Optional
 
 from ..core.quality import ObservabilityReport
@@ -51,8 +52,19 @@ class ObservabilityContext:
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.drift = drift if drift is not None else DriftTracker()
+        #: coarse phase name -> accumulated wall seconds, for wide events
+        self.phases: Dict[str, float] = {}
 
     # -- delegation shorthands ------------------------------------------------
+
+    def phase(self, name: str) -> "_PhaseTimer":
+        """Accumulate wall time under a coarse phase name.
+
+        Phases are driver-level buckets (pilot / estimate / optimize /
+        execute), recorded even when the body raises — a deadline 504
+        still reports how its budget was spent.
+        """
+        return _PhaseTimer(self.phases, name)
 
     def span(self, kind: str, name: Optional[str] = None, **attrs: Any):
         return self.tracer.span(kind, name, **attrs)
@@ -129,6 +141,8 @@ class ObservabilityContext:
         self.tracer = Tracer(tid=tid, origin_ns=self.tracer.origin_ns)
         self.metrics = MetricsRegistry()
         self.drift = DriftTracker()
+        # phase timings stay driver-level: children never record phases
+        self.phases = {}
 
     def export_child_state(self) -> Dict[str, Any]:
         """Picklable telemetry payload to ship back to the parent."""
@@ -156,6 +170,10 @@ class _NullObservability(ObservabilityContext):
         self.tracer = NullTracer()
         self.metrics = NullMetrics()
         self.drift = NullDriftTracker()
+        self.phases = {}
+
+    def phase(self, name: str) -> "_NullPhaseTimer":
+        return _NULL_PHASE
 
     def record_drift(self, **kwargs: Any) -> None:
         return None
@@ -172,6 +190,37 @@ class _NullObservability(ObservabilityContext):
     def merge_child(self, state: Optional[Dict[str, Any]]) -> None:
         return None
 
+
+class _PhaseTimer:
+    """Context manager adding elapsed wall time to ``phases[name]``."""
+
+    __slots__ = ("_phases", "_name", "_started")
+
+    def __init__(self, phases: Dict[str, float], name: str) -> None:
+        self._phases = phases
+        self._name = name
+        self._started = 0.0
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        elapsed = time.perf_counter() - self._started
+        self._phases[self._name] = self._phases.get(self._name, 0.0) + elapsed
+
+
+class _NullPhaseTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhaseTimer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_PHASE = _NullPhaseTimer()
 
 NULL_OBSERVABILITY = _NullObservability()
 

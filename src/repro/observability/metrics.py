@@ -50,24 +50,44 @@ class Gauge:
 
 
 class Histogram:
-    """Cumulative-bucket histogram (Prometheus semantics)."""
+    """Cumulative-bucket histogram (Prometheus semantics).
 
-    __slots__ = ("buckets", "counts", "total", "count")
+    Each bucket can carry one *exemplar* — an opaque id (here: a request
+    id) plus the observed value that most recently landed in the bucket —
+    so a slow histogram bucket links straight to the concrete request
+    that produced it (the flight-recorder event, via ``/v1/debug``).
+    """
+
+    __slots__ = ("buckets", "counts", "total", "count", "exemplars")
 
     def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         self.buckets = tuple(sorted(buckets))
         self.counts = [0] * (len(self.buckets) + 1)  # +Inf bucket last
+        #: per-bucket most-recent exemplar: (id, observed value) or None
+        self.exemplars: List[Optional[Tuple[str, float]]] = [None] * (
+            len(self.buckets) + 1
+        )
         self.total = 0.0
         self.count = 0
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         self.total += value
         self.count += 1
-        for index, bound in enumerate(self.buckets):
+        index = len(self.buckets)  # +Inf unless a finite bound fits
+        for i, bound in enumerate(self.buckets):
             if value <= bound:
-                self.counts[index] += 1
-                return
-        self.counts[-1] += 1
+                index = i
+                break
+        self.counts[index] += 1
+        if exemplar is not None:
+            self.exemplars[index] = (str(exemplar), value)
+
+    def exemplar_for(self, value: float) -> Optional[Tuple[str, float]]:
+        """The exemplar of the bucket *value* would fall into, or None."""
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                return self.exemplars[i]
+        return self.exemplars[-1]
 
 
 class _NullInstrument:
@@ -82,7 +102,7 @@ class _NullInstrument:
     def set(self, value: float) -> None:
         return None
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         return None
 
 
@@ -129,6 +149,11 @@ class MetricsRegistry:
         #: (name, labels) -> instrument, insertion-ordered for stable dumps
         self._instruments: Dict[Tuple[str, LabelKey], Any] = {}
         self._types: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a ``# HELP`` line to a metric family."""
+        self._help[name] = help_text
 
     def _get(self, kind: str, name: str, labels: Dict[str, Any], factory):
         declared = self._types.setdefault(name, kind)
@@ -167,6 +192,15 @@ class MetricsRegistry:
         instrument = self._instruments.get((name, _label_key(labels)))
         return instrument.value if instrument is not None else 0.0
 
+    def drop(self, name: str) -> None:
+        """Remove every instrument of a family (e.g. refreshed info gauges)."""
+        self._instruments = {
+            key: instrument
+            for key, instrument in self._instruments.items()
+            if key[0] != name
+        }
+        self._types.pop(name, None)
+
     def totals(self) -> Dict[str, float]:
         """Flat ``name{labels} -> value`` map of counters and gauges."""
         flat: Dict[str, float] = {}
@@ -188,6 +222,8 @@ class MetricsRegistry:
         last_name = None
         for name, kind, labels, instrument in self.families():
             if name != last_name:
+                help_text = self._help.get(name) or _default_help(name)
+                lines.append(f"# HELP {name} {help_text}")
                 lines.append(f"# TYPE {name} {kind}")
                 last_name = name
             if kind == "histogram":
@@ -225,6 +261,7 @@ class MetricsRegistry:
                     list(instrument.counts),
                     instrument.total,
                     instrument.count,
+                    list(instrument.exemplars),
                 )
             else:
                 payload = instrument.value
@@ -244,12 +281,19 @@ class MetricsRegistry:
             elif kind == "gauge":
                 self.gauge(name, **label_dict).set(payload)
             else:
-                buckets, counts, total, count = payload
+                buckets, counts, total, count, exemplars = payload
                 histogram = self.histogram(name, buckets=buckets, **label_dict)
                 for index, bucket_count in enumerate(counts):
                     histogram.counts[index] += bucket_count
+                    # child exemplar wins: it is the more recent observation
+                    if exemplars[index] is not None:
+                        histogram.exemplars[index] = tuple(exemplars[index])
                 histogram.total += total
                 histogram.count += count
+
+
+def _default_help(name: str) -> str:
+    return name.replace("_", " ")
 
 
 def _render_value(value: float) -> str:

@@ -1,0 +1,143 @@
+"""A stdlib-only sampling profiler rendered as collapsed stacks.
+
+``/v1/debug/profile?seconds=N`` needs to answer "where are the worker
+threads spending time *right now*?" without adding per-call overhead to
+the hot path.  :class:`SamplingProfiler` polls
+:func:`sys._current_frames` at a fixed interval from the *calling*
+thread (for the service: the HTTP handler thread serving the debug
+request), aggregates each thread's stack root-first, and renders the
+counts in the flamegraph "collapsed" format::
+
+    thread;module.py:outer;module.py:inner 42
+
+Caveats (documented in DESIGN §6.8): samples are wall-clock, so a
+thread blocked on a lock or socket counts the same as one burning CPU;
+the sampler never sees stacks shorter than one interval; and
+``sys._current_frames`` momentarily holds the interpreter's internal
+state, so very small intervals (<1ms) are clamped.  The profiler only
+runs while a debug request asks for it — zero steady-state cost.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["ProfileResult", "SamplingProfiler"]
+
+#: floor on the sampling interval, seconds
+MIN_INTERVAL = 0.001
+
+#: ceiling on one profiling window, seconds (debug endpoint guard)
+MAX_SECONDS = 60.0
+
+
+class ProfileResult:
+    """Aggregated samples: collapsed stack -> observation count."""
+
+    def __init__(
+        self, stacks: Dict[str, int], samples: int, duration: float
+    ) -> None:
+        self.stacks = stacks
+        self.samples = samples
+        self.duration = duration
+
+    def render(self) -> str:
+        """Flamegraph collapsed format, highest count first."""
+        lines = [
+            f"{stack} {count}"
+            for stack, count in sorted(
+                self.stacks.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "samples": self.samples,
+            "duration_seconds": self.duration,
+            "stacks": dict(
+                sorted(self.stacks.items(), key=lambda item: (-item[1], item[0]))
+            ),
+        }
+
+
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    return f"{os.path.basename(code.co_filename)}:{code.co_name}"
+
+
+def _collapse(thread_name: str, frame) -> str:
+    parts: List[str] = []
+    while frame is not None:
+        parts.append(_frame_label(frame))
+        frame = frame.f_back
+    parts.append(thread_name)
+    return ";".join(reversed(parts))
+
+
+class SamplingProfiler:
+    """Poll every live thread's stack for a bounded window.
+
+    Thread names become stack roots, so one profile separates the
+    service worker pool (``join-service-*``) from HTTP handler threads.
+    The calling thread is excluded (it would only ever show this
+    sampling loop).  Concurrent profile requests serialize on a module
+    lock — overlapping samplers would double the interpreter pauses for
+    no extra information.
+    """
+
+    _lock = threading.Lock()
+
+    def __init__(
+        self,
+        interval: float = 0.005,
+        clock=time.perf_counter,
+        sleep=time.sleep,
+    ) -> None:
+        self.interval = max(float(interval), MIN_INTERVAL)
+        self.clock = clock
+        self.sleep = sleep
+
+    def sample_for(
+        self, seconds: float, name_prefix: Optional[str] = None
+    ) -> ProfileResult:
+        """Sample for *seconds* (clamped to ``MAX_SECONDS``), blocking.
+
+        ``name_prefix`` restricts sampling to threads whose name starts
+        with the prefix (e.g. ``join-service`` for just the worker pool).
+        """
+        seconds = min(max(float(seconds), 0.0), MAX_SECONDS)
+        stacks: Dict[str, int] = {}
+        samples = 0
+        started = self.clock()
+        with self._lock:
+            while True:
+                elapsed = self.clock() - started
+                if samples and elapsed >= seconds:
+                    break
+                names = {
+                    thread.ident: thread.name
+                    for thread in threading.enumerate()
+                    if thread.ident is not None
+                }
+                current = threading.get_ident()
+                for ident, frame in sys._current_frames().items():
+                    if ident == current:
+                        continue
+                    name = names.get(ident, f"thread-{ident}")
+                    if name_prefix is not None and not name.startswith(
+                        name_prefix
+                    ):
+                        continue
+                    stack = _collapse(name, frame)
+                    stacks[stack] = stacks.get(stack, 0) + 1
+                samples += 1
+                if self.clock() - started >= seconds:
+                    break
+                self.sleep(self.interval)
+        duration = self.clock() - started
+        return ProfileResult(stacks, samples, duration)

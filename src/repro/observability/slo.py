@@ -1,0 +1,242 @@
+"""Declarative SLOs and multi-window burn-rate tracking.
+
+An SLO spec is a comma list of objectives::
+
+    --slo p99=2s,availability=99.5
+
+``pNN=<duration>`` is a latency objective — at least NN% of requests
+finish within the threshold (suffixes: ``ms``, ``s``, ``m``; bare
+numbers are seconds).  ``availability=<percent>`` is an availability
+objective — at least that percentage of requests succeed (outcome
+``ok``/``degraded``).
+
+Burn rate follows the SRE-workbook definition: the observed bad
+fraction divided by the error-budget fraction.  A burn rate of 1.0
+spends the budget exactly at the rate the window allows; above ~1 the
+objective is burning too fast, and multi-window evaluation (default
+1m / 5m / 30m) separates a transient blip (short window hot, long
+windows calm) from a sustained regression (all windows hot).
+
+Each window also reports its *worst exemplar* — the request id of the
+slowest (latency objectives) or a failed (availability) request — so a
+hot burn rate links straight to a flight-recorder event.
+"""
+
+from __future__ import annotations
+
+import collections
+import time
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SLOObjective",
+    "SLOConfig",
+    "SLOTracker",
+    "compliance",
+    "DEFAULT_SLO_SPEC",
+    "DEFAULT_WINDOWS",
+]
+
+DEFAULT_SLO_SPEC = "p99=2s,availability=99.5"
+
+#: default burn-rate windows, seconds (1m / 5m / 30m)
+DEFAULT_WINDOWS: Tuple[float, ...] = (60.0, 300.0, 1800.0)
+
+_DURATION_SUFFIXES = (("ms", 0.001), ("s", 1.0), ("m", 60.0))
+
+
+def _parse_duration(text: str) -> float:
+    raw = text.strip().lower()
+    for suffix, scale in _DURATION_SUFFIXES:
+        if raw.endswith(suffix):
+            return float(raw[: -len(suffix)]) * scale
+    return float(raw)
+
+
+@dataclass(frozen=True)
+class SLOObjective:
+    """One objective: latency (``pNN<=T``) or availability (``>=X%``)."""
+
+    kind: str  # "latency" | "availability"
+    #: latency: percentile fraction in (0, 1); availability: target fraction
+    target: float
+    #: latency threshold in seconds (latency objectives only)
+    threshold: Optional[float] = None
+
+    @property
+    def budget(self) -> float:
+        """Allowed bad fraction (the error budget)."""
+        return 1.0 - self.target
+
+    def describe(self) -> str:
+        if self.kind == "latency":
+            return f"p{self.target * 100:g}<={self.threshold:g}s"
+        return f"availability>={self.target * 100:g}%"
+
+    def is_bad(self, latency: float, available: bool) -> bool:
+        """Does one observation spend error budget?"""
+        if self.kind == "availability":
+            return not available
+        # an unavailable request never met the latency objective either
+        return (not available) or latency > self.threshold
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    objectives: Tuple[SLOObjective, ...]
+    spec: str
+
+    @staticmethod
+    def parse(spec: str) -> "SLOConfig":
+        """Parse ``p99=2s,availability=99.5`` into objectives."""
+        objectives: List[SLOObjective] = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, sep, value = part.partition("=")
+            name = name.strip().lower()
+            if not sep:
+                raise ValueError(f"malformed SLO objective {part!r}")
+            if name == "availability":
+                target = float(value) / 100.0
+                if not 0.0 < target < 1.0:
+                    raise ValueError(
+                        f"availability must lie in (0, 100), got {value!r}"
+                    )
+                objectives.append(SLOObjective("availability", target))
+            elif name.startswith("p") and name[1:].replace(".", "").isdigit():
+                fraction = float(name[1:]) / 100.0
+                if not 0.0 < fraction < 1.0:
+                    raise ValueError(
+                        f"latency percentile must lie in (0, 100), got {name!r}"
+                    )
+                threshold = _parse_duration(value)
+                if threshold <= 0:
+                    raise ValueError(
+                        f"latency threshold must be positive, got {value!r}"
+                    )
+                objectives.append(
+                    SLOObjective("latency", fraction, threshold)
+                )
+            else:
+                raise ValueError(f"unknown SLO objective {name!r}")
+        if not objectives:
+            raise ValueError(f"empty SLO spec {spec!r}")
+        return SLOConfig(tuple(objectives), spec)
+
+
+def compliance(
+    observations: Sequence[Tuple[float, bool, Any]],
+    objective: SLOObjective,
+) -> Dict[str, Any]:
+    """Burn rate + worst exemplar of one objective over observations.
+
+    ``observations`` are ``(latency_seconds, available, exemplar_id)``
+    tuples.  Burn rate is ``bad_fraction / budget``; an empty window
+    reports a burn rate of 0.0 (nothing burned nothing).
+    """
+    requests = len(observations)
+    bad = 0
+    worst: Optional[Dict[str, Any]] = None
+    for latency, available, exemplar in observations:
+        if not objective.is_bad(latency, available):
+            continue
+        bad += 1
+        # worst = slowest bad request; unavailable beats merely-slow
+        rank = (0 if available else 1, latency)
+        if worst is None or rank >= (
+            0 if worst["available"] else 1,
+            worst["latency"],
+        ):
+            worst = {
+                "id": exemplar,
+                "latency": latency,
+                "available": available,
+            }
+    bad_fraction = bad / requests if requests else 0.0
+    return {
+        "objective": objective.describe(),
+        "requests": requests,
+        "bad": bad,
+        "bad_fraction": bad_fraction,
+        "budget": objective.budget,
+        "burn_rate": bad_fraction / objective.budget,
+        "worst_exemplar": worst,
+    }
+
+
+class SLOTracker:
+    """Rolling multi-window burn-rate evaluation over recent requests.
+
+    Holds the last ``capacity`` observations (timestamp, latency,
+    availability, request id) and evaluates every objective over every
+    window on demand.  The observation ring bounds memory, so very long
+    windows under very high traffic see a truncated (most recent) view —
+    fine for an in-process debug plane.
+    """
+
+    def __init__(
+        self,
+        config: SLOConfig,
+        windows: Sequence[float] = DEFAULT_WINDOWS,
+        capacity: int = 4096,
+        clock=time.time,
+    ) -> None:
+        self.config = config
+        self.windows = tuple(sorted(windows))
+        self.clock = clock
+        self._observations: Deque[Tuple[float, float, bool, Any]] = (
+            collections.deque(maxlen=capacity)
+        )
+
+    def observe(
+        self,
+        latency: float,
+        available: bool,
+        request_id: Any,
+        now: Optional[float] = None,
+    ) -> None:
+        ts = now if now is not None else self.clock()
+        self._observations.append((ts, latency, available, request_id))
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Per-objective, per-window burn rates with worst exemplars."""
+        ts = now if now is not None else self.clock()
+        observations = list(self._observations)
+        report: List[Dict[str, Any]] = []
+        for objective in self.config.objectives:
+            windows = []
+            for window in self.windows:
+                recent = [
+                    (latency, available, exemplar)
+                    for (seen, latency, available, exemplar) in observations
+                    if ts - seen <= window
+                ]
+                entry = compliance(recent, objective)
+                entry["window_seconds"] = window
+                windows.append(entry)
+            report.append(
+                {"objective": objective.describe(), "windows": windows}
+            )
+        return {
+            "spec": self.config.spec,
+            "observations": len(observations),
+            "objectives": report,
+            "healthy": all(
+                window["burn_rate"] <= 1.0
+                for objective in report
+                for window in objective["windows"]
+            ),
+        }
+
+    def worst_burn_rates(self, now: Optional[float] = None) -> Dict[str, float]:
+        """objective -> max burn rate across windows (cheap stats summary)."""
+        snapshot = self.snapshot(now=now)
+        return {
+            objective["objective"]: max(
+                window["burn_rate"] for window in objective["windows"]
+            )
+            for objective in snapshot["objectives"]
+        }

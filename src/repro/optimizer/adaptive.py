@@ -337,7 +337,7 @@ class AdaptiveJoinExecutor:
             for side in (1, 2)
         )
         try:
-            with self.observability.span(
+            with self.observability.phase("pilot"), self.observability.span(
                 SpanKind.PILOT, "pilot", documents=documents, resumed=before > 0
             ):
                 execution = pilot.run(
@@ -396,7 +396,7 @@ class AdaptiveJoinExecutor:
                 fp=char.fp_at(self.pilot_theta),
                 theta=self.pilot_theta,
             )
-            with self.observability.span(
+            with self.observability.phase("estimate"), self.observability.span(
                 SpanKind.MLE_REFIT,
                 f"mle.side{side}",
                 side=side,
@@ -504,7 +504,7 @@ class AdaptiveJoinExecutor:
         chosen_plan: JoinPlanSpec,
     ) -> bool:
         """Do value-split halves agree with the full fit's plan choice?"""
-        with self.observability.span(
+        with self.observability.phase("crossvalidate"), self.observability.span(
             SpanKind.CROSS_VALIDATE,
             "crossvalidate",
             plan=chosen_plan.describe(),
@@ -656,7 +656,8 @@ class AdaptiveJoinExecutor:
                 observability=self.environment.observability,
                 prune=True,
             )
-            optimization = optimizer.optimize(self.plans, requirement)
+            with self.observability.phase("optimize"):
+                optimization = optimizer.optimize(self.plans, requirement)
             self._record_drift(
                 f"pilot-round-{rounds}", optimizer, optimization.chosen, pilot
             )
@@ -771,7 +772,7 @@ class AdaptiveJoinExecutor:
                 fp=char.fp_at(self.pilot_theta),
                 theta=self.pilot_theta,
             )
-            with self.observability.span(
+            with self.observability.phase("estimate"), self.observability.span(
                 SpanKind.MLE_REFIT,
                 f"mle.side{side}",
                 side=side,
@@ -816,7 +817,7 @@ class AdaptiveJoinExecutor:
             observability=self.environment.observability,
             prune=True,
         )
-        with self.observability.span(
+        with self.observability.phase("optimize"), self.observability.span(
             SpanKind.REOPTIMIZE, "reoptimize", plans=len(plans)
         ):
             result = optimizer.optimize(plans, requirement)
@@ -871,7 +872,9 @@ class AdaptiveJoinExecutor:
                 tau_good=milestone, tau_bad=requirement.tau_bad
             )
             try:
-                with self.observability.span(
+                with self.observability.phase(
+                    "execute"
+                ), self.observability.span(
                     SpanKind.EXECUTE,
                     f"execute.{chosen.plan.join.value.lower()}",
                     plan=chosen.plan.describe(),

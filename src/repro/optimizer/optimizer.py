@@ -793,11 +793,20 @@ class JoinOptimizer:
                 evaluations = self._evaluate_pruned(list(plans), requirement)
                 self._publish_pruning(before)
                 if observability.enabled:
-                    for evaluation in evaluations:
+                    # One batched inc per label value, not one label-key
+                    # resolution per evaluation: sweeps call optimize()
+                    # once per tau and the per-call lookup cost dominates
+                    # the enabled-path overhead.
+                    feasible = sum(1 for e in evaluations if e.feasible)
+                    infeasible = len(evaluations) - feasible
+                    if feasible:
                         observability.metrics.counter(
-                            "repro_plan_evaluations_total",
-                            feasible=evaluation.feasible,
-                        ).inc()
+                            "repro_plan_evaluations_total", feasible=True
+                        ).inc(feasible)
+                    if infeasible:
+                        observability.metrics.counter(
+                            "repro_plan_evaluations_total", feasible=False
+                        ).inc(infeasible)
             elif workers is not None and workers > 1:
                 global _FORK_STATE
                 _FORK_STATE = (self, list(plans), requirement)

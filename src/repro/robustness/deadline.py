@@ -99,6 +99,17 @@ class Deadline:
         """Seconds until expiry (negative once expired)."""
         return self.expires_at - self.clock()
 
+    def spent(self) -> Optional[float]:
+        """Seconds of budget consumed so far (``None`` if budget unknown).
+
+        Can exceed the budget once expired — the overshoot is exactly
+        the latency the deadline failed to bound, which is what a wide
+        event wants to report.
+        """
+        if self.budget is None:
+            return None
+        return self.budget - self.remaining()
+
     @property
     def expired(self) -> bool:
         return self.remaining() <= 0.0

@@ -23,6 +23,7 @@ completely full, ``low`` ones already at half depth.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import random
 import threading
@@ -42,11 +43,17 @@ DEGRADE_FRACTIONS: Dict[str, float] = {"high": 1.0, "normal": 0.75, "low": 0.5}
 
 @dataclass(frozen=True)
 class AdmissionDecision:
-    """One admission outcome: what to do and (for sheds) when to retry."""
+    """One admission outcome: what to do and (for sheds) when to retry.
+
+    ``depth`` records the queue depth the decision was made against, so a
+    wide event can show *why* a request was degraded or shed without
+    re-deriving load from surrounding events.
+    """
 
     action: str
     retry_after: float = 0.0
     reason: str = ""
+    depth: int = 0
 
 
 class AdmissionController:
@@ -85,7 +92,7 @@ class AdmissionController:
                 mode, priority, depth, warm_available, plan_cached
             )
             self.decisions[decision.action] += 1
-            return decision
+            return dataclasses.replace(decision, depth=depth)
 
     def _decide(
         self,

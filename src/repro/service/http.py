@@ -13,6 +13,13 @@ as a small JSON API:
 * ``GET /v1/healthz`` — liveness/drain status.
 * ``GET /v1/stats`` — statistics-store and plan-cache introspection.
 * ``GET /v1/metrics`` — Prometheus exposition text.
+* ``GET /v1/debug/requests`` — recent wide events from the flight
+  recorder (filters: ``outcome``, ``mode``, ``priority``, ``phase``,
+  ``since_id``, ``limit``).
+* ``GET /v1/debug/requests/<id>`` — one wide event with its span tree.
+* ``GET /v1/debug/slo`` — burn rates per objective and window.
+* ``GET /v1/debug/profile?seconds=N`` — collapsed-stack sampling
+  profile of the service threads (text/plain, flamegraph-ready).
 
 Connection handling is thread-per-request (stdlib), but join work itself
 runs on the service's bounded worker pool — the HTTP thread just blocks
@@ -36,6 +43,7 @@ import socket
 import threading
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional, Tuple
@@ -110,7 +118,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # -- GET ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
-        path = self.path.split("?", 1)[0]
+        path, _, query = self.path.partition("?")
+        params = urllib.parse.parse_qs(query)
         if path == "/v1/healthz":
             health = self.service.health()
             status = 200 if health["status"] == "ok" else 503
@@ -123,8 +132,71 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 self.service.render_metrics(),
                 content_type="text/plain; version=0.0.4",
             )
+        elif path == "/v1/debug/requests":
+            self._debug_requests(params)
+        elif path.startswith("/v1/debug/requests/"):
+            self._debug_request(path[len("/v1/debug/requests/"):])
+        elif path == "/v1/debug/slo":
+            self._send_json(200, self.service.debug_slo())
+        elif path == "/v1/debug/profile":
+            self._debug_profile(params)
         else:
             self._send_error(404, f"unknown path {path}")
+
+    # -- /v1/debug ------------------------------------------------------------
+
+    @staticmethod
+    def _param(params: Dict[str, list], name: str) -> Optional[str]:
+        values = params.get(name)
+        return values[-1] if values else None
+
+    def _debug_requests(self, params: Dict[str, list]) -> None:
+        try:
+            limit = int(self._param(params, "limit") or 50)
+            raw_since = self._param(params, "since_id")
+            since_id = int(raw_since) if raw_since is not None else None
+        except ValueError:
+            self._send_error(400, "limit and since_id must be integers")
+            return
+        events = self.service.debug_requests(
+            limit=max(min(limit, 1000), 1),
+            outcome=self._param(params, "outcome"),
+            mode=self._param(params, "mode"),
+            priority=self._param(params, "priority"),
+            phase=self._param(params, "phase"),
+            since_id=since_id,
+        )
+        self._send_json(200, {"requests": events, "count": len(events)})
+
+    def _debug_request(self, raw_id: str) -> None:
+        try:
+            request_id = int(raw_id)
+        except ValueError:
+            self._send_error(400, f"request id must be an integer, got {raw_id!r}")
+            return
+        event = self.service.debug_request(request_id)
+        if event is None:
+            self._send_error(404, f"request {request_id} not in the ring")
+            return
+        self._send_json(200, event)
+
+    def _debug_profile(self, params: Dict[str, list]) -> None:
+        try:
+            seconds = float(self._param(params, "seconds") or 1.0)
+            interval = float(self._param(params, "interval") or 0.005)
+        except ValueError:
+            self._send_error(400, "seconds and interval must be numbers")
+            return
+        if not (0.0 < seconds <= 60.0):
+            self._send_error(400, "seconds must lie in (0, 60]")
+            return
+        profile = self.service.profile(seconds=seconds, interval=interval)
+        self._send(
+            200,
+            f"# samples: {profile.samples} duration: {profile.duration:.3f}s\n"
+            + profile.render(),
+            content_type="text/plain",
+        )
 
     # -- POST -----------------------------------------------------------------
 

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from ..observability.metrics import percentile
+from ..observability.slo import DEFAULT_SLO_SPEC, SLOConfig, compliance
 from ..robustness.deadline import DeadlineExceeded
 from ..robustness.faults import FaultProfile
 from ..validation.invariants import (
@@ -98,6 +99,9 @@ class LoadTestConfig:
     #: are available (matches a service that has been up for a while)
     prewarm: bool = True
     timeout: float = 300.0
+    #: SLO spec evaluated per priority class in the bench payload; empty
+    #: string disables the section
+    slo: str = DEFAULT_SLO_SPEC
 
     def __post_init__(self) -> None:
         if self.requests <= 0:
@@ -185,6 +189,73 @@ def _request_payload(config: LoadTestConfig, index: int) -> Dict[str, Any]:
 class _Sample:
     outcome: str
     latency: float
+    #: request priority class ("high"/"normal"/"low"); "unknown" for
+    #: callers that predate the SLO section
+    priority: str = "unknown"
+    #: request index in the seeded run — the SLO exemplar id
+    index: int = -1
+    #: completion time, seconds since the run started (for windowing)
+    finished: float = 0.0
+
+
+#: requests that count as available for the SLO availability objective
+_AVAILABLE_OUTCOMES = frozenset({"ok", "degraded"})
+
+
+def _slo_report(
+    config: LoadTestConfig, samples: List[_Sample], wall_seconds: float
+) -> Optional[Dict[str, Any]]:
+    """Per-priority SLO compliance over the whole run and its second half.
+
+    The "run" window is the before/after yardstick for the ROADMAP's
+    async-front-end work; the "last_half" window shows whether the tail
+    of the run (warm caches, warm store) already meets the objectives a
+    cold start misses.  Each objective carries its worst exemplar — the
+    seeded request index, which replays exactly.
+    """
+    if not config.slo:
+        return None
+    slo_config = SLOConfig.parse(config.slo)
+    windows = {
+        "run": samples,
+        "last_half": [
+            s for s in samples if s.finished >= wall_seconds / 2.0
+        ],
+    }
+    priorities: Dict[str, Any] = {}
+    for priority in ("high", "normal", "low", "unknown"):
+        chosen = [s for s in samples if s.priority == priority]
+        if not chosen:
+            continue
+        per_window = {}
+        for window_name, window_samples in windows.items():
+            observations = [
+                (s.latency, s.outcome in _AVAILABLE_OUTCOMES, s.index)
+                for s in window_samples
+                if s.priority == priority
+            ]
+            per_window[window_name] = [
+                compliance(observations, objective)
+                for objective in slo_config.objectives
+            ]
+        priorities[priority] = {
+            "requests": len(chosen),
+            "windows": per_window,
+        }
+    all_observations = [
+        (s.latency, s.outcome in _AVAILABLE_OUTCOMES, s.index)
+        for s in samples
+    ]
+    overall = [
+        compliance(all_observations, objective)
+        for objective in slo_config.objectives
+    ]
+    return {
+        "spec": config.slo,
+        "overall": overall,
+        "healthy": all(entry["burn_rate"] <= 1.0 for entry in overall),
+        "priorities": priorities,
+    }
 
 
 def _bench_payload(
@@ -221,6 +292,9 @@ def _bench_payload(
         "error_rate": round(outcomes["error"] / total, 6),
         "recovery": recovery,
     }
+    slo = _slo_report(config, samples, wall_seconds)
+    if slo is not None:
+        payload["slo"] = slo
     if store is not None:
         payload["store"] = store
     return payload
@@ -254,6 +328,7 @@ def run_local_loadtest(
     )
     samples: List[_Sample] = []
     samples_lock = threading.Lock()
+    run_started = [0.0]
 
     def one(index: int) -> None:
         payload = _request_payload(config, index)
@@ -272,9 +347,16 @@ def run_local_loadtest(
             outcome = "timeout"
         except Exception:  # noqa: BLE001 — the bench reports, not raises
             outcome = "error"
+        now = time.perf_counter()
         with samples_lock:
             samples.append(
-                _Sample(outcome, time.perf_counter() - started)
+                _Sample(
+                    outcome,
+                    now - started,
+                    priority=payload["priority"],
+                    index=index,
+                    finished=now - run_started[0],
+                )
             )
 
     try:
@@ -283,6 +365,7 @@ def run_local_loadtest(
                 JoinRequest(tau_good=config.tau_good, tau_bad=config.tau_bad)
             )
         started = time.perf_counter()
+        run_started[0] = started
         with ThreadPoolExecutor(max_workers=config.concurrency) as pool:
             list(pool.map(one, range(config.requests)))
         wall = time.perf_counter() - started
@@ -343,6 +426,7 @@ def run_http_loadtest(url: str, config: LoadTestConfig) -> Dict[str, Any]:
     samples: List[_Sample] = []
     samples_lock = threading.Lock()
     saw_down = threading.Event()
+    run_started = [0.0]
 
     def one(index: int) -> None:
         payload = _request_payload(config, index)
@@ -370,12 +454,20 @@ def run_http_loadtest(url: str, config: LoadTestConfig) -> Dict[str, Any]:
         ):
             outcome = "unavailable"
             saw_down.set()
+        now = time.perf_counter()
         with samples_lock:
             samples.append(
-                _Sample(outcome, time.perf_counter() - started)
+                _Sample(
+                    outcome,
+                    now - started,
+                    priority=payload["priority"],
+                    index=index,
+                    finished=now - run_started[0],
+                )
             )
 
     started = time.perf_counter()
+    run_started[0] = started
     with ThreadPoolExecutor(max_workers=config.concurrency) as pool:
         list(pool.map(one, range(config.requests)))
     wall = time.perf_counter() - started

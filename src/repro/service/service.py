@@ -57,11 +57,15 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from .. import __version__
 from ..core.preferences import QualityRequirement
 from ..estimation.mle import EstimatedParameters
 from ..models.parameters import SideStatistics, ValueOverlapModel
 from ..observability.context import ObservabilityContext, ensure_observability
+from ..observability.events import FlightRecorder, TailSampler, WideEvent
 from ..observability.metrics import MetricsRegistry
+from ..observability.profiler import ProfileResult, SamplingProfiler
+from ..observability.slo import DEFAULT_SLO_SPEC, SLOConfig, SLOTracker
 from ..observability.tracer import SpanKind
 from ..optimizer.adaptive import AdaptiveJoinExecutor, AdaptiveResult
 from ..optimizer.catalog import StatisticsCatalog
@@ -191,6 +195,12 @@ class JoinService:
         clock: Callable[[], float] = time.time,
         admission: Optional[AdmissionController] = None,
         fault_profile: Optional[FaultProfile] = None,
+        slo: Optional[str] = None,
+        flight_capacity: int = 512,
+        flight_spill: Optional[str] = None,
+        trace_sample: int = 10,
+        trace_keep: Optional[int] = None,
+        trace_grace: float = 30.0,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -230,6 +240,32 @@ class JoinService:
         )
         if self.trace_dir is not None:
             self.trace_dir.mkdir(parents=True, exist_ok=True)
+        #: wide-event flight recorder: every request lands in the ring,
+        #: tail sampling decides which keep spans / spill / trace files
+        self.recorder = FlightRecorder(
+            capacity=flight_capacity,
+            sampler=TailSampler(sample_every=trace_sample),
+            spill_path=flight_spill,
+            clock=clock,
+        )
+        #: declarative latency/availability objectives with burn rates
+        self.slo = SLOTracker(
+            SLOConfig.parse(slo if slo is not None else DEFAULT_SLO_SPEC),
+            clock=clock,
+        )
+        #: sampled trace files share the checkpoint retention logic —
+        #: one manager per trace suffix, pruned after each kept write
+        self._trace_retention: List[CheckpointManager] = []
+        if self.trace_dir is not None and trace_keep is not None:
+            self._trace_retention = [
+                CheckpointManager(
+                    str(self.trace_dir),
+                    max_count=trace_keep,
+                    grace=trace_grace,
+                    suffix=suffix,
+                )
+                for suffix in (".jsonl", ".chrome.json")
+            ]
         #: stale checkpoints are pruned at startup, not left to accrete
         self.checkpoints = checkpoints
         self.pruned_checkpoints: Tuple[str, ...] = ()
@@ -263,7 +299,7 @@ class JoinService:
         self._store_lock = threading.Lock()
         self._metrics_lock = threading.Lock()
         self._ids = itertools.count(1)
-        self._queue: "queue.Queue[Optional[Tuple[int, JoinRequest, Future]]]" = (
+        self._queue: "queue.Queue[Optional[Tuple[int, JoinRequest, Dict[str, Any], Future]]]" = (
             queue.Queue(maxsize=queue_limit)
         )
         self._closed = threading.Event()
@@ -333,15 +369,36 @@ class JoinService:
                 self.metrics.counter(
                     "repro_service_rejected_total", reason=decision.reason
                 ).inc()
+            self._record_edge_event(request_id, request, "shed", decision)
             raise ServiceBusyError(retry_after=decision.retry_after)
         if decision.action == DEGRADE:
-            future.set_result(
-                self._degraded_response(request, decision.reason)
+            admitted_at = self.clock()
+            try:
+                response = self._degraded_response(request, decision.reason)
+            except ServiceBusyError:
+                self._record_edge_event(
+                    request_id, request, "shed", decision, reason="warm_lost"
+                )
+                raise
+            self._record_edge_event(
+                request_id,
+                request,
+                "degraded",
+                decision,
+                started=admitted_at,
+                plan=response.get("plan"),
             )
+            future.set_result(response)
             return future
         self._register_deadline(request_id, request)
+        meta = {
+            "action": decision.action,
+            "reason": decision.reason or "admit",
+            "depth": decision.depth,
+            "admitted_at": self.clock(),
+        }
         try:
-            self._queue.put_nowait((request_id, request, future))
+            self._queue.put_nowait((request_id, request, meta, future))
         except queue.Full:
             # Lost the race against other submitters since the depth
             # check; fall back to a shed.
@@ -350,6 +407,9 @@ class JoinService:
                 self.metrics.counter(
                     "repro_service_rejected_total", reason="queue_full"
                 ).inc()
+            self._record_edge_event(
+                request_id, request, "shed", decision, reason="queue_full"
+            )
             raise ServiceBusyError(
                 retry_after=self.admission.retry_after(self._queue.qsize())
             ) from None
@@ -365,7 +425,13 @@ class JoinService:
         """
         request_id = next(self._ids)
         self._register_deadline(request_id, request)
-        return self._handle(request_id, request)
+        meta = {
+            "action": "admit",
+            "reason": "bypass",
+            "depth": 0,
+            "admitted_at": self.clock(),
+        }
+        return self._handle(request_id, request, meta)
 
     def _register_deadline(
         self, request_id: int, request: JoinRequest
@@ -390,20 +456,34 @@ class JoinService:
             item = self._queue.get()
             if item is None:
                 return
-            request_id, request, future = item
+            request_id, request, meta, future = item
             if not future.set_running_or_notify_cancel():
                 continue
             try:
-                future.set_result(self._handle(request_id, request))
+                future.set_result(self._handle(request_id, request, meta))
             except BaseException as error:  # noqa: BLE001 — future carries it
                 future.set_exception(error)
 
     # -- request handling -----------------------------------------------------
 
-    def _handle(self, request_id: int, request: JoinRequest) -> Dict[str, Any]:
+    def _handle(
+        self,
+        request_id: int,
+        request: JoinRequest,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
         deadline = self._claim_deadline(request_id)
+        meta = meta if meta is not None else {}
         status = "error"
         started = self.clock()
+        response: Optional[Dict[str, Any]] = None
+        expired_info: Optional[DeadlineExceeded] = None
+        error_text: Optional[str] = None
+        # Every execute request gets its own context: the flight recorder
+        # needs its phase timings/drift, and kept events keep its spans.
+        observability = (
+            ObservabilityContext() if request.mode == "execute" else None
+        )
         try:
             if deadline is not None:
                 # A request that expired while queued never starts work.
@@ -411,7 +491,9 @@ class JoinService:
             if request.mode == "plan":
                 response = self._handle_plan(request)
             else:
-                response = self._handle_execute(request_id, request, deadline)
+                response = self._handle_execute(
+                    request_id, request, deadline, observability
+                )
             status = "ok"
             return response
         except DeadlineExceeded as expired:
@@ -419,8 +501,14 @@ class JoinService:
             if expired.phase is None:
                 expired.attach("queued")
             self._on_deadline_exceeded(request_id, expired)
+            expired_info = expired
+            raise
+        except Exception as error:
+            error_text = f"{type(error).__name__}: {error}"
             raise
         finally:
+            finished = self.clock()
+            latency = max(finished - started, 0.0)
             with self._metrics_lock:
                 self.metrics.counter(
                     "repro_service_requests_total",
@@ -429,7 +517,26 @@ class JoinService:
                 ).inc()
                 self.metrics.histogram(
                     "repro_service_request_seconds", mode=request.mode
-                ).observe(max(self.clock() - started, 0.0))
+                ).observe(latency, exemplar=str(request_id))
+            try:
+                self._finish_event(
+                    request_id,
+                    request,
+                    meta,
+                    status,
+                    started,
+                    finished,
+                    deadline,
+                    observability,
+                    response,
+                    expired_info,
+                    error_text,
+                )
+            except Exception:  # noqa: BLE001 — never mask the response
+                with self._metrics_lock:
+                    self.metrics.counter(
+                        "repro_flight_recorder_errors_total"
+                    ).inc()
 
     def _on_deadline_exceeded(
         self, request_id: int, expired: DeadlineExceeded
@@ -456,15 +563,179 @@ class JoinService:
         except OSError:
             pass  # losing the checkpoint must not mask the 504
 
+    # -- wide events -----------------------------------------------------------
+
+    def _record_edge_event(
+        self,
+        request_id: int,
+        request: JoinRequest,
+        outcome: str,
+        decision,
+        reason: Optional[str] = None,
+        started: Optional[float] = None,
+        plan: Optional[str] = None,
+    ) -> None:
+        """A wide event for a request that never reached a worker.
+
+        Sheds and degrades are decided on the submitter's thread; they
+        still deserve a flight-recorder entry (sheds are always kept by
+        the tail sampler) so ``/v1/debug/requests?outcome=shed`` shows
+        exactly who was turned away and at what queue depth.
+        """
+        now = self.clock()
+        origin = started if started is not None else now
+        event = WideEvent(
+            id=request_id,
+            ts=now,
+            task=self.task.name,
+            signature=self.signature,
+            mode=request.mode,
+            priority=request.priority,
+            tau_good=request.tau_good,
+            tau_bad=request.tau_bad,
+            outcome=outcome,
+            admission={
+                "action": decision.action,
+                "reason": reason if reason is not None else decision.reason,
+                "depth": decision.depth,
+            },
+            total_seconds=round(max(now - origin, 0.0), 6),
+            deadline_ms=request.deadline_ms,
+            plan=plan,
+        )
+        self.recorder.record(event)
+        self.slo.observe(
+            latency=event.total_seconds,
+            available=outcome in ("ok", "degraded"),
+            request_id=request_id,
+            now=now,
+        )
+
+    def _finish_event(
+        self,
+        request_id: int,
+        request: JoinRequest,
+        meta: Dict[str, Any],
+        status: str,
+        started: float,
+        finished: float,
+        deadline: Optional[Deadline],
+        observability: Optional[ObservabilityContext],
+        response: Optional[Dict[str, Any]],
+        expired: Optional[DeadlineExceeded],
+        error_text: Optional[str],
+    ) -> None:
+        """Assemble and record the request's wide event (worker path)."""
+        admitted_at = meta.get("admitted_at", started)
+        counters: Dict[str, float] = {}
+        plan: Optional[str] = None
+        warm_started: Optional[bool] = None
+        rounds: Optional[int] = None
+        fresh: Optional[int] = None
+        if response is not None:
+            plan = response.get("plan")
+            warm_started = response.get("warm_started")
+            rounds = response.get("rounds")
+            fresh = response.get("pilot_fresh_documents")
+            for key in ("documents_processed", "queries_issued"):
+                totals = response.get(key)
+                if isinstance(totals, dict):
+                    counters[key] = float(sum(totals.values()))
+            for key in ("candidates", "feasible", "good", "bad"):
+                value = response.get(key)
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    counters[key] = float(value)
+        if expired is not None:
+            plan = expired.partial.get("plan")
+            for key in (
+                "good",
+                "bad",
+                "documents_processed",
+                "simulated_time",
+            ):
+                value = expired.partial.get(key)
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    counters[key] = float(value)
+        drift: Optional[Dict[str, float]] = None
+        phases: Dict[str, float] = {}
+        if observability is not None:
+            phases = {
+                name: round(seconds, 6)
+                for name, seconds in observability.phases.items()
+            }
+            if observability.drift.snapshots:
+                last = observability.drift.snapshots[-1]
+                drift = {
+                    "good_error": last.good_error,
+                    "bad_error": last.bad_error,
+                }
+        spent = deadline.spent() if deadline is not None else None
+        event = WideEvent(
+            id=request_id,
+            ts=finished,
+            task=self.task.name,
+            signature=self.signature,
+            mode=request.mode,
+            priority=request.priority,
+            tau_good=request.tau_good,
+            tau_bad=request.tau_bad,
+            outcome=status,
+            admission={
+                "action": meta.get("action", "admit"),
+                "reason": meta.get("reason", "bypass"),
+                "depth": meta.get("depth", 0),
+            },
+            queue_seconds=round(max(started - admitted_at, 0.0), 6),
+            total_seconds=round(max(finished - admitted_at, 0.0), 6),
+            phases=phases,
+            deadline_ms=request.deadline_ms,
+            deadline_spent_ms=(
+                round(spent * 1000.0, 3) if spent is not None else None
+            ),
+            phase=expired.phase if expired is not None else None,
+            plan=plan,
+            warm_started=warm_started,
+            rounds=rounds,
+            pilot_fresh_documents=fresh,
+            counters=counters,
+            drift=drift,
+            error=error_text,
+        )
+        spans = (
+            observability.tracer.records if observability is not None else None
+        )
+        kept = self.recorder.record(event, spans=spans)
+        self.slo.observe(
+            latency=event.total_seconds,
+            available=status in ("ok", "degraded"),
+            request_id=request_id,
+            now=finished,
+        )
+        if (
+            kept is not None
+            and observability is not None
+            and self.trace_dir is not None
+        ):
+            try:
+                observability.write_trace(
+                    str(self.trace_dir / f"request-{request_id}.jsonl")
+                )
+            except OSError:
+                return  # losing a trace must not mask the response
+            for manager in self._trace_retention:
+                manager.prune()
+
     def _handle_execute(
         self,
         request_id: int,
         request: JoinRequest,
         deadline: Optional[Deadline] = None,
+        observability: Optional[ObservabilityContext] = None,
     ) -> Dict[str, Any]:
-        observability = (
-            ObservabilityContext() if self.trace_dir is not None else None
-        )
         with self._store_lock:
             warm = self.store.warm_start_for(
                 self.signature,
@@ -508,9 +779,8 @@ class JoinService:
             result = driver.run(request.requirement)
         self._absorb(result, observability)
         if observability is not None:
-            observability.write_trace(
-                str(self.trace_dir / f"request-{request_id}.jsonl")
-            )
+            # Trace files are written later, only for events the tail
+            # sampler keeps (see _finish_event); metrics always merge.
             with self._metrics_lock:
                 self.metrics.merge(observability.metrics.export_state())
         return self._response(request, result)
@@ -857,7 +1127,48 @@ class JoinService:
             "pruned_checkpoints": list(self.pruned_checkpoints),
             "admission": self.admission.snapshot(),
             "warm_available": self._warm_available,
+            "slo": {
+                "spec": self.slo.config.spec,
+                "burn_rates": self.slo.worst_burn_rates(),
+            },
+            "flight_recorder": self.recorder.stats(),
         }
+
+    # -- introspection (/v1/debug) ---------------------------------------------
+
+    def debug_requests(
+        self,
+        limit: int = 50,
+        outcome: Optional[str] = None,
+        mode: Optional[str] = None,
+        priority: Optional[str] = None,
+        phase: Optional[str] = None,
+        since_id: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Recent wide events, most recent first (``/v1/debug/requests``)."""
+        return self.recorder.recent(
+            limit=limit,
+            outcome=outcome,
+            mode=mode,
+            priority=priority,
+            phase=phase,
+            since_id=since_id,
+        )
+
+    def debug_request(self, request_id: int) -> Optional[Dict[str, Any]]:
+        """One wide event with its span tree, or None if it left the ring."""
+        return self.recorder.get(request_id)
+
+    def debug_slo(self) -> Dict[str, Any]:
+        """The ``/v1/debug/slo`` payload: burn rates + recorder health."""
+        return {
+            "slo": self.slo.snapshot(),
+            "flight_recorder": self.recorder.stats(),
+        }
+
+    def profile(self, seconds: float = 1.0, interval: float = 0.005) -> ProfileResult:
+        """Sample every service thread's stacks for *seconds*, blocking."""
+        return SamplingProfiler(interval=interval).sample_for(seconds)
 
     def health(self) -> Dict[str, Any]:
         """The ``/v1/healthz`` payload."""
@@ -867,9 +1178,39 @@ class JoinService:
             "queue_depth": self._queue.qsize(),
         }
 
+    #: ``# HELP`` text for the service-owned metric families
+    METRIC_HELP = {
+        "repro_service_requests_total": "Requests handled, by mode and final status.",
+        "repro_service_request_seconds": "End-to-end request latency (exemplars link buckets to request ids).",
+        "repro_service_admission_total": "Admission-ladder decisions (admit/degrade/shed).",
+        "repro_service_rejected_total": "Requests shed, by reason.",
+        "repro_service_degraded_total": "Requests answered degraded from warm statistics.",
+        "repro_service_deadline_total": "Deadline expiries, by interrupted phase.",
+        "repro_service_queue_depth": "Requests currently queued.",
+        "repro_service_workers": "Worker threads serving the pool.",
+        "repro_build_info": "Constant 1; build/runtime facts live in the labels.",
+    }
+
     def render_metrics(self) -> str:
         """Prometheus exposition text for ``/v1/metrics``."""
         with self._metrics_lock:
+            for name, text in self.METRIC_HELP.items():
+                self.metrics.describe(name, text)
+            # Info-style gauge: refreshed per scrape so mutable labels
+            # (store generation) never leave stale series behind.
+            self.metrics.drop("repro_build_info")
+            with self._store_lock:
+                generation = self.store.generation
+            self.metrics.gauge(
+                "repro_build_info",
+                version=__version__,
+                store_generation=str(generation),
+                checkpoint_prune=(
+                    "on" if self.checkpoints is not None else "off"
+                ),
+                trace_prune="on" if self._trace_retention else "off",
+                warm_start="on" if self._warm_available else "off",
+            ).set(1)
             self.metrics.gauge("repro_service_queue_depth").set(
                 self._queue.qsize()
             )

@@ -115,3 +115,111 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Chosen:" in out
         assert "Requirement met" in out
+
+
+class TestIntrospectionCommands:
+    def _served(self, hq_ex_task, tmp_path):
+        from repro.service import JoinService
+        from repro.service.http import serve_in_background
+
+        service = JoinService(
+            hq_ex_task,
+            str(tmp_path / "store"),
+            workers=1,
+            pilot_documents=60,
+            trace_sample=1,
+        )
+        server, thread = serve_in_background(service)
+        return service, server, thread
+
+    def test_top_and_tail_against_a_live_service(
+        self, capsys, hq_ex_task, tmp_path
+    ):
+        from repro.service import JoinRequest
+        from repro.service.http import shutdown
+
+        service, server, thread = self._served(hq_ex_task, tmp_path)
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            service.execute(JoinRequest(tau_good=40, tau_bad=10**6))
+            assert main(["top", "--url", base, "--iterations", "1"]) == 0
+            top_out = capsys.readouterr().out
+            assert "repro top" in top_out
+            assert "admission:" in top_out
+            assert "slo (" in top_out
+            assert "flight recorder:" in top_out
+            assert "#1" in top_out, "the executed request shows in recents"
+
+            assert main(["tail", "--url", base]) == 0
+            tail_out = capsys.readouterr().out
+            assert "#1" in tail_out
+            assert "ok" in tail_out
+            assert "priority=normal" in tail_out
+
+            assert (
+                main(["tail", "--url", base, "--since-id", "1"]) == 0
+            )
+            assert capsys.readouterr().out == ""
+
+            assert (
+                main(["submit", "--url", base, "--endpoint", "debug/slo"])
+                == 0
+            )
+            slo_out = capsys.readouterr().out
+            assert '"burn_rate"' in slo_out
+        finally:
+            shutdown(server)
+            thread.join(timeout=10)
+
+    def test_tail_unreachable_server_fails_cleanly(self):
+        assert main(["tail", "--url", "http://127.0.0.1:9"]) == 1
+
+    def test_loadtest_slo_flag_round_trips(self, capsys, tmp_path):
+        import json as _json
+
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "loadtest",
+                "--requests",
+                "4",
+                "--concurrency",
+                "2",
+                "--scale",
+                "0.05",
+                "--slo",
+                "p90=30s,availability=50",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "SLO (p90=30s,availability=50):" in printed
+        payload = _json.loads(out.read_text())
+        assert payload["slo"]["spec"] == "p90=30s,availability=50"
+        assert "priorities" in payload["slo"]
+
+    def test_serve_parser_accepts_observability_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "serve",
+                "--slo",
+                "p99=2s",
+                "--flight-capacity",
+                "128",
+                "--flight-spill",
+                "/tmp/spill.jsonl",
+                "--trace-sample",
+                "5",
+                "--trace-keep",
+                "20",
+                "--trace-grace",
+                "10",
+            ]
+        )
+        assert args.slo == "p99=2s"
+        assert args.flight_capacity == 128
+        assert args.trace_sample == 5
+        assert args.trace_keep == 20

@@ -154,3 +154,55 @@ class TestLocalChaosRun:
         assert "transient" in DEFAULT_CHAOS_FAULTS
         config = LoadTestConfig(chaos=True)
         assert config.fault_profile == ""
+
+
+class TestSLOReport:
+    def _samples(self):
+        return [
+            _Sample("ok", 0.1, priority="high", index=0, finished=0.5),
+            _Sample("ok", 3.0, priority="normal", index=1, finished=0.8),
+            _Sample("shed", 0.01, priority="low", index=2, finished=1.8),
+            _Sample("ok", 0.2, priority="normal", index=3, finished=1.9),
+        ]
+
+    def test_slo_section_scores_per_priority(self):
+        config = LoadTestConfig(requests=4, slo="p50=2s,availability=75")
+        payload = _bench_payload("local", config, self._samples(), 2.0, None)
+        slo = payload["slo"]
+        assert slo["spec"] == "p50=2s,availability=75"
+        latency, availability = slo["overall"]
+        # 2 bad for latency (the 3s request and the shed), 1 for
+        # availability (the shed)
+        assert latency["bad"] == 2
+        assert availability["bad"] == 1
+        assert availability["worst_exemplar"]["id"] == 2
+        assert set(slo["priorities"]) == {"high", "normal", "low"}
+        normal = slo["priorities"]["normal"]
+        assert normal["requests"] == 2
+        assert {"run", "last_half"} == set(normal["windows"])
+        # the slow normal request finished in the first half; last_half
+        # only sees the fast one
+        run_latency = normal["windows"]["run"][0]
+        half_latency = normal["windows"]["last_half"][0]
+        assert run_latency["bad"] == 1
+        assert half_latency["bad"] == 0
+        json.dumps(payload)
+
+    def test_healthy_flag_follows_overall_burn(self):
+        config = LoadTestConfig(requests=4, slo="availability=50")
+        samples = [
+            _Sample("ok", 0.1, priority="normal", index=i, finished=0.1)
+            for i in range(4)
+        ]
+        payload = _bench_payload("local", config, samples, 1.0, None)
+        assert payload["slo"]["healthy"] is True
+        samples[0].outcome = "error"
+        samples[1].outcome = "error"
+        samples[2].outcome = "error"
+        payload = _bench_payload("local", config, samples, 1.0, None)
+        assert payload["slo"]["healthy"] is False
+
+    def test_empty_spec_disables_the_section(self):
+        config = LoadTestConfig(requests=4, slo="")
+        payload = _bench_payload("local", config, self._samples(), 2.0, None)
+        assert "slo" not in payload

@@ -418,7 +418,7 @@ class TestJoinService:
         release = threading.Event()
         started = threading.Event()
 
-        def stalled(request_id, request):
+        def stalled(request_id, request, meta=None):
             started.set()
             release.wait(timeout=30)
             return {"request_id": request_id}
@@ -650,7 +650,7 @@ class TestAdmissionLadder:
             pilot_documents=PILOT,
         )
 
-        def stalled(request_id, request):
+        def stalled(request_id, request, meta=None):
             release.wait(timeout=30.0)
             return {"stalled": True}
 
@@ -878,3 +878,351 @@ class TestSubmitWithRetries:
             "http://test", {"tau_good": 1}, max_retries=2, sleep=lambda _: None
         )
         assert status == 503 and attempts == 3
+
+
+class TestServiceIntrospection:
+    """Wide events, /v1/debug, SLO burn rates, and trace tail-sampling."""
+
+    def test_wide_events_and_debug_endpoints(
+        self, hq_ex_task, warmed_service, tmp_path
+    ):
+        warmed, cold = warmed_service
+        spill = tmp_path / "spill.jsonl"
+        service = JoinService(
+            hq_ex_task,
+            str(warmed.store.root),
+            workers=2,
+            pilot_documents=PILOT,
+            trace_sample=1,
+            slo="p99=2s,availability=99.5",
+            flight_spill=str(spill),
+        )
+        server, thread = serve_in_background(service)
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            status, reply = request_json(
+                base, "join", {"tau_good": TAU_GOOD, "tau_bad": TAU_BAD}
+            )
+            assert status == 200 and reply["plan"] == cold["plan"]
+            status, _ = request_json(
+                base,
+                "join",
+                {"tau_good": TAU_GOOD, "tau_bad": TAU_BAD, "mode": "plan"},
+            )
+            assert status == 200
+
+            status, body = request_json(base, "debug/requests?limit=10")
+            assert status == 200
+            events = body["requests"]
+            assert body["count"] == len(events) == 2
+            execute_event = next(e for e in events if e["mode"] == "execute")
+            assert execute_event["schema"] == "wide-event/1"
+            assert execute_event["outcome"] == "ok"
+            assert execute_event["plan"] == cold["plan"]
+            assert execute_event["warm_started"] is True
+            assert execute_event["admission"]["action"] == "admit"
+            assert execute_event["total_seconds"] > 0.0
+            # phase timings cover the driver's coarse stages
+            assert "execute" in execute_event["phases"]
+            assert "optimize" in execute_event["phases"]
+            assert execute_event["counters"]["documents_processed"] >= 0
+            assert execute_event["keep"] is not None
+
+            status, body = request_json(base, "debug/requests?mode=plan")
+            assert status == 200
+            assert all(e["mode"] == "plan" for e in body["requests"])
+            status, body = request_json(
+                base, "debug/requests?outcome=error"
+            )
+            assert status == 200 and body["count"] == 0
+
+            # single event with its span tree
+            status, single = request_json(
+                base, f"debug/requests/{execute_event['id']}"
+            )
+            assert status == 200
+            assert single["id"] == execute_event["id"]
+            assert single["spans"], "kept events retain their span tree"
+            status, _ = request_json(base, "debug/requests/999999")
+            assert status == 404
+            status, _ = request_json(base, "debug/requests/nope")
+            assert status == 400
+
+            status, slo = request_json(base, "debug/slo")
+            assert status == 200
+            assert slo["slo"]["spec"] == "p99=2s,availability=99.5"
+            assert slo["slo"]["observations"] >= 2
+            for objective in slo["slo"]["objectives"]:
+                assert len(objective["windows"]) == 3
+            assert slo["flight_recorder"]["events_total"] >= 2
+
+            status, text = request_json(
+                base, "debug/profile?seconds=0.05&interval=0.002"
+            )
+            assert status == 200
+            assert text.startswith("# samples:")
+            assert len(text.splitlines()) >= 2, "idle threads still stack"
+            status, _ = request_json(base, "debug/profile?seconds=999")
+            assert status == 400
+
+            status, stats = request_json(base, "stats")
+            assert stats["flight_recorder"]["events_total"] >= 2
+            assert "burn_rates" in stats["slo"]
+
+            status, metrics_text = request_json(base, "metrics")
+            assert status == 200
+            assert "# HELP repro_service_requests_total" in metrics_text
+            assert 'le="+Inf"' in metrics_text
+            assert "repro_build_info{" in metrics_text
+            assert 'version="' in metrics_text
+            assert 'store_generation="' in metrics_text
+            assert metrics_text.count("# TYPE repro_build_info gauge") == 1
+        finally:
+            shutdown(server)
+            thread.join(timeout=10)
+        # the spill validates against the committed wide-event schema
+        import pathlib as _pathlib
+        import sys as _sys
+
+        _sys.path.insert(0, str(_pathlib.Path(__file__).parent))
+        from validate_events import validate_file
+
+        assert validate_file(str(spill)) == []
+
+    def test_build_info_refreshes_instead_of_accumulating(
+        self, hq_ex_task, tmp_path
+    ):
+        service = JoinService(
+            hq_ex_task, str(tmp_path / "store"), workers=1,
+            pilot_documents=PILOT,
+        )
+        try:
+            first = service.render_metrics()
+            second = service.render_metrics()
+            assert first.count("repro_build_info{") == 1
+            assert second.count("repro_build_info{") == 1
+        finally:
+            service.close()
+
+    def test_deadline_event_reports_phases_and_budget(
+        self, hq_ex_task, tmp_path
+    ):
+        from repro.robustness import DeadlineExceeded
+
+        service = JoinService(
+            hq_ex_task,
+            str(tmp_path / "store"),
+            workers=1,
+            pilot_documents=PILOT,
+            clock=_TickingClock(step=0.01),
+        )
+        try:
+            with pytest.raises(DeadlineExceeded):
+                service.execute(
+                    JoinRequest(
+                        tau_good=TAU_GOOD, tau_bad=TAU_BAD, deadline_ms=200.0
+                    )
+                )
+            events = service.debug_requests(outcome="deadline")
+            assert len(events) == 1
+            event = events[0]
+            assert event["keep"] == "deadline", "504s are always kept"
+            assert event["phase"] == "pilot"
+            assert event["phases"].get("pilot", 0.0) > 0.0
+            assert event["deadline_ms"] == pytest.approx(200.0)
+            assert event["deadline_spent_ms"] > 0.0
+            assert event["counters"].get("documents_processed", 0) >= 0
+            # the interrupted-phase filter finds it too
+            assert service.debug_requests(phase="pilot")[0]["id"] == event["id"]
+            # one bad request out of one burns the availability budget
+            assert max(service.slo.worst_burn_rates().values()) > 1.0
+        finally:
+            service.close()
+
+    def test_shed_requests_leave_wide_events(self, hq_ex_task, tmp_path):
+        release = threading.Event()
+        service = JoinService(
+            hq_ex_task,
+            str(tmp_path / "store"),
+            workers=1,
+            queue_limit=2,
+            pilot_documents=PILOT,
+        )
+
+        def stalled(request_id, request, meta=None):
+            release.wait(timeout=30.0)
+            return {"stalled": True}
+
+        service._handle = stalled
+        try:
+            # occupy the worker, then fill the queue to its limit
+            service.submit(JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD))
+            deadline = time.time() + 10.0
+            while service._queue.qsize() != 0:
+                assert time.time() < deadline, "worker never started"
+                time.sleep(0.01)
+            for _ in range(2):
+                service.submit(
+                    JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD)
+                )
+            deadline = time.time() + 10.0
+            while service._queue.qsize() != 2:
+                assert time.time() < deadline, "queue never filled"
+                time.sleep(0.01)
+            with pytest.raises(ServiceBusyError):
+                service.submit(
+                    JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD)
+                )
+            events = service.debug_requests(outcome="shed")
+            assert len(events) == 1
+            event = events[0]
+            assert event["keep"] == "shed", "sheds are always kept"
+            assert event["admission"] == {
+                "action": "shed",
+                "reason": "queue_full",
+                "depth": 2,
+            }
+        finally:
+            release.set()
+            service.close()
+
+    def test_degraded_answers_leave_wide_events(
+        self, hq_ex_task, warmed_service, tmp_path
+    ):
+        warmed, cold = warmed_service
+        release = threading.Event()
+        service = JoinService(
+            hq_ex_task,
+            str(warmed.store.root),
+            workers=1,
+            queue_limit=4,
+            pilot_documents=PILOT,
+        )
+
+        def stalled(request_id, request, meta=None):
+            release.wait(timeout=30.0)
+            return {"stalled": True}
+
+        service._handle = stalled
+        try:
+            service.submit(
+                JoinRequest(
+                    tau_good=TAU_GOOD, tau_bad=TAU_BAD, priority="high"
+                )
+            )
+            deadline = time.time() + 10.0
+            while service._queue.qsize() != 0:
+                assert time.time() < deadline, "worker never started"
+                time.sleep(0.01)
+            for _ in range(3):
+                service.submit(
+                    JoinRequest(
+                        tau_good=TAU_GOOD, tau_bad=TAU_BAD, priority="high"
+                    )
+                )
+            deadline = time.time() + 10.0
+            while service._queue.qsize() != 3:
+                assert time.time() < deadline, "queue never filled"
+                time.sleep(0.01)
+            future = service.submit(
+                JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD)
+            )
+            assert future.result(timeout=5)["degraded"] is True
+            events = service.debug_requests(outcome="degraded")
+            assert len(events) == 1
+            event = events[0]
+            assert event["admission"]["action"] == "degrade"
+            assert event["admission"]["reason"] == "backlog"
+            assert event["plan"] == cold["plan"]
+        finally:
+            release.set()
+            service.close()
+
+    def test_trace_tail_sampling_downsamples_boring_requests(
+        self, hq_ex_task, warmed_service, tmp_path
+    ):
+        warmed, _ = warmed_service
+        trace_dir = tmp_path / "traces"
+        service = JoinService(
+            hq_ex_task,
+            str(warmed.store.root),
+            workers=1,
+            pilot_documents=PILOT,
+            trace_dir=str(trace_dir),
+            trace_sample=10,
+        )
+        try:
+            for _ in range(5):
+                service.execute(
+                    JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD)
+                )
+            names = sorted(p.name for p in trace_dir.glob("request-*.jsonl"))
+            assert names == ["request-1.jsonl"], (
+                "only the 1-in-10 sampled request should leave a trace"
+            )
+            kept = {e["id"]: e["keep"] for e in service.debug_requests()}
+            assert kept[1] == "sampled"
+            assert all(kept[i] is None for i in range(2, 6))
+        finally:
+            service.close()
+
+    def test_trace_keep_caps_the_trace_directory(
+        self, hq_ex_task, warmed_service, tmp_path
+    ):
+        warmed, _ = warmed_service
+        trace_dir = tmp_path / "traces"
+        service = JoinService(
+            hq_ex_task,
+            str(warmed.store.root),
+            workers=1,
+            pilot_documents=PILOT,
+            trace_dir=str(trace_dir),
+            trace_sample=1,
+            trace_keep=2,
+            trace_grace=0.0,
+        )
+        try:
+            for _ in range(5):
+                service.execute(
+                    JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD)
+                )
+            jsonl = sorted(p.name for p in trace_dir.glob("request-*.jsonl"))
+            chrome = sorted(
+                p.name for p in trace_dir.glob("request-*.chrome.json")
+            )
+            assert len(jsonl) == 2, jsonl
+            assert len(chrome) == 2, chrome
+            assert "request-5.jsonl" in jsonl, "the newest trace survives"
+        finally:
+            service.close()
+
+    def test_responses_identical_with_introspection_enabled(
+        self, hq_ex_task, warmed_service, tmp_path
+    ):
+        warmed, _ = warmed_service
+        plain = JoinService(
+            hq_ex_task,
+            str(warmed.store.root),
+            workers=1,
+            pilot_documents=PILOT,
+        )
+        instrumented = JoinService(
+            hq_ex_task,
+            str(warmed.store.root),
+            workers=1,
+            pilot_documents=PILOT,
+            slo="p99=1ms,availability=99.9",
+            trace_sample=1,
+            trace_dir=str(tmp_path / "traces"),
+            trace_keep=1,
+            trace_grace=0.0,
+            flight_spill=str(tmp_path / "spill.jsonl"),
+        )
+        try:
+            request = JoinRequest(tau_good=TAU_GOOD, tau_bad=TAU_BAD)
+            baseline = plain.execute(request)
+            observed = instrumented.execute(request)
+            assert response_json(baseline) == response_json(observed)
+        finally:
+            plain.close()
+            instrumented.close()

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Validate a wide-event JSONL spill against ``tests/event_schema.json``.
+
+The same dependency-free JSON-Schema-subset checker as
+``tests/validate_trace.py`` (type / enum / required /
+additionalProperties / minimum / minLength, union types included),
+pointed at the flight recorder's wide-event format.
+
+Usable both ways:
+
+* CLI (CI smoke job): ``python tests/validate_events.py spill.jsonl``
+  exits non-zero listing every violation;
+* library (tests): ``from validate_events import validate_file,
+  validate_event``.
+
+Beyond per-record conformance, :func:`validate_file` checks two
+cross-record invariants: event ids are unique within the spill (one
+service run emits each request id once), and every spilled event has a
+non-null ``keep`` reason — the spill holds only the kept tail, so a
+``keep: null`` record means the recorder wrote something it decided to
+drop.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import Any, Dict, List
+
+SCHEMA_PATH = pathlib.Path(__file__).parent / "event_schema.json"
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def load_schema() -> Dict[str, Any]:
+    return json.loads(SCHEMA_PATH.read_text())
+
+
+def _type_ok(value: Any, spec: Any) -> bool:
+    types = spec if isinstance(spec, list) else [spec]
+    return any(_TYPE_CHECKS[t](value) for t in types)
+
+
+def _check(value: Any, schema: Dict[str, Any], path: str, errors: List[str]) -> None:
+    if "type" in schema and not _type_ok(value, schema["type"]):
+        errors.append(f"{path}: expected {schema['type']}, got {type(value).__name__}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in enum")
+    if "minimum" in schema and isinstance(value, (int, float)) and (
+        not isinstance(value, bool) and value < schema["minimum"]
+    ):
+        errors.append(f"{path}: {value!r} < minimum {schema['minimum']}")
+    if "minLength" in schema and isinstance(value, str) and (
+        len(value) < schema["minLength"]
+    ):
+        errors.append(f"{path}: shorter than minLength {schema['minLength']}")
+    if isinstance(value, dict):
+        properties = schema.get("properties", {})
+        for name in schema.get("required", []):
+            if name not in value:
+                errors.append(f"{path}: missing required property {name!r}")
+        extra = schema.get("additionalProperties", True)
+        for name, item in value.items():
+            if name in properties:
+                _check(item, properties[name], f"{path}.{name}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected property {name!r}")
+            elif isinstance(extra, dict):
+                _check(item, extra, f"{path}.{name}", errors)
+
+
+def validate_event(event: Dict[str, Any], schema: Dict[str, Any] = None) -> List[str]:
+    """Violations of one wide event against the schema (empty = valid)."""
+    errors: List[str] = []
+    _check(event, schema or load_schema(), "$", errors)
+    return errors
+
+
+def validate_file(path: str) -> List[str]:
+    """Violations across a whole JSONL spill, including spill invariants."""
+    schema = load_schema()
+    errors: List[str] = []
+    ids = set()
+    for lineno, line in enumerate(
+        pathlib.Path(path).read_text().splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: not valid JSON ({exc})")
+            continue
+        for error in validate_event(event, schema):
+            errors.append(f"line {lineno}: {error}")
+        event_id = event.get("id")
+        if isinstance(event_id, int):
+            if event_id in ids:
+                errors.append(f"line {lineno}: duplicate id {event_id}")
+            ids.add(event_id)
+        if isinstance(event, dict) and event.get("keep") is None:
+            errors.append(
+                f"line {lineno}: spilled event has no keep reason "
+                "(the spill should hold only the kept tail)"
+            )
+    if not ids:
+        errors.append(f"{path}: spill contains no events")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print("usage: validate_events.py SPILL.jsonl", file=sys.stderr)
+        return 2
+    errors = validate_file(argv[0])
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{argv[0]}: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"{argv[0]}: valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
