@@ -34,8 +34,10 @@ from .observability import (
 from .observability.logs import LEVELS
 from .experiments import (
     CHARACTERIZATION_THETAS,
+    MULTIWAY_SCENARIOS,
     TABLE2_REQUIREMENTS,
     TestbedConfig,
+    build_multiway_testbed,
     build_testbed,
     format_accuracy_rows,
     format_documents_rows,
@@ -72,6 +74,19 @@ def _add_testbed_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--seed", type=int, default=11, help="testbed world seed"
+    )
+
+
+def _add_scenario_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario",
+        choices=MULTIWAY_SCENARIOS,
+        default=None,
+        help=(
+            "plan a multiway (n-ary) join scenario instead of the binary "
+            "HQ ⋈ EX task; the multiway testbed has its own seed and "
+            "scale, so --scale/--seed are ignored"
+        ),
     )
 
 
@@ -280,7 +295,68 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _publish_planner_tallies(observability, tallies) -> None:
+    """Expose a multiway planning run's search tallies as metrics."""
+    if observability is None:
+        return
+    for name, value in sorted(tallies.as_counters().items()):
+        if value > 0:
+            observability.metrics.counter(f"repro_{name}_total").inc(value)
+
+
+def _cmd_optimize_multiway(args: argparse.Namespace) -> int:
+    """``repro optimize --scenario ...``: the n-ary planner path."""
+    from .planner import MultiwayPlanner, bind_multiway_plan
+
+    scenario = build_multiway_testbed().scenario(args.scenario)
+    requirement = QualityRequirement(
+        tau_good=args.tau_good, tau_bad=args.tau_bad
+    )
+    observability = _observability_from(args)
+    planner = MultiwayPlanner(
+        scenario.graph, scenario.catalog(), feasibility_margin=args.margin
+    )
+    result = planner.optimize(requirement, prune=not args.no_prune)
+    _publish_planner_tallies(observability, result.tallies)
+    tallies = result.tallies
+    print(f"Graph: {scenario.graph.describe()}")
+    counts = (
+        f"Candidates: {tallies.assignments}; feasible: "
+        f"{sum(1 for e in result.evaluations if e.feasible)}; "
+        f"plan space: {tallies.plan_space}"
+    )
+    if tallies.subplans_pruned_bound:
+        counts += (
+            f"; subplans pruned: {tallies.subplans_pruned_bound} "
+            f"({tallies.pruned_fraction:.0%})"
+        )
+    print(counts)
+    if result.chosen is None:
+        print("No multiway plan is predicted to meet the requirement.")
+        _write_observability(observability, args)
+        return 1
+    chosen = result.chosen
+    print(f"Chosen: {chosen.plan.describe()}")
+    print(
+        f"Predicted: {chosen.good:.0f} good / {chosen.bad:.0f} bad in "
+        f"{chosen.total_time:.0f}s"
+    )
+    if args.execute:
+        environment = scenario.environment()
+        environment.observability = observability
+        executor = bind_multiway_plan(
+            environment, scenario.graph, chosen, model=planner.model
+        )
+        report = executor.run(requirement).report
+        print(f"Actual:    {report.summary()}")
+        print(f"Requirement met: {report.check(requirement)}")
+    _write_observability(observability, args)
+    return 0
+
+
 def _cmd_optimize(args: argparse.Namespace) -> int:
+    if args.scenario is not None:
+        return _cmd_optimize_multiway(args)
     _, task = _testbed_task(args)
     requirement = QualityRequirement(
         tau_good=args.tau_good, tau_bad=args.tau_bad
@@ -374,7 +450,48 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_frontier_multiway(args: argparse.Namespace) -> int:
+    """``repro frontier --scenario ...``: τg sweep through the planner."""
+    from .planner import MultiwayPlanner
+
+    scenario = build_multiway_testbed().scenario(args.scenario)
+    observability = _observability_from(args)
+    planner = MultiwayPlanner(
+        scenario.graph, scenario.catalog(), feasibility_margin=0.15
+    )
+    tau_goods = sorted(
+        {
+            max(1, scenario.tau_good // 4),
+            max(1, scenario.tau_good // 2),
+            scenario.tau_good,
+            scenario.tau_good * 2,
+        }
+    )
+    sweep = planner.frontier(
+        tau_goods, scenario.tau_bad, prune=not args.no_prune
+    )
+    print(
+        f"Multiway frontier for {scenario.name}: "
+        f"{scenario.graph.describe()} (τb={scenario.tau_bad})"
+    )
+    print(f"{'τg':>6}  {'feasible':>8}  {'time':>8}  plan")
+    for tau_good, result in sweep:
+        _publish_planner_tallies(observability, result.tallies)
+        if result.chosen is None:
+            print(f"{tau_good:>6}  {'no':>8}  {'-':>8}  -")
+            continue
+        chosen = result.chosen
+        print(
+            f"{tau_good:>6}  {'yes':>8}  {chosen.total_time:>8.0f}  "
+            f"{chosen.plan.describe()}"
+        )
+    _write_observability(observability, args)
+    return 0
+
+
 def _cmd_frontier(args: argparse.Namespace) -> int:
+    if args.scenario is not None:
+        return _cmd_frontier_multiway(args)
     _, task = _testbed_task(args)
     observability = _observability_from(args)
     plans = enumerate_plans(task.extractor1.name, task.extractor2.name)
@@ -452,6 +569,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             grace=args.checkpoint_grace,
         )
     profile = FaultProfile.parse(args.fault_profile, seed=args.fault_seed)
+    multiway = None
+    if args.multiway_scenario is not None:
+        multiway = build_multiway_testbed().scenario(args.multiway_scenario)
     service = JoinService(
         task,
         args.store,
@@ -468,6 +588,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_sample=args.trace_sample,
         trace_keep=args.trace_keep,
         trace_grace=args.trace_grace,
+        multiway=multiway,
     )
     if service.pruned_checkpoints:
         _LOG.info(
@@ -777,6 +898,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         z=args.z,
         out_path=args.out,
         fuzz=not args.no_fuzz,
+        multiway=not args.no_multiway,
     )
     violations = report.invariants.get("violations", [])
     print(
@@ -846,6 +968,7 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument(
         "--execute", action="store_true", help="also run the chosen plan"
     )
+    _add_scenario_argument(optimize)
     _add_workers_argument(optimize)
     _add_prune_argument(optimize)
     _add_resilience_arguments(optimize)
@@ -867,6 +990,7 @@ def build_parser() -> argparse.ArgumentParser:
     frontier = subparsers.add_parser(
         "frontier", help="Pareto frontier of achievable (time, quality) points"
     )
+    _add_scenario_argument(frontier)
     _add_workers_argument(frontier)
     _add_prune_argument(frontier)
     _add_observability_arguments(frontier)
@@ -1035,6 +1159,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="seed for the injected fault stream",
+    )
+    serve.add_argument(
+        "--multiway-scenario",
+        choices=MULTIWAY_SCENARIOS,
+        default=None,
+        help=(
+            "also bind a multiway scenario so POST /v1/join accepts "
+            "relations/edges payloads (answered by the n-ary planner)"
+        ),
     )
     _add_testbed_arguments(serve)
     _add_logging_arguments(serve)
@@ -1306,6 +1439,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fuzz",
         action="store_true",
         help="skip the JSON-surface fuzz pass",
+    )
+    validate.add_argument(
+        "--no-multiway",
+        action="store_true",
+        help="skip the multiway planner differential family",
     )
     _add_testbed_arguments(validate)
     _add_logging_arguments(validate)

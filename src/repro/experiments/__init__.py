@@ -28,9 +28,14 @@ from .table2 import (
 )
 from .testbed import (
     CHARACTERIZATION_THETAS,
+    MULTIWAY_SCENARIOS,
     JoinTask,
+    MultiwayConfig,
+    MultiwayScenario,
+    MultiwayTestbed,
     Testbed,
     TestbedConfig,
+    build_multiway_testbed,
     build_testbed,
 )
 
@@ -41,11 +46,16 @@ __all__ = [
     "DocumentsRow",
     "FrontierPoint",
     "JoinTask",
+    "MULTIWAY_SCENARIOS",
+    "MultiwayConfig",
+    "MultiwayScenario",
+    "MultiwayTestbed",
     "PlanTrajectory",
     "TABLE2_REQUIREMENTS",
     "Table2Row",
     "Testbed",
     "TestbedConfig",
+    "build_multiway_testbed",
     "build_testbed",
     "build_trajectories",
     "format_accuracy_rows",

@@ -326,3 +326,322 @@ def _build(config: TestbedConfig) -> Testbed:
 def build_testbed(config: Optional[TestbedConfig] = None) -> Testbed:
     """Build (and memoize) the canonical testbed."""
     return _build(config or TestbedConfig())
+
+
+# ---------------------------------------------------------------------------
+# The multiway testbed (n-ary planner scenarios)
+#
+# A *separate* world and corpora: the canonical world materializes its
+# relations sequentially from one RNG, so extending it in place would
+# shift every golden number downstream.  The multiway world adds a
+# fourth relation RES⟨CEO, City⟩ chaining off EX's CEO pool, and hosts
+# the relations across corpora so that a 3-relation star and a
+# 3-relation chain are each extractable from three distinct databases.
+
+from ..core.plan import RetrievalKind  # noqa: E402  (keeps the canonical
+from ..models.parameters import SideStatistics  # noqa: E402  imports above
+from ..planner.binder import MultiwayEnvironment  # noqa: E402  untouched)
+from ..planner.catalog import PlannerCatalog, RelationEntry  # noqa: E402
+from ..planner.graph import JoinGraph, RelationNode  # noqa: E402
+from ..planner.profile import profile_keys  # noqa: E402
+
+#: knob grid and access paths every multiway scenario node exposes
+MULTIWAY_THETAS: Tuple[float, ...] = (0.4, 0.8)
+MULTIWAY_ACCESS_PATHS: Tuple[RetrievalKind, ...] = (
+    RetrievalKind.SCAN,
+    RetrievalKind.FILTERED_SCAN,
+)
+
+#: scenario names accepted by :meth:`MultiwayTestbed.scenario` and the CLI
+MULTIWAY_SCENARIOS: Tuple[str, ...] = ("star3", "chain3")
+
+
+@dataclass(frozen=True)
+class MultiwayConfig:
+    """Scale and seeding of the multiway testbed."""
+
+    seed: int = 23
+    scale: float = 1.0
+    n_companies: int = 180
+    max_results: int = 30
+    company_zipf: float = 0.8
+    fact_zipf: float = 0.9
+
+    def scaled(self, count: int) -> int:
+        return max(1, int(round(count * self.scale)))
+
+
+@dataclass
+class MultiwayScenario:
+    """One runnable n-ary join scenario: graph + per-alias bindings."""
+
+    name: str
+    graph: JoinGraph
+    #: alias -> (relation, database name)
+    bindings: Dict[str, Tuple[str, str]]
+    testbed: "MultiwayTestbed"
+    #: a (τg, τb) pair the scenario can meet end to end
+    tau_good: int = 40
+    tau_bad: int = 250
+
+    def relation_of(self, alias: str) -> str:
+        return self.bindings[alias][0]
+
+    def database_of(self, alias: str) -> TextDatabase:
+        return self.testbed.databases[self.bindings[alias][1]]
+
+    def catalog(self) -> PlannerCatalog:
+        """Ground-truth planner catalog for every alias."""
+        entries: Dict[str, RelationEntry] = {}
+        for alias in self.graph.names:
+            relation, database_name = self.bindings[alias]
+            database = self.testbed.databases[database_name]
+            profile = profile_database(database, relation)
+            characterization = self.testbed.characterizations[relation]
+            classifier = self.testbed.classifier(relation)
+            entries[alias] = RelationEntry(
+                name=alias,
+                relation=relation,
+                attributes=self.testbed.world.schemas[relation].attributes,
+                database_name=database_name,
+                side_builder=(
+                    lambda theta, p=profile, c=characterization,
+                    k=database.max_results: SideStatistics.from_profile(
+                        p, tp=c.tp_at(theta), fp=c.fp_at(theta), top_k=k
+                    )
+                ),
+                key_builder=(
+                    lambda indexes, d=database, r=relation: profile_keys(
+                        d, r, indexes
+                    )
+                ),
+                classifier=classifier.measure(database),
+            )
+        return PlannerCatalog(entries=entries)
+
+    def environment(self) -> MultiwayEnvironment:
+        """Live bindings for executing planned multiway plans."""
+        return MultiwayEnvironment(
+            databases={
+                alias: self.testbed.databases[db]
+                for alias, (_, db) in self.bindings.items()
+            },
+            extractors={
+                alias: self.testbed.extractors[relation]
+                for alias, (relation, _) in self.bindings.items()
+            },
+            classifiers={
+                alias: self.testbed.classifier(relation)
+                for alias, (relation, _) in self.bindings.items()
+            },
+        )
+
+    def characterizations(self) -> Dict[str, KnobCharacterization]:
+        """Per-alias knob curves (for the adaptive multiway driver)."""
+        return {
+            alias: self.testbed.characterizations[relation]
+            for alias, (relation, _) in self.bindings.items()
+        }
+
+
+@dataclass
+class MultiwayTestbed:
+    """The multiway world: four relations hosted across four corpora."""
+
+    config: MultiwayConfig
+    world: World
+    training: TextDatabase
+    databases: Dict[str, TextDatabase]
+    extractors: Dict[str, SnowballExtractor]
+    characterizations: Dict[str, KnobCharacterization]
+    _classifiers: Dict[str, RuleClassifier] = field(default_factory=dict)
+
+    def classifier(self, relation: str) -> RuleClassifier:
+        cached = self._classifiers.get(relation)
+        if cached is None:
+            cached = RuleClassifier.train(self.training, relation)
+            self._classifiers[relation] = cached
+        return cached
+
+    def _node(self, alias: str, relation: str) -> RelationNode:
+        return RelationNode(
+            name=alias,
+            attributes=self.world.schemas[relation].attributes,
+            thetas=MULTIWAY_THETAS,
+            access_paths=MULTIWAY_ACCESS_PATHS,
+        )
+
+    def scenario(self, name: str) -> MultiwayScenario:
+        """Bind a named scenario (``star3`` or ``chain3``)."""
+        if name == "star3":
+            # HQ@nyt96 ⋈ EX@nyt95 ⋈ MG@wsj, all on Company.
+            graph = JoinGraph.star(
+                [
+                    self._node("HQ", "HQ"),
+                    self._node("EX", "EX"),
+                    self._node("MG", "MG"),
+                ],
+                "Company",
+            )
+            bindings = {
+                "HQ": ("HQ", "nyt96"),
+                "EX": ("EX", "nyt95"),
+                "MG": ("MG", "wsj"),
+            }
+            taus = (40, 120)
+        elif name == "chain3":
+            # MG@nyt96 ⋈ EX@nyt95 on Company, then ⋈ RES@wsj on CEO.
+            graph = JoinGraph.chain(
+                [
+                    self._node("MG", "MG"),
+                    self._node("EX", "EX"),
+                    self._node("RES", "RES"),
+                ],
+                [("Company", "Company"), ("CEO", "CEO")],
+            )
+            bindings = {
+                "MG": ("MG", "nyt96"),
+                "EX": ("EX", "nyt95"),
+                "RES": ("RES", "wsj"),
+            }
+            taus = (40, 250)
+        else:
+            raise ValueError(
+                f"unknown multiway scenario {name!r}"
+                f" (expected one of {', '.join(MULTIWAY_SCENARIOS)})"
+            )
+        return MultiwayScenario(
+            name=name,
+            graph=graph,
+            bindings=bindings,
+            testbed=self,
+            tau_good=taus[0],
+            tau_bad=taus[1],
+        )
+
+
+def _multiway_world(config: MultiwayConfig) -> World:
+    def spec(
+        name: str,
+        attrs: Tuple[str, str],
+        prefix: str,
+        primary_pool: Optional[str] = None,
+    ) -> RelationSpec:
+        return RelationSpec(
+            schema=RelationSchema(name, attrs),
+            secondary_prefix=prefix,
+            n_true_facts=config.scaled(140),
+            n_false_facts=config.scaled(90),
+            n_secondary=config.scaled(200),
+            primary_pool=primary_pool,
+        )
+
+    return World(
+        WorldConfig(
+            seed=config.seed,
+            n_companies=config.n_companies,
+            company_zipf_exponent=config.company_zipf,
+            fact_zipf_exponent=config.fact_zipf,
+            relations=(
+                spec("HQ", ("Company", "Location"), "city"),
+                spec("EX", ("Company", "CEO"), "person"),
+                spec("MG", ("Company", "MergedWith"), "target"),
+                # RES's primary attribute is a *CEO*, drawn from EX's
+                # secondary pool — the chain scenario's second hop.
+                spec("RES", ("CEO", "City"), "home", primary_pool="EX"),
+            ),
+        )
+    )
+
+
+def _multiway_corpora(
+    config: MultiwayConfig, world: World
+) -> Dict[str, TextDatabase]:
+    def hosted(relation: str, good: int, bad: int) -> HostedRelation:
+        return HostedRelation(
+            relation=relation,
+            n_good_docs=config.scaled(good),
+            n_bad_docs=config.scaled(bad),
+            trigger_empty=0.15,
+        )
+
+    recipes = {
+        "mtrain": CorpusConfig(
+            name="mtrain",
+            seed=config.seed + 101,
+            hosted=(
+                hosted("HQ", 140, 70),
+                hosted("EX", 140, 70),
+                hosted("MG", 140, 70),
+                hosted("RES", 120, 60),
+            ),
+            n_empty_docs=config.scaled(260),
+            max_results=config.max_results,
+        ),
+        "nyt96": CorpusConfig(
+            name="nyt96",
+            seed=config.seed + 202,
+            hosted=(hosted("HQ", 300, 120), hosted("MG", 160, 80)),
+            n_empty_docs=config.scaled(380),
+            max_results=config.max_results,
+        ),
+        "nyt95": CorpusConfig(
+            name="nyt95",
+            seed=config.seed + 303,
+            hosted=(hosted("EX", 320, 130),),
+            n_empty_docs=config.scaled(400),
+            max_results=config.max_results,
+        ),
+        "wsj": CorpusConfig(
+            name="wsj",
+            seed=config.seed + 404,
+            hosted=(hosted("MG", 200, 90), hosted("RES", 220, 100)),
+            n_empty_docs=config.scaled(420),
+            max_results=config.max_results,
+        ),
+    }
+    return {name: generate_corpus(world, recipe) for name, recipe in recipes.items()}
+
+
+def _build_multiway(config: MultiwayConfig) -> MultiwayTestbed:
+    world = _multiway_world(config)
+    corpora = _multiway_corpora(config, world)
+    training = corpora["mtrain"]
+    extractors: Dict[str, SnowballExtractor] = {}
+    characterizations: Dict[str, KnobCharacterization] = {}
+    for relation in world.relation_names():
+        schema = world.schemas[relation]
+        dictionaries = world.entity_dictionary(relation)
+        patterns = learn_pattern_terms(
+            training,
+            schema,
+            dictionaries,
+            seed_facts=world.true_facts(relation)[:40],
+        )
+        extractor = SnowballExtractor(
+            schema=schema,
+            entity_dictionaries=dictionaries,
+            pattern_terms=patterns,
+            theta=0.4,
+            system_name=f"snowball-{relation.lower()}",
+        )
+        extractors[relation] = extractor
+        characterizations[relation] = characterize(
+            extractor, training, thetas=CHARACTERIZATION_THETAS
+        )
+    return MultiwayTestbed(
+        config=config,
+        world=world,
+        training=training,
+        databases={k: v for k, v in corpora.items() if k != "mtrain"},
+        extractors=extractors,
+        characterizations=characterizations,
+    )
+
+
+@lru_cache(maxsize=2)
+def build_multiway_testbed(
+    config: Optional[MultiwayConfig] = None,
+) -> MultiwayTestbed:
+    """Build (and memoize) the multiway testbed."""
+    return _build_multiway(config or MultiwayConfig())

@@ -18,6 +18,12 @@ from .executor import (
     MultiwayIndependentJoin,
     MultiwaySide,
 )
+from .interleaved import (
+    InterleavedNaryJoin,
+    TreeEdge,
+    TreeJoinState,
+    TreeJoinTuple,
+)
 from .model import MultiwayIDJNModel
 from .state import MultiJoinComposition, MultiJoinState, MultiJoinTuple
 
@@ -27,6 +33,7 @@ __all__ = [
     "ChainJoinState",
     "ChainJoinTuple",
     "chain_expected_composition",
+    "InterleavedNaryJoin",
     "MultiJoinComposition",
     "MultiJoinState",
     "MultiJoinTuple",
@@ -34,4 +41,7 @@ __all__ = [
     "MultiwayIDJNModel",
     "MultiwayIndependentJoin",
     "MultiwaySide",
+    "TreeEdge",
+    "TreeJoinState",
+    "TreeJoinTuple",
 ]

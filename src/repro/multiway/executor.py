@@ -107,6 +107,10 @@ class MultiwayIndependentJoin:
             for i, side in enumerate(sides)
         ]
         self.time = TimeBreakdown()
+        #: accumulated simulated seconds per side (1-based), for schedulers
+        self.side_time: Dict[int, float] = {
+            i + 1: 0.0 for i in range(len(sides))
+        }
         self.observability = ensure_observability(observability)
         self.processed: Dict[int, int] = {i + 1: 0 for i in range(len(sides))}
         self.on_progress: Optional[
@@ -139,15 +143,15 @@ class MultiwayIndependentJoin:
                 retrieved=delta_retrieved,
                 queries=counters.queries_issued - before.queries_issued,
             )
-        self.time.add(
-            side.costs.charge(
-                retrieved=delta_retrieved,
-                queries=counters.queries_issued - before.queries_issued,
-                filtered=(
-                    delta_retrieved if side.retriever.filters_documents else 0
-                ),
-            )
+        retrieval_charge = side.costs.charge(
+            retrieved=delta_retrieved,
+            queries=counters.queries_issued - before.queries_issued,
+            filtered=(
+                delta_retrieved if side.retriever.filters_documents else 0
+            ),
         )
+        self.time.add(retrieval_charge)
+        self.side_time[index + 1] += retrieval_charge.total
         if doc is None:
             return
         with observability.span(
@@ -158,7 +162,9 @@ class MultiwayIndependentJoin:
         ) as span:
             tuples = side.extractor.extract(doc)
             span.set(tuples=len(tuples))
-        self.time.add(side.costs.charge(processed=1))
+        processing_charge = side.costs.charge(processed=1)
+        self.time.add(processing_charge)
+        self.side_time[index + 1] += processing_charge.total
         self.processed[index + 1] += 1
         self.observations[index].record_document(tuples)
         self.state.add(index + 1, tuples)
@@ -173,6 +179,10 @@ class MultiwayIndependentJoin:
                 metrics.counter(
                     "repro_tuples_extracted_total", side=index + 1
                 ).inc(len(tuples))
+
+    def _round_sides(self, open_sides: List[int]) -> List[int]:
+        """Which open sides advance this round (override to re-schedule)."""
+        return open_sides
 
     def run(
         self, requirement: QualityRequirement = UNLIMITED
@@ -198,7 +208,7 @@ class MultiwayIndependentJoin:
                 round=rounds,
                 open_sides=len(open_sides),
             ):
-                for index in open_sides:
+                for index in self._round_sides(open_sides):
                     self._step(index)
             if self.on_progress is not None:
                 self.on_progress(self.state, self.time)

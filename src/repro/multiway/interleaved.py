@@ -1,0 +1,365 @@
+"""Tree-shaped join state and the fully-interleaved n-ary strategy.
+
+:class:`TreeJoinState` generalizes :class:`ChainJoinState` from paths to
+arbitrary acyclic join graphs: every relation keeps exact (total, good)
+counts per *joint key* — the tuple of its join-attribute values — and
+the composition is counted by the same upward message-passing DP the
+planner's model uses on expected factors (chains and stars are special
+cases).
+
+:class:`InterleavedNaryJoin` is the ZGJN-flavoured execution strategy
+(cf. Leapfrog Triejoin): instead of advancing every side each round, it
+advances only the side with the least accumulated simulated time, so
+all n relations stay in lockstep on the time axis and no binary
+intermediate result is ever materialized.  It reuses the resumable
+ripple machinery of :class:`MultiwayIndependentJoin` unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.relation import ExtractedRelation
+from ..core.types import ExtractedTuple, RelationSchema
+from .executor import MultiwayIndependentJoin
+from .state import MultiJoinComposition
+
+
+@dataclass(frozen=True)
+class TreeEdge:
+    """One join edge between two relations, by 0-based relation index."""
+
+    left: int
+    left_attribute: str
+    right: int
+    right_attribute: str
+
+    def attribute_of(self, index: int) -> str:
+        if index == self.left:
+            return self.left_attribute
+        if index == self.right:
+            return self.right_attribute
+        raise KeyError(index)
+
+    def other(self, index: int) -> int:
+        if index == self.left:
+            return self.right
+        if index == self.right:
+            return self.left
+        raise KeyError(index)
+
+
+@dataclass(frozen=True)
+class TreeJoinTuple:
+    """One materialized tree-join result (parts in relation order)."""
+
+    parts: Tuple[ExtractedTuple, ...]
+
+    @property
+    def is_good(self) -> bool:
+        return all(part.is_good for part in self.parts)
+
+
+class TreeJoinState:
+    """Incrementally maintained acyclic multiway join with DP counting."""
+
+    def __init__(
+        self,
+        schemas: Sequence[RelationSchema],
+        edges: Sequence[TreeEdge],
+    ) -> None:
+        if len(schemas) < 2:
+            raise ValueError("a tree join needs at least two relations")
+        if len(edges) != len(schemas) - 1:
+            raise ValueError("a tree join over n relations needs n-1 edges")
+        self.schemas = list(schemas)
+        self.edges = list(edges)
+        n = len(schemas)
+        self._incident: List[List[TreeEdge]] = [[] for _ in range(n)]
+        for edge in edges:
+            for endpoint in (edge.left, edge.right):
+                if not 0 <= endpoint < n:
+                    raise ValueError(f"edge endpoint {endpoint} out of range")
+            if edge.left == edge.right:
+                raise ValueError("edge joins a relation with itself")
+            # Raises ValueError via index_of if the attribute is missing.
+            for endpoint in (edge.left, edge.right):
+                self._key_index(endpoint, edge.attribute_of(endpoint))
+            self._incident[edge.left].append(edge)
+            self._incident[edge.right].append(edge)
+        reached = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for edge in self._incident[node]:
+                other = edge.other(node)
+                if other not in reached:
+                    reached.add(other)
+                    frontier.append(other)
+        if len(reached) != n:
+            raise ValueError("tree join edges must connect every relation")
+        #: per relation: schema indexes of its join attributes, schema order
+        self.key_indexes: List[Tuple[int, ...]] = [
+            tuple(
+                sorted(
+                    {
+                        self._key_index(i, edge.attribute_of(i))
+                        for edge in self._incident[i]
+                    }
+                )
+            )
+            for i in range(n)
+        ]
+        self.relations = [ExtractedRelation(s) for s in schemas]
+        #: per relation: joint key -> [total count, good count]
+        self._key_counts: List[Dict[Tuple, List[int]]] = [
+            defaultdict(lambda: [0, 0]) for _ in schemas
+        ]
+        self._dirty = True
+        self._cached = MultiJoinComposition()
+
+    def _key_index(self, relation: int, attribute: str) -> int:
+        try:
+            return self.schemas[relation].index_of(attribute)
+        except KeyError:
+            raise ValueError(
+                f"relation {self.schemas[relation].name!r} has no attribute"
+                f" {attribute!r}"
+            ) from None
+
+    # -- executor protocol -------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.relations)
+
+    @property
+    def join_indexes(self) -> List[int]:
+        """First join-attribute index per relation (for observations)."""
+        return [indexes[0] for indexes in self.key_indexes]
+
+    def relation(self, side: int) -> ExtractedRelation:
+        """1-based side accessor, matching the other executors."""
+        return self.relations[side - 1]
+
+    def add(self, side: int, tuples: Iterable[ExtractedTuple]) -> int:
+        """Insert tuples into relation *side* (1-based); returns new count."""
+        index = side - 1
+        relation = self.relations[index]
+        key_indexes = self.key_indexes[index]
+        added = 0
+        for tup in tuples:
+            if not relation.add(tup):
+                continue
+            added += 1
+            key = tuple(tup.value_of(i) for i in key_indexes)
+            slot = self._key_counts[index][key]
+            slot[0] += 1
+            if tup.is_good:
+                slot[1] += 1
+        if added:
+            self._dirty = True
+        return added
+
+    def key_factors(self, side: int) -> Dict[Tuple, Tuple[float, float]]:
+        """Relation *side*'s exact (total, good) counts per joint key.
+
+        The exact-count analogue of the planner model's expected key
+        factors; composing them through the same tree DP reproduces the
+        exact composition (a property tests rely on).
+        """
+        return {
+            key: (float(total), float(good))
+            for key, (total, good) in self._key_counts[side - 1].items()
+        }
+
+    # -- composition -------------------------------------------------------------
+
+    def _counts_for(
+        self, index: int, key_indexes: Tuple[int, ...]
+    ) -> Dict[Tuple, List[int]]:
+        if key_indexes == self.key_indexes[index]:
+            return self._key_counts[index]
+        counts: Dict[Tuple, List[int]] = defaultdict(lambda: [0, 0])
+        for tup in self.relations[index]:
+            key = tuple(tup.value_of(i) for i in key_indexes)
+            slot = counts[key]
+            slot[0] += 1
+            if tup.is_good:
+                slot[1] += 1
+        return counts
+
+    def _subset_key_indexes(
+        self, index: int, subset: FrozenSet[int]
+    ) -> Tuple[int, ...]:
+        used = {
+            self._key_index(index, edge.attribute_of(index))
+            for edge in self._incident[index]
+            if edge.other(index) in subset
+        }
+        if not used:
+            return self.key_indexes[index]
+        return tuple(sorted(used))
+
+    def _message(
+        self,
+        index: int,
+        parent: Optional[int],
+        subset: FrozenSet[int],
+    ) -> Dict[Optional[str], List[float]]:
+        children = [
+            edge.other(index)
+            for edge in self._incident[index]
+            if edge.other(index) in subset and edge.other(index) != parent
+        ]
+        key_indexes = self._subset_key_indexes(index, subset)
+        counts = self._counts_for(index, key_indexes)
+        child_messages = {
+            child: self._message(child, index, subset) for child in children
+        }
+        child_slots = [
+            (
+                key_indexes.index(
+                    self._key_index(
+                        index, self._edge_between(index, child).attribute_of(index)
+                    )
+                ),
+                child,
+            )
+            for child in children
+        ]
+        parent_slot = (
+            key_indexes.index(
+                self._key_index(
+                    index, self._edge_between(index, parent).attribute_of(index)
+                )
+            )
+            if parent is not None
+            else None
+        )
+        out: Dict[Optional[str], List[float]] = {}
+        for key, (total, good) in counts.items():
+            total_f, good_f = float(total), float(good)
+            for slot, child in child_slots:
+                message = child_messages[child].get(key[slot])
+                if message is None:
+                    total_f = good_f = 0.0
+                    break
+                total_f *= message[0]
+                good_f *= message[1]
+            if total_f == 0.0 and good_f == 0.0:
+                continue
+            out_key = None if parent_slot is None else key[parent_slot]
+            slot_out = out.setdefault(out_key, [0.0, 0.0])
+            slot_out[0] += total_f
+            slot_out[1] += good_f
+        return out
+
+    def _edge_between(self, a: int, b: int) -> TreeEdge:
+        for edge in self._incident[a]:
+            if edge.other(a) == b:
+                return edge
+        raise ValueError(f"no edge between relations {a} and {b}")
+
+    def subset_composition(self, subset: FrozenSet[int]) -> MultiJoinComposition:
+        """Exact composition of joining only the relations in *subset*."""
+        if not subset:
+            raise ValueError("cannot compose an empty subset")
+        root = min(subset)
+        message = self._message(root, None, frozenset(subset))
+        total = sum(slot[0] for slot in message.values())
+        good = sum(slot[1] for slot in message.values())
+        return MultiJoinComposition(
+            n_good=int(round(good)), n_bad=int(round(total - good))
+        )
+
+    @property
+    def composition(self) -> MultiJoinComposition:
+        if self._dirty:
+            self._cached = self.subset_composition(
+                frozenset(range(self.arity))
+            )
+            self._dirty = False
+        return self._cached
+
+    # -- materialization (tests, small outputs) ----------------------------------
+
+    def _subtree_choices(
+        self,
+        index: int,
+        parent: Optional[int],
+        required: Optional[str],
+    ) -> Iterator[Dict[int, ExtractedTuple]]:
+        parent_attr_index = (
+            self._key_index(
+                index, self._edge_between(index, parent).attribute_of(index)
+            )
+            if parent is not None
+            else None
+        )
+        children = [
+            edge.other(index)
+            for edge in self._incident[index]
+            if edge.other(index) != parent
+        ]
+        for tup in self.relations[index]:
+            if (
+                parent_attr_index is not None
+                and tup.value_of(parent_attr_index) != required
+            ):
+                continue
+            child_choice_lists = [
+                list(
+                    self._subtree_choices(
+                        child,
+                        index,
+                        tup.value_of(
+                            self._key_index(
+                                index,
+                                self._edge_between(index, child).attribute_of(index),
+                            )
+                        ),
+                    )
+                )
+                for child in children
+            ]
+            for combo in itertools.product(*child_choice_lists):
+                merged: Dict[int, ExtractedTuple] = {index: tup}
+                for choice in combo:
+                    merged.update(choice)
+                yield merged
+
+    def iter_results(self) -> Iterator[TreeJoinTuple]:
+        """Materialize tree results by recursive index walks (may be large)."""
+        for choice in self._subtree_choices(0, None, None):
+            yield TreeJoinTuple(
+                parts=tuple(choice[i] for i in range(self.arity))
+            )
+
+    def verify_composition(self) -> MultiJoinComposition:
+        """Recount by materialization — O(result size), for tests."""
+        good = total = 0
+        for joined in self.iter_results():
+            total += 1
+            if joined.is_good:
+                good += 1
+        return MultiJoinComposition(n_good=good, n_bad=total - good)
+
+
+class InterleavedNaryJoin(MultiwayIndependentJoin):
+    """Fully-interleaved n-ary join: one side per round, time-balanced.
+
+    Each round advances only the open side with the least accumulated
+    simulated time (ties break on side order), so every relation's
+    cursor moves in lockstep along the time axis — the scheduling
+    analogue of Leapfrog Triejoin's iterator interleaving, under the
+    same stop-as-soon-as-(τg, τb)-is-met contract as the ripple join.
+    """
+
+    algorithm = "interleaved"
+
+    def _round_sides(self, open_sides: List[int]) -> List[int]:
+        return [min(open_sides, key=lambda i: (self.side_time[i + 1], i))]

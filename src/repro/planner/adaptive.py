@@ -1,0 +1,395 @@
+"""Label-free adaptive planning for multiway joins (Section VI, n-ary).
+
+The planner's catalog normally holds ground-truth statistics.  When only
+the databases themselves are available, :class:`AdaptiveMultiwayDriver`
+bootstraps them: it scan-pilots every relation without looking at truth
+labels, fits the MLE observation model (``estimation.mle``) to each
+pilot, and extrapolates the *observed* attribute values and joint keys
+to full-corpus frequency estimates,
+
+    ĝ(v) = s(v) · π / p_obs_good        b̂(v) = s(v) · (1 − π) / p_obs_bad
+
+where ``s(v)`` is the pilot's per-document sample count, ``π`` the
+fitted good-occurrence share, and ``p_obs_*`` the per-class observation
+probabilities (tp·coverage, fp·coverage).  Planning then runs against
+the estimated catalog; if the executed plan stops short of the contract
+without exhausting its sides, the driver refits from the (larger)
+execution sample and replans — the n-ary analogue of the binary
+pilot-plan-refit loop.
+
+As in the paper, only *database* statistics are estimated: tp/fp curves
+come from the offline knob characterization, and refits treat the
+processed sample as uniform coverage — the same first-order
+approximation the binary estimator makes for non-scan paths.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.plan import RetrievalKind
+from ..core.preferences import QualityRequirement
+from ..estimation.mle import ObservationContext, estimate_parameters
+from ..extraction.characterization import KnobCharacterization
+from ..joins.costs import SideCosts
+from ..joins.stats_collector import RelationObservations
+from ..models.parameters import SideStatistics
+from ..multiway.executor import MultiwayExecution
+from .binder import MultiwayEnvironment, bind_multiway_plan
+from .catalog import PlannerCatalog, RelationEntry
+from .graph import JoinGraph
+from .model import DEFAULT_T_JOIN
+from .planner import MultiwayPlanner, PlannerResult
+from .profile import KeyProfile
+
+#: share of estimated bad occurrences attributed to good documents when
+#: the pilot carries no labels to say otherwise (matches
+#: ``SideStatistics.from_histograms``).
+BAD_IN_GOOD_SHARE = 0.5
+
+
+@dataclass
+class RelationPilot:
+    """One relation's label-free sample: attr-0 observations + joint keys."""
+
+    name: str
+    theta: float
+    documents_processed: int
+    observations: RelationObservations
+    #: per join-attribute index tuple: joint key -> documents carrying it
+    key_samples: Dict[Tuple[int, ...], Counter]
+    exhausted: bool = False
+
+
+@dataclass
+class AdaptiveRound:
+    """One plan-execute iteration of the adaptive loop."""
+
+    planning: PlannerResult
+    execution: Optional[MultiwayExecution] = None
+    satisfied: Optional[bool] = None
+
+
+@dataclass
+class AdaptiveMultiwayResult:
+    """Everything the adaptive driver did."""
+
+    requirement: QualityRequirement
+    pilots: Dict[str, RelationPilot]
+    rounds: List[AdaptiveRound] = field(default_factory=list)
+
+    @property
+    def final(self) -> AdaptiveRound:
+        return self.rounds[-1]
+
+    @property
+    def satisfied(self) -> bool:
+        return any(r.satisfied for r in self.rounds if r.satisfied is not None)
+
+    def summary(self) -> Dict[str, object]:
+        body: Dict[str, object] = {
+            "rounds": len(self.rounds),
+            "satisfied": self.satisfied,
+            "pilot_documents": {
+                name: pilot.documents_processed
+                for name, pilot in self.pilots.items()
+            },
+        }
+        final = self.final
+        body["feasible"] = final.planning.feasible
+        if final.planning.chosen is not None:
+            body["chosen"] = final.planning.chosen.plan.describe()
+        if final.execution is not None:
+            comp = final.execution.state.composition
+            body["actual_good"] = comp.n_good
+            body["actual_bad"] = comp.n_bad
+        return body
+
+
+def _key_index_tuples(indexes: Tuple[int, ...]) -> List[Tuple[int, ...]]:
+    """Every non-empty subset of the join-attribute indexes, sorted."""
+    return [
+        tuple(combo)
+        for size in range(1, len(indexes) + 1)
+        for combo in combinations(indexes, size)
+    ]
+
+
+class AdaptiveMultiwayDriver:
+    """Pilot → estimate → plan → execute → refit for one join graph."""
+
+    def __init__(
+        self,
+        environment: MultiwayEnvironment,
+        graph: JoinGraph,
+        characterizations: Mapping[str, KnobCharacterization],
+        costs: Optional[Mapping[str, SideCosts]] = None,
+        pilot_documents: int = 50,
+        pilot_theta: Optional[float] = None,
+        feasibility_margin: float = 0.15,
+        t_join: float = DEFAULT_T_JOIN,
+        max_rounds: int = 2,
+        slack: float = 1.5,
+    ) -> None:
+        if pilot_documents <= 0:
+            raise ValueError("pilot_documents must be positive")
+        if max_rounds <= 0:
+            raise ValueError("max_rounds must be positive")
+        missing = [n for n in graph.names if n not in characterizations]
+        if missing:
+            raise ValueError(
+                f"no knob characterization for relation {missing[0]!r}"
+            )
+        self.environment = environment
+        self.graph = graph
+        self.characterizations = dict(characterizations)
+        self.costs = dict(costs) if costs else {}
+        self.pilot_documents = pilot_documents
+        self.pilot_theta = pilot_theta
+        self.feasibility_margin = feasibility_margin
+        self.t_join = t_join
+        self.max_rounds = max_rounds
+        self.slack = slack
+
+    # ------------------------------------------------------------------
+    # Pilot
+
+    def _theta_for(self, name: str) -> float:
+        if self.pilot_theta is not None:
+            return self.pilot_theta
+        # The most permissive knob yields the most signal per document.
+        return min(self.graph.relation(name).thetas)
+
+    def _join_indexes(self, name: str) -> Tuple[int, ...]:
+        schema = self.environment.extractors[name].schema
+        return tuple(
+            sorted(
+                schema.index_of(attribute)
+                for attribute in self.graph.join_attributes(name)
+            )
+        )
+
+    def pilot(self, name: str) -> RelationPilot:
+        """Scan-sample one relation without reading truth labels."""
+        theta = self._theta_for(name)
+        extractor = self.environment.extractor_at(name, theta)
+        retriever = self.environment.retriever(name, RetrievalKind.SCAN)
+        indexes = self._join_indexes(name)
+        observations = RelationObservations(
+            relation=extractor.relation, attribute_index=indexes[0]
+        )
+        key_samples: Dict[Tuple[int, ...], Counter] = {
+            combo: Counter() for combo in _key_index_tuples(indexes)
+        }
+        processed = 0
+        while processed < self.pilot_documents:
+            doc = retriever.next_document()
+            if doc is None:
+                break
+            tuples = extractor.extract(doc)
+            processed += 1
+            observations.record_document(tuples)
+            for combo, counter in key_samples.items():
+                seen = {
+                    tuple(tup.value_of(i) for i in combo) for tup in tuples
+                }
+                counter.update(seen)
+        return RelationPilot(
+            name=name,
+            theta=theta,
+            documents_processed=processed,
+            observations=observations,
+            key_samples=key_samples,
+            exhausted=retriever.exhausted,
+        )
+
+    # ------------------------------------------------------------------
+    # Estimation
+
+    def _entry(self, name: str, pilot: RelationPilot) -> RelationEntry:
+        database = self.environment.database(name)
+        extractor = self.environment.extractors[name]
+        characterization = self.characterizations[name]
+        database_size = len(database)
+        coverage = min(
+            1.0, max(pilot.documents_processed, 1) / max(database_size, 1)
+        )
+        context = ObservationContext(
+            database_size=database_size,
+            coverage=coverage,
+            tp=characterization.tp_at(pilot.theta),
+            fp=characterization.fp_at(pilot.theta),
+            theta=pilot.theta,
+        )
+        parameters = estimate_parameters(pilot.observations, context)
+        share = parameters.good_occurrence_share
+        good_scale = share / max(context.p_obs_good, 1e-9)
+        bad_scale = (1.0 - share) / max(context.p_obs_bad, 1e-9)
+        n_good = int(round(min(parameters.n_good_docs, database_size)))
+        n_bad = int(round(min(parameters.n_bad_docs, database_size - n_good)))
+
+        good_frequency = {
+            value: count * good_scale
+            for value, count in pilot.observations.sample_frequency.items()
+        }
+        bad_frequency = {
+            value: count * bad_scale
+            for value, count in pilot.observations.sample_frequency.items()
+            if count * bad_scale > 0.0
+        }
+        bad_in_good = {
+            value: freq * BAD_IN_GOOD_SHARE
+            for value, freq in bad_frequency.items()
+        }
+
+        def side_builder(theta: float) -> SideStatistics:
+            return SideStatistics(
+                relation=extractor.relation,
+                n_documents=database_size,
+                n_good_docs=n_good,
+                n_bad_docs=n_bad,
+                good_frequency=good_frequency,
+                bad_frequency=bad_frequency,
+                bad_in_good_frequency=bad_in_good,
+                tp=characterization.tp_at(theta),
+                fp=characterization.fp_at(theta),
+                top_k=database.max_results,
+            )
+
+        def key_builder(indexes: Tuple[int, ...]) -> KeyProfile:
+            samples = pilot.key_samples.get(tuple(indexes))
+            if samples is None:
+                raise ValueError(
+                    f"pilot for {name!r} did not sample key {indexes!r}"
+                )
+            return KeyProfile(
+                relation=extractor.relation,
+                attribute_indexes=tuple(indexes),
+                good_frequency={
+                    key: count * good_scale for key, count in samples.items()
+                },
+                bad_frequency={
+                    key: count * bad_scale for key, count in samples.items()
+                },
+                bad_in_good_frequency={
+                    key: count * bad_scale * BAD_IN_GOOD_SHARE
+                    for key, count in samples.items()
+                },
+            )
+
+        classifier = self.environment.classifiers.get(name)
+        return RelationEntry(
+            name=name,
+            relation=extractor.relation,
+            attributes=extractor.schema.attributes,
+            database_name=database.name,
+            side_builder=side_builder,
+            key_builder=key_builder,
+            classifier=(
+                classifier.measure(database) if classifier is not None else None
+            ),
+            queries=tuple(self.environment.learned_queries.get(name) or ()),
+        )
+
+    def estimated_catalog(
+        self, pilots: Mapping[str, RelationPilot]
+    ) -> PlannerCatalog:
+        return PlannerCatalog(
+            entries={
+                name: self._entry(name, pilots[name])
+                for name in self.graph.names
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # The loop
+
+    def _refit_pilots(
+        self,
+        pilots: Dict[str, RelationPilot],
+        execution: MultiwayExecution,
+        thetas: Mapping[str, float],
+    ) -> Dict[str, RelationPilot]:
+        """Replace a pilot when the execution saw strictly more documents.
+
+        Execution observations were collected at the *chosen* theta, so
+        the replacement pilot re-anchors the scale factors there; joint
+        keys are recounted from the accumulated state with the same
+        per-document deduplication the pilot used.
+        """
+        refitted = dict(pilots)
+        for index, name in enumerate(self.graph.names):
+            processed = execution.report.documents_processed.get(index + 1, 0)
+            if processed <= pilots[name].documents_processed:
+                continue
+            indexes = self._join_indexes(name)
+            key_samples: Dict[Tuple[int, ...], Counter] = {
+                combo: Counter() for combo in _key_index_tuples(indexes)
+            }
+            by_document: Dict[int, List] = {}
+            for tup in execution.state.relation(index + 1):
+                by_document.setdefault(tup.document_id, []).append(tup)
+            for tuples in by_document.values():
+                for combo, counter in key_samples.items():
+                    seen = {
+                        tuple(tup.value_of(i) for i in combo)
+                        for tup in tuples
+                    }
+                    counter.update(seen)
+            refitted[name] = RelationPilot(
+                name=name,
+                theta=thetas[name],
+                documents_processed=processed,
+                observations=execution.observations[index],
+                key_samples=key_samples,
+                exhausted=execution.report.exhausted,
+            )
+        return refitted
+
+    def run(
+        self, requirement: QualityRequirement, prune: bool = True
+    ) -> AdaptiveMultiwayResult:
+        """Pilot every relation, then plan/execute/refit until satisfied."""
+        pilots = {name: self.pilot(name) for name in self.graph.names}
+        result = AdaptiveMultiwayResult(requirement=requirement, pilots=pilots)
+        for _ in range(self.max_rounds):
+            planner = MultiwayPlanner(
+                self.graph,
+                self.estimated_catalog(pilots),
+                costs=self.costs,
+                t_join=self.t_join,
+                feasibility_margin=self.feasibility_margin,
+            )
+            planning = planner.optimize(requirement, prune=prune)
+            if not planning.feasible:
+                result.rounds.append(AdaptiveRound(planning=planning))
+                break
+            executor = bind_multiway_plan(
+                self.environment,
+                self.graph,
+                planning.chosen,
+                model=planner.model,
+                slack=self.slack,
+            )
+            execution = executor.run(requirement)
+            comp = execution.state.composition
+            satisfied = requirement.satisfied_by(comp.n_good, comp.n_bad)
+            result.rounds.append(
+                AdaptiveRound(
+                    planning=planning, execution=execution, satisfied=satisfied
+                )
+            )
+            if satisfied or execution.report.exhausted:
+                break
+            pilots = self._refit_pilots(
+                pilots,
+                execution,
+                {
+                    config.name: config.theta
+                    for config in planning.chosen.plan.configs
+                },
+            )
+        return result

@@ -1,0 +1,91 @@
+"""Per-relation statistics for the n-ary planner.
+
+A :class:`PlannerCatalog` is the n-relation analogue of
+:class:`repro.optimizer.catalog.StatisticsCatalog`: it owns, for every
+relation alias in a join graph, a theta-parameterized
+:class:`SideStatistics` builder (attribute-0 frequencies for the
+retrieval models), a joint :class:`KeyProfile` builder (value-tuple
+frequencies for the composition model), and the optional classifier
+profile / query statistics an access path may need.
+
+Both builders are memoized; hit/miss tallies feed observability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from ..models.parameters import SideStatistics
+from .profile import KeyProfile
+
+
+@dataclass
+class RelationEntry:
+    """Everything the planner knows about one relation alias."""
+
+    name: str
+    relation: str
+    attributes: Tuple[str, ...]
+    database_name: str
+    side_builder: Callable[[float], SideStatistics]
+    key_builder: Callable[[Tuple[int, ...]], KeyProfile]
+    classifier: Optional[object] = None
+    queries: Tuple[object, ...] = ()
+
+    def attribute_indexes(self, names: Tuple[str, ...]) -> Tuple[int, ...]:
+        try:
+            return tuple(self.attributes.index(a) for a in names)
+        except ValueError:
+            missing = [a for a in names if a not in self.attributes]
+            raise ValueError(
+                f"relation {self.name!r} has no attribute {missing[0]!r}"
+            ) from None
+
+
+@dataclass
+class PlannerCatalog:
+    """Memoized per-relation statistics keyed by alias."""
+
+    entries: Mapping[str, RelationEntry]
+    _sides: Dict[Tuple[str, float], SideStatistics] = field(default_factory=dict)
+    _keys: Dict[Tuple[str, Tuple[int, ...]], KeyProfile] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def entry(self, name: str) -> RelationEntry:
+        try:
+            return self.entries[name]
+        except KeyError:
+            raise ValueError(f"no statistics for relation {name!r}") from None
+
+    def side(self, name: str, theta: float) -> SideStatistics:
+        key = (name, float(theta))
+        cached = self._sides.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        side = self.entry(name).side_builder(float(theta))
+        self._sides[key] = side
+        return side
+
+    def keys(self, name: str, attribute_names: Tuple[str, ...]) -> KeyProfile:
+        entry = self.entry(name)
+        indexes = entry.attribute_indexes(attribute_names)
+        cache_key = (name, indexes)
+        cached = self._keys.get(cache_key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        profile = entry.key_builder(indexes)
+        self._keys[cache_key] = profile
+        return profile
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "relations": len(self.entries),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }

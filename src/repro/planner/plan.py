@@ -1,0 +1,170 @@
+"""Plan shapes for multiway joins.
+
+A :class:`MultiwayPlan` fixes, for every relation of a join graph, an
+access path and an extractor theta (:class:`RelationConfig`), plus an
+execution strategy: either a binary join tree (:class:`PlanTree`,
+``PIPELINE``) or the fully-interleaved n-ary strategy (``INTERLEAVED``)
+in which every relation advances in lockstep and no binary intermediate
+is ever materialized.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from ..core.plan import RetrievalKind
+
+
+class ExecutionStrategy(enum.Enum):
+    """How a multiway plan is executed."""
+
+    #: A tree of binary joins; each internal node materializes its result.
+    PIPELINE = "PIPE"
+    #: Leapfrog-style fully-interleaved n-ary join; no binary intermediates.
+    INTERLEAVED = "ILJN"
+
+
+@dataclass(frozen=True)
+class RelationConfig:
+    """One relation's knob settings in a plan."""
+
+    name: str
+    theta: float
+    retrieval: RetrievalKind
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.theta <= 1.0:
+            raise ValueError("theta must lie in [0, 1]")
+        if self.retrieval is RetrievalKind.JOIN_DRIVEN:
+            raise ValueError("join-driven access is not a planner choice")
+
+    def describe(self) -> str:
+        return f"{self.name}[{self.retrieval.value} t={self.theta:g}]"
+
+
+@dataclass(frozen=True)
+class PlanTree:
+    """A binary join tree; leaves are relation names."""
+
+    relation: Optional[str] = None
+    left: Optional["PlanTree"] = None
+    right: Optional["PlanTree"] = None
+    subset: FrozenSet[str] = field(init=False, compare=False, hash=False, default=frozenset())
+
+    def __post_init__(self) -> None:
+        if self.relation is not None:
+            if self.left is not None or self.right is not None:
+                raise ValueError("a leaf has no children")
+            subset = frozenset((self.relation,))
+        else:
+            if self.left is None or self.right is None:
+                raise ValueError("an internal node needs two children")
+            if self.left.subset & self.right.subset:
+                raise ValueError("children overlap")
+            subset = self.left.subset | self.right.subset
+        object.__setattr__(self, "subset", subset)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.relation is not None
+
+    def internal_subsets(self) -> Tuple[FrozenSet[str], ...]:
+        """Subsets materialized by internal nodes, leaves excluded."""
+        if self.is_leaf:
+            return ()
+        return (
+            self.left.internal_subsets()
+            + self.right.internal_subsets()
+            + (self.subset,)
+        )
+
+    def describe(self) -> str:
+        if self.is_leaf:
+            return str(self.relation)
+        return f"({self.left.describe()} * {self.right.describe()})"
+
+    @classmethod
+    def leaf(cls, relation: str) -> "PlanTree":
+        return cls(relation=relation)
+
+    @classmethod
+    def node(cls, left: "PlanTree", right: "PlanTree") -> "PlanTree":
+        return cls(left=left, right=right)
+
+
+@dataclass(frozen=True)
+class MultiwayPlan:
+    """A fully-specified multiway plan."""
+
+    strategy: ExecutionStrategy
+    configs: Tuple[RelationConfig, ...]
+    tree: Optional[PlanTree] = None
+
+    def __post_init__(self) -> None:
+        names = [config.name for config in self.configs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate relation in plan configs")
+        if self.strategy is ExecutionStrategy.PIPELINE:
+            if self.tree is None:
+                raise ValueError("a pipeline plan needs a join tree")
+            if self.tree.subset != frozenset(names):
+                raise ValueError("join tree does not cover the plan's relations")
+        elif self.tree is not None:
+            raise ValueError("an interleaved plan has no join tree")
+
+    def config_for(self, name: str) -> RelationConfig:
+        for config in self.configs:
+            if config.name == name:
+                return config
+        raise ValueError(f"no config for relation {name!r}")
+
+    def order_describe(self) -> str:
+        if self.tree is not None:
+            return self.tree.describe()
+        return "interleave(" + ",".join(c.name for c in self.configs) + ")"
+
+    def describe(self) -> str:
+        configs = " ".join(config.describe() for config in self.configs)
+        return f"{self.strategy.value} {self.order_describe()} {configs}"
+
+
+@dataclass
+class PlannedEvaluation:
+    """The planner's verdict on one candidate assignment."""
+
+    plan: MultiwayPlan
+    feasible: bool
+    pruned: bool = False
+    reason: str = ""
+    effort_fraction: float = 0.0
+    efforts: Mapping[str, float] = field(default_factory=dict)
+    good: float = 0.0
+    bad: float = 0.0
+    side_time: float = 0.0
+    join_time: float = 0.0
+    bound_good: Optional[float] = None
+    #: (sorted relation names, expected total tuples) per materialized subset
+    intermediates: Tuple[Tuple[Tuple[str, ...], float], ...] = ()
+
+    @property
+    def total_time(self) -> float:
+        return self.side_time + self.join_time
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "plan": self.plan.describe(),
+            "order": self.plan.order_describe(),
+            "strategy": self.plan.strategy.value,
+            "feasible": self.feasible,
+            "pruned": self.pruned,
+            "reason": self.reason,
+            "effort_fraction": round(self.effort_fraction, 6),
+            "efforts": {name: round(e, 3) for name, e in sorted(self.efforts.items())},
+            "predicted_good": round(self.good, 3),
+            "predicted_bad": round(self.bad, 3),
+            "side_time": round(self.side_time, 3),
+            "join_time": round(self.join_time, 3),
+            "total_time": round(self.total_time, 3),
+        }

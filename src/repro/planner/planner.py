@@ -1,0 +1,392 @@
+"""The n-ary join planner.
+
+``MultiwayPlanner.optimize`` searches two nested spaces:
+
+1. **Assignments** — the cross product of every relation's theta grid
+   and allowed access paths (deterministic order).  Each assignment is
+   first screened against its tier-A quality ceiling (``model.bounds``):
+   if even the ρ=1 factor caps cannot compose to the target, the whole
+   assignment — and every join order under it — is pruned without a
+   single effort-curve evaluation.
+2. **Join orders** — for surviving assignments, the balanced operating
+   point t* is found by bisection, per-subset intermediate sizes are
+   evaluated at t*, and the Selinger DP picks the cheapest tree; the
+   fully-interleaved n-ary strategy is costed as one more candidate.
+
+Pruning never changes the outcome: a bound-pruned assignment cannot
+reach τg at any effort, so exhaustive enumeration rejects it as
+infeasible too — the chosen plan is byte-identical with and without
+pruning (asserted by tests and the benchmark).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.preferences import QualityRequirement
+from ..joins.costs import SideCosts
+from .catalog import PlannerCatalog
+from .enumerator import (
+    EnumerationTallies,
+    best_tree,
+    count_subplans,
+    naive_left_deep_tree,
+)
+from .graph import JoinGraph
+from .model import DEFAULT_T_JOIN, GraphCompositionModel
+from .plan import (
+    ExecutionStrategy,
+    MultiwayPlan,
+    PlannedEvaluation,
+    RelationConfig,
+)
+
+
+@dataclass
+class PlannerTallies:
+    """Search-space accounting for one ``optimize`` call."""
+
+    assignments: int = 0
+    assignments_pruned_bound: int = 0
+    assignments_infeasible_good: int = 0
+    assignments_infeasible_bad: int = 0
+    subplans_enumerated: int = 0
+    subplans_pruned_bound: int = 0
+    subplans_skipped_infeasible: int = 0
+    subplans_dominated: int = 0
+    plan_space: int = 0
+
+    @property
+    def subplans_total(self) -> int:
+        return (
+            self.subplans_enumerated
+            + self.subplans_pruned_bound
+            + self.subplans_skipped_infeasible
+        )
+
+    @property
+    def pruned_fraction(self) -> float:
+        total = self.subplans_total
+        return self.subplans_pruned_bound / total if total else 0.0
+
+    def as_counters(self) -> Dict[str, float]:
+        return {
+            "planner_assignments": float(self.assignments),
+            "planner_assignments_pruned_bound": float(self.assignments_pruned_bound),
+            "planner_assignments_infeasible_good": float(self.assignments_infeasible_good),
+            "planner_assignments_infeasible_bad": float(self.assignments_infeasible_bad),
+            "planner_subplans_enumerated": float(self.subplans_enumerated),
+            "planner_subplans_pruned_bound": float(self.subplans_pruned_bound),
+            "planner_subplans_skipped_infeasible": float(self.subplans_skipped_infeasible),
+            "planner_subplans_dominated": float(self.subplans_dominated),
+            "planner_plan_space": float(self.plan_space),
+        }
+
+
+@dataclass
+class PlannerResult:
+    """Outcome of one planning run."""
+
+    graph: JoinGraph
+    requirement: QualityRequirement
+    chosen: Optional[PlannedEvaluation]
+    evaluations: List[PlannedEvaluation]
+    tallies: PlannerTallies
+    elapsed: float = 0.0
+
+    @property
+    def feasible(self) -> bool:
+        return self.chosen is not None
+
+    def summary(self) -> Dict[str, object]:
+        body: Dict[str, object] = {
+            "graph": self.graph.describe(),
+            "signature": self.graph.signature(),
+            "tau_good": self.requirement.tau_good,
+            "tau_bad": self.requirement.tau_bad,
+            "feasible": self.feasible,
+            "plan_space": self.tallies.plan_space,
+            "subplans_enumerated": self.tallies.subplans_enumerated,
+            "subplans_pruned": self.tallies.subplans_pruned_bound,
+            "pruned_fraction": round(self.tallies.pruned_fraction, 6),
+            "elapsed": round(self.elapsed, 6),
+        }
+        if self.chosen is not None:
+            body["chosen"] = self.chosen.summary()
+        return body
+
+
+class MultiwayPlanner:
+    """DP join-order planner over one join graph."""
+
+    def __init__(
+        self,
+        graph: JoinGraph,
+        catalog: PlannerCatalog,
+        costs: Optional[Mapping[str, SideCosts]] = None,
+        t_join: float = DEFAULT_T_JOIN,
+        feasibility_margin: float = 0.0,
+        clock=_time.perf_counter,
+    ) -> None:
+        if feasibility_margin < 0:
+            raise ValueError("feasibility margin must be non-negative")
+        self.graph = graph
+        self.catalog = catalog
+        self.model = GraphCompositionModel(graph, catalog, costs=costs, t_join=t_join)
+        self.feasibility_margin = feasibility_margin
+        self._clock = clock
+        self._structure_count: Dict[bool, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def assignments(self) -> List[Tuple[RelationConfig, ...]]:
+        """Every theta × access-path assignment, in deterministic order."""
+        per_relation = [
+            [
+                RelationConfig(name=node.name, theta=theta, retrieval=kind)
+                for theta in node.thetas
+                for kind in node.access_paths
+            ]
+            for node in self.graph.relations
+        ]
+        return [tuple(combo) for combo in itertools.product(*per_relation)]
+
+    def structure_count(self, bushy: bool = True) -> int:
+        cached = self._structure_count.get(bushy)
+        if cached is None:
+            cached = count_subplans(self.graph, bushy=bushy)
+            self._structure_count[bushy] = cached
+        return cached
+
+    def target_good(self, requirement: QualityRequirement) -> float:
+        return requirement.tau_good * (1.0 + self.feasibility_margin)
+
+    # ------------------------------------------------------------------
+
+    def optimize(
+        self,
+        requirement: QualityRequirement,
+        prune: bool = True,
+        bushy: bool = True,
+    ) -> PlannerResult:
+        started = self._clock()
+        tallies = PlannerTallies()
+        structure = self.structure_count(bushy)
+        target = self.target_good(requirement)
+        evaluations: List[PlannedEvaluation] = []
+        for assignment in self.assignments():
+            tallies.assignments += 1
+            evaluations.append(
+                self._evaluate_assignment(
+                    assignment, requirement, target, structure, prune, bushy, tallies
+                )
+            )
+        tallies.plan_space = tallies.assignments * structure
+        feasible = [e for e in evaluations if e.feasible]
+        chosen = (
+            min(feasible, key=lambda e: (e.total_time, e.plan.describe()))
+            if feasible
+            else None
+        )
+        return PlannerResult(
+            graph=self.graph,
+            requirement=requirement,
+            chosen=chosen,
+            evaluations=evaluations,
+            tallies=tallies,
+            elapsed=self._clock() - started,
+        )
+
+    def _evaluate_assignment(
+        self,
+        assignment: Tuple[RelationConfig, ...],
+        requirement: QualityRequirement,
+        target: float,
+        structure: int,
+        prune: bool,
+        bushy: bool,
+        tallies: PlannerTallies,
+    ) -> PlannedEvaluation:
+        configs = {config.name: config for config in assignment}
+        placeholder_tree = naive_left_deep_tree(self.graph)
+        if prune:
+            bounds = self.model.bounds(configs)
+            if bounds.cannot_reach(target):
+                tallies.assignments_pruned_bound += 1
+                tallies.subplans_pruned_bound += structure
+                return PlannedEvaluation(
+                    plan=MultiwayPlan(
+                        strategy=ExecutionStrategy.PIPELINE,
+                        configs=assignment,
+                        tree=placeholder_tree,
+                    ),
+                    feasible=False,
+                    pruned=True,
+                    reason="bound",
+                    bound_good=bounds.good_upper,
+                )
+        fraction = self.model.balanced_effort_fraction(configs, target)
+        if fraction is None:
+            tallies.assignments_infeasible_good += 1
+            efforts = self.model.balanced_efforts(configs, 1.0)
+            total, good = self.model.compose(configs, efforts)
+            if prune:
+                tallies.subplans_skipped_infeasible += structure
+                return PlannedEvaluation(
+                    plan=MultiwayPlan(
+                        strategy=ExecutionStrategy.PIPELINE,
+                        configs=assignment,
+                        tree=placeholder_tree,
+                    ),
+                    feasible=False,
+                    reason="tau_good",
+                    effort_fraction=1.0,
+                    efforts=efforts,
+                    good=good,
+                    bad=total - good,
+                )
+            return self._full_evaluation(
+                assignment, configs, 1.0, efforts, good, total - good,
+                feasible=False, reason="tau_good", bushy=bushy, tallies=tallies,
+            )
+        efforts = self.model.balanced_efforts(configs, fraction)
+        total, good = self.model.compose(configs, efforts)
+        bad = total - good
+        if bad > requirement.tau_bad:
+            tallies.assignments_infeasible_bad += 1
+            if prune:
+                tallies.subplans_skipped_infeasible += structure
+                return PlannedEvaluation(
+                    plan=MultiwayPlan(
+                        strategy=ExecutionStrategy.PIPELINE,
+                        configs=assignment,
+                        tree=placeholder_tree,
+                    ),
+                    feasible=False,
+                    reason="tau_bad",
+                    effort_fraction=fraction,
+                    efforts=efforts,
+                    good=good,
+                    bad=bad,
+                )
+            return self._full_evaluation(
+                assignment, configs, fraction, efforts, good, bad,
+                feasible=False, reason="tau_bad", bushy=bushy, tallies=tallies,
+            )
+        return self._full_evaluation(
+            assignment, configs, fraction, efforts, good, bad,
+            feasible=True, reason="", bushy=bushy, tallies=tallies,
+        )
+
+    def _full_evaluation(
+        self,
+        assignment: Tuple[RelationConfig, ...],
+        configs: Mapping[str, RelationConfig],
+        fraction: float,
+        efforts: Mapping[str, float],
+        good: float,
+        bad: float,
+        feasible: bool,
+        reason: str,
+        bushy: bool,
+        tallies: PlannerTallies,
+    ) -> PlannedEvaluation:
+        size_cache: Dict[FrozenSet[str], float] = {}
+
+        def size_of(subset: FrozenSet[str]) -> float:
+            cached = size_cache.get(subset)
+            if cached is None:
+                cached = self.model.compose(configs, efforts, subset)[0]
+                size_cache[subset] = cached
+            return cached
+
+        enumeration = EnumerationTallies()
+        tree, _ = best_tree(
+            self.graph, size_of, self.model.t_join, bushy=bushy, tallies=enumeration
+        )
+        tallies.subplans_enumerated += enumeration.subplans
+        tallies.subplans_dominated += enumeration.dominated
+        side_time = self.model.side_time(configs, efforts).total
+        candidates: List[PlannedEvaluation] = []
+        for strategy, shaped in (
+            (ExecutionStrategy.PIPELINE, tree),
+            (ExecutionStrategy.INTERLEAVED, None),
+        ):
+            plan = MultiwayPlan(strategy=strategy, configs=assignment, tree=shaped)
+            join_time, intermediates = self.model.join_time(
+                plan, configs, efforts, size_of=size_of
+            )
+            candidates.append(
+                PlannedEvaluation(
+                    plan=plan,
+                    feasible=feasible,
+                    reason=reason,
+                    effort_fraction=fraction,
+                    efforts=dict(efforts),
+                    good=good,
+                    bad=bad,
+                    side_time=side_time,
+                    join_time=join_time,
+                    intermediates=intermediates,
+                )
+            )
+        return min(candidates, key=lambda e: (e.total_time, e.plan.describe()))
+
+    # ------------------------------------------------------------------
+
+    def naive_evaluation(
+        self, requirement: QualityRequirement
+    ) -> Optional[PlannedEvaluation]:
+        """The naive baseline: default knobs, graph-order left-deep tree.
+
+        Picks each relation's first theta and first access path, finds its
+        own balanced operating point, and pays the left-deep pipeline's
+        join cost — the plan a planner-less executor would run.
+        """
+        assignment = tuple(
+            RelationConfig(
+                name=node.name,
+                theta=node.thetas[0],
+                retrieval=node.access_paths[0],
+            )
+            for node in self.graph.relations
+        )
+        configs = {config.name: config for config in assignment}
+        fraction = self.model.balanced_effort_fraction(
+            configs, self.target_good(requirement)
+        )
+        if fraction is None:
+            return None
+        efforts = self.model.balanced_efforts(configs, fraction)
+        total, good = self.model.compose(configs, efforts)
+        tree = naive_left_deep_tree(self.graph)
+        plan = MultiwayPlan(
+            strategy=ExecutionStrategy.PIPELINE, configs=assignment, tree=tree
+        )
+        join_time, intermediates = self.model.join_time(plan, configs, efforts)
+        return PlannedEvaluation(
+            plan=plan,
+            feasible=(total - good) <= requirement.tau_bad,
+            effort_fraction=fraction,
+            efforts=dict(efforts),
+            good=good,
+            bad=total - good,
+            side_time=self.model.side_time(configs, efforts).total,
+            join_time=join_time,
+            intermediates=intermediates,
+        )
+
+    def frontier(
+        self,
+        tau_goods: Sequence[int],
+        tau_bad: int,
+        prune: bool = True,
+    ) -> List[Tuple[int, PlannerResult]]:
+        """Planning results across a sweep of τg targets."""
+        return [
+            (tau_good, self.optimize(QualityRequirement(tau_good, tau_bad), prune=prune))
+            for tau_good in tau_goods
+        ]

@@ -54,7 +54,7 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .. import __version__
@@ -71,6 +71,9 @@ from ..optimizer.adaptive import AdaptiveJoinExecutor, AdaptiveResult
 from ..optimizer.catalog import StatisticsCatalog
 from ..optimizer.enumerator import enumerate_plans
 from ..optimizer.optimizer import JoinOptimizer, OptimizationResult
+from ..planner.binder import bind_multiway_plan
+from ..planner.graph import JoinGraph
+from ..planner.planner import MultiwayPlanner, PlannerResult
 from ..robustness.checkpoint import CheckpointManager
 from ..robustness.deadline import Deadline, DeadlineExceeded
 from ..robustness.environment import harden
@@ -110,6 +113,14 @@ class JoinRequest:
     threshold under load — it never changes the answer, only how much
     backlog the request is willing to ride out before accepting a
     degraded (plan-only) response.
+
+    A payload carrying ``relations``/``edges`` keys is a **multiway**
+    request: ``graph`` holds the parsed (acyclic, connected)
+    :class:`~repro.planner.graph.JoinGraph` and the request is answered
+    by the n-ary planner instead of the binary optimizer.  Every graph
+    defect — cycles, dangling attributes, duplicate relations — raises
+    ``ValueError`` at parse time, so the HTTP layer answers a structured
+    4xx and a malformed graph can never reach a worker.
     """
 
     tau_good: int
@@ -117,6 +128,7 @@ class JoinRequest:
     mode: str = "execute"
     deadline_ms: Optional[float] = None
     priority: str = "normal"
+    graph: Optional[JoinGraph] = None
 
     def __post_init__(self) -> None:
         if self.tau_good < 0 or self.tau_bad < 0:
@@ -167,13 +179,58 @@ class JoinRequest:
         priority = payload.get("priority", "normal")
         if not isinstance(priority, str):
             raise ValueError("priority must be a string")
+        graph: Optional[JoinGraph] = None
+        if "relations" in payload or "edges" in payload:
+            graph = JoinGraph.from_payload(payload)
         return JoinRequest(
             tau_good=tau_good,
             tau_bad=tau_bad,
             mode=mode,
             deadline_ms=deadline_ms,
             priority=priority,
+            graph=graph,
         )
+
+
+class _PlannerTallyPool:
+    """Monotone accumulator of multiway planner tallies.
+
+    Shaped like ``JoinOptimizer.pruning`` (an ``as_dict``) so the plan
+    cache's aggregate counters — and its retired-pruning pool on
+    eviction — cover multiway planners without knowing about them.
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, int] = {}
+
+    def absorb(self, counters: Dict[str, float]) -> None:
+        for name, value in counters.items():
+            self._totals[name] = self._totals.get(name, 0) + int(value)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._totals)
+
+
+class _MultiwayPlannerAdapter:
+    """Duck-types :class:`JoinOptimizer` for the :class:`PlanCache`.
+
+    The cache calls ``optimize(plans, requirement)`` and reads a
+    ``pruning`` attribute; the adapter ignores the (binary) plan list,
+    delegates to the n-ary planner, and folds each run's search tallies
+    into a monotone pool.  Cached per
+    ``(graph signature, store generation)`` key, so repeated τ levels
+    over one graph reuse the planner's memoized catalog and structure
+    counts, and any statistics mutation invalidates the entry.
+    """
+
+    def __init__(self, planner: MultiwayPlanner) -> None:
+        self.planner = planner
+        self.pruning = _PlannerTallyPool()
+
+    def optimize(self, plans: Any, requirement) -> PlannerResult:
+        result = self.planner.optimize(requirement)
+        self.pruning.absorb(result.tallies.as_counters())
+        return result
 
 
 class JoinService:
@@ -201,6 +258,7 @@ class JoinService:
         trace_sample: int = 10,
         trace_keep: Optional[int] = None,
         trace_grace: float = 30.0,
+        multiway: Optional[Any] = None,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -210,6 +268,12 @@ class JoinService:
         self.clock = clock
         self.store = ShardedStatisticsStore(store_root, clock=clock)
         self.plan_cache = PlanCache()
+        #: multiway bindings (duck-typed scenario exposing ``catalog()``,
+        #: ``environment()`` and ``database_of(alias)``); None rejects
+        #: relations/edges payloads with a structured error
+        self.multiway = multiway
+        self._multiway_catalog = None
+        self._multiway_lock = threading.Lock()
         #: fault profile injected into every request's environment — the
         #: chaos harness's hook; None serves against the raw databases
         self.fault_profile = fault_profile
@@ -488,7 +552,11 @@ class JoinService:
             if deadline is not None:
                 # A request that expired while queued never starts work.
                 deadline.check("service.queue")
-            if request.mode == "plan":
+            if request.graph is not None:
+                response = self._handle_multiway(
+                    request_id, request, deadline, observability
+                )
+            elif request.mode == "plan":
                 response = self._handle_plan(request)
             else:
                 response = self._handle_execute(
@@ -641,7 +709,15 @@ class JoinService:
                 totals = response.get(key)
                 if isinstance(totals, dict):
                     counters[key] = float(sum(totals.values()))
-            for key in ("candidates", "feasible", "good", "bad"):
+            for key in (
+                "candidates",
+                "feasible",
+                "good",
+                "bad",
+                "plan_space",
+                "subplans_enumerated",
+                "subplans_pruned",
+            ):
                 value = response.get(key)
                 if isinstance(value, (int, float)) and not isinstance(
                     value, bool
@@ -1015,6 +1091,243 @@ class JoinService:
             )
         return response
 
+    # -- multiway mode (n-ary planner over relations/edges payloads) -----------
+
+    def _multiway_statistics(self):
+        """The shared (memoized) planner catalog for the bound scenario."""
+        with self._multiway_lock:
+            if self._multiway_catalog is None:
+                self._multiway_catalog = self.multiway.catalog()
+            return self._multiway_catalog
+
+    def _handle_multiway(
+        self,
+        request_id: int,
+        request: JoinRequest,
+        deadline: Optional[Deadline] = None,
+        observability: Optional[ObservabilityContext] = None,
+    ) -> Dict[str, Any]:
+        """Answer a ``relations``/``edges`` request with the n-ary planner.
+
+        Planning reuses the service's plan cache keyed by
+        ``(join-graph signature, store generation)`` — repeated τ levels
+        over one graph cost a dict lookup — and every freshly planned
+        requirement is journaled to the statistics store under the graph
+        signature, so a restarted service answers known (graph, τg, τb)
+        plan requests from disk without replanning.  ``execute`` mode
+        binds the chosen plan to the scenario's live databases and runs
+        the n-ary executor under the (τg, τb) stopping condition.
+        """
+        if self.multiway is None:
+            raise ValueError(
+                "this service has no multiway bindings; start it with a "
+                "multiway scenario to accept relations/edges payloads"
+            )
+        graph = request.graph
+        assert graph is not None
+        catalog = self._multiway_statistics()
+        missing = [
+            name for name in graph.names if name not in catalog.entries
+        ]
+        if missing:
+            bound = ", ".join(sorted(catalog.entries))
+            raise ValueError(
+                f"unknown relation alias {missing[0]!r}; "
+                f"bound aliases: {bound}"
+            )
+        signature = graph.signature()
+        databases = tuple(
+            self.multiway.database_of(alias) for alias in graph.names
+        )
+        with self._store_lock:
+            generation = self.store.generation
+            stored = self.store.curves_for(signature, databases, generation)
+        key = PlanCacheKey.of(signature, generation, ())
+        requirement_key = f"{request.tau_good}|{request.tau_bad}"
+        if (
+            request.mode == "plan"
+            and stored is not None
+            and requirement_key in stored["plans"]
+            and self.plan_cache.optimizer_for(key) is None
+        ):
+            # Cross-restart warm start: the in-memory cache is cold but
+            # the journaled store already holds this exact answer.
+            with self._metrics_lock:
+                self._curve_store_hits += 1
+            response = dict(stored["plans"][requirement_key])
+            response.update(
+                {
+                    "task": self.task.name,
+                    "mode": "plan",
+                    "tau_good": request.tau_good,
+                    "tau_bad": request.tau_bad,
+                    "warm_planned": True,
+                }
+            )
+            return response
+
+        def factory() -> _MultiwayPlannerAdapter:
+            if stored is not None:
+                self._curve_store_hits += 1
+            else:
+                self._curve_store_misses += 1
+            return _MultiwayPlannerAdapter(
+                MultiwayPlanner(
+                    graph, catalog, feasibility_margin=self.margin
+                )
+            )
+
+        result, was_hit = self.plan_cache.optimize(
+            key, (), request.requirement, factory
+        )
+        self._publish_multiway_counters(key)
+        if not was_hit:
+            self._persist_multiway(
+                signature, databases, generation, requirement_key, result
+            )
+        response = self._multiway_response(request, result)
+        if request.mode != "execute":
+            return response
+        chosen = result.chosen
+        if chosen is None:
+            return response
+        if deadline is not None:
+            deadline.check("multiway.plan")
+        environment = self.multiway.environment()
+        environment.observability = observability
+        adapter = self.plan_cache.optimizer_for(key)
+        model = adapter.planner.model if adapter is not None else None
+        executor = bind_multiway_plan(
+            environment, graph, chosen, model=model
+        )
+        with ensure_observability(observability).span(
+            SpanKind.SERVICE_REQUEST,
+            "multiway-join",
+            request_id=request_id,
+            tau_good=request.tau_good,
+            tau_bad=request.tau_bad,
+            graph=graph.describe(),
+        ):
+            execution = executor.run(request.requirement)
+        if observability is not None:
+            with self._metrics_lock:
+                self.metrics.merge(observability.metrics.export_state())
+        report = execution.report
+        composition = report.composition
+        response.update(
+            {
+                "good": composition.n_good,
+                "bad": composition.n_bad,
+                "satisfied": report.check(request.requirement),
+                "documents_processed": {
+                    graph.names[side - 1]: count
+                    for side, count in sorted(
+                        report.documents_processed.items()
+                    )
+                },
+                "queries_issued": {
+                    graph.names[side - 1]: count
+                    for side, count in sorted(report.queries_issued.items())
+                },
+                "execution_time": round(report.time.total, 6),
+            }
+        )
+        return response
+
+    def _persist_multiway(
+        self,
+        signature: str,
+        databases: Tuple[Any, ...],
+        generation: int,
+        requirement_key: str,
+        result: PlannerResult,
+    ) -> None:
+        """Journal a freshly planned requirement under the graph signature.
+
+        Merged into the store's curve record for the signature (fingerprint-
+        and generation-checked, like binary probe curves) so plan-mode
+        answers survive a service restart.
+        """
+        facts = self._multiway_facts(result)
+        with self._store_lock:
+            if self.store.generation != generation:
+                return  # statistics moved on; the answer is superseded
+            record = self.store.curves_for(signature, databases, generation)
+            plans = dict(record["plans"]) if record is not None else {}
+            plans[requirement_key] = facts
+            self.store.record_curves(signature, databases, generation, plans)
+            self.store.save()
+        with self._metrics_lock:
+            self._curve_exports += 1
+
+    def _publish_multiway_counters(self, key: PlanCacheKey) -> None:
+        """Delta-publish the cached planner's search tallies as counters."""
+        adapter = self.plan_cache.optimizer_for(key)
+        if adapter is None:
+            return
+        tallies = adapter.pruning.as_dict()
+        with self._metrics_lock:
+            published = self._pruning_published.setdefault(key, {})
+            for name, value in sorted(tallies.items()):
+                delta = value - published.get(name, 0)
+                if delta > 0:
+                    event = (
+                        name[len("planner_"):]
+                        if name.startswith("planner_")
+                        else name
+                    )
+                    self.metrics.counter(
+                        "repro_planner_events_total", event=event
+                    ).inc(delta)
+                    published[name] = value
+
+    def _multiway_facts(self, result: PlannerResult) -> Dict[str, Any]:
+        """Planning facts alone — the store-journaled (and cacheable) part."""
+        tallies = result.tallies
+        facts: Dict[str, Any] = {
+            "multiway": True,
+            "graph": result.graph.describe(),
+            "signature": result.graph.signature(),
+            "candidates": tallies.assignments,
+            "feasible": result.feasible,
+            "feasible_assignments": sum(
+                1 for e in result.evaluations if e.feasible
+            ),
+            "plan_space": tallies.plan_space,
+            "subplans_enumerated": tallies.subplans_enumerated,
+            "subplans_pruned": tallies.subplans_pruned_bound,
+            "pruned_fraction": round(tallies.pruned_fraction, 6),
+            "plan": None,
+        }
+        chosen = result.chosen
+        if chosen is not None:
+            facts.update(
+                {
+                    "plan": chosen.plan.describe(),
+                    "order": chosen.plan.order_describe(),
+                    "strategy": chosen.plan.strategy.value,
+                    "predicted_good": round(chosen.good, 3),
+                    "predicted_bad": round(chosen.bad, 3),
+                    "predicted_time": round(chosen.total_time, 3),
+                    "effort_fraction": round(chosen.effort_fraction, 6),
+                }
+            )
+        return facts
+
+    def _multiway_response(
+        self, request: JoinRequest, result: PlannerResult
+    ) -> Dict[str, Any]:
+        response = self._multiway_facts(result)
+        response.update(
+            {
+                "task": self.task.name,
+                "mode": request.mode,
+                "tau_good": request.tau_good,
+                "tau_bad": request.tau_bad,
+            }
+        )
+        return response
+
     def _degraded_response(
         self, request: JoinRequest, reason: str
     ) -> Dict[str, Any]:
@@ -1026,7 +1339,12 @@ class JoinService:
         the request is shed instead.
         """
         try:
-            response = self._handle_plan(request)
+            if request.graph is not None:
+                response = self._handle_multiway(
+                    0, replace(request, mode="plan"), None, None
+                )
+            else:
+                response = self._handle_plan(request)
         except ValueError as error:
             with self._metrics_lock:
                 self.metrics.counter(
@@ -1127,6 +1445,7 @@ class JoinService:
             "pruned_checkpoints": list(self.pruned_checkpoints),
             "admission": self.admission.snapshot(),
             "warm_available": self._warm_available,
+            "multiway_scenario": getattr(self.multiway, "name", None),
             "slo": {
                 "spec": self.slo.config.spec,
                 "burn_rates": self.slo.worst_burn_rates(),
@@ -1188,6 +1507,7 @@ class JoinService:
         "repro_service_deadline_total": "Deadline expiries, by interrupted phase.",
         "repro_service_queue_depth": "Requests currently queued.",
         "repro_service_workers": "Worker threads serving the pool.",
+        "repro_planner_events_total": "Multiway planner search-space events (assignments, subplans enumerated/pruned, plan space), by event.",
         "repro_build_info": "Constant 1; build/runtime facts live in the labels.",
     }
 

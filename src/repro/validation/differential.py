@@ -565,6 +565,324 @@ def check_mle_fit_differential(
 
 
 # ---------------------------------------------------------------------------
+# multiway planner differentials
+# ---------------------------------------------------------------------------
+
+#: per scenario, a τg between the weak and strong assignments' tier-A
+#: ceilings so the bound-pruning path is exercised (τb is left loose)
+_MULTIWAY_PRUNING_TAUS = {"star3": 20000, "chain3": 1000}
+
+
+def _multiway_realized_factors(graph, environment, configs):
+    """Per-relation realized (total, good) key factors at full scan.
+
+    Every document of every bound database is extracted at the config's
+    theta and occurrences are counted per join-key — the ground truth the
+    executor's incremental composition must reproduce exactly.
+    """
+    from ..planner.model import subset_attributes
+
+    full = frozenset(graph.names)
+    realized = {}
+    for alias in graph.names:
+        attributes = subset_attributes(graph, alias, full)
+        schema = graph.relation(alias).attributes
+        indexes = tuple(schema.index(a) for a in attributes)
+        extractor = environment.extractor_at(alias, configs[alias].theta)
+        factors: Dict[Tuple, List[float]] = {}
+        for document in environment.database(alias).documents:
+            for extracted in extractor.extract(document):
+                key = tuple(extracted.values[i] for i in indexes)
+                slot = factors.setdefault(key, [0.0, 0.0])
+                slot[0] += 1.0
+                if extracted.is_good:
+                    slot[1] += 1.0
+        realized[alias] = {k: (v[0], v[1]) for k, v in factors.items()}
+    return realized
+
+
+def _check_multiway_chain_reference(report, scenario, model, configs, efforts):
+    """Tree message passing vs the chain DP — same math, two code paths."""
+    from ..multiway.chain import chain_expected_composition
+    from ..planner.model import compose_factors, subset_attributes
+
+    graph = model.graph
+    order = [n for n in graph.names if len(graph.incident(n)) == 1][:1]
+    while len(order) < graph.arity:
+        order.append(
+            next(m for m in graph.neighbours(order[-1]) if m not in order)
+        )
+    full = frozenset(graph.names)
+    layers = []
+    for i, name in enumerate(order):
+        attributes = subset_attributes(graph, name, full)
+        factors = model.key_factors(configs[name], attributes, efforts[name])
+        left = (
+            attributes.index(graph.edge_between(order[i - 1], name).attribute_of(name))
+            if i > 0
+            else None
+        )
+        right = (
+            attributes.index(graph.edge_between(name, order[i + 1]).attribute_of(name))
+            if i < len(order) - 1
+            else None
+        )
+        layer: Dict[Tuple, List[float]] = {}
+        for key, (total, good) in factors.items():
+            pair = (
+                key[left] if left is not None else "<start>",
+                key[right] if right is not None else "<end>",
+            )
+            slot = layer.setdefault(pair, [0.0, 0.0])
+            slot[0] += total
+            slot[1] += good
+        layers.append({k: (v[0], v[1]) for k, v in layer.items()})
+    chain_good, chain_total = chain_expected_composition(layers)
+    tree_total, tree_good = compose_factors(
+        graph, full, lambda name, attributes: model.key_factors(
+            configs[name], attributes, efforts[name]
+        )
+    )
+    for channel, observed, expected in (
+        ("good", tree_good, chain_good),
+        ("total", tree_total, chain_total),
+    ):
+        _band_check(
+            report,
+            f"multiway-diff/{scenario.name}/chain-vs-tree/{channel}",
+            observed=observed,
+            expected=expected,
+            band=1e-9 * (1.0 + abs(expected)),
+            detail="tree message passing vs the chain DP (same float64 math)",
+        )
+
+
+def _check_multiway_enumeration(report, scenario, planner, configs, efforts):
+    """Selinger DP vs brute-force tree enumeration — byte-identical plan."""
+    from ..planner.enumerator import all_trees, best_tree, tree_cost
+
+    model = planner.model
+
+    def size_of(subset):
+        return model.compose(configs, efforts, subset)[0]
+
+    tree, cost = best_tree(planner.graph, size_of, model.t_join)
+    reference = min(
+        all_trees(planner.graph),
+        key=lambda t: (tree_cost(t, size_of, model.t_join), t.describe()),
+    )
+    _band_check(
+        report,
+        f"multiway-diff/{scenario.name}/dp-vs-brute/cost",
+        observed=cost,
+        expected=tree_cost(reference, size_of, model.t_join),
+        band=0.0,
+        detail="identical association order, so costs are bit-equal",
+    )
+    report.add(
+        CheckResult(
+            name=f"multiway-diff/{scenario.name}/dp-vs-brute/shape",
+            ok=tree.describe() == reference.describe(),
+            observed=float(tree.describe() == reference.describe()),
+            expected=1.0,
+            band=0.0,
+            detail=f"DP {tree.describe()} vs brute force {reference.describe()}",
+        )
+    )
+
+
+def _check_multiway_pruning(report, scenario, planner):
+    """Pruned vs unpruned planner sweeps — identity, like the binary case."""
+    from ..core.preferences import QualityRequirement
+
+    requirements = [
+        (scenario.tau_good, scenario.tau_bad),
+        (_MULTIWAY_PRUNING_TAUS[scenario.name], 10**9),
+    ]
+    irrelevance_violations = 0
+    pruned_total = 0
+    for tau_good, tau_bad in requirements:
+        requirement = QualityRequirement(tau_good=tau_good, tau_bad=tau_bad)
+        fast = planner.optimize(requirement, prune=True)
+        slow = planner.optimize(requirement, prune=False)
+        label = (
+            f"multiway-diff/{scenario.name}/pruning"
+            f"/tg{tau_good:g}-tb{tau_bad:g}"
+        )
+        fast_time = fast.chosen.total_time if fast.chosen is not None else -1.0
+        slow_time = slow.chosen.total_time if slow.chosen is not None else -1.0
+        _band_check(
+            report,
+            f"{label}/chosen-time",
+            observed=fast_time,
+            expected=slow_time,
+            band=0.0,
+            detail="pruned and unpruned planners must choose identically",
+        )
+        if fast.chosen is not None and slow.chosen is not None:
+            _band_check(
+                report,
+                f"{label}/chosen-fraction",
+                observed=fast.chosen.effort_fraction,
+                expected=slow.chosen.effort_fraction,
+                band=0.0,
+                detail="identical operating point, not merely the same plan",
+            )
+        for pruned, reference in zip(fast.evaluations, slow.evaluations):
+            if not pruned.pruned:
+                continue
+            pruned_total += 1
+            if reference.feasible:
+                irrelevance_violations += 1
+    report.add(
+        CheckResult(
+            name=f"multiway-diff/{scenario.name}/pruned-irrelevance",
+            ok=irrelevance_violations == 0,
+            observed=float(irrelevance_violations),
+            expected=0.0,
+            band=0.0,
+            detail=(
+                f"{pruned_total} bound-pruned assignments checked against "
+                "the unpruned reference"
+            ),
+        )
+    )
+
+
+def check_multiway_differential(
+    report: ValidationReport,
+    scenarios: Sequence[str] = ("star3", "chain3"),
+    theta: float = 0.4,
+    n_samples: int = 400,
+    seed: int = 7,
+    z: float = DEFAULT_Z,
+) -> None:
+    """The multiway planner's differential family, per seeded scenario.
+
+    Five cross-checks: tree message passing vs the chain DP (exact), the
+    Selinger DP vs brute-force tree enumeration (byte-identical), the
+    pruned vs unpruned planner sweep (identity, tier-A soundness), the
+    composition model vs its Monte-Carlo simulator (CLT bands), and the
+    n-ary executor vs both the simulated outcome bracket and an exact
+    recomposition of the *realized* per-side factors (integer identity).
+    """
+    from ..core.plan import RetrievalKind
+    from ..core.preferences import QualityRequirement
+    from ..experiments.testbed import build_multiway_testbed
+    from ..planner import (
+        MultiwayPlanner,
+        bind_multiway_plan,
+        compose_factors,
+        simulate_composition,
+    )
+    from ..planner.plan import (
+        ExecutionStrategy,
+        MultiwayPlan,
+        PlannedEvaluation,
+        RelationConfig,
+    )
+    from ..planner.enumerator import naive_left_deep_tree
+
+    testbed = build_multiway_testbed()
+    for scenario_name in scenarios:
+        scenario = testbed.scenario(scenario_name)
+        graph = scenario.graph
+        planner = MultiwayPlanner(graph, scenario.catalog())
+        model = planner.model
+        configs = {
+            name: RelationConfig(
+                name=name, theta=theta, retrieval=RetrievalKind.SCAN
+            )
+            for name in graph.names
+        }
+        full = model.balanced_efforts(configs, 1.0)
+        if graph.is_chain():
+            _check_multiway_chain_reference(
+                report, scenario, model, configs, full
+            )
+        _check_multiway_enumeration(report, scenario, planner, configs, full)
+        _check_multiway_pruning(report, scenario, planner)
+
+        # Model vs simulation at a mid operating point: the simulator
+        # samples the same Binomial thinning the expectations summarize,
+        # so the model must sit inside the CLT band of the sample mean.
+        mid = model.balanced_efforts(configs, 0.6)
+        expected_total, expected_good = model.compose(configs, mid)
+        summary = simulate_composition(
+            model, configs, mid, samples=n_samples, seed=seed
+        )
+        for channel, model_value, mean, stderr in (
+            ("good", expected_good, summary.mean_good, summary.stderr_good),
+            ("total", expected_total, summary.mean_total, summary.stderr_total),
+        ):
+            _band_check(
+                report,
+                f"multiway-diff/{scenario.name}/model-vs-sim@0.6/{channel}",
+                observed=model_value,
+                expected=mean,
+                band=z * stderr,
+                detail=f"CLT band z={z:g}, n={n_samples}",
+            )
+
+        # One real run at full scan effort, uncapped: the executor's
+        # joined counts must (a) land inside the simulated outcome
+        # bracket and (b) exactly equal the tree DP recomposition of the
+        # factors the extractors actually realized on the corpora.
+        environment = scenario.environment()
+        evaluation = PlannedEvaluation(
+            plan=MultiwayPlan(
+                strategy=ExecutionStrategy.PIPELINE,
+                configs=tuple(configs[name] for name in graph.names),
+                tree=naive_left_deep_tree(graph),
+            ),
+            feasible=True,
+            effort_fraction=1.0,
+            efforts=dict(full),
+        )
+        executor = bind_multiway_plan(environment, graph, evaluation)
+        composition = executor.run(
+            QualityRequirement(tau_good=10**9, tau_bad=10**12)
+        ).report.composition
+        at_full = simulate_composition(
+            model, configs, full, samples=n_samples, seed=seed
+        )
+        lo, hi = at_full.min_good, at_full.max_good
+        _band_check(
+            report,
+            f"multiway-diff/{scenario.name}/executor-vs-sim/good",
+            observed=float(composition.n_good),
+            expected=(hi + lo) / 2.0,
+            band=(hi - lo) / 2.0,
+            detail=(
+                f"empirical bracket of {n_samples} draws [{lo:.0f}, {hi:.0f}]"
+            ),
+        )
+        realized = _multiway_realized_factors(graph, environment, configs)
+        realized_total, realized_good = compose_factors(
+            graph,
+            frozenset(graph.names),
+            lambda name, attributes: realized[name],
+        )
+        for channel, observed, expected in (
+            ("good", float(composition.n_good), realized_good),
+            ("bad", float(composition.n_bad), realized_total - realized_good),
+            ("total", float(composition.n_total), realized_total),
+        ):
+            _band_check(
+                report,
+                f"multiway-diff/{scenario.name}"
+                f"/executor-vs-realized-dp/{channel}",
+                observed=observed,
+                expected=expected,
+                band=0.0,
+                detail=(
+                    "incremental n-ary composition vs the tree DP over "
+                    "realized per-side factors — integer identity"
+                ),
+            )
+
+
+# ---------------------------------------------------------------------------
 # the driver
 # ---------------------------------------------------------------------------
 
@@ -579,6 +897,7 @@ def run_validation(
     tasks: Sequence[Tuple[str, str]] = (("HQ", "EX"),),
     out_path: Optional[str] = None,
     fuzz: bool = True,
+    multiway: bool = True,
 ) -> ValidationReport:
     """Run every differential family over a seeded testbed grid.
 
@@ -595,6 +914,7 @@ def run_validation(
             "sim_seed": sim_seed,
             "z": z,
             "tasks": [list(pair) for pair in tasks],
+            "multiway": multiway,
         }
     )
     checker = InvariantChecker(enabled=True, raise_on_violation=False)
@@ -623,6 +943,14 @@ def run_validation(
             check_aqg_reach_differential(report, task, theta=theta)
             check_pruning_differential(report, task)
         check_mle_fit_differential(report, seed=sim_seed)
+        if multiway:
+            check_multiway_differential(
+                report,
+                theta=theta,
+                n_samples=max(200, n_samples // 10),
+                seed=sim_seed,
+                z=z,
+            )
         if fuzz:
             from .fuzz import run_fuzz
 
@@ -660,6 +988,7 @@ __all__ = [
     "check_kernel_differential",
     "check_mle_fit_differential",
     "check_model_vs_simulation",
+    "check_multiway_differential",
     "check_pruning_differential",
     "run_validation",
 ]

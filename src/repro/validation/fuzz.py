@@ -216,6 +216,170 @@ def _probe_request(mutated: Any) -> None:
     JoinRequest.from_payload(mutated)
 
 
+def _graph_payload() -> Dict[str, Any]:
+    """A valid multiway request exercising every payload form the graph
+    parser accepts: dict and bare-string relations, dict and compact
+    string edges, explicit theta grids and access-path codes."""
+    return {
+        "tau_good": 40,
+        "tau_bad": 500,
+        "mode": "plan",
+        "relations": [
+            {
+                "name": "HQ",
+                "attributes": ["Company", "Location"],
+                "thetas": [0.4, 0.8],
+                "access_paths": ["SC", "FS"],
+            },
+            "EX",
+            {"name": "MG", "attributes": ["Company", "MergedWith"]},
+        ],
+        "edges": [
+            {
+                "left": "HQ",
+                "left_attribute": "Company",
+                "right": "EX",
+                "attribute": "value",
+            },
+            "HQ.Company=MG.Company",
+        ],
+    }
+
+
+def _graph_defects() -> List[Tuple[str, Dict[str, Any]]]:
+    """Handcrafted structural defects that MUST be rejected (ValueError).
+
+    Unlike the random mutation corpus — where surviving a mutation is
+    fine as long as nothing but ``ValueError`` escapes — each of these
+    payloads describes a graph the planner must never accept: parsing
+    one without an error is itself a failure.
+    """
+    base = _graph_payload()
+
+    def variant(**overrides: Any) -> Dict[str, Any]:
+        clone = copy.deepcopy(base)
+        clone.update(overrides)
+        return clone
+
+    return [
+        (
+            "cycle",
+            variant(
+                edges=[
+                    "HQ.Company=EX.value",
+                    "HQ.Company=MG.Company",
+                    "EX.value=MG.Company",
+                ]
+            ),
+        ),
+        (
+            "dangling-attribute",
+            variant(
+                edges=["HQ.Ticker=EX.value", "HQ.Company=MG.Company"]
+            ),
+        ),
+        (
+            "duplicate-relation",
+            variant(
+                relations=["HQ", "HQ", "MG"],
+                edges=["HQ.value=MG.value", "HQ.value=MG.value"],
+            ),
+        ),
+        (
+            "duplicate-edge",
+            variant(
+                relations=["HQ", "EX", "MG"],
+                edges=["HQ.value=EX.value", "EX.value=HQ.value"],
+            ),
+        ),
+        (
+            "disconnected",
+            variant(edges=["HQ.Company=EX.value"]),
+        ),
+        ("self-edge", variant(edges=["HQ.Company=HQ.Location", "HQ.Company=MG.Company"])),
+        (
+            "single-relation",
+            variant(relations=["HQ"], edges=[]),
+        ),
+        (
+            "too-many-relations",
+            {
+                "relations": [f"R{i}" for i in range(13)],
+                "edges": [f"R{i}.value=R{i + 1}.value" for i in range(12)],
+            },
+        ),
+        (
+            "bad-access-path",
+            variant(
+                relations=[
+                    {"name": "HQ", "access_paths": ["SCAN"]},
+                    "EX",
+                    "MG",
+                ],
+                edges=["HQ.value=EX.value", "HQ.value=MG.value"],
+            ),
+        ),
+        (
+            "join-driven-access-path",
+            variant(
+                relations=[
+                    {"name": "HQ", "access_paths": ["JD"]},
+                    "EX",
+                    "MG",
+                ],
+                edges=["HQ.value=EX.value", "HQ.value=MG.value"],
+            ),
+        ),
+        (
+            "theta-out-of-range",
+            variant(
+                relations=[
+                    {"name": "HQ", "thetas": [1.7]},
+                    "EX",
+                    "MG",
+                ],
+                edges=["HQ.value=EX.value", "HQ.value=MG.value"],
+            ),
+        ),
+        ("relations-not-a-list", variant(relations="HQ")),
+        ("edges-not-a-list", variant(edges={"a": 1})),
+    ]
+
+
+def _probe_graph_defects() -> Dict[str, Any]:
+    """Every defect payload must raise ValueError from the request parse."""
+    from ..service.service import JoinRequest
+
+    defects = _graph_defects()
+    failures: List[Dict[str, str]] = []
+    for name, payload in defects:
+        try:
+            JoinRequest.from_payload(payload)
+        except ValueError:
+            continue
+        except Exception as error:  # noqa: BLE001 — wrong error type
+            failures.append(
+                {
+                    "trial": name,
+                    "error": f"{type(error).__name__}: {error}",
+                    "payload": json.dumps(payload, default=repr)[:400],
+                }
+            )
+        else:
+            failures.append(
+                {
+                    "trial": name,
+                    "error": "accepted a structurally defective graph",
+                    "payload": json.dumps(payload, default=repr)[:400],
+                }
+            )
+    return {
+        "target": "planner-graph-defects",
+        "trials": len(defects),
+        "failures": failures,
+    }
+
+
 _SNAPSHOT_CACHE: Optional[Dict[str, Any]] = None
 
 
@@ -282,6 +446,15 @@ def run_fuzz(
             seed=seed,
             trials=trials,
         ),
+        _run_target(
+            "planner-graph",
+            _graph_payload,
+            _probe_request,
+            allowed=(ValueError,),
+            seed=seed,
+            trials=trials,
+        ),
+        _probe_graph_defects(),
         _run_target(
             "checkpoint-snapshot",
             _checkpoint_payload,

@@ -117,6 +117,69 @@ class TestCommands:
         assert "Requirement met" in out
 
 
+class TestMultiwayCommands:
+    def test_optimize_scenario_plans_and_executes(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--scenario",
+                "star3",
+                "--tau-good",
+                "40",
+                "--tau-bad",
+                "120",
+                "--execute",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Graph: HQ.Company=EX.Company" in out
+        assert "Candidates: 64" in out
+        assert "Chosen: PIPE" in out
+        assert "Requirement met: True" in out
+
+    def test_optimize_scenario_reports_pruning(self, capsys):
+        # τg far above what weak assignments can ever compose: the tier-A
+        # bound prunes them, and the pruning shows in the CLI accounting.
+        code = main(
+            [
+                "optimize",
+                "--scenario",
+                "chain3",
+                "--tau-good",
+                "1000",
+                "--tau-bad",
+                "1000000000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "subplans pruned:" in out
+
+    def test_optimize_scenario_infeasible_exits_nonzero(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--scenario",
+                "star3",
+                "--tau-good",
+                "99999999",
+                "--tau-bad",
+                "0",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "No multiway plan" in out
+
+    def test_frontier_scenario_sweeps(self, capsys):
+        assert main(["frontier", "--scenario", "chain3"]) == 0
+        out = capsys.readouterr().out
+        assert "Multiway frontier for chain3" in out
+        assert "yes" in out
+        assert "PIPE" in out or "ILJN" in out
+
+
 class TestIntrospectionCommands:
     def _served(self, hq_ex_task, tmp_path):
         from repro.service import JoinService
@@ -199,6 +262,12 @@ class TestIntrospectionCommands:
         payload = _json.loads(out.read_text())
         assert payload["slo"]["spec"] == "p90=30s,availability=50"
         assert "priorities" in payload["slo"]
+
+    def test_serve_parser_accepts_multiway_scenario(self):
+        args = build_parser().parse_args(
+            ["serve", "--multiway-scenario", "star3"]
+        )
+        assert args.multiway_scenario == "star3"
 
     def test_serve_parser_accepts_observability_flags(self):
         parser = build_parser()

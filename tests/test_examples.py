@@ -58,4 +58,12 @@ class TestExamples:
     def test_chain_join(self, capsys):
         out = run_example("chain_join.py", capsys)
         assert "Chain composition" in out
+
         assert "matches, as factors are exact" in out
+
+    def test_multiway_planner(self, capsys):
+        out = run_example("multiway_planner.py", capsys)
+        assert "Scenario star3" in out
+        assert "Chosen: PIPE" in out
+        assert "Requirement met: True" in out
+        assert "Chain frontier" in out

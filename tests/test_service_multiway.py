@@ -1,0 +1,242 @@
+"""Service tests for the multiway (``relations``/``edges``) request path.
+
+The contract under test: a multiway-bound service plans n-ary joins
+through the shared plan cache, journals every fresh answer to the
+statistics store (so a restarted service replies ``warm_planned``),
+executes chosen plans against the scenario's live databases, publishes
+planner search tallies to ``/v1/metrics`` — and maps every malformed
+graph payload to a structured 4xx, never a 500.
+"""
+
+import pytest
+
+from repro.experiments import build_multiway_testbed
+from repro.service import JoinRequest, JoinService
+from repro.service.http import request_json, serve_in_background, shutdown
+
+TAU_GOOD = 40
+TAU_BAD = 120
+
+
+def star3_payload(mode="plan", tau_good=TAU_GOOD, tau_bad=TAU_BAD, **extra):
+    payload = {
+        "tau_good": tau_good,
+        "tau_bad": tau_bad,
+        "mode": mode,
+        "relations": [
+            {
+                "name": "HQ",
+                "attributes": ["Company", "Location"],
+                "thetas": [0.4, 0.8],
+                "access_paths": ["SC", "FS"],
+            },
+            {
+                "name": "EX",
+                "attributes": ["Company", "CEO"],
+                "thetas": [0.4, 0.8],
+                "access_paths": ["SC", "FS"],
+            },
+            {
+                "name": "MG",
+                "attributes": ["Company", "MergedWith"],
+                "thetas": [0.4, 0.8],
+                "access_paths": ["SC", "FS"],
+            },
+        ],
+        "edges": ["HQ.Company=EX.Company", "HQ.Company=MG.Company"],
+    }
+    payload.update(extra)
+    return payload
+
+
+#: payloads that must be rejected at parse time (HTTP 400), one per
+#: structural defect class
+MALFORMED_PAYLOADS = {
+    "cycle": star3_payload(
+        edges=[
+            "HQ.Company=EX.Company",
+            "HQ.Company=MG.Company",
+            "EX.Company=MG.Company",
+        ]
+    ),
+    "dangling-attribute": star3_payload(
+        edges=["HQ.Ticker=EX.Company", "HQ.Company=MG.Company"]
+    ),
+    "duplicate-relation": star3_payload(
+        relations=["HQ", "HQ", "MG"],
+        edges=["HQ.value=MG.value", "HQ.value=MG.value"],
+    ),
+    "disconnected": star3_payload(edges=["HQ.Company=EX.Company"]),
+    "bad-access-path": star3_payload(
+        relations=[
+            {"name": "HQ", "access_paths": ["SCAN"]},
+            "EX",
+            "MG",
+        ],
+        edges=["HQ.value=EX.value", "HQ.value=MG.value"],
+    ),
+    "relations-not-a-list": star3_payload(relations="HQ"),
+}
+
+
+@pytest.fixture(scope="module")
+def multiway_service(hq_ex_task, tmp_path_factory):
+    scenario = build_multiway_testbed().scenario("star3")
+    root = tmp_path_factory.mktemp("multiway-store")
+    service = JoinService(
+        hq_ex_task, str(root), workers=2, pilot_documents=60,
+        multiway=scenario,
+    )
+    yield service, scenario, root
+    service.close()
+
+
+class TestMultiwayRequestParsing:
+    def test_graph_rides_along_on_the_request(self):
+        request = JoinRequest.from_payload(star3_payload())
+        assert request.graph is not None
+        assert request.graph.names == ("HQ", "EX", "MG")
+
+    @pytest.mark.parametrize("defect", sorted(MALFORMED_PAYLOADS))
+    def test_malformed_graph_raises_value_error(self, defect):
+        with pytest.raises(ValueError):
+            JoinRequest.from_payload(MALFORMED_PAYLOADS[defect])
+
+
+class TestMultiwayService:
+    def test_plan_mode_answers_with_planning_facts(self, multiway_service):
+        service, scenario, _ = multiway_service
+        reply = service.execute(JoinRequest.from_payload(star3_payload()))
+        assert reply["multiway"] is True
+        assert reply["feasible"] is True
+        assert reply["plan"].startswith("PIPE")
+        assert reply["signature"] == scenario.graph.signature()
+        assert reply["candidates"] == 64
+        assert reply["plan_space"] > 0
+        assert reply["predicted_good"] >= TAU_GOOD
+        assert "warm_planned" not in reply
+
+    def test_repeat_plan_is_a_cache_hit(self, multiway_service):
+        service, _, _ = multiway_service
+        first = service.execute(JoinRequest.from_payload(star3_payload()))
+        before = service.plan_cache.stats()["hits"]
+        second = service.execute(JoinRequest.from_payload(star3_payload()))
+        assert service.plan_cache.stats()["hits"] == before + 1
+        assert second["plan"] == first["plan"]
+
+    def test_execute_meets_the_scenario_requirement(self, multiway_service):
+        service, _, _ = multiway_service
+        reply = service.execute(
+            JoinRequest.from_payload(star3_payload(mode="execute"))
+        )
+        assert reply["satisfied"] is True
+        assert reply["good"] >= TAU_GOOD
+        assert reply["bad"] <= TAU_BAD
+        assert set(reply["documents_processed"]) == {"HQ", "EX", "MG"}
+        assert all(
+            count > 0 for count in reply["documents_processed"].values()
+        )
+        assert reply["execution_time"] > 0
+
+    def test_unknown_alias_is_a_client_error(self, multiway_service):
+        service, _, _ = multiway_service
+        payload = star3_payload(
+            relations=["ZZ", "EX", "MG"],
+            edges=["ZZ.value=EX.value", "ZZ.value=MG.value"],
+        )
+        with pytest.raises(ValueError, match="unknown relation alias 'ZZ'"):
+            service.execute(JoinRequest.from_payload(payload))
+
+    def test_service_without_bindings_rejects_graphs(
+        self, hq_ex_task, tmp_path
+    ):
+        service = JoinService(
+            hq_ex_task, str(tmp_path / "store"), workers=1
+        )
+        try:
+            with pytest.raises(ValueError, match="no multiway bindings"):
+                service.execute(JoinRequest.from_payload(star3_payload()))
+        finally:
+            service.close()
+
+    def test_planner_tallies_reach_the_metrics_registry(
+        self, multiway_service
+    ):
+        service, _, _ = multiway_service
+        service.execute(JoinRequest.from_payload(star3_payload()))
+        rendered = service.metrics.render()
+        assert "repro_planner_events_total" in rendered
+        assert 'event="subplans_pruned_bound"' in rendered or (
+            'event="subplans_enumerated"' in rendered
+        )
+
+    def test_stats_name_the_bound_scenario(self, multiway_service):
+        service, _, _ = multiway_service
+        assert service.stats()["multiway_scenario"] == "star3"
+
+    def test_restarted_service_answers_warm_from_the_store(
+        self, hq_ex_task, multiway_service, tmp_path
+    ):
+        _, scenario, _ = multiway_service
+        root = str(tmp_path / "mw-restart")
+        first = JoinService(
+            hq_ex_task, root, workers=1, multiway=scenario
+        )
+        try:
+            cold = first.execute(JoinRequest.from_payload(star3_payload()))
+        finally:
+            first.close()
+        second = JoinService(
+            hq_ex_task, root, workers=1, multiway=scenario
+        )
+        try:
+            warm = second.execute(JoinRequest.from_payload(star3_payload()))
+        finally:
+            second.close()
+        assert warm["warm_planned"] is True
+        assert warm["plan"] == cold["plan"]
+        assert warm["predicted_good"] == cold["predicted_good"]
+
+
+class TestMultiwayHTTP:
+    @pytest.fixture(scope="class")
+    def served(self, multiway_service):
+        service, scenario, _ = multiway_service
+        server, thread = serve_in_background(service)
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        yield base, scenario
+        shutdown(server)
+        thread.join(timeout=10)
+
+    def test_plan_round_trip(self, served):
+        base, scenario = served
+        status, reply = request_json(base, "join", star3_payload())
+        assert status == 200
+        assert reply["feasible"] is True
+        assert reply["signature"] == scenario.graph.signature()
+
+    @pytest.mark.parametrize("defect", sorted(MALFORMED_PAYLOADS))
+    def test_malformed_graphs_get_400_never_500(self, served, defect):
+        base, _ = served
+        status, body = request_json(base, "join", MALFORMED_PAYLOADS[defect])
+        assert status == 400, (defect, body)
+        assert "error" in body
+
+    def test_unknown_alias_gets_409(self, served):
+        base, _ = served
+        status, body = request_json(
+            base,
+            "join",
+            star3_payload(
+                relations=["ZZ", "EX", "MG"],
+                edges=["ZZ.value=EX.value", "ZZ.value=MG.value"],
+            ),
+        )
+        assert status == 409
+        assert "unknown relation alias" in body["error"]
+
+    def test_metrics_expose_planner_events(self, served):
+        base, _ = served
+        status, text = request_json(base, "metrics")
+        assert status == 200
+        assert "# TYPE repro_planner_events_total counter" in text

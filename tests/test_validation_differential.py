@@ -20,6 +20,7 @@ from repro.validation.differential import (
     check_kernel_differential,
     check_mle_fit_differential,
     check_model_vs_simulation,
+    check_multiway_differential,
     check_pruning_differential,
     run_validation,
 )
@@ -121,6 +122,48 @@ class TestDifferentialFamilies:
         assert len(irrelevance) == 1 and irrelevance[0].ok
 
 
+class TestMultiwayDifferential:
+    """The n-ary planner's family over both seeded scenarios."""
+
+    @pytest.fixture(scope="class")
+    def multiway_report(self):
+        report = ValidationReport()
+        check_multiway_differential(report, n_samples=300, seed=0)
+        return report
+
+    def test_family_passes(self, multiway_report):
+        assert multiway_report.checks and not multiway_report.failures
+
+    def test_both_scenarios_and_all_subfamilies_covered(
+        self, multiway_report
+    ):
+        names = [c.name for c in multiway_report.checks]
+        assert all(n.startswith("multiway-diff/") for n in names)
+        for scenario in ("star3", "chain3"):
+            for family in (
+                "chain-vs-tree",
+                "dp-vs-brute",
+                "pruned-irrelevance",
+                "model-vs-sim",
+                "executor-vs-sim",
+                "executor-vs-realized-dp",
+            ):
+                assert any(
+                    scenario in n and family in n for n in names
+                ), (scenario, family)
+
+    def test_executor_identity_is_exact(self, multiway_report):
+        identities = [
+            c
+            for c in multiway_report.checks
+            if "executor-vs-realized-dp" in c.name
+        ]
+        assert len(identities) == 6
+        for check in identities:
+            assert check.band == 0.0
+            assert check.observed == check.expected
+
+
 class TestRunValidation:
     def test_end_to_end_passes_on_seeded_grid(self, tmp_path):
         out = tmp_path / "validation_report.json"
@@ -141,5 +184,5 @@ class TestRunValidation:
     def test_restores_previous_checker(self):
         before = active_checker()
         run_validation(scale=SCALE, seed=SEED, n_samples=50, fuzz=False,
-                       tasks=())
+                       tasks=(), multiway=False)
         assert active_checker() is before

@@ -51,13 +51,21 @@ class TestRunFuzz:
     def test_all_surfaces_survive(self):
         summary = run_fuzz(seed=11, trials=30)
         assert summary["failures_total"] == 0, summary["targets"]
-        assert summary["trials_total"] == 4 * 30
+        assert summary["trials_total"] == sum(
+            t["trials"] for t in summary["targets"]
+        )
         assert {t["target"] for t in summary["targets"]} == {
             "store-payload",
             "store-raw-text",
             "join-request",
+            "planner-graph",
+            "planner-graph-defects",
             "checkpoint-snapshot",
         }
+        mutated = {t["target"]: t for t in summary["targets"]}
+        assert mutated["planner-graph"]["trials"] == 30
+        # The defect corpus is fixed-size, independent of the trial knob.
+        assert mutated["planner-graph-defects"]["trials"] >= 10
 
     def test_distinct_seed_distinct_corpus_still_survives(self):
         summary = run_fuzz(seed=97, trials=15)
