@@ -595,6 +595,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "Pruned %d stale checkpoint(s) at startup",
             len(service.pruned_checkpoints),
         )
+    if args.frontend == "async":
+        from .service.asyncio_frontend import serve_async, shutdown_async
+
+        async_server = serve_async(
+            service,
+            host=args.host,
+            port=args.port,
+            request_timeout=args.request_timeout,
+        )
+        host, port = async_server.server_address[:2]
+        print(
+            f"Serving {task.name} on http://{host}:{port} "
+            f"(store: {service.store.root}) [frontend=async]",
+            flush=True,
+        )
+        try:
+            async_server.serve_forever()
+        except KeyboardInterrupt:
+            _LOG.info("Interrupted; draining the request queue")
+        finally:
+            shutdown_async(async_server)
+        return 0
     server = serve(
         service,
         host=args.host,
@@ -792,6 +814,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
 
     from .service.loadtest import (
         LoadTestConfig,
+        run_frontend_benchmark,
         run_http_loadtest,
         run_local_loadtest,
     )
@@ -812,9 +835,19 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         pilot_documents=args.pilot,
         prewarm=not args.no_prewarm,
         timeout=args.timeout,
+        idle_connections=args.idle_connections,
+        idle_scaling=args.idle_scaling,
+        duplicate_burst=args.duplicate_burst,
+        burst_rounds=args.burst_rounds,
     )
     if args.slo is not None:
         config.slo = args.slo
+    if args.frontend_bench:
+        # The comparison needs both sections to say anything.
+        if config.idle_connections <= 0:
+            config.idle_connections = 25
+        if config.duplicate_burst <= 0:
+            config.duplicate_burst = 8
     if args.url is not None:
         _LOG.info("Load-testing %s: %d requests", args.url, config.requests)
         payload = run_http_loadtest(args.url, config)
@@ -830,6 +863,19 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             " with chaos" if config.chaos else "",
         )
         payload = run_local_loadtest(task, store, config)
+        if args.frontend_bench:
+            bench_store = (
+                f"{args.store}-frontend"
+                if args.store is not None
+                else tempfile.mkdtemp(prefix="repro-frontend-bench-")
+            )
+            _LOG.info(
+                "Front-end benchmark (threads vs async), store %s",
+                bench_store,
+            )
+            payload.update(
+                run_frontend_benchmark(task, bench_store, config)
+            )
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -865,6 +911,33 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
                 for name, entries in sorted(windows.items())
             )
             print(f"  priority={priority}: worst burn {burns}")
+    scaling = payload.get("connection_scaling")
+    if scaling is not None:
+        threads_side = scaling["threads"]["idle"]
+        async_side = scaling["async"]["idle"]
+        print(
+            f"Idle connections: threads={threads_side['live_at_open']}"
+            f"/{threads_side['target']} "
+            f"async={async_side['live_at_open']}/{async_side['target']} "
+            f"(ratio {scaling['idle_ratio']}x)"
+        )
+        print(
+            f"Mix p99 while parked: "
+            f"threads={scaling['threads']['p99_seconds'] * 1000:.1f}ms "
+            f"async={scaling['async']['p99_seconds'] * 1000:.1f}ms "
+            f"(equal within {scaling['equal_p99_tolerance']}x: "
+            f"{scaling['equal_p99']})"
+        )
+    coalescing = payload.get("coalescing")
+    if coalescing is not None:
+        print(
+            f"Coalescing: {coalescing['requests']} burst requests in "
+            f"{coalescing['rounds']} rounds -> "
+            f"{coalescing['computations']} computations, "
+            f"{coalescing['coalesced']} attached, "
+            f"hit rate {coalescing['hit_rate'] * 100:.1f}%, "
+            f"byte-identical: {coalescing['byte_identical']}"
+        )
     recovery = payload.get("recovery")
     if recovery is not None:
         violations = recovery.get("violations", [])
@@ -1031,6 +1104,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port", type=int, default=8023, help="port to bind (0 = any free)"
+    )
+    serve.add_argument(
+        "--frontend",
+        choices=("threads", "async"),
+        default="threads",
+        help=(
+            "connection handling: 'threads' (stdlib thread-per-"
+            "connection, the tested reference) or 'async' (event loop: "
+            "idle keep-alive connections cost a socket instead of a "
+            "thread, and duplicate in-flight plan requests coalesce)"
+        ),
     )
     serve.add_argument(
         "--store",
@@ -1392,6 +1476,50 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "score the run against these objectives (default "
             "'p99=2s,availability=99.5'; '' disables the SLO section)"
+        ),
+    )
+    loadtest.add_argument(
+        "--idle-connections",
+        type=int,
+        default=0,
+        help=(
+            "hold this many verified idle keep-alive connections open "
+            "for the duration of the run (0 disables)"
+        ),
+    )
+    loadtest.add_argument(
+        "--idle-scaling",
+        type=int,
+        default=10,
+        help=(
+            "frontend benchmark: the async front end holds "
+            "idle-connections * this many (default 10)"
+        ),
+    )
+    loadtest.add_argument(
+        "--duplicate-burst",
+        type=int,
+        default=0,
+        help=(
+            "after the mix, fire rounds of this many identical "
+            "concurrent plan-mode requests and report the server's "
+            "coalescing tallies (0 disables)"
+        ),
+    )
+    loadtest.add_argument(
+        "--burst-rounds",
+        type=int,
+        default=3,
+        help="duplicate-burst rounds, each at a fresh requirement",
+    )
+    loadtest.add_argument(
+        "--frontend-bench",
+        action="store_true",
+        help=(
+            "in-process mode: additionally benchmark the threaded vs "
+            "async front ends over one shared service (idle keep-alive "
+            "scaling + duplicate-burst coalescing) and merge the "
+            "connection_scaling/coalescing sections into the report"
         ),
     )
     loadtest.add_argument(

@@ -28,12 +28,21 @@ package turns it into a long-lived *service*:
 * :mod:`~repro.service.http` — a stdlib ``ThreadingHTTPServer`` JSON API
   (``/v1/join``, ``/v1/stats``, ``/v1/healthz``, ``/v1/metrics``)
   exposed as ``repro serve`` / ``repro submit``;
+* :mod:`~repro.service.asyncio_frontend` — the event-loop front end
+  (``repro serve --frontend async``): thousands of idle keep-alive
+  connections without a thread each, join work dispatched to the same
+  bounded worker pool;
+* :mod:`~repro.service.coalesce` — cross-request singleflight for
+  plan-mode requests: duplicates of an in-flight computation attach as
+  waiters and share its one result;
 * :mod:`~repro.service.loadtest` — the ``repro loadtest`` chaos/load
   harness: seeded concurrent load, fault injection, clock jumps, journal
   tears, and a ``BENCH_service.json`` report.
 """
 
 from .admission import AdmissionController, AdmissionDecision
+from .asyncio_frontend import AsyncServiceServer, serve_async, shutdown_async
+from .coalesce import FlightCancelled, RequestCoalescer, Waiter, submit_coalesced
 from .loadtest import LoadTestConfig, run_http_loadtest, run_local_loadtest
 from .plancache import PlanCache
 from .service import (
@@ -54,19 +63,26 @@ from .store import (
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "AsyncServiceServer",
+    "FlightCancelled",
     "JoinRequest",
     "JoinService",
     "LoadTestConfig",
     "PlanCache",
+    "RequestCoalescer",
     "ServiceBusyError",
     "ServiceClosedError",
     "ShardedStatisticsStore",
     "StatisticsStore",
     "StoreError",
+    "Waiter",
     "WarmStartPolicy",
     "corpus_fingerprint",
     "run_http_loadtest",
     "run_local_loadtest",
+    "serve_async",
+    "shutdown_async",
+    "submit_coalesced",
     "task_signature",
     "tear_journal",
 ]

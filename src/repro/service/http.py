@@ -45,6 +45,7 @@ import time
 import urllib.error
 import urllib.parse
 import urllib.request
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional, Tuple
 
@@ -63,6 +64,135 @@ MAX_BODY_BYTES = 64 * 1024
 
 #: default per-connection socket timeout, seconds
 DEFAULT_REQUEST_TIMEOUT = 30.0
+
+JSON_CONTENT_TYPE = "application/json"
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4"
+
+
+# -- shared routing ------------------------------------------------------------
+#
+# Both front ends (the threaded handler below and the asyncio server in
+# :mod:`~repro.service.asyncio_frontend`) answer the read-only API through
+# these functions, so the two cannot drift apart: a route returns
+# ``(status, body text, content type)`` and the front end only decides how
+# the bytes reach the socket.
+
+
+def _single_param(params: Dict[str, list], name: str) -> Optional[str]:
+    values = params.get(name)
+    return values[-1] if values else None
+
+
+def _error_body(message: str, **extra: Any) -> str:
+    return response_json({"error": message, **extra})
+
+
+def _route_debug_requests(
+    service: JoinService, params: Dict[str, list]
+) -> Tuple[int, str, str]:
+    try:
+        limit = int(_single_param(params, "limit") or 50)
+        raw_since = _single_param(params, "since_id")
+        since_id = int(raw_since) if raw_since is not None else None
+    except ValueError:
+        return (
+            400,
+            _error_body("limit and since_id must be integers"),
+            JSON_CONTENT_TYPE,
+        )
+    events = service.debug_requests(
+        limit=max(min(limit, 1000), 1),
+        outcome=_single_param(params, "outcome"),
+        mode=_single_param(params, "mode"),
+        priority=_single_param(params, "priority"),
+        phase=_single_param(params, "phase"),
+        since_id=since_id,
+    )
+    body = response_json({"requests": events, "count": len(events)})
+    return 200, body, JSON_CONTENT_TYPE
+
+
+def _route_debug_request(
+    service: JoinService, raw_id: str
+) -> Tuple[int, str, str]:
+    try:
+        request_id = int(raw_id)
+    except ValueError:
+        return (
+            400,
+            _error_body(f"request id must be an integer, got {raw_id!r}"),
+            JSON_CONTENT_TYPE,
+        )
+    event = service.debug_request(request_id)
+    if event is None:
+        return (
+            404,
+            _error_body(f"request {request_id} not in the ring"),
+            JSON_CONTENT_TYPE,
+        )
+    return 200, response_json(event), JSON_CONTENT_TYPE
+
+
+def _route_debug_profile(
+    service: JoinService, params: Dict[str, list]
+) -> Tuple[int, str, str]:
+    try:
+        seconds = float(_single_param(params, "seconds") or 1.0)
+        interval = float(_single_param(params, "interval") or 0.005)
+    except ValueError:
+        return (
+            400,
+            _error_body("seconds and interval must be numbers"),
+            JSON_CONTENT_TYPE,
+        )
+    if not (0.0 < seconds <= 60.0):
+        return (
+            400,
+            _error_body("seconds must lie in (0, 60]"),
+            JSON_CONTENT_TYPE,
+        )
+    profile = service.profile(seconds=seconds, interval=interval)
+    text = (
+        f"# samples: {profile.samples} duration: {profile.duration:.3f}s\n"
+        + profile.render()
+    )
+    return 200, text, "text/plain"
+
+
+def route_get(service: JoinService, raw_path: str) -> Tuple[int, str, str]:
+    """Answer one GET request; returns ``(status, body, content type)``."""
+    path, _, query = raw_path.partition("?")
+    params = urllib.parse.parse_qs(query)
+    if path == "/v1/healthz":
+        health = service.health()
+        status = 200 if health["status"] == "ok" else 503
+        return status, response_json(health), JSON_CONTENT_TYPE
+    if path == "/v1/stats":
+        return 200, response_json(service.stats()), JSON_CONTENT_TYPE
+    if path == "/v1/metrics":
+        return 200, service.render_metrics(), METRICS_CONTENT_TYPE
+    if path == "/v1/debug/requests":
+        return _route_debug_requests(service, params)
+    if path.startswith("/v1/debug/requests/"):
+        return _route_debug_request(
+            service, path[len("/v1/debug/requests/"):]
+        )
+    if path == "/v1/debug/slo":
+        return 200, response_json(service.debug_slo()), JSON_CONTENT_TYPE
+    if path == "/v1/debug/profile":
+        return _route_debug_profile(service, params)
+    return 404, _error_body(f"unknown path {path}"), JSON_CONTENT_TYPE
+
+
+def deadline_payload(expired: DeadlineExceeded) -> Dict[str, Any]:
+    """The 504 body: whatever partial progress the interrupted run made."""
+    return {
+        "error": "deadline exceeded",
+        "where": expired.where,
+        "phase": expired.phase,
+        "deadline_ms": expired.budget_ms,
+        "partial": expired.partial,
+    }
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -99,6 +229,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        if self.close_connection:
+            # Error paths that could not (or chose not to) consume the
+            # rest of the request must tell the client the connection is
+            # done — setting the attribute alone closes our side but
+            # leaves a keep-alive client waiting on a dead socket.
+            self.send_header("Connection", "close")
         for name, value in extra_headers:
             self.send_header(name, value)
         self.end_headers()
@@ -118,87 +254,28 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # -- GET ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
-        path, _, query = self.path.partition("?")
-        params = urllib.parse.parse_qs(query)
-        if path == "/v1/healthz":
-            health = self.service.health()
-            status = 200 if health["status"] == "ok" else 503
-            self._send_json(status, health)
-        elif path == "/v1/stats":
-            self._send_json(200, self.service.stats())
-        elif path == "/v1/metrics":
-            self._send(
-                200,
-                self.service.render_metrics(),
-                content_type="text/plain; version=0.0.4",
-            )
-        elif path == "/v1/debug/requests":
-            self._debug_requests(params)
-        elif path.startswith("/v1/debug/requests/"):
-            self._debug_request(path[len("/v1/debug/requests/"):])
-        elif path == "/v1/debug/slo":
-            self._send_json(200, self.service.debug_slo())
-        elif path == "/v1/debug/profile":
-            self._debug_profile(params)
-        else:
-            self._send_error(404, f"unknown path {path}")
-
-    # -- /v1/debug ------------------------------------------------------------
-
-    @staticmethod
-    def _param(params: Dict[str, list], name: str) -> Optional[str]:
-        values = params.get(name)
-        return values[-1] if values else None
-
-    def _debug_requests(self, params: Dict[str, list]) -> None:
-        try:
-            limit = int(self._param(params, "limit") or 50)
-            raw_since = self._param(params, "since_id")
-            since_id = int(raw_since) if raw_since is not None else None
-        except ValueError:
-            self._send_error(400, "limit and since_id must be integers")
-            return
-        events = self.service.debug_requests(
-            limit=max(min(limit, 1000), 1),
-            outcome=self._param(params, "outcome"),
-            mode=self._param(params, "mode"),
-            priority=self._param(params, "priority"),
-            phase=self._param(params, "phase"),
-            since_id=since_id,
-        )
-        self._send_json(200, {"requests": events, "count": len(events)})
-
-    def _debug_request(self, raw_id: str) -> None:
-        try:
-            request_id = int(raw_id)
-        except ValueError:
-            self._send_error(400, f"request id must be an integer, got {raw_id!r}")
-            return
-        event = self.service.debug_request(request_id)
-        if event is None:
-            self._send_error(404, f"request {request_id} not in the ring")
-            return
-        self._send_json(200, event)
-
-    def _debug_profile(self, params: Dict[str, list]) -> None:
-        try:
-            seconds = float(self._param(params, "seconds") or 1.0)
-            interval = float(self._param(params, "interval") or 0.005)
-        except ValueError:
-            self._send_error(400, "seconds and interval must be numbers")
-            return
-        if not (0.0 < seconds <= 60.0):
-            self._send_error(400, "seconds must lie in (0, 60]")
-            return
-        profile = self.service.profile(seconds=seconds, interval=interval)
-        self._send(
-            200,
-            f"# samples: {profile.samples} duration: {profile.duration:.3f}s\n"
-            + profile.render(),
-            content_type="text/plain",
-        )
+        status, body, content_type = route_get(self.service, self.path)
+        self._send(status, body, content_type=content_type)
 
     # -- POST -----------------------------------------------------------------
+
+    def _read_body(self, length: int) -> Optional[bytes]:
+        """Read exactly *length* body bytes, or None on a short read.
+
+        ``rfile`` is a buffered socket file: one ``read(n)`` may return
+        fewer than *n* bytes when the peer half-closes mid-body, so the
+        read must loop.  A short final read means the body can never
+        arrive — the caller answers 400 and closes.
+        """
+        chunks = []
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(remaining)
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
 
     def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
         path = self.path.split("?", 1)[0]
@@ -208,20 +285,32 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
+            # The body length is unknowable, so the body cannot be
+            # drained — under keep-alive its bytes would be parsed as
+            # the next request line.  Close instead.
+            self.close_connection = True
             self._send_error(400, "bad Content-Length")
             return
         if length < 0 or length > MAX_BODY_BYTES:
+            # Same keep-alive hazard: the oversized body is unread, and
+            # draining up to 64 KiB of it buys nothing.  Close.
+            self.close_connection = True
             self._send_error(413, "request body too large")
             return
         try:
-            raw = self.rfile.read(length) or b"{}"
+            raw = self._read_body(length)
         except (TimeoutError, socket.timeout):
             # The client went quiet mid-body; free the thread cleanly.
-            self._send_error(408, "request body read timed out")
             self.close_connection = True
+            self._send_error(408, "request body read timed out")
+            return
+        if raw is None:
+            # Half-closed peer: the declared body never fully arrived.
+            self.close_connection = True
+            self._send_error(400, "truncated request body")
             return
         try:
-            payload = json.loads(raw)
+            payload = json.loads(raw or b"{}")
             request = JoinRequest.from_payload(payload)
         except ValueError as error:
             self._send_error(400, str(error))
@@ -241,20 +330,26 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_error(503, "service is draining")
             return
         try:
-            self._send_json(200, future.result())
-        except DeadlineExceeded as expired:
-            # The contract: a deadlined request never hangs — it returns
-            # whatever progress it made as a 504.
+            # Bounded wait: requests without a deadline must still not
+            # pin this HTTP thread forever if a worker wedges.  The
+            # service's own deadline machinery interrupts deadlined
+            # requests far earlier; this is the backstop.
+            timeout = getattr(self.server, "request_timeout", None)
+            self._send_json(200, future.result(timeout=timeout))
+        except FutureTimeoutError:
+            future.cancel()
+            self.close_connection = True
             self._send_json(
                 504,
                 {
-                    "error": "deadline exceeded",
-                    "where": expired.where,
-                    "phase": expired.phase,
-                    "deadline_ms": expired.budget_ms,
-                    "partial": expired.partial,
+                    "error": "request timed out in service",
+                    "timeout_seconds": timeout,
                 },
             )
+        except DeadlineExceeded as expired:
+            # The contract: a deadlined request never hangs — it returns
+            # whatever progress it made as a 504.
+            self._send_json(504, deadline_payload(expired))
         except ValueError as error:
             self._send_error(409, str(error))
         except Exception as error:  # noqa: BLE001 — surface, don't kill thread
@@ -405,10 +500,14 @@ def submit_with_retries(
 
 __all__ = [
     "DEFAULT_REQUEST_TIMEOUT",
+    "JSON_CONTENT_TYPE",
     "MAX_BODY_BYTES",
+    "METRICS_CONTENT_TYPE",
     "ServiceHTTPServer",
     "ServiceRequestHandler",
+    "deadline_payload",
     "request_json",
+    "route_get",
     "serve",
     "serve_in_background",
     "shutdown",

@@ -33,14 +33,17 @@ from __future__ import annotations
 
 import dataclasses
 import http.client
+import json
+import socket
 import threading
 import time
 import urllib.error
+import urllib.parse
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..observability.metrics import percentile
 from ..observability.slo import DEFAULT_SLO_SPEC, SLOConfig, compliance
@@ -102,6 +105,17 @@ class LoadTestConfig:
     #: SLO spec evaluated per priority class in the bench payload; empty
     #: string disables the section
     slo: str = DEFAULT_SLO_SPEC
+    #: keep-alive connections held open and idle for the whole run (HTTP
+    #: and frontend-benchmark modes); 0 disables the section
+    idle_connections: int = 0
+    #: the async front end is asked to hold ``idle_connections *
+    #: idle_scaling`` — the connection-scaling claim of the benchmark
+    idle_scaling: int = 10
+    #: size of each duplicate-burst round (identical concurrent
+    #: plan-mode requests); 0 disables the coalescing section
+    duplicate_burst: int = 0
+    #: duplicate-burst rounds, each at a fresh requirement
+    burst_rounds: int = 3
 
     def __post_init__(self) -> None:
         if self.requests <= 0:
@@ -415,14 +429,10 @@ def _tear_and_recover(store_root: str, seed: int) -> Dict[str, Any]:
 # -- HTTP mode -----------------------------------------------------------------
 
 
-def run_http_loadtest(url: str, config: LoadTestConfig) -> Dict[str, Any]:
-    """Drive a running server; classifies by status, survives its death.
-
-    A connection-level failure (the CI chaos job ``kill -9``-ing the
-    server mid-run) is counted as ``unavailable`` rather than aborting;
-    after the run the harness polls ``/v1/healthz`` and reports how long
-    the service took to come back, if it did.
-    """
+def _run_http_mix(
+    url: str, config: LoadTestConfig
+) -> Tuple[List[_Sample], float, bool]:
+    """The seeded request mix over HTTP; returns (samples, wall, saw_down)."""
     samples: List[_Sample] = []
     samples_lock = threading.Lock()
     saw_down = threading.Event()
@@ -471,10 +481,272 @@ def run_http_loadtest(url: str, config: LoadTestConfig) -> Dict[str, Any]:
     with ThreadPoolExecutor(max_workers=config.concurrency) as pool:
         list(pool.map(one, range(config.requests)))
     wall = time.perf_counter() - started
+    return samples, wall, saw_down.is_set()
+
+
+def run_http_loadtest(url: str, config: LoadTestConfig) -> Dict[str, Any]:
+    """Drive a running server; classifies by status, survives its death.
+
+    A connection-level failure (the CI chaos job ``kill -9``-ing the
+    server mid-run) is counted as ``unavailable`` rather than aborting;
+    after the run the harness polls ``/v1/healthz`` and reports how long
+    the service took to come back, if it did.
+
+    ``idle_connections > 0`` additionally parks that many keep-alive
+    connections for the duration of the mix and reports whether they
+    stayed live; ``duplicate_burst > 0`` follows the mix with rounds of
+    identical concurrent plan-mode requests and reports the server's
+    coalescing tallies (scraped from ``/v1/stats``).
+    """
+    idle = None
+    if config.idle_connections > 0:
+        idle = _IdleConnections(url, config.idle_connections)
+        idle.open()
+        idle.verify()
+    try:
+        samples, wall, saw_down = _run_http_mix(url, config)
+    finally:
+        idle_report = None
+        if idle is not None:
+            live_after = idle.verify()
+            idle_report = idle.report(live_after)
+            idle.close()
     recovery = None
-    if saw_down.is_set():
+    if saw_down:
         recovery = _await_recovery(url)
-    return _bench_payload("http", config, samples, wall, recovery)
+    payload = _bench_payload("http", config, samples, wall, recovery)
+    if idle_report is not None:
+        payload["idle_connections"] = idle_report
+    if config.duplicate_burst > 0:
+        payload["coalescing"] = _duplicate_burst_http(url, config)
+    return payload
+
+
+class _IdleConnections:
+    """A pool of idle keep-alive connections held against one server.
+
+    ``verify()`` round-trips a ``/v1/healthz`` on every socket — proving
+    each parked connection is still truly live, not just half-open — and
+    returns how many answered.
+    """
+
+    _PROBE = b"GET /v1/healthz HTTP/1.1\r\nHost: bench\r\n\r\n"
+
+    def __init__(self, url: str, target: int, timeout: float = 30.0):
+        parsed = urllib.parse.urlsplit(
+            url if "//" in url else f"http://{url}"
+        )
+        self.address = (parsed.hostname or "127.0.0.1", parsed.port or 80)
+        self.target = target
+        self.timeout = timeout
+        self.sockets: List[socket.socket] = []
+        self.threads_before = threading.active_count()
+        self.threads_during = self.threads_before
+        self.live_at_open = 0
+
+    def open(self) -> int:
+        # Warm the request path with one connection before sampling the
+        # thread count: worker pools spawn threads lazily on first use,
+        # and that one-time growth is not a per-connection cost.
+        self._open_sockets(1)
+        self.verify()
+        self.threads_before = threading.active_count()
+        self._open_sockets(self.target - len(self.sockets))
+        self.live_at_open = self.verify()
+        self.threads_during = threading.active_count()
+        return self.live_at_open
+
+    def _open_sockets(self, count: int) -> None:
+        for _ in range(count):
+            try:
+                sock = socket.create_connection(
+                    self.address, timeout=self.timeout
+                )
+            except OSError:
+                break  # fd limit or backlog exhausted; report what held
+            sock.settimeout(self.timeout)
+            self.sockets.append(sock)
+
+    def verify(self) -> int:
+        """Round-trip a health check on every held connection."""
+        responsive = []
+        for sock in self.sockets:
+            try:
+                sock.sendall(self._PROBE)
+                responsive.append(sock)
+            except OSError:
+                pass
+        live = 0
+        for sock in responsive:
+            try:
+                if self._read_response(sock) == 200:
+                    live += 1
+            except (OSError, ValueError, AssertionError):
+                pass
+        return live
+
+    def _read_response(self, sock: socket.socket) -> int:
+        buffer = b""
+        while b"\r\n\r\n" not in buffer:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise OSError("connection closed")
+            buffer += chunk
+        head, _, rest = buffer.partition(b"\r\n\r\n")
+        lines = head.split(b"\r\n")
+        status = int(lines[0].split()[1])
+        length = 0
+        for line in lines[1:]:
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        while len(rest) < length:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise OSError("body truncated")
+            rest += chunk
+        return status
+
+    def report(self, live_after: int) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "opened": len(self.sockets),
+            "live_at_open": self.live_at_open,
+            "live_after_mix": live_after,
+            #: threads the process gained parking the connections beyond
+            #: the first (warm-up) one — ~0 for a remote server; against
+            #: an in-process threaded front end this exposes the
+            #: thread-per-connection cost the async front end avoids
+            "thread_cost": self.threads_during - self.threads_before,
+        }
+
+    def close(self) -> None:
+        for sock in self.sockets:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self.sockets = []
+
+
+def _scrape_section(url: str, section: str) -> Dict[str, Any]:
+    try:
+        status, stats = request_json(url, "stats", timeout=30.0)
+    except Exception:  # noqa: BLE001 — absent section below
+        return {}
+    if status != 200 or not isinstance(stats, dict):
+        return {}
+    value = stats.get(section)
+    return value if isinstance(value, dict) else {}
+
+
+def _canonical(body: Any) -> str:
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def _duplicate_burst_http(
+    url: str, config: LoadTestConfig, reference_url: Optional[str] = None
+) -> Dict[str, Any]:
+    """Rounds of identical concurrent plan-mode requests, tallied.
+
+    Each round uses a fresh requirement (``tau_good`` offset by the
+    round index), so the first arrival must run the optimizer and its
+    duplicates have a real in-flight computation to attach to.  The
+    coalescing and plan-cache tallies are scraped from ``/v1/stats``
+    before and after: ``computations`` counts plan-cache result misses —
+    the number of times the optimizer actually ran — so the hit rate is
+    the fraction of duplicate requests that were resolved from a single
+    computation, whether by attaching to the flight or by hitting the
+    memoized result it produced.
+
+    ``reference_url`` (the frontend benchmark passes the threaded,
+    uncoalesced front end) answers one reference request per round for
+    the byte-identity check; by default the burst's own server is asked
+    again after the flight resolved, which is equivalent — a lone
+    request never coalesces with anything.
+    """
+    reference_url = reference_url or url
+    flights_before = _scrape_section(url, "coalescing")
+    cache_before = _scrape_section(url, "plan_cache")
+    rounds: List[Dict[str, Any]] = []
+    size = config.duplicate_burst
+    for round_index in range(config.burst_rounds):
+        payload = {
+            "tau_good": config.tau_good + round_index + 1,
+            "tau_bad": config.tau_bad,
+            "mode": "plan",
+        }
+        barrier = threading.Barrier(size)
+        answers: List[Optional[Tuple[int, Any]]] = [None] * size
+
+        def one(index: int) -> None:
+            try:
+                barrier.wait(timeout=60)
+                answers[index] = request_json(
+                    url, "join", payload, timeout=config.timeout
+                )
+            except Exception as error:  # noqa: BLE001 — reported below
+                answers[index] = (-1, str(error))
+
+        threads = [
+            threading.Thread(target=one, args=(i,)) for i in range(size)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=config.timeout + 60)
+
+        statuses = [a[0] if a else -1 for a in answers]
+        bodies = {
+            _canonical(a[1]) for a in answers if a and a[0] == 200
+        }
+        ref_status, reference = request_json(
+            reference_url, "join", payload, timeout=config.timeout
+        )
+        identical = (
+            all(status == 200 for status in statuses)
+            and len(bodies) == 1
+            and ref_status == 200
+            and _canonical(reference) in bodies
+        )
+        rounds.append(
+            {
+                "tau_good": payload["tau_good"],
+                "requests": size,
+                "ok": sum(1 for status in statuses if status == 200),
+                "distinct_answers": len(bodies),
+                "byte_identical_to_uncoalesced": identical,
+            }
+        )
+    flights_after = _scrape_section(url, "coalescing")
+    cache_after = _scrape_section(url, "plan_cache")
+
+    def delta(after: Dict[str, Any], before: Dict[str, Any], key: str) -> int:
+        return int(after.get(key, 0)) - int(before.get(key, 0))
+
+    total = size * config.burst_rounds
+    duplicates = max(total - config.burst_rounds, 1)
+    computations = delta(cache_after, cache_before, "misses")
+    # The per-round reference requests arrive after their flight
+    # resolved and hit the memoized result, so they never add to the
+    # computation count.
+    resolved_from_single = max(total - computations, 0)
+    return {
+        "burst_size": size,
+        "rounds": config.burst_rounds,
+        "requests": total,
+        "duplicates": duplicates,
+        "computations": computations,
+        "coalesced": delta(flights_after, flights_before, "attached"),
+        "leaders": delta(flights_after, flights_before, "leaders"),
+        "hit_rate": round(
+            min(resolved_from_single / duplicates, 1.0), 6
+        ),
+        "byte_identical": all(
+            entry["byte_identical_to_uncoalesced"] for entry in rounds
+        ),
+        "rounds_detail": rounds,
+    }
 
 
 def _await_recovery(
@@ -498,11 +770,125 @@ def _await_recovery(
     return {"recovered": False, "recovery_seconds": None}
 
 
+# -- frontend benchmark (threads vs async) -------------------------------------
+
+
+def run_frontend_benchmark(
+    task, store_root: str, config: LoadTestConfig
+) -> Dict[str, Any]:
+    """Threaded vs asyncio front end over one shared service.
+
+    Produces the ``connection_scaling`` and ``coalescing`` sections of
+    ``BENCH_service.json``:
+
+    * **coalescing** — duplicate bursts against the async front end
+      (the only one that coalesces), byte-identity checked against the
+      threaded front end answering the same request uncoalesced;
+    * **connection_scaling** — each front end holds a pool of verified
+      idle keep-alive connections (the async one ``idle_scaling`` times
+      more) while the seeded request mix runs against it; the section
+      records live connection counts, the process thread cost of
+      holding them, and the mix p99 so "10x the idle connections at
+      equal p99" is a measured claim, not a slogan.
+    """
+    from .asyncio_frontend import serve_async
+    from .http import serve_in_background
+
+    service = JoinService(
+        task,
+        store_root,
+        workers=config.workers,
+        queue_limit=config.queue_limit,
+        pilot_documents=config.pilot_documents,
+    )
+    threaded_server, threaded_thread = serve_in_background(service)
+    async_server = serve_async(service)
+    threaded_url = f"http://127.0.0.1:{threaded_server.server_address[1]}"
+    async_url = f"http://127.0.0.1:{async_server.server_address[1]}"
+    try:
+        if config.prewarm:
+            service.execute(
+                JoinRequest(
+                    tau_good=config.tau_good, tau_bad=config.tau_bad
+                )
+            )
+        coalescing = None
+        if config.duplicate_burst > 0:
+            coalescing = _duplicate_burst_http(
+                async_url, config, reference_url=threaded_url
+            )
+        connection_scaling = None
+        if config.idle_connections > 0:
+            threaded_side = _frontend_side(
+                threaded_url, config.idle_connections, config
+            )
+            async_side = _frontend_side(
+                async_url,
+                config.idle_connections * config.idle_scaling,
+                config,
+            )
+            threads_live = max(threaded_side["idle"]["live_at_open"], 1)
+            threads_p99 = max(threaded_side["p99_seconds"], 1e-9)
+            ratio = async_side["p99_seconds"] / threads_p99
+            connection_scaling = {
+                "threads": threaded_side,
+                "async": async_side,
+                "idle_ratio": round(
+                    async_side["idle"]["live_at_open"] / threads_live, 3
+                ),
+                "p99_ratio": round(ratio, 3),
+                #: "equal p99" within CI noise: neither front end may be
+                #: more than 2x slower than the other at the tail
+                "equal_p99_tolerance": 2.0,
+                "equal_p99": bool(max(ratio, 1.0 / ratio) <= 2.0),
+            }
+        sections: Dict[str, Any] = {}
+        if connection_scaling is not None:
+            sections["connection_scaling"] = connection_scaling
+        if coalescing is not None:
+            sections["coalescing"] = coalescing
+        return sections
+    finally:
+        async_server.shutdown()
+        threaded_server.shutdown()
+        threaded_server.server_close()
+        threaded_thread.join(timeout=10)
+        service.close(wait=True)
+
+
+def _frontend_side(
+    url: str, idle_target: int, config: LoadTestConfig
+) -> Dict[str, Any]:
+    """One front end's half of the connection-scaling comparison."""
+    idle = _IdleConnections(url, idle_target)
+    idle.open()
+    try:
+        samples, wall, _ = _run_http_mix(url, config)
+        live_after = idle.verify()
+        report = idle.report(live_after)
+    finally:
+        idle.close()
+    latencies = [s.latency for s in samples]
+    outcomes = {name: 0 for name in OUTCOMES}
+    for sample in samples:
+        outcomes[sample.outcome] += 1
+    return {
+        "url": url,
+        "idle": report,
+        "requests": len(samples),
+        "outcomes": outcomes,
+        "wall_seconds": round(wall, 6),
+        "p50_seconds": round(percentile(latencies, 0.50), 6),
+        "p99_seconds": round(percentile(latencies, 0.99), 6),
+    }
+
+
 __all__ = [
     "ChaosClock",
     "DEFAULT_CHAOS_FAULTS",
     "LoadTestConfig",
     "OUTCOMES",
+    "run_frontend_benchmark",
     "run_http_loadtest",
     "run_local_loadtest",
 ]

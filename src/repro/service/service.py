@@ -79,6 +79,7 @@ from ..robustness.deadline import Deadline, DeadlineExceeded
 from ..robustness.environment import harden
 from ..robustness.faults import SWALLOWED_EXCEPTIONS, FaultProfile
 from .admission import DEGRADE, SHED, AdmissionController
+from .coalesce import RequestCoalescer
 from .plancache import PlanCache, PlanCacheKey
 from .shards import ShardedStatisticsStore
 from .store import WarmStartPolicy, task_signature
@@ -268,6 +269,10 @@ class JoinService:
         self.clock = clock
         self.store = ShardedStatisticsStore(store_root, clock=clock)
         self.plan_cache = PlanCache()
+        #: cross-request singleflight for side-effect-free (plan-mode)
+        #: requests; the async front end routes duplicates through it,
+        #: the threaded front end stays the uncoalesced reference
+        self.coalescer = RequestCoalescer()
         #: multiway bindings (duck-typed scenario exposing ``catalog()``,
         #: ``environment()`` and ``database_of(alias)``); None rejects
         #: relations/edges payloads with a structured error
@@ -478,6 +483,41 @@ class JoinService:
                 retry_after=self.admission.retry_after(self._queue.qsize())
             ) from None
         return future
+
+    def coalesce_key(self, request: JoinRequest) -> Optional[Tuple[Any, ...]]:
+        """Identity of the shared computation this request may join.
+
+        None means the request must run individually.  Only plan-mode
+        requests coalesce: they are pure functions of the statistics
+        store, so everything their answer depends on is in the key —
+        the task (or join-graph) signature, the store's generation at
+        attach time, the requirement, and (for the binary path) the set
+        of currently unavailable access paths the plan cache also keys
+        on.  Deadline and priority are deliberately absent: deadlines
+        are enforced per waiter, and priority only shapes admission,
+        never the answer.
+        """
+        if request.mode != "plan":
+            return None
+        with self._store_lock:
+            generation = self.store.generation
+            paths = tuple(self._unavailable_paths)
+        if request.graph is not None:
+            return (
+                "multiway",
+                request.graph.signature(),
+                generation,
+                request.tau_good,
+                request.tau_bad,
+            )
+        return (
+            "plan",
+            self.signature,
+            generation,
+            request.tau_good,
+            request.tau_bad,
+            tuple(sorted(set(paths))),
+        )
 
     def execute(self, request: JoinRequest) -> Dict[str, Any]:
         """Process a request synchronously on the calling thread.
@@ -1444,6 +1484,7 @@ class JoinService:
             "store": store,
             "pruned_checkpoints": list(self.pruned_checkpoints),
             "admission": self.admission.snapshot(),
+            "coalescing": self.coalescer.stats(),
             "warm_available": self._warm_available,
             "multiway_scenario": getattr(self.multiway, "name", None),
             "slo": {
@@ -1505,6 +1546,7 @@ class JoinService:
         "repro_service_rejected_total": "Requests shed, by reason.",
         "repro_service_degraded_total": "Requests answered degraded from warm statistics.",
         "repro_service_deadline_total": "Deadline expiries, by interrupted phase.",
+        "repro_service_coalescing": "Cross-request plan coalescing tallies (leaders/attached/resolved/detached/cancelled/in_flight), by key.",
         "repro_service_queue_depth": "Requests currently queued.",
         "repro_service_workers": "Worker threads serving the pool.",
         "repro_planner_events_total": "Multiway planner search-space events (assignments, subplans enumerated/pruned, plan space), by event.",
@@ -1565,6 +1607,10 @@ class JoinService:
                 self.metrics.gauge(
                     "repro_service_admission_decisions", action=action
                 ).set(count)
+            for name, value in sorted(self.coalescer.stats().items()):
+                self.metrics.gauge(
+                    "repro_service_coalescing", key=name
+                ).set(value)
             for reason, count in sorted(SWALLOWED_EXCEPTIONS.items()):
                 self.metrics.gauge(
                     "repro_swallowed_exceptions", reason=reason

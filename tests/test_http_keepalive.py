@@ -1,0 +1,232 @@
+"""Keep-alive hygiene regression tests for the threaded HTTP front end.
+
+Each test pins one of the ``do_POST`` connection-handling bugs from the
+PR-10 sweep; all three fail against the pre-fix handler:
+
+1. 413/400 answered *without consuming the request body* — under
+   HTTP/1.1 keep-alive the unread body bytes were then parsed as the
+   next request line, so a pipelined client saw phantom responses on a
+   desynchronized connection.  Fixed by closing the connection whenever
+   the body cannot be consumed.
+2. a single ``rfile.read(length)`` returning short on a half-closed
+   connection — the truncated body surfaced as a confusing JSON-parse
+   400.  Fixed by looping the read and mapping a short read to 400
+   ``"truncated request body"`` + close.
+3. ``future.result()`` with no timeout — a request with no deadline
+   could pin an HTTP thread forever behind a wedged worker.  Fixed by
+   bounding the wait with the server's ``request_timeout`` and mapping
+   expiry to a clean 504 + close.
+
+The tests drive raw sockets (urllib cannot pipeline or half-close) and a
+stub service, so they exercise exactly the HTTP layer.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from concurrent.futures import Future
+
+import pytest
+
+from repro.service.http import MAX_BODY_BYTES, ServiceHTTPServer
+
+
+class StubService:
+    """The minimal surface the HTTP handler touches."""
+
+    def __init__(self):
+        self.submitted = []
+        self.resolve_with = {"ok": True}
+        self.never_resolve = False
+
+    def submit(self, request):
+        self.submitted.append(request)
+        future = Future()
+        if not self.never_resolve:
+            future.set_result(self.resolve_with)
+        return future
+
+    def healthz(self):  # pragma: no cover — not reached by these tests
+        return {"status": "ok"}
+
+    def close(self, wait=True):
+        pass
+
+
+@pytest.fixture()
+def stub_server():
+    service = StubService()
+    server = ServiceHTTPServer(("127.0.0.1", 0), service, request_timeout=1.0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield service, server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def _connect(server) -> socket.socket:
+    sock = socket.create_connection(server.server_address, timeout=5.0)
+    sock.settimeout(5.0)
+    return sock
+
+
+def _read_until_eof(sock: socket.socket, limit: float = 10.0) -> bytes:
+    sock.settimeout(limit)
+    chunks = []
+    while True:
+        try:
+            chunk = sock.recv(65536)
+        except (TimeoutError, socket.timeout):
+            pytest.fail(
+                "server neither answered further nor closed the connection"
+            )
+        except ConnectionResetError:
+            # The server tore the connection down with unread bytes in
+            # its receive buffer — equivalent to EOF for these tests.
+            return b"".join(chunks)
+        if not chunk:
+            return b"".join(chunks)
+        chunks.append(chunk)
+
+
+def _parse_responses(raw: bytes):
+    """Split a byte stream into HTTP responses; fails on desync garbage."""
+    responses = []
+    rest = raw
+    while rest:
+        head, sep, remainder = rest.partition(b"\r\n\r\n")
+        assert sep, f"incomplete response head in stream: {rest!r}"
+        lines = head.split(b"\r\n")
+        status_line = lines[0].decode("latin-1")
+        assert status_line.startswith("HTTP/1."), (
+            f"stream desynchronized: expected a status line, got "
+            f"{status_line!r}"
+        )
+        status = int(status_line.split()[1])
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body, rest = remainder[:length], remainder[length:]
+        assert len(body) == length, "response body truncated"
+        responses.append((status, headers, body))
+    return responses
+
+
+class TestKeepAliveBodyHandling:
+    def test_oversized_post_closes_instead_of_desyncing(self, stub_server):
+        """Bug 1: a 413 with the body unread must close the connection.
+
+        A pipelined client sends the oversized POST (body included) and a
+        follow-up GET back-to-back.  Pre-fix, the server kept the
+        connection open and parsed the unread body as more requests —
+        the stream desynchronized into phantom responses.  Post-fix the
+        client sees exactly one 413 carrying ``Connection: close``, then
+        EOF.
+        """
+        service, server = stub_server
+        body = b"x" * (MAX_BODY_BYTES + 1)
+        oversized = (
+            b"POST /v1/join HTTP/1.1\r\n"
+            b"Host: t\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: %d\r\n\r\n" % len(body)
+        ) + body
+        pipelined_get = b"GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+        with _connect(server) as sock:
+            sock.sendall(oversized + pipelined_get)
+            responses = _parse_responses(_read_until_eof(sock))
+        assert len(responses) == 1, (
+            "exactly one response then EOF — anything else means the "
+            "unread body was parsed as new requests"
+        )
+        status, headers, raw = responses[0]
+        assert status == 413
+        assert headers.get("connection") == "close"
+        assert json.loads(raw)["error"] == "request body too large"
+        assert service.submitted == []
+
+    def test_bad_content_length_closes(self, stub_server):
+        """Bug 1 (second arm): unparseable Content-Length must close."""
+        service, server = stub_server
+        request = (
+            b"POST /v1/join HTTP/1.1\r\n"
+            b"Host: t\r\n"
+            b"Content-Length: banana\r\n\r\n"
+            b'{"tau_good": 1}'
+            b"GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+        )
+        with _connect(server) as sock:
+            sock.sendall(request)
+            responses = _parse_responses(_read_until_eof(sock))
+        assert len(responses) == 1
+        status, headers, raw = responses[0]
+        assert status == 400
+        assert headers.get("connection") == "close"
+        assert json.loads(raw)["error"] == "bad Content-Length"
+        assert service.submitted == []
+
+    def test_half_closed_body_maps_to_truncated_400(self, stub_server):
+        """Bug 2: a short body read is named, not blamed on JSON.
+
+        The client declares 100 body bytes, sends 40, and half-closes.
+        Pre-fix the 40 bytes went straight to ``json.loads`` and the
+        client got a JSON-parse error for a transport problem; post-fix
+        the read loops to EOF and answers 400 "truncated request body"
+        with the connection closed.
+        """
+        service, server = stub_server
+        head = (
+            b"POST /v1/join HTTP/1.1\r\n"
+            b"Host: t\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: 100\r\n\r\n"
+        )
+        with _connect(server) as sock:
+            sock.sendall(head + b'{"tau_good": 40, "tau_bad": 100'[:40])
+            sock.shutdown(socket.SHUT_WR)
+            responses = _parse_responses(_read_until_eof(sock))
+        assert len(responses) == 1
+        status, headers, raw = responses[0]
+        assert status == 400
+        assert headers.get("connection") == "close"
+        assert json.loads(raw)["error"] == "truncated request body"
+        assert service.submitted == []
+
+
+class TestRequestTimeoutBackstop:
+    def test_wedged_worker_maps_to_504(self, stub_server):
+        """Bug 3: a never-resolving future answers 504, not a hang.
+
+        The stub returns a future that never resolves — the wedged-worker
+        case.  With ``request_timeout=1.0`` the handler must answer a
+        504 within the timeout (plus slack) and close the connection;
+        pre-fix it blocked in ``future.result()`` forever and this test
+        timed out on the socket read.
+        """
+        service, server = stub_server
+        service.never_resolve = True
+        payload = json.dumps({"tau_good": 40, "tau_bad": 1000}).encode()
+        request = (
+            b"POST /v1/join HTTP/1.1\r\n"
+            b"Host: t\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: %d\r\n\r\n" % len(payload)
+        ) + payload
+        with _connect(server) as sock:
+            sock.sendall(request)
+            responses = _parse_responses(_read_until_eof(sock, limit=8.0))
+        assert len(responses) == 1
+        status, headers, raw = responses[0]
+        assert status == 504
+        assert headers.get("connection") == "close"
+        body = json.loads(raw)
+        assert body["error"] == "request timed out in service"
+        assert body["timeout_seconds"] == 1.0
+        assert len(service.submitted) == 1

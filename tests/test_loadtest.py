@@ -206,3 +206,62 @@ class TestSLOReport:
         config = LoadTestConfig(requests=4, slo="")
         payload = _bench_payload("local", config, self._samples(), 2.0, None)
         assert "slo" not in payload
+
+
+class TestFrontendBenchmark:
+    def test_sections_measure_scaling_and_coalescing(
+        self, hq_ex_task, tmp_path
+    ):
+        """One shared service behind both front ends: the async side
+        holds idle_scaling times the idle connections (all verified
+        live), and duplicate bursts resolve from a single computation
+        with answers byte-identical to the threaded (uncoalesced)
+        reference."""
+        from repro.service.loadtest import run_frontend_benchmark
+
+        config = LoadTestConfig(
+            requests=10,
+            concurrency=4,
+            workers=2,
+            queue_limit=8,
+            pilot_documents=60,
+            plan_fraction=1.0,
+            seed=3,
+            timeout=120.0,
+            idle_connections=6,
+            idle_scaling=10,
+            duplicate_burst=5,
+            burst_rounds=2,
+        )
+        sections = run_frontend_benchmark(
+            hq_ex_task, str(tmp_path / "store"), config
+        )
+        scaling = sections["connection_scaling"]
+        threads_side, async_side = scaling["threads"], scaling["async"]
+        assert threads_side["idle"]["live_at_open"] == 6
+        assert async_side["idle"]["target"] == 60
+        assert async_side["idle"]["live_at_open"] == 60, (
+            "every parked async connection must verify live"
+        )
+        assert scaling["idle_ratio"] >= config.idle_scaling
+        assert threads_side["p99_seconds"] > 0
+        assert async_side["p99_seconds"] > 0
+        assert scaling["equal_p99_tolerance"] == 2.0
+        assert isinstance(scaling["equal_p99"], bool)
+        # The threaded front end pays a thread per parked connection;
+        # the event loop pays none (its handler runs on the loop).
+        assert async_side["idle"]["thread_cost"] <= 2
+        assert sum(threads_side["outcomes"].values()) == config.requests
+        assert sum(async_side["outcomes"].values()) == config.requests
+
+        coalescing = sections["coalescing"]
+        assert coalescing["requests"] == 10
+        assert coalescing["computations"] == config.burst_rounds, (
+            "one optimizer computation per burst round"
+        )
+        assert coalescing["hit_rate"] >= 0.8, coalescing
+        assert coalescing["byte_identical"] is True, coalescing
+        for entry in coalescing["rounds_detail"]:
+            assert entry["ok"] == config.duplicate_burst
+            assert entry["distinct_answers"] == 1
+        json.dumps(sections)
